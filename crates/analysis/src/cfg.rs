@@ -1,0 +1,244 @@
+//! Control-flow graph construction over `cfd-isa` programs.
+
+use cfd_isa::{Instr, Program};
+use std::collections::BTreeSet;
+
+/// A basic block: a maximal straight-line PC range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First PC of the block.
+    pub start: u32,
+    /// One past the last PC of the block.
+    pub end: u32,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// PCs covered by this block.
+    pub fn pcs(&self) -> impl Iterator<Item = u32> {
+        self.start..self.end
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the block is empty (never true for constructed CFGs).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A control-flow graph with a virtual exit node.
+///
+/// Block 0 is the entry (PC 0). The virtual exit ([`Cfg::exit`]) has no PC
+/// range; every `Halt` block and every block that falls off the program's
+/// end links to it, so post-dominance is well-defined.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// The blocks; index = block id. The last block is the virtual exit.
+    pub blocks: Vec<BasicBlock>,
+    exit: usize,
+    /// Block id containing each PC.
+    block_of_pc: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a program.
+    ///
+    /// Indirect jumps (`jr`) are treated as edges to the virtual exit (our
+    /// kernels only use them for returns out of the analyzed region).
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len() as u32;
+        // Leaders: PC 0, targets of control transfers, fall-throughs after them.
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(0);
+        for (pc, instr) in program.instrs().iter().enumerate() {
+            let pc = pc as u32;
+            if let Some(t) = instr.direct_target() {
+                leaders.insert(t);
+            }
+            if (instr.is_control() || matches!(instr, Instr::Halt))
+                && pc + 1 < n {
+                    leaders.insert(pc + 1);
+                }
+        }
+        let bounds: Vec<u32> = leaders.into_iter().filter(|&l| l < n).collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(bounds.len() + 1);
+        for (i, &start) in bounds.iter().enumerate() {
+            let end = bounds.get(i + 1).copied().unwrap_or(n);
+            blocks.push(BasicBlock { start, end, succs: Vec::new(), preds: Vec::new() });
+        }
+        let exit = blocks.len();
+        blocks.push(BasicBlock { start: n, end: n, succs: Vec::new(), preds: Vec::new() });
+
+        let mut block_of_pc = vec![0usize; n as usize];
+        for (id, b) in blocks.iter().enumerate().take(exit) {
+            for pc in b.start..b.end {
+                block_of_pc[pc as usize] = id;
+            }
+        }
+        let block_at = |pc: u32| -> usize {
+            if pc < n {
+                block_of_pc[pc as usize]
+            } else {
+                exit
+            }
+        };
+
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (id, block) in blocks.iter().enumerate().take(exit) {
+            let last_pc = block.end - 1;
+            let instr = program.fetch(last_pc).expect("in range");
+            match instr {
+                Instr::Jump { target } | Instr::Jal { target, .. } => edges.push((id, block_at(target))),
+                Instr::Jr { .. } => edges.push((id, exit)),
+                Instr::Halt => edges.push((id, exit)),
+                Instr::Branch { target, .. }
+                | Instr::BranchOnBq { target }
+                | Instr::BranchOnTcr { target }
+                | Instr::PopTqBrOvf { target } => {
+                    edges.push((id, block_at(target)));
+                    edges.push((id, block_at(last_pc + 1)));
+                }
+                _ => edges.push((id, block_at(last_pc + 1))),
+            }
+        }
+        for (u, v) in edges {
+            if !blocks[u].succs.contains(&v) {
+                blocks[u].succs.push(v);
+                blocks[v].preds.push(u);
+            }
+        }
+        Cfg { blocks, exit, block_of_pc }
+    }
+
+    /// The entry block id (always 0).
+    pub fn entry(&self) -> usize {
+        0
+    }
+
+    /// The virtual exit block id.
+    pub fn exit(&self) -> usize {
+        self.exit
+    }
+
+    /// Number of blocks including the virtual exit.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no real blocks.
+    pub fn is_empty(&self) -> bool {
+        self.exit == 0
+    }
+
+    /// The block containing `pc`.
+    pub fn block_of(&self, pc: u32) -> usize {
+        self.block_of_pc[pc as usize]
+    }
+
+    /// Reverse postorder over forward edges from the entry.
+    pub fn reverse_postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut seen = vec![false; self.len()];
+        // Iterative DFS computing postorder.
+        let mut stack: Vec<(usize, usize)> = vec![(self.entry(), 0)];
+        seen[self.entry()] = true;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < self.blocks[node].succs.len() {
+                let next = self.blocks[node].succs[*idx];
+                *idx += 1;
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_isa::{Assembler, Reg};
+
+    fn r(i: usize) -> Reg {
+        Reg::new(i)
+    }
+
+    fn diamond() -> Program {
+        // 0: beqz r1 -> else
+        // 1: addi (then)
+        // 2: j join
+        // else 3: addi
+        // join 4: halt
+        let mut a = Assembler::new();
+        a.beqz(r(1), "else");
+        a.addi(r(2), r(2), 1);
+        a.j("join");
+        a.label("else");
+        a.addi(r(2), r(2), 2);
+        a.label("join");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_has_four_blocks_plus_exit() {
+        let cfg = Cfg::build(&diamond());
+        assert_eq!(cfg.len(), 5);
+        let b0 = &cfg.blocks[0];
+        assert_eq!(b0.succs.len(), 2);
+    }
+
+    #[test]
+    fn join_block_has_two_preds() {
+        let cfg = Cfg::build(&diamond());
+        let join = cfg.block_of(4);
+        assert_eq!(cfg.blocks[join].preds.len(), 2);
+        assert_eq!(cfg.blocks[join].succs, vec![cfg.exit()]);
+    }
+
+    #[test]
+    fn loop_back_edge_exists() {
+        let mut a = Assembler::new();
+        a.li(r(2), 10);
+        a.label("top");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "top");
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let top = cfg.block_of(1);
+        assert!(cfg.blocks[top].succs.contains(&top), "self-loop block");
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let cfg = Cfg::build(&diamond());
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], cfg.entry());
+        assert_eq!(rpo.len(), cfg.len());
+        // Exit comes last in RPO for a diamond.
+        assert_eq!(*rpo.last().unwrap(), cfg.exit());
+    }
+
+    #[test]
+    fn block_of_maps_every_pc() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        for pc in 0..p.len() as u32 {
+            let b = cfg.block_of(pc);
+            assert!(cfg.blocks[b].pcs().any(|x| x == pc));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Control dependence (Ferrante–Ottenstein–Warren).
+//!
+//! Block `w` is control-dependent on branch edge `u → v` when `w`
+//! post-dominates `v` but does not strictly post-dominate `u`. The paper's
+//! branch classes hinge on the *size* of a branch's control-dependent
+//! region and on whether the branch's backward slice intersects it.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use std::collections::BTreeSet;
+
+/// Control-dependence relation over a CFG.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// `deps_of[b]` = blocks control-dependent on block `b`'s terminator.
+    deps_of: Vec<BTreeSet<usize>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences from a CFG and its post-dominator tree.
+    pub fn compute(cfg: &Cfg, pdom: &DomTree) -> ControlDeps {
+        let mut deps_of = vec![BTreeSet::new(); cfg.len()];
+        for (u, block) in cfg.blocks.iter().enumerate() {
+            if block.succs.len() < 2 {
+                continue; // only branching terminators create control deps
+            }
+            for &v in &block.succs {
+                // Walk the post-dominator tree from v up to (but excluding)
+                // ipdom(u): everything on the way is control-dependent on u.
+                // When u is a loop branch the walk passes through u itself,
+                // correctly marking the header as self-dependent.
+                let stop = pdom.idom(u);
+                let mut w = v;
+                while w != stop {
+                    deps_of[u].insert(w);
+                    let next = pdom.idom(w);
+                    if next == w {
+                        break; // defensive: unreachable subtree
+                    }
+                    w = next;
+                }
+            }
+        }
+        ControlDeps { deps_of }
+    }
+
+    /// Blocks control-dependent on the terminator of block `b`.
+    pub fn dependents(&self, b: usize) -> &BTreeSet<usize> {
+        &self.deps_of[b]
+    }
+
+    /// Total instructions control-dependent on block `b`'s terminator.
+    pub fn region_size(&self, cfg: &Cfg, b: usize) -> usize {
+        self.deps_of[b].iter().map(|&w| cfg.blocks[w].len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_isa::{Assembler, Reg};
+
+    fn r(i: usize) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn if_then_region() {
+        // beqz r1 -> skip ; 3 CD instructions ; skip: halt
+        let mut a = Assembler::new();
+        a.beqz(r(1), "skip");
+        a.addi(r(2), r(2), 1);
+        a.addi(r(3), r(3), 1);
+        a.addi(r(4), r(4), 1);
+        a.label("skip");
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let pdom = DomTree::post_dominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        let head = cfg.block_of(0);
+        let body = cfg.block_of(1);
+        assert!(cd.dependents(head).contains(&body));
+        assert_eq!(cd.region_size(&cfg, head), 3);
+    }
+
+    #[test]
+    fn diamond_both_arms_dependent() {
+        let mut a = Assembler::new();
+        a.beqz(r(1), "else");
+        a.addi(r(2), r(2), 1);
+        a.j("join");
+        a.label("else");
+        a.addi(r(2), r(2), 2);
+        a.label("join");
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let pdom = DomTree::post_dominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        let head = cfg.block_of(0);
+        let then_b = cfg.block_of(1);
+        let else_b = cfg.block_of(3);
+        let join = cfg.block_of(4);
+        assert!(cd.dependents(head).contains(&then_b));
+        assert!(cd.dependents(head).contains(&else_b));
+        assert!(!cd.dependents(head).contains(&join), "join is not control-dependent");
+        // then = 2 instrs (addi + j), else = 1 instr
+        assert_eq!(cd.region_size(&cfg, head), 3);
+    }
+
+    #[test]
+    fn loop_body_depends_on_loop_branch() {
+        let mut a = Assembler::new();
+        a.li(r(2), 10);
+        a.label("top");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "top");
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let pdom = DomTree::post_dominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        let body = cfg.block_of(1);
+        // The loop block is control-dependent on its own back-edge branch.
+        assert!(cd.dependents(body).contains(&body));
+    }
+
+    #[test]
+    fn straightline_has_no_deps() {
+        let mut a = Assembler::new();
+        a.addi(r(1), r(1), 1);
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let pdom = DomTree::post_dominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        for b in 0..cfg.len() {
+            assert!(cd.dependents(b).is_empty());
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+use crate::cfg::Cfg;
+
+/// An immediate-dominator tree over CFG blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; `idom[root] == root`.
+    idom: Vec<usize>,
+    root: usize,
+}
+
+impl DomTree {
+    /// Computes the dominator tree rooted at the CFG entry.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let succs: Vec<&[usize]> = cfg.blocks.iter().map(|b| b.succs.as_slice()).collect();
+        let preds: Vec<&[usize]> = cfg.blocks.iter().map(|b| b.preds.as_slice()).collect();
+        Self::compute(cfg.len(), cfg.entry(), &succs, &preds)
+    }
+
+    /// Computes the post-dominator tree rooted at the virtual exit
+    /// (dominators of the reversed CFG).
+    pub fn post_dominators(cfg: &Cfg) -> DomTree {
+        let succs: Vec<&[usize]> = cfg.blocks.iter().map(|b| b.preds.as_slice()).collect();
+        let preds: Vec<&[usize]> = cfg.blocks.iter().map(|b| b.succs.as_slice()).collect();
+        Self::compute(cfg.len(), cfg.exit(), &succs, &preds)
+    }
+
+    fn compute(n: usize, root: usize, succs: &[&[usize]], preds: &[&[usize]]) -> DomTree {
+        // Reverse postorder from `root` over `succs`.
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        seen[root] = true;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < succs[node].len() {
+                let next = succs[node][*idx];
+                *idx += 1;
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_num[b] = i;
+        }
+
+        const UNDEF: usize = usize::MAX;
+        let mut idom = vec![UNDEF; n];
+        idom[root] = root;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom = UNDEF;
+                for &p in preds[b] {
+                    if idom[p] != UNDEF {
+                        new_idom = if new_idom == UNDEF {
+                            p
+                        } else {
+                            Self::intersect(&idom, &rpo_num, p, new_idom)
+                        };
+                    }
+                }
+                if new_idom != UNDEF && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // Unreachable nodes dominate themselves (defensive).
+        for (b, d) in idom.iter_mut().enumerate() {
+            if *d == UNDEF {
+                *d = b;
+            }
+        }
+        DomTree { idom, root }
+    }
+
+    fn intersect(idom: &[usize], rpo_num: &[usize], mut a: usize, mut b: usize) -> usize {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                a = idom[a];
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b];
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the root).
+    pub fn idom(&self, b: usize) -> usize {
+        self.idom[b]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            if x == self.root || self.idom[x] == x {
+                return a == x;
+            }
+            x = self.idom[x];
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: usize, b: usize) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_isa::{Assembler, Reg};
+
+    fn r(i: usize) -> Reg {
+        Reg::new(i)
+    }
+
+    fn diamond_cfg() -> Cfg {
+        let mut a = Assembler::new();
+        a.beqz(r(1), "else");
+        a.addi(r(2), r(2), 1);
+        a.j("join");
+        a.label("else");
+        a.addi(r(2), r(2), 2);
+        a.label("join");
+        a.halt();
+        Cfg::build(&a.finish().unwrap())
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let cfg = diamond_cfg();
+        let dom = DomTree::dominators(&cfg);
+        let head = cfg.block_of(0);
+        let then_b = cfg.block_of(1);
+        let else_b = cfg.block_of(3);
+        let join = cfg.block_of(4);
+        assert!(dom.dominates(head, then_b));
+        assert!(dom.dominates(head, else_b));
+        assert!(dom.dominates(head, join));
+        assert!(!dom.dominates(then_b, join), "join reached around then");
+        assert_eq!(dom.idom(join), head);
+    }
+
+    #[test]
+    fn diamond_post_dominators() {
+        let cfg = diamond_cfg();
+        let pdom = DomTree::post_dominators(&cfg);
+        let head = cfg.block_of(0);
+        let then_b = cfg.block_of(1);
+        let join = cfg.block_of(4);
+        assert!(pdom.dominates(join, head));
+        assert!(pdom.dominates(join, then_b));
+        assert!(!pdom.dominates(then_b, head), "then is skippable");
+        assert_eq!(pdom.idom(head), join);
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut a = Assembler::new();
+        a.li(r(2), 10);
+        a.label("top");
+        a.addi(r(1), r(1), 1);
+        a.beqz(r(3), "skip");
+        a.addi(r(4), r(4), 1);
+        a.label("skip");
+        a.blt(r(1), r(2), "top");
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let top = cfg.block_of(1);
+        let body = cfg.block_of(3);
+        let latch = cfg.block_of(4);
+        assert!(dom.dominates(top, body));
+        assert!(dom.dominates(top, latch));
+        assert!(dom.strictly_dominates(top, latch));
+    }
+
+    #[test]
+    fn straightline_chain() {
+        let mut a = Assembler::new();
+        a.addi(r(1), r(1), 1);
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let dom = DomTree::dominators(&cfg);
+        assert!(dom.dominates(cfg.entry(), cfg.exit()));
+        let pdom = DomTree::post_dominators(&cfg);
+        assert!(pdom.dominates(cfg.exit(), cfg.entry()));
+    }
+}

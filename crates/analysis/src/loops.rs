@@ -1,0 +1,141 @@
+//! Natural-loop detection via dominator back edges.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use std::collections::BTreeSet;
+
+/// A natural loop: header plus body blocks (header included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header block.
+    pub header: usize,
+    /// All blocks in the loop, including the header.
+    pub blocks: BTreeSet<usize>,
+    /// Back-edge sources (latches).
+    pub latches: Vec<usize>,
+}
+
+impl NaturalLoop {
+    /// Whether `block` belongs to the loop.
+    pub fn contains(&self, block: usize) -> bool {
+        self.blocks.contains(&block)
+    }
+
+    /// Total instruction count of the loop body.
+    pub fn instr_count(&self, cfg: &Cfg) -> usize {
+        self.blocks.iter().map(|&b| cfg.blocks[b].len()).sum()
+    }
+}
+
+/// Finds all natural loops; loops sharing a header are merged.
+pub fn find_loops(cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop> {
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for (u, block) in cfg.blocks.iter().enumerate() {
+        for &h in &block.succs {
+            if dom.dominates(h, u) {
+                // Back edge u -> h: the loop body is everything that can
+                // reach u without passing through h.
+                let mut body: BTreeSet<usize> = BTreeSet::new();
+                body.insert(h);
+                let mut stack = vec![u];
+                while let Some(x) = stack.pop() {
+                    if body.insert(x) {
+                        for &p in &cfg.blocks[x].preds {
+                            stack.push(p);
+                        }
+                    }
+                }
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == h) {
+                    existing.blocks.extend(body);
+                    existing.latches.push(u);
+                } else {
+                    loops.push(NaturalLoop { header: h, blocks: body, latches: vec![u] });
+                }
+            }
+        }
+    }
+    loops
+}
+
+/// Whether loop `inner` is strictly nested inside loop `outer`.
+pub fn is_nested(inner: &NaturalLoop, outer: &NaturalLoop) -> bool {
+    inner.header != outer.header && inner.blocks.iter().all(|b| outer.blocks.contains(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_isa::{Assembler, Reg};
+
+    fn r(i: usize) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn single_loop_found() {
+        let mut a = Assembler::new();
+        a.li(r(2), 10);
+        a.label("top");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "top");
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, cfg.block_of(1));
+        assert_eq!(loops[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_detected() {
+        let mut a = Assembler::new();
+        a.li(r(2), 10);
+        a.li(r(4), 3);
+        a.label("outer");
+        a.li(r(3), 0);
+        a.label("inner");
+        a.addi(r(3), r(3), 1);
+        a.blt(r(3), r(4), "inner");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "outer");
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 2);
+        let inner = loops.iter().find(|l| l.header == cfg.block_of(3)).unwrap();
+        let outer = loops.iter().find(|l| l.header == cfg.block_of(2)).unwrap();
+        assert!(is_nested(inner, outer));
+        assert!(!is_nested(outer, inner));
+    }
+
+    #[test]
+    fn loop_with_branch_inside_counts_all_blocks() {
+        let mut a = Assembler::new();
+        a.li(r(2), 10);
+        a.label("top");
+        a.beqz(r(3), "skip");
+        a.addi(r(4), r(4), 1);
+        a.label("skip");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "top");
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].blocks.len(), 3); // header, CD body, latch
+        assert_eq!(loops[0].instr_count(&cfg), 4);
+    }
+
+    #[test]
+    fn no_loops_in_straightline() {
+        let mut a = Assembler::new();
+        a.addi(r(1), r(1), 1);
+        a.halt();
+        let cfg = Cfg::build(&a.finish().unwrap());
+        let dom = DomTree::dominators(&cfg);
+        assert!(find_loops(&cfg, &dom).is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! Backward slices of branches within loops.
+//!
+//! The backward slice of a branch, restricted to its enclosing loop, is the
+//! set of loop instructions that (transitively) produce the branch's source
+//! registers — the paper's "branch slice" / predicate computation. Memory
+//! dependences use a register-granularity may-alias heuristic: a load in
+//! the slice depends on loop stores with the same base register.
+
+use crate::loops::NaturalLoop;
+use cfd_isa::{Instr, Program, Reg, Src2};
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+
+/// A branch's backward slice within a loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    /// PC of the branch the slice feeds.
+    pub branch_pc: u32,
+    /// PCs of slice instructions (the branch itself excluded).
+    pub pcs: BTreeSet<u32>,
+    /// Registers demanded from outside the loop (live-ins of the slice).
+    pub live_ins: BTreeSet<Reg>,
+}
+
+fn sources_of(instr: &Instr) -> Vec<Reg> {
+    let (a, b) = instr.sources();
+    let mut v = Vec::new();
+    if let Some(r) = a {
+        if !r.is_zero() {
+            v.push(r);
+        }
+    }
+    if let Some(r) = b {
+        if !r.is_zero() {
+            v.push(r);
+        }
+    }
+    v
+}
+
+fn imm_src2(instr: &Instr) -> Option<Src2> {
+    match instr {
+        Instr::Alu { src2, .. } => Some(*src2),
+        _ => None,
+    }
+}
+
+/// Computes the backward slice of the conditional branch at `branch_pc`
+/// within `lp`, iterating to a fixpoint over loop-carried dependences.
+pub fn backward_slice(program: &Program, cfg: &Cfg, lp: &NaturalLoop, branch_pc: u32) -> Slice {
+    let loop_pcs: Vec<u32> =
+        lp.blocks.iter().filter(|&&b| b < cfg.len() - 1).flat_map(|&b| cfg.blocks[b].pcs()).collect();
+    let branch = program.fetch(branch_pc).expect("branch pc in range");
+    let mut demand: BTreeSet<Reg> = sources_of(&branch).into_iter().collect();
+    let mut pcs: BTreeSet<u32> = BTreeSet::new();
+    let _ = imm_src2(&branch);
+
+    // Fixpoint: a pass adds any loop instruction writing a demanded register
+    // and folds its sources into the demand set. Loads add may-alias stores.
+    loop {
+        let mut changed = false;
+        for &pc in &loop_pcs {
+            if pc == branch_pc || pcs.contains(&pc) {
+                continue;
+            }
+            let instr = program.fetch(pc).expect("in range");
+            let writes_demanded = instr.dest().is_some_and(|d| demand.contains(&d));
+            if writes_demanded {
+                pcs.insert(pc);
+                for s in sources_of(&instr) {
+                    demand.insert(s);
+                }
+                changed = true;
+                // Loads pull in may-aliasing loop stores (same base register).
+                if let Instr::Load { base, .. } = instr {
+                    for &spc in &loop_pcs {
+                        if pcs.contains(&spc) {
+                            continue;
+                        }
+                        if let Some(Instr::Store { base: sbase, src, .. }) = program.fetch(spc) {
+                            if sbase == base {
+                                pcs.insert(spc);
+                                demand.insert(src);
+                                demand.insert(sbase);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Live-ins: demanded registers not defined by any slice instruction.
+    let defined: BTreeSet<Reg> = pcs.iter().filter_map(|&pc| program.fetch(pc).and_then(|i| i.dest())).collect();
+    let live_ins = demand.difference(&defined).copied().collect();
+    Slice { branch_pc, pcs, live_ins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::DomTree;
+    use crate::loops::find_loops;
+    use cfd_isa::Assembler;
+
+    fn r(i: usize) -> Reg {
+        Reg::new(i)
+    }
+
+    /// soplex-like loop: load test[i], compare, branch; CD region updates
+    /// other arrays.
+    fn soplex_like() -> (Program, Cfg, NaturalLoop, u32) {
+        let (i, n, base, x, eps, p, tmp, out) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.li(eps, 50);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        a.ld(x, 0, tmp); // x = test[i]
+        a.slt(p, x, eps); // p = x < eps
+        let branch_pc = a.here();
+        a.beqz(p, "skip");
+        // CD region: store to an unrelated array
+        a.sd(x, 0x8000, i);
+        a.addi(out, out, 1);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let cfg = Cfg::build(&program);
+        let dom = DomTree::dominators(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        let lp = loops.into_iter().next().unwrap();
+        (program, cfg, lp, branch_pc)
+    }
+
+    #[test]
+    fn slice_contains_predicate_computation_only() {
+        let (program, cfg, lp, branch_pc) = soplex_like();
+        let s = backward_slice(&program, &cfg, &lp, branch_pc);
+        // Slice: sll, add, ld, slt, and the induction addi (i feeds tmp).
+        assert!(s.pcs.contains(&(branch_pc - 1)), "slt in slice");
+        assert!(s.pcs.contains(&(branch_pc - 2)), "ld in slice");
+        // CD-region instructions must NOT be in the slice.
+        assert!(!s.pcs.contains(&(branch_pc + 1)), "CD store not in slice");
+        assert!(!s.pcs.contains(&(branch_pc + 2)), "CD addi not in slice");
+    }
+
+    #[test]
+    fn live_ins_are_loop_invariants() {
+        let (program, cfg, lp, branch_pc) = soplex_like();
+        let s = backward_slice(&program, &cfg, &lp, branch_pc);
+        // eps (r5) and base (r3) are defined outside the loop.
+        assert!(s.live_ins.contains(&r(5)));
+        assert!(s.live_ins.contains(&r(3)));
+    }
+
+    #[test]
+    fn loop_carried_dependence_is_found() {
+        // p depends on acc which the CD region updates (partial separability).
+        let (i, n, acc, p) = (r(1), r(2), r(3), r(4));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.label("top");
+        a.slt(p, acc, n); // predicate depends on acc
+        let branch_pc = a.here();
+        a.beqz(p, "skip");
+        a.addi(acc, acc, 1); // CD instruction feeding the slice next iteration
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let cfg = Cfg::build(&program);
+        let dom = DomTree::dominators(&cfg);
+        let lp = find_loops(&cfg, &dom).into_iter().next().unwrap();
+        let s = backward_slice(&program, &cfg, &lp, branch_pc);
+        assert!(s.pcs.contains(&(branch_pc + 1)), "CD addi feeds the slice via acc");
+    }
+
+    #[test]
+    fn store_aliasing_heuristic() {
+        // Slice load and a loop store share a base register -> dependence.
+        let (i, n, base, x, p, v) = (r(1), r(2), r(3), r(4), r(5), r(6));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.label("top");
+        a.ld(x, 0, base);
+        a.slt(p, x, n);
+        let branch_pc = a.here();
+        a.beqz(p, "skip");
+        a.sd(v, 8, base); // same base register as the slice load
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let cfg = Cfg::build(&program);
+        let dom = DomTree::dominators(&cfg);
+        let lp = find_loops(&cfg, &dom).into_iter().next().unwrap();
+        let s = backward_slice(&program, &cfg, &lp, branch_pc);
+        assert!(s.pcs.contains(&(branch_pc + 1)), "aliasing store joins the slice");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the static analyses: random structured
+//! programs must satisfy the textbook dominance/control-dependence laws.
+
+use cfd_analysis::{backward_slice, classify_program, find_loops, Cfg, ClassifyConfig, DomTree};
+use cfd_isa::{Assembler, Program, Reg};
+use proptest::prelude::*;
+
+/// Generates a random structured program: a chain of `segments`, each either
+/// straight-line code, an if (optionally with else), or a counted loop whose
+/// body is straight-line with an optional guarded region.
+#[derive(Debug, Clone)]
+enum Segment {
+    Straight(u8),
+    IfThen { then_len: u8, with_else: bool },
+    Loop { body_len: u8, guarded: Option<u8> },
+}
+
+fn segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        (1u8..6).prop_map(Segment::Straight),
+        ((1u8..5), any::<bool>()).prop_map(|(t, e)| Segment::IfThen { then_len: t, with_else: e }),
+        ((1u8..4), proptest::option::of(1u8..8)).prop_map(|(b, g)| Segment::Loop { body_len: b, guarded: g }),
+    ]
+}
+
+fn build(segments: &[Segment]) -> Program {
+    let r = Reg::new;
+    let (i, n, p) = (r(1), r(2), r(3));
+    let mut a = Assembler::new();
+    for (k, seg) in segments.iter().enumerate() {
+        match seg {
+            Segment::Straight(len) => {
+                for j in 0..*len {
+                    a.addi(r(4 + (j as usize % 4)), r(4 + (j as usize % 4)), 1);
+                }
+            }
+            Segment::IfThen { then_len, with_else } => {
+                let (els, join) = (format!("else{k}"), format!("join{k}"));
+                a.xor(p, r(4), 1i64);
+                a.and(p, p, 1i64);
+                a.beqz(p, if *with_else { &els } else { &join });
+                for _ in 0..*then_len {
+                    a.addi(r(5), r(5), 1);
+                }
+                if *with_else {
+                    a.j(&join);
+                    a.label(&els);
+                    a.addi(r(6), r(6), 2);
+                }
+                a.label(&join);
+            }
+            Segment::Loop { body_len, guarded } => {
+                let (top, skip) = (format!("top{k}"), format!("skip{k}"));
+                a.li(i, 0);
+                a.li(n, 5);
+                a.label(&top);
+                for _ in 0..*body_len {
+                    a.addi(r(7), r(7), 3);
+                }
+                if let Some(g) = guarded {
+                    a.and(p, r(7), 1i64);
+                    a.beqz(p, &skip);
+                    for _ in 0..*g {
+                        a.addi(r(8), r(8), 1);
+                    }
+                    a.label(&skip);
+                }
+                a.addi(i, i, 1);
+                a.blt(i, n, &top);
+            }
+        }
+    }
+    a.halt();
+    a.finish().expect("generated program assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dominance_laws_hold(segments in proptest::collection::vec(segment(), 1..8)) {
+        let program = build(&segments);
+        let cfg = Cfg::build(&program);
+        let dom = DomTree::dominators(&cfg);
+        let pdom = DomTree::post_dominators(&cfg);
+        for b in 0..cfg.len() {
+            // Entry dominates everything; exit post-dominates everything.
+            prop_assert!(dom.dominates(cfg.entry(), b));
+            prop_assert!(pdom.dominates(cfg.exit(), b));
+            // Reflexivity.
+            prop_assert!(dom.dominates(b, b));
+            // idom is a strict dominator (except at the root).
+            if b != cfg.entry() {
+                let id = dom.idom(b);
+                prop_assert!(dom.dominates(id, b));
+                prop_assert!(id == b || dom.strictly_dominates(id, b));
+            }
+            // Antisymmetry.
+            for c in 0..cfg.len() {
+                if b != c {
+                    prop_assert!(
+                        !(dom.strictly_dominates(b, c) && dom.strictly_dominates(c, b)),
+                        "mutual strict dominance {b} <-> {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loops_have_dominating_headers(segments in proptest::collection::vec(segment(), 1..8)) {
+        let program = build(&segments);
+        let cfg = Cfg::build(&program);
+        let dom = DomTree::dominators(&cfg);
+        for lp in find_loops(&cfg, &dom) {
+            prop_assert!(lp.contains(lp.header));
+            for &b in &lp.blocks {
+                prop_assert!(dom.dominates(lp.header, b), "header must dominate the body");
+            }
+            for &latch in &lp.latches {
+                prop_assert!(lp.contains(latch));
+                prop_assert!(cfg.blocks[latch].succs.contains(&lp.header), "latch closes the loop");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_total_and_slices_are_in_loops(
+        segments in proptest::collection::vec(segment(), 1..8)
+    ) {
+        let program = build(&segments);
+        let cfg = Cfg::build(&program);
+        let dom = DomTree::dominators(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        let reports = classify_program(&program, Some(&cfg), ClassifyConfig::default());
+        // Every plain conditional branch gets exactly one report.
+        let branch_count =
+            program.instrs().iter().filter(|x| x.is_plain_conditional()).count();
+        prop_assert_eq!(reports.len(), branch_count);
+        // Slices stay within their loop.
+        for rep in &reports {
+            let block = cfg.block_of(rep.pc);
+            if let Some(lp) = loops.iter().find(|l| l.contains(block)) {
+                let slice = backward_slice(&program, &cfg, lp, rep.pc);
+                for pc in &slice.pcs {
+                    prop_assert!(lp.contains(cfg.block_of(*pc)), "slice escaped its loop");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks of the simulator's own building blocks.
+//!
+//! These measure *simulator* throughput (not simulated performance): the
+//! predictor, the fetch-resident queues, the cache hierarchy, the rename
+//! structures, the functional simulator, and a small end-to-end pipeline
+//! run. Useful for keeping the experiment harness fast.
+
+use cfd_core::{Core, CoreConfig, FetchBq, RenameState, VqRenamer};
+use cfd_isa::{Assembler, Machine, MemImage, NullSink, Reg};
+use cfd_mem::{Hierarchy, HierarchyConfig};
+use cfd_predictor::{DirectionPredictor, IslTage};
+use cfd_workloads::{by_name, Scale, Variant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("isl_tage_predict_train", |b| {
+        let mut p = IslTage::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let pc = 0x40 + (k % 16) * 4;
+            let taken = (k * 2654435761) % 100 < 60;
+            black_box(p.observe(pc, taken));
+        });
+    });
+}
+
+fn bench_bq(c: &mut Criterion) {
+    c.bench_function("fetch_bq_push_exec_pop", |b| {
+        let mut bq = FetchBq::new(128);
+        b.iter(|| {
+            let abs = bq.fetch_push();
+            bq.execute_push(abs, abs.is_multiple_of(3));
+            let (_, pred) = bq.fetch_pop();
+            bq.retire_push();
+            bq.retire_pop();
+            black_box(pred);
+        });
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    c.bench_function("hierarchy_access_mixed", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let addr = (k.wrapping_mul(2654435761)) % (1 << 22);
+            black_box(h.access(0x40, addr, k.is_multiple_of(7), k));
+        });
+    });
+}
+
+fn bench_rename(c: &mut Criterion) {
+    c.bench_function("rename_dest_unrename", |b| {
+        let mut rs = RenameState::new(224);
+        let r5 = Reg::new(5);
+        b.iter(|| {
+            let (p, prev) = rs.rename_dest(r5).expect("free regs");
+            rs.unrename(r5, p, prev);
+        });
+    });
+    c.bench_function("vq_renamer_push_pop", |b| {
+        let mut vq = VqRenamer::new(128);
+        let mut k = 0u16;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            vq.rename_push(k % 200);
+            black_box(vq.rename_pop());
+            vq.retire_push();
+            vq.retire_pop();
+        });
+    });
+}
+
+fn bench_functional_sim(c: &mut Criterion) {
+    c.bench_function("functional_sim_kernel", |b| {
+        let w = by_name("gromacs_like").unwrap().build(Variant::Base, Scale { n: 200, seed: 1 });
+        b.iter(|| {
+            let mut m = Machine::new(w.program.clone(), w.mem.clone());
+            m.run(10_000_000, &mut NullSink).unwrap();
+            black_box(m.retired());
+        });
+    });
+}
+
+fn bench_timing_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing_core");
+    g.sample_size(10);
+    g.bench_function("pipeline_small_loop", |b| {
+        let mut a = Assembler::new();
+        let (i, n, s) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        a.li(n, 2_000);
+        a.label("top");
+        a.add(s, s, i);
+        a.xor(s, s, 7i64);
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        b.iter(|| {
+            let rep = Core::new(CoreConfig::default(), program.clone(), MemImage::new()).run(10_000_000).unwrap();
+            black_box(rep.stats.cycles);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predictor,
+    bench_bq,
+    bench_hierarchy,
+    bench_rename,
+    bench_functional_sim,
+    bench_timing_core
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!   experiments list          list available experiments
+//!   experiments `<id>`...     run specific experiments (e.g. fig18 fig24)
+//!   experiments all           run everything (EXPERIMENTS.md source)
+
+use cfd_bench::experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments:");
+        for e in experiments::all() {
+            println!("  {:8} {}", e.id, e.what);
+        }
+        println!("  {:8} run every experiment", "all");
+        return;
+    }
+    let ids: Vec<String> = if args[0] == "all" {
+        experiments::all().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        let Some(e) = experiments::by_id(&id) else {
+            eprintln!("unknown experiment `{id}` (try `list`)");
+            std::process::exit(1);
+        };
+        let t0 = Instant::now();
+        println!("==============================================================");
+        println!("== {} — {}", e.id, e.what);
+        println!("==============================================================");
+        let out = (e.run)();
+        println!("{out}");
+        println!("[{} completed in {:.1}s]\n", e.id, t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,154 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! The paper explored the misprediction-recovery design space before fixing
+//! its baseline (§VI: checkpoint count, confidence-guided allocation) and
+//! compared against idealizations. These runners reproduce those
+//! explorations on our substrate, plus two natural extensions: the
+//! predictor ablation (does a weaker/stronger predictor change CFD's
+//! story?) and hardware prefetching as an alternative to software DFD.
+
+use crate::runner::{self, ratio, sweep_scale, TextTable};
+use cfd_core::{CheckpointPolicy, CoreConfig};
+use cfd_energy::EnergyModel;
+use cfd_workloads::{by_name, Variant};
+
+/// §VI checkpoint exploration: IPC vs number of checkpoints and policy.
+/// The paper found gains level off at 8 with confidence-guided allocation.
+pub fn ablation_checkpoints() -> String {
+    let scale = sweep_scale();
+    let apps = ["soplex_ref_like", "astar_r2_like", "bzip2_like"];
+    let mut t = TextTable::new(vec!["checkpoints", "policy", "IPC (hmean)"]);
+    for (n, policy) in [
+        (0usize, CheckpointPolicy::None),
+        (4, CheckpointPolicy::ConfidenceGuided),
+        (8, CheckpointPolicy::ConfidenceGuided),
+        (16, CheckpointPolicy::ConfidenceGuided),
+        (64, CheckpointPolicy::ConfidenceGuided),
+        (8, CheckpointPolicy::AllBranches),
+        (64, CheckpointPolicy::AllBranches),
+    ] {
+        let cfg =
+            CoreConfig { n_checkpoints: n, checkpoint_policy: policy, ..Default::default() };
+        let mut h = 0.0;
+        for name in apps {
+            let entry = by_name(name).expect("in catalog");
+            let rep = runner::run_variant(&entry, Variant::Base, scale, &cfg);
+            h += 1.0 / rep.ipc();
+        }
+        t.row(vec![n.to_string(), format!("{policy:?}"), format!("{:.3}", apps.len() as f64 / h)]);
+    }
+    format!(
+        "Ablation — checkpoint count and allocation policy (§VI)\n\
+         (paper: aggressive confidence-guided policy best; levels off at 8)\n\n{}",
+        t.render()
+    )
+}
+
+/// Predictor ablation: the baseline suffers with weaker predictors, while
+/// CFD's performance barely depends on the predictor at all (its targeted
+/// branches never consult it).
+pub fn ablation_predictor() -> String {
+    let scale = sweep_scale();
+    let entry = by_name("soplex_ref_like").expect("in catalog");
+    let mut t = TextTable::new(vec!["predictor", "base IPC", "CFD eff. IPC", "CFD speedup"]);
+    for pred in ["bimodal", "gshare", "perceptron", "isl-tage"] {
+        let cfg = CoreConfig { predictor: pred.to_string(), ..Default::default() };
+        let base = runner::run_variant(&entry, Variant::Base, scale, &cfg);
+        let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &cfg);
+        let e = cfd.effective_ipc(base.stats.retired);
+        t.row(vec![pred.to_string(), format!("{:.3}", base.ipc()), format!("{e:.3}"), ratio(e / base.ipc())]);
+    }
+    format!(
+        "Ablation — direction predictor (CFD gains grow as the predictor weakens,\n\
+         because the decoupled branches never needed it)\n\n{}",
+        t.render()
+    )
+}
+
+/// Hardware prefetching vs software DFD on the irregular (indirect) astar
+/// kernel: stride prefetchers cannot learn a random permutation, while
+/// DFD's software address slice can.
+pub fn ablation_prefetch() -> String {
+    let scale = sweep_scale();
+    let entry = by_name("astar_r2_like").expect("in catalog");
+    let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+    let mut t = TextTable::new(vec!["scheme", "speedup over plain base", "DRAM accesses"]);
+    t.row(vec!["base".to_string(), "1.00x".to_string(), base.level_counts[3].to_string()]);
+
+    let mut hw = CoreConfig::default();
+    hw.hierarchy.stride_prefetch = true;
+    hw.hierarchy.next_line_prefetch = true;
+    let hw_rep = runner::run_variant(&entry, Variant::Base, scale, &hw);
+    t.row(vec![
+        "base + HW prefetch (stride+next-line)".to_string(),
+        ratio(hw_rep.speedup_over(&base)),
+        hw_rep.level_counts[3].to_string(),
+    ]);
+
+    let dfd = runner::run_variant(&entry, Variant::Dfd, scale, &CoreConfig::default());
+    t.row(vec!["DFD (software)".to_string(), ratio(dfd.speedup_over(&base)), dfd.level_counts[3].to_string()]);
+    format!(
+        "Ablation — hardware prefetching vs software DFD on the irregular kernel\n\
+         (a stride prefetcher cannot learn data[perm[i]]; DFD's address slice can)\n\n{}",
+        t.render()
+    )
+}
+
+/// BTB ablation: CFD pops are BTB-resident like all branches (§III-C4);
+/// shrink the BTB until misfetches appear.
+pub fn ablation_btb() -> String {
+    // The BTB size is fixed inside the core; approximate the study by
+    // comparing misfetch counts across kernels with very different static
+    // branch counts instead.
+    let scale = sweep_scale();
+    let mut t = TextTable::new(vec!["kernel", "variant", "BTB misfetches", "fetched (M)"]);
+    for name in ["soplex_ref_like", "astar_tq_like"] {
+        let entry = by_name(name).expect("in catalog");
+        for &v in entry.variants.iter().take(2) {
+            let rep = runner::run_variant(&entry, v, scale, &CoreConfig::default());
+            t.row(vec![
+                name.to_string(),
+                v.to_string(),
+                rep.stats.btb_misfetches.to_string(),
+                format!("{:.2}", rep.stats.fetched as f64 / 1e6),
+            ]);
+        }
+    }
+    format!(
+        "Ablation — BTB behaviour of CFD pops (cached like ordinary branches;\n\
+         misfetch bubbles only on cold first encounters)\n\n{}",
+        t.render()
+    )
+}
+
+/// Component-level energy: where exactly CFD's savings come from
+/// (wrong-path fetch/decode/rename and predictor activity disappear; the
+/// BQ itself costs almost nothing).
+pub fn energy_detail() -> String {
+    let scale = sweep_scale();
+    let entry = by_name("soplex_ref_like").expect("in catalog");
+    let model = EnergyModel::default();
+    let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+    let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
+    let be = base.energy(&model);
+    let ce = cfd.energy(&model);
+    let mut t = TextTable::new(vec!["component", "base (nJ)", "CFD (nJ)", "delta"]);
+    for ((name, b), (_, c)) in be.components.iter().zip(ce.components.iter()) {
+        if *b < 1.0 && *c < 1.0 {
+            continue;
+        }
+        let delta = if *b > 0.0 { format!("{:+.0}%", 100.0 * (c - b) / b) } else { "-".to_string() };
+        t.row(vec![name.to_string(), format!("{:.1}", b / 1000.0), format!("{:.1}", c / 1000.0), delta]);
+    }
+    t.row(vec![
+        "TOTAL".to_string(),
+        format!("{:.1}", be.total_pj / 1000.0),
+        format!("{:.1}", ce.total_pj / 1000.0),
+        format!("{:+.0}%", 100.0 * (ce.total_pj - be.total_pj) / be.total_pj),
+    ]);
+    format!(
+        "Energy detail — per-component breakdown, base vs CFD (soplex-like)\n\
+         (CFD removes wrong-path front-end work; the BQ adds almost nothing)\n\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,224 @@
+//! The main CFD results: Fig. 18 (CFD/CFD+ speedup & energy), Fig. 19
+//! (effective-IPC groups), Fig. 20 (BQ-size sensitivity), Fig. 21
+//! (pipeline depth, window scaling, BQ-miss policy), Fig. 23 (astar window
+//! catalyst).
+
+use crate::runner::{self, default_scale, pct, ratio, sweep_scale, TextTable};
+use cfd_core::{BqMissPolicy, CoreConfig, PerfectMode};
+use cfd_workloads::{by_name, catalog, AddressPattern, CdRegion, Predicate, ScanKernel, Suite, Variant};
+
+/// Kernels evaluated for CFD(BQ) in Fig. 18/19 (separable-branch targets).
+pub const CFD_APPS: &[&str] = &[
+    "soplex_ref_like",
+    "soplex_pds_like",
+    "astar_r1_like",
+    "astar_r2_like",
+    "bzip2_like",
+    "mcf_like",
+    "gromacs_like",
+    "namd_like",
+    "eclat_like",
+    "jpeg_like",
+    "tiff2bw_like",
+    "tiffmedian_like",
+];
+
+/// Fig. 18a/18b: CFD and CFD+ speedup and energy versus the baseline.
+pub fn fig18() -> String {
+    let scale = default_scale();
+    let mut t = TextTable::new(vec!["app", "CFD speedup", "CFD energy", "CFD+ speedup", "CFD+ energy"]);
+    let mut geo_cfd = 1.0f64;
+    let mut count = 0u32;
+    for entry in catalog().iter().filter(|e| CFD_APPS.contains(&e.name)) {
+        let base = runner::run_variant(entry, Variant::Base, scale, &CoreConfig::default());
+        let cfd = runner::run_variant(entry, Variant::Cfd, scale, &CoreConfig::default());
+        let (plus_speed, plus_energy) = if entry.variants.contains(&Variant::CfdPlus) {
+            let plus = runner::run_variant(entry, Variant::CfdPlus, scale, &CoreConfig::default());
+            (ratio(plus.speedup_over(&base)), pct(runner::relative_energy(&plus, &base) - 1.0))
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        let s = cfd.speedup_over(&base);
+        geo_cfd *= s;
+        count += 1;
+        t.row(vec![
+            entry.name.to_string(),
+            ratio(s),
+            pct(runner::relative_energy(&cfd, &base) - 1.0),
+            plus_speed,
+            plus_energy,
+        ]);
+    }
+    let geomean = geo_cfd.powf(1.0 / count as f64);
+    format!(
+        "Fig. 18 — CFD and CFD+ performance and energy impact\n\
+         (paper: up to +51% speed, -43% energy; average +16-17%)\n\n{}\nCFD geometric-mean speedup: {}\n",
+        t.render(),
+        ratio(geomean)
+    )
+}
+
+/// Fig. 19: effective IPC of Base, CFD(+), Base+PerfectCFD, and full
+/// perfect prediction — the paper's Group-1/2/3 comparison.
+pub fn fig19() -> String {
+    let scale = default_scale();
+    let mut t = TextTable::new(vec!["app", "Base", "CFD", "Base+PerfectCFD", "Perfect", "group"]);
+    for entry in catalog().iter().filter(|e| CFD_APPS.contains(&e.name)) {
+        let w_base = entry.build(Variant::Base, scale);
+        let base = runner::run(&w_base, &CoreConfig::default());
+        let baseline_instrs = base.stats.retired;
+        let cfd = runner::run_variant(entry, Variant::Cfd, scale, &CoreConfig::default());
+        // Base + PerfectCFD: only the targeted separable branches perfect.
+        let pcfg = CoreConfig { perfect: PerfectMode::Pcs(w_base.interest.iter().map(|b| b.pc).collect()), ..Default::default() };
+        let perfect_cfd = runner::run(&w_base, &pcfg);
+        let acfg = CoreConfig { perfect: PerfectMode::All, ..Default::default() };
+        let perfect = runner::run(&w_base, &acfg);
+
+        let (e_cfd, e_pcfd) = (cfd.effective_ipc(baseline_instrs), perfect_cfd.effective_ipc(baseline_instrs));
+        let group = if e_cfd < 0.97 * e_pcfd {
+            "1 (overheads bite)"
+        } else if e_cfd <= 1.03 * e_pcfd {
+            "2 (overheads tolerated)"
+        } else {
+            "3 (beats PerfectCFD)"
+        };
+        t.row(vec![
+            entry.name.to_string(),
+            format!("{:.3}", base.ipc()),
+            format!("{:.3}", e_cfd),
+            format!("{:.3}", e_pcfd),
+            format!("{:.3}", perfect.effective_ipc(baseline_instrs)),
+            group.to_string(),
+        ]);
+    }
+    format!(
+        "Fig. 19 — effective IPC: CFD vs idealized prediction of the same branches\n\
+         (effective IPC = baseline instructions / scheme cycles)\n\n{}",
+        t.render()
+    )
+}
+
+/// BQ-size sensitivity (§III-B strip mining): the same kernel decoupled
+/// with matching chunk sizes on cores with matching BQ sizes.
+pub fn fig20() -> String {
+    let scale = sweep_scale();
+    let mut t = TextTable::new(vec!["BQ size", "speedup over base", "BQ push-stall cycles"]);
+    let base_entry = by_name("soplex_ref_like").expect("in catalog");
+    let base = runner::run_variant(&base_entry, Variant::Base, scale, &CoreConfig::default());
+    for bq in [16i64, 32, 64, 128] {
+        let kernel = ScanKernel {
+            name: "soplex_ref_like",
+            suite: Suite::Spec2006,
+            pattern: AddressPattern::Streaming,
+            predicate: Predicate::Threshold { threshold: 35, range: 100 },
+            cd: CdRegion { alu_updates: 6, stores: true },
+            chunk: bq,
+            partial_feedback: false,
+            what: "test[i] < theeps",
+        };
+        let w = kernel.build(Variant::Cfd, scale);
+        let cfg = CoreConfig { bq_size: bq as usize, ..Default::default() };
+        let rep = runner::run(&w, &cfg);
+        t.row(vec![bq.to_string(), ratio(rep.speedup_over(&base)), rep.stats.bq_push_stall_cycles.to_string()]);
+    }
+    format!(
+        "Fig. 20 — BQ size sensitivity (strip-mining chunk = BQ size)\n\
+         (small BQs shrink the fetch separation and add strip-mining overhead)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 21a: pipeline-depth sensitivity; Fig. 21b: window scaling;
+/// Fig. 21c: BQ-miss policy (speculate vs stall).
+pub fn fig21() -> String {
+    let scale = sweep_scale();
+    let apps = ["soplex_ref_like", "astar_r2_like", "gromacs_like"];
+
+    // (a) depth sweep.
+    let mut a = TextTable::new(vec!["fetch-to-execute", "base IPC (hmean)", "CFD IPC (hmean)", "CFD speedup"]);
+    for depth in [5u32, 10, 15, 20] {
+        let cfg = CoreConfig { front_depth: depth - 2, ..Default::default() };
+        let mut hb = 0.0;
+        let mut hc = 0.0;
+        for name in apps {
+            let entry = by_name(name).expect("in catalog");
+            let base = runner::run_variant(&entry, Variant::Base, scale, &cfg);
+            let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &cfg);
+            hb += 1.0 / base.ipc();
+            hc += 1.0 / cfd.effective_ipc(base.stats.retired);
+        }
+        let (hb, hc) = (apps.len() as f64 / hb, apps.len() as f64 / hc);
+        a.row(vec![depth.to_string(), format!("{hb:.3}"), format!("{hc:.3}"), ratio(hc / hb)]);
+    }
+
+    // (b) window scaling.
+    let mut b = TextTable::new(vec!["ROB", "base IPC (hmean)", "CFD IPC (hmean)", "CFD speedup"]);
+    for rob in [168usize, 256, 512] {
+        let cfg = CoreConfig::default().with_window(rob);
+        let mut hb = 0.0;
+        let mut hc = 0.0;
+        for name in apps {
+            let entry = by_name(name).expect("in catalog");
+            let base = runner::run_variant(&entry, Variant::Base, scale, &cfg);
+            let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &cfg);
+            hb += 1.0 / base.ipc();
+            hc += 1.0 / cfd.effective_ipc(base.stats.retired);
+        }
+        let (hb, hc) = (apps.len() as f64 / hb, apps.len() as f64 / hc);
+        b.row(vec![rob.to_string(), format!("{hb:.3}"), format!("{hc:.3}"), ratio(hc / hb)]);
+    }
+
+    // (c) speculate vs stall on BQ miss; tiff2bw is the outlier.
+    let mut c = TextTable::new(vec!["app", "BQ miss rate", "CFD(spec) IPC", "CFD(stall) IPC"]);
+    for name in ["soplex_ref_like", "gromacs_like", "tiff2bw_like"] {
+        let entry = by_name(name).expect("in catalog");
+        let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+        let spec = runner::run_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
+        let stall_cfg = CoreConfig { bq_miss_policy: BqMissPolicy::Stall, ..Default::default() };
+        let stall = runner::run_variant(&entry, Variant::Cfd, scale, &stall_cfg);
+        let pops = spec.stats.bq_hits + spec.stats.bq_misses;
+        c.row(vec![
+            name.to_string(),
+            format!("{:.1}%", 100.0 * spec.stats.bq_misses as f64 / pops.max(1) as f64),
+            format!("{:.3}", spec.effective_ipc(base.stats.retired)),
+            format!("{:.3}", stall.effective_ipc(base.stats.retired)),
+        ]);
+    }
+
+    format!(
+        "Fig. 21a — pipeline-depth sensitivity (CFD insensitive to depth)\n\n{}\n\
+         Fig. 21b — window scaling of CFD gains\n\n{}\n\
+         Fig. 21c — BQ-miss policy: speculate vs stall (hoist-only tiff-2-bw suffers)\n\n{}",
+        a.render(),
+        b.render(),
+        c.render()
+    )
+}
+
+/// Fig. 23: astar effective IPC vs window size — CFD as the latency-
+/// tolerance catalyst.
+pub fn fig23() -> String {
+    let scale = sweep_scale();
+    let mut t = TextTable::new(vec!["kernel", "ROB", "base IPC", "CFD eff. IPC", "speedup"]);
+    for name in ["astar_r1_like", "astar_r2_like"] {
+        let entry = by_name(name).expect("in catalog");
+        for rob in [168usize, 320, 640] {
+            let cfg = CoreConfig::default().with_window(rob);
+            let base = runner::run_variant(&entry, Variant::Base, scale, &cfg);
+            let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &cfg);
+            let e = cfd.effective_ipc(base.stats.retired);
+            t.row(vec![
+                name.to_string(),
+                rob.to_string(),
+                format!("{:.3}", base.ipc()),
+                format!("{e:.3}"),
+                ratio(e / base.ipc()),
+            ]);
+        }
+    }
+    format!(
+        "Fig. 23 — astar: CFD speedup grows with window size\n\
+         (paper: region #2 speedup 1.51 -> 1.91 from ROB 168 to 640)\n\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,144 @@
+//! DFD and TQ results: Fig. 24 (DFD vs CFD), Fig. 25 (MSHR utilization &
+//! misprediction-level shift), Fig. 26 (CFD+DFD), Fig. 27 (CFD(TQ)),
+//! Fig. 28 (BQ/TQ/BQ+TQ).
+
+use crate::runner::{self, default_scale, pct, ratio, TextTable};
+use cfd_core::CoreConfig;
+use cfd_workloads::{by_name, Variant};
+
+/// Kernels with high off-chip miss rates (the DFD targets).
+const DFD_APPS: &[&str] = &["astar_r1_like", "astar_r2_like", "soplex_ref_like"];
+
+/// Fig. 24: DFD vs CFD performance and energy.
+pub fn fig24() -> String {
+    let scale = default_scale();
+    let mut t = TextTable::new(vec!["app", "CFD speedup", "DFD speedup", "CFD energy", "DFD energy"]);
+    for name in DFD_APPS {
+        let entry = by_name(name).expect("in catalog");
+        let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+        let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
+        let dfd = runner::run_variant(&entry, Variant::Dfd, scale, &CoreConfig::default());
+        t.row(vec![
+            name.to_string(),
+            ratio(cfd.speedup_over(&base)),
+            ratio(dfd.speedup_over(&base)),
+            pct(runner::relative_energy(&cfd, &base) - 1.0),
+            pct(runner::relative_energy(&dfd, &base) - 1.0),
+        ]);
+    }
+    format!(
+        "Fig. 24 — DFD vs CFD (paper: DFD up to +60% speed but CFD more\n\
+         energy-efficient; CFD usually faster except astar BigLakes r1)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 25a: L1 MSHR occupancy histograms (summarized); Fig. 25b: the
+/// misprediction-level shift under DFD.
+pub fn fig25() -> String {
+    let scale = default_scale();
+    let entry = by_name("astar_r2_like").expect("in catalog");
+    let mut a = TextTable::new(vec!["variant", "cycles@0", "cycles@1-10", "cycles@11-21", "cycles@22-32", "mean occ"]);
+    let mut b = TextTable::new(vec!["variant", "NoData", "L1", "L2", "L3", "MEM"]);
+    for v in [Variant::Base, Variant::Cfd, Variant::Dfd] {
+        let rep = runner::run_variant(&entry, v, scale, &CoreConfig::default());
+        let h = &rep.mshr_histogram;
+        let total: u64 = h.iter().sum::<u64>().max(1);
+        let seg = |lo: usize, hi: usize| {
+            let s: u64 = h.iter().enumerate().filter(|(k, _)| *k >= lo && *k <= hi).map(|(_, v)| *v).sum();
+            format!("{:.1}%", 100.0 * s as f64 / total as f64)
+        };
+        let mean: f64 = h.iter().enumerate().map(|(k, v)| k as f64 * *v as f64).sum::<f64>() / total as f64;
+        a.row(vec![v.to_string(), seg(0, 0), seg(1, 10), seg(11, 21), seg(22, 32), format!("{mean:.2}")]);
+
+        let by = rep.stats.mispredictions_by_level();
+        let mtotal: u64 = by.iter().sum::<u64>().max(1);
+        let cell = |x: u64| format!("{:.0}%", 100.0 * x as f64 / mtotal as f64);
+        b.row(vec![v.to_string(), cell(by[0]), cell(by[1]), cell(by[2]), cell(by[3]), cell(by[4])]);
+    }
+    format!(
+        "Fig. 25a — L1 MSHR occupancy (DFD shows denser miss clusters:\n\
+         more cycles idle AND more cycles at high occupancy)\n\n{}\n\
+         Fig. 25b — mispredictions by feeding level (DFD moves data closer)\n\n{}",
+        a.render(),
+        b.render()
+    )
+}
+
+/// Fig. 26: DFD-only, CFD-only, and CFD+DFD together.
+pub fn fig26() -> String {
+    let scale = default_scale();
+    let mut t = TextTable::new(vec!["app", "DFD only", "CFD only", "CFD+DFD"]);
+    for name in DFD_APPS {
+        let entry = by_name(name).expect("in catalog");
+        let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+        let dfd = runner::run_variant(&entry, Variant::Dfd, scale, &CoreConfig::default());
+        let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
+        let both = runner::run_variant(&entry, Variant::CfdDfd, scale, &CoreConfig::default());
+        t.row(vec![
+            name.to_string(),
+            ratio(dfd.speedup_over(&base)),
+            ratio(cfd.speedup_over(&base)),
+            ratio(both.speedup_over(&base)),
+        ]);
+    }
+    format!("Fig. 26 — applying CFD and DFD simultaneously\n\n{}", t.render())
+}
+
+/// Fig. 27: CFD(TQ) on the separable loop-branch kernels.
+pub fn fig27() -> String {
+    let scale = default_scale();
+    let mut t = TextTable::new(vec!["app", "CFD(TQ) speedup", "CFD(TQ) energy", "mispred. removed"]);
+    for name in ["astar_tq_like", "bzip2_tq_like"] {
+        let entry = by_name(name).expect("in catalog");
+        let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+        let tq = runner::run_variant(&entry, Variant::CfdTq, scale, &CoreConfig::default());
+        t.row(vec![
+            name.to_string(),
+            ratio(tq.speedup_over(&base)),
+            pct(runner::relative_energy(&tq, &base) - 1.0),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - tq.stats.mispredictions as f64 / base.stats.mispredictions.max(1) as f64)
+            ),
+        ]);
+    }
+    format!("Fig. 27 — CFD(TQ) on separable loop-branches (paper: up to +5%, -6% energy)\n\n{}", t.render())
+}
+
+/// Fig. 28: BQ-only, TQ-only, and combined decoupling of the astar
+/// loop-branch kernel (the paper finds super-additive gains).
+pub fn fig28() -> String {
+    let scale = default_scale();
+    let entry = by_name("astar_tq_like").expect("in catalog");
+    let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+    let mut t = TextTable::new(vec!["variant", "speedup", "energy", "MPKI"]);
+    t.row(vec![
+        "base".to_string(),
+        "1.00x".to_string(),
+        "+0.0%".to_string(),
+        format!("{:.2}", base.stats.mpki()),
+    ]);
+    let mut speedups = Vec::new();
+    for v in [Variant::CfdBq, Variant::CfdTq, Variant::CfdBqTq] {
+        let rep = runner::run_variant(&entry, v, scale, &CoreConfig::default());
+        let s = rep.speedup_over(&base);
+        speedups.push((v, s));
+        t.row(vec![
+            v.to_string(),
+            ratio(s),
+            pct(runner::relative_energy(&rep, &base) - 1.0),
+            format!("{:.2}", 1000.0 * rep.stats.mispredictions as f64 / base.stats.retired as f64),
+        ]);
+    }
+    let (bq, tq, both) = (speedups[0].1, speedups[1].1, speedups[2].1);
+    let additive = (bq - 1.0) + (tq - 1.0);
+    format!(
+        "Fig. 28 — CFD(BQ), CFD(TQ), CFD(BQ+TQ) on the astar loop-branch kernel\n\
+         (paper: combined gains exceed the sum of the individual gains)\n\n{}\n\
+         combined gain {:.3} vs sum of individual gains {:.3}\n",
+        t.render(),
+        both - 1.0,
+        additive
+    )
+}

@@ -1,0 +1,92 @@
+//! The experiment registry: one entry per paper table/figure.
+
+mod ablations;
+mod fig01_02;
+mod fig06_tables;
+mod fig18_23;
+mod fig24_28;
+
+/// An experiment: id, what it reproduces, and its runner.
+pub struct Experiment {
+    /// Short id (e.g. `"fig18"`).
+    pub id: &'static str,
+    /// What in the paper it regenerates.
+    pub what: &'static str,
+    /// Runs the experiment, returning its formatted output.
+    pub run: fn() -> String,
+}
+
+/// All experiments, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "fig1", what: "IPC/energy with real vs perfect prediction", run: fig01_02::fig01 },
+        Experiment { id: "fig2", what: "misprediction memory-level breakdown; window scaling", run: fig01_02::fig02 },
+        Experiment { id: "table1", what: "MPKI per kernel + suite shares (Fig. 6a)", run: fig06_tables::table1_fig6a },
+        Experiment { id: "fig6c", what: "targeted mispredictions by control-flow class", run: fig06_tables::fig6c },
+        Experiment { id: "table2", what: "pipeline depths; baseline config; CFD storage (Fig. 17)", run: fig06_tables::table2_fig17 },
+        Experiment { id: "table3", what: "instruction overhead factors (Tables III/IV)", run: fig06_tables::table3_4 },
+        Experiment { id: "table5", what: "modified-region branch metadata (Tables V/VI)", run: fig06_tables::table5_6 },
+        Experiment { id: "fig18", what: "CFD/CFD+ speedup and energy", run: fig18_23::fig18 },
+        Experiment { id: "fig19", what: "effective IPC vs PerfectCFD groups", run: fig18_23::fig19 },
+        Experiment { id: "fig20", what: "BQ size sensitivity", run: fig18_23::fig20 },
+        Experiment { id: "fig21", what: "depth/window/BQ-miss-policy sensitivity", run: fig18_23::fig21 },
+        Experiment { id: "fig23", what: "astar window-scaling catalyst", run: fig18_23::fig23 },
+        Experiment { id: "fig24", what: "DFD vs CFD", run: fig24_28::fig24 },
+        Experiment { id: "fig25", what: "MSHR utilization; misprediction-level shift", run: fig24_28::fig25 },
+        Experiment { id: "fig26", what: "CFD and DFD combined", run: fig24_28::fig26 },
+        Experiment { id: "fig27", what: "CFD(TQ) results", run: fig24_28::fig27 },
+        Experiment { id: "fig28", what: "CFD(BQ/TQ/BQ+TQ) super-additivity", run: fig24_28::fig28 },
+        Experiment {
+            id: "abl-ckpt",
+            what: "ablation: checkpoint count/policy (§VI exploration)",
+            run: ablations::ablation_checkpoints,
+        },
+        Experiment {
+            id: "abl-pred",
+            what: "ablation: direction predictor strength vs CFD",
+            run: ablations::ablation_predictor,
+        },
+        Experiment {
+            id: "abl-pref",
+            what: "ablation: hardware prefetch vs software DFD",
+            run: ablations::ablation_prefetch,
+        },
+        Experiment { id: "abl-btb", what: "ablation: BTB behaviour of CFD pops", run: ablations::ablation_btb },
+        Experiment { id: "energy", what: "per-component energy breakdown, base vs CFD", run: ablations::energy_detail },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_are_unique() {
+        use std::collections::BTreeSet;
+        let ids: BTreeSet<&str> = all().iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), all().len());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("fig18").is_some());
+        assert!(by_id("abl-ckpt").is_some());
+        assert!(by_id("nope").is_none());
+    }
+
+    #[test]
+    fn every_paper_figure_and_table_is_covered() {
+        // The evaluation's tables/figures (DESIGN.md §4) must all resolve.
+        for id in [
+            "fig1", "fig2", "table1", "fig6c", "table2", "table3", "table5", "fig18", "fig19", "fig20",
+            "fig21", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
+        ] {
+            assert!(by_id(id).is_some(), "missing experiment `{id}`");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # cfd-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the CFD paper's evaluation on the
+//! `cfd-core` simulator and the `cfd-workloads` kernels. See DESIGN.md §4
+//! for the experiment-to-module index and EXPERIMENTS.md for recorded
+//! paper-vs-measured results.
+//!
+//! Run experiments with:
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin experiments -- list
+//! cargo run --release -p cfd-bench --bin experiments -- fig18
+//! cargo run --release -p cfd-bench --bin experiments -- all
+//! ```
+//!
+//! Criterion microbenchmarks of the simulator's own structures live in
+//! `benches/microbench.rs` (`cargo bench -p cfd-bench`).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::{all, by_id, Experiment};

@@ -1,0 +1,212 @@
+//! Per-instruction pipeline tracing (pipeview).
+//!
+//! When enabled, the core records each instruction's stage timestamps —
+//! fetch, dispatch, issue, completion, retirement (or squash) — and can
+//! render them as a classic pipeline diagram. Invaluable for seeing the
+//! CFD mechanism at work: `Branch_on_BQ` pops complete at dispatch (they
+//! resolved at fetch), while baseline branches crawl through the backend.
+
+use std::fmt::Write as _;
+
+/// Stage timestamps for one traced instruction.
+#[derive(Debug, Clone)]
+pub struct PipeEvent {
+    /// Fetch sequence number.
+    pub seq: u64,
+    /// PC.
+    pub pc: u32,
+    /// Disassembled instruction.
+    pub disasm: String,
+    /// Fetch cycle.
+    pub fetch: u64,
+    /// Dispatch (rename) cycle.
+    pub dispatch: Option<u64>,
+    /// Issue cycle (backend instructions only).
+    pub issue: Option<u64>,
+    /// Completion cycle.
+    pub complete: Option<u64>,
+    /// Retirement cycle; `None` when squashed.
+    pub retire: Option<u64>,
+    /// Squashed on the wrong path.
+    pub squashed: bool,
+}
+
+/// A bounded pipeline trace.
+#[derive(Debug, Clone)]
+pub struct PipeTrace {
+    events: Vec<PipeEvent>,
+    limit: usize,
+}
+
+impl PipeTrace {
+    /// Creates a trace that keeps the first `limit` instructions.
+    pub fn new(limit: usize) -> PipeTrace {
+        PipeTrace { events: Vec::with_capacity(limit.min(4096)), limit }
+    }
+
+    /// Whether the trace still accepts events.
+    pub fn accepting(&self) -> bool {
+        self.events.len() < self.limit
+    }
+
+    /// Records an instruction's lifetime.
+    pub fn record(&mut self, ev: PipeEvent) {
+        if self.accepting() {
+            self.events.push(ev);
+        }
+    }
+
+    /// The recorded events, in fetch order.
+    pub fn events(&self) -> &[PipeEvent] {
+        &self.events
+    }
+
+    /// Renders a pipeline diagram: one row per instruction, one column per
+    /// cycle (`F` fetch, `d` in front pipe, `D` dispatch, `w` waiting in
+    /// the IQ, `I` issue, `e` executing, `C` complete, `.` waiting to
+    /// retire, `R` retire, `x` squashed).
+    pub fn render(&self) -> String {
+        let Some(first) = self.events.first() else {
+            return "(empty trace)\n".to_string();
+        };
+        let t0 = first.fetch;
+        let t_end = self
+            .events
+            .iter()
+            .map(|e| e.retire.or(e.complete).or(e.dispatch).unwrap_or(e.fetch))
+            .max()
+            .unwrap_or(t0)
+            + 2; // room for retire plus a squash marker
+        let width = ((t_end - t0) as usize).min(160);
+        let mut out = String::new();
+        let _ = writeln!(out, "cycles {t0}..{}  (one column per cycle)", t0 + width as u64);
+        // Events are recorded at retire/squash time; show them in fetch order.
+        let mut ordered: Vec<&PipeEvent> = self.events.iter().collect();
+        ordered.sort_by_key(|e| (e.fetch, e.seq));
+        for e in ordered {
+            let mut row = vec![b' '; width];
+            let col = |t: u64| -> Option<usize> {
+                let c = t.checked_sub(t0)? as usize;
+                (c < width).then_some(c)
+            };
+            let span = |row: &mut [u8], from: u64, to: u64, ch: u8| {
+                for t in from..to {
+                    if let Some(c) = col(t) {
+                        if row[c] == b' ' {
+                            row[c] = ch;
+                        }
+                    }
+                }
+            };
+            if let Some(c) = col(e.fetch) {
+                row[c] = b'F';
+            }
+            if let Some(d) = e.dispatch {
+                span(&mut row, e.fetch + 1, d, b'd');
+                if let Some(c) = col(d) {
+                    row[c] = b'D';
+                }
+                if let Some(i) = e.issue {
+                    span(&mut row, d + 1, i, b'w');
+                    if let Some(c) = col(i) {
+                        row[c] = b'I';
+                    }
+                    if let Some(done) = e.complete {
+                        span(&mut row, i + 1, done, b'e');
+                        if let Some(c) = col(done) {
+                            row[c] = b'C';
+                        }
+                    }
+                }
+                if let Some(r) = e.retire {
+                    let after = e.complete.or(e.issue).unwrap_or(d);
+                    span(&mut row, after + 1, r, b'.');
+                    if let Some(c) = col(r) {
+                        row[c] = b'R';
+                    }
+                }
+            }
+            if e.squashed {
+                // Mark the tail of a squashed instruction's row.
+                if let Some(last) = row.iter().rposition(|&b| b != b' ') {
+                    if last + 1 < width {
+                        row[last + 1] = b'x';
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:5} {:4} {:28} |{}|",
+                e.seq,
+                e.pc,
+                truncate(&e.disasm, 28),
+                String::from_utf8_lossy(&row)
+            );
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        format!("{s:n$}")
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, fetch: u64) -> PipeEvent {
+        PipeEvent {
+            seq,
+            pc: seq as u32,
+            disasm: format!("instr{seq}"),
+            fetch,
+            dispatch: Some(fetch + 8),
+            issue: Some(fetch + 9),
+            complete: Some(fetch + 10),
+            retire: Some(fetch + 12),
+            squashed: false,
+        }
+    }
+
+    #[test]
+    fn bounded_capacity() {
+        let mut t = PipeTrace::new(2);
+        t.record(ev(0, 0));
+        t.record(ev(1, 1));
+        assert!(!t.accepting());
+        t.record(ev(2, 2));
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn render_marks_stages() {
+        let mut t = PipeTrace::new(4);
+        t.record(ev(0, 0));
+        let s = t.render();
+        assert!(s.contains('F'));
+        assert!(s.contains('D'));
+        assert!(s.contains('I'));
+        assert!(s.contains('C'));
+        assert!(s.contains('R'));
+    }
+
+    #[test]
+    fn squashed_instruction_marked() {
+        let mut t = PipeTrace::new(4);
+        let mut e = ev(0, 0);
+        e.retire = None;
+        e.squashed = true;
+        t.record(e);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        assert!(PipeTrace::new(4).render().contains("empty"));
+    }
+}

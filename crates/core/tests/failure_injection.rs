@@ -1,0 +1,128 @@
+//! Failure injection: programs that violate the CFD ISA ordering rules
+//! (§III-A) must be *detected* — surfaced as simulation errors — never
+//! silently mis-executed or hung.
+
+use cfd_core::{Core, CoreConfig, CoreError};
+use cfd_isa::{Assembler, MemImage, Reg};
+
+fn r(i: usize) -> Reg {
+    Reg::new(i)
+}
+
+fn run(a: Assembler) -> Result<cfd_core::RunReport, CoreError> {
+    Core::new(CoreConfig::default(), a.finish().unwrap(), MemImage::new()).run(2_000_000)
+}
+
+#[test]
+fn pop_without_push_is_detected() {
+    // Violates "a push must precede its corresponding pop".
+    let mut a = Assembler::new();
+    a.branch_on_bq("skip");
+    a.addi(r(1), r(1), 1);
+    a.label("skip");
+    a.halt();
+    let err = run(a).unwrap_err();
+    assert!(matches!(err, CoreError::Program(_)), "got {err}");
+}
+
+#[test]
+fn push_overflow_is_detected() {
+    // Violates "N cannot exceed the BQ size": 200 pushes, no pops.
+    let (i, n, p) = (r(1), r(2), r(3));
+    let mut a = Assembler::new();
+    a.li(n, 200);
+    a.li(p, 1);
+    a.label("top");
+    a.push_bq(p);
+    a.addi(i, i, 1);
+    a.blt(i, n, "top");
+    a.halt();
+    let err = run(a).unwrap_err();
+    // The fetch unit stalls the push (its architectural pops never come),
+    // while the functional oracle faults at the 129th push — either a
+    // deadlock report or an oracle fault is an acceptable *detection*.
+    assert!(
+        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn forward_without_mark_is_detected() {
+    let mut a = Assembler::new();
+    a.forward_bq();
+    a.halt();
+    let err = run(a).unwrap_err();
+    assert!(matches!(err, CoreError::Program(_)), "got {err}");
+}
+
+#[test]
+fn vq_pop_without_push_is_detected() {
+    let mut a = Assembler::new();
+    a.pop_vq(r(1));
+    a.halt();
+    let err = run(a).unwrap_err();
+    // The VQ renamer refuses to rename the pop (dispatch stalls) and the
+    // deadlock detector reports it, or the oracle faults first.
+    assert!(
+        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn tq_pop_without_push_is_detected() {
+    let mut a = Assembler::new();
+    a.pop_tq();
+    a.halt();
+    let err = run(a).unwrap_err();
+    // TQ misses stall fetch forever when no push exists.
+    assert!(
+        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn runaway_program_hits_cycle_limit() {
+    let mut a = Assembler::new();
+    a.label("spin");
+    a.j("spin");
+    let err = Core::new(CoreConfig::default(), a.finish().unwrap(), MemImage::new())
+        .run(10_000)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::CycleLimit(10_000)), "got {err}");
+}
+
+#[test]
+fn pc_off_the_end_is_detected() {
+    // No halt: the PC runs off the program.
+    let mut a = Assembler::new();
+    a.addi(r(1), r(1), 1);
+    let err = run(a).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn mismatched_push_pop_counts_are_detected() {
+    // Two pushes, three pops.
+    let p = r(1);
+    let mut a = Assembler::new();
+    a.li(p, 1);
+    a.push_bq(p);
+    a.push_bq(p);
+    for k in 0..3 {
+        let l = format!("s{k}");
+        a.branch_on_bq(&l);
+        a.label(&l);
+    }
+    a.halt();
+    let err = run(a).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
+        "got {err}"
+    );
+}

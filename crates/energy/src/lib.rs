@@ -1,0 +1,333 @@
+//! # cfd-energy — event-based energy accounting
+//!
+//! A McPAT/CACTI substitute: the timing core counts microarchitectural
+//! events ([`EventCounts`]) — including wrong-path activity, which is the
+//! point of the paper's energy argument — and an [`EnergyModel`] turns them
+//! into picojoules with CACTI-flavored per-access constants, plus a static
+//! (leakage + clock) term per cycle.
+//!
+//! The paper augments McPAT with accounting for the BQ, VQ renamer, and TQ
+//! (§VI); we do the same: those structures have their own counters and
+//! per-access energies (tiny, since a BQ entry is a handful of bits — see
+//! paper Fig. 17b).
+//!
+//! Absolute joules are not meaningful here; *relative* energy between
+//! schemes on the same model is, and that is what the paper's figures show.
+//!
+//! # Example
+//!
+//! ```
+//! use cfd_energy::{EnergyModel, EventCounts};
+//! let model = EnergyModel::default();
+//! let mut base = EventCounts::default();
+//! base.cycles = 1000;
+//! base.l1d_accesses = 400;
+//! let mut better = base.clone();
+//! better.cycles = 800; // fewer cycles -> less static energy
+//! assert!(model.total_pj(&better) < model.total_pj(&base));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Microarchitectural event counters accumulated by the timing core.
+///
+/// All counters include wrong-path activity unless stated otherwise.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Total cycles simulated (drives static energy).
+    pub cycles: u64,
+    /// Instructions fetched (L1I reads are folded into this).
+    pub fetched: u64,
+    /// Instructions decoded.
+    pub decoded: u64,
+    /// Instructions renamed (RMT reads/writes + freelist).
+    pub renamed: u64,
+    /// Issue-queue writes (dispatch).
+    pub iq_writes: u64,
+    /// Issue-queue wakeup/select events (issue).
+    pub iq_wakeups: u64,
+    /// Register file reads.
+    pub regfile_reads: u64,
+    /// Register file writes.
+    pub regfile_writes: u64,
+    /// Simple ALU executions.
+    pub alu_simple: u64,
+    /// Complex ALU (mul/div) executions.
+    pub alu_complex: u64,
+    /// Load/store queue operations.
+    pub lsq_ops: u64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// Conditional branch predictor lookups + updates.
+    pub bpred_ops: u64,
+    /// BTB lookups + fills.
+    pub btb_ops: u64,
+    /// ROB writes + retire reads.
+    pub rob_ops: u64,
+    /// Checkpoints taken or restored.
+    pub checkpoint_ops: u64,
+    /// Branch Queue reads/writes (CFD).
+    pub bq_ops: u64,
+    /// VQ renamer reads/writes (CFD+).
+    pub vq_ops: u64,
+    /// Trip-count Queue + TCR reads/writes (CFD-TQ).
+    pub tq_ops: u64,
+}
+
+impl EventCounts {
+    /// Element-wise sum of two counter sets.
+    pub fn add(&self, other: &EventCounts) -> EventCounts {
+        EventCounts {
+            cycles: self.cycles + other.cycles,
+            fetched: self.fetched + other.fetched,
+            decoded: self.decoded + other.decoded,
+            renamed: self.renamed + other.renamed,
+            iq_writes: self.iq_writes + other.iq_writes,
+            iq_wakeups: self.iq_wakeups + other.iq_wakeups,
+            regfile_reads: self.regfile_reads + other.regfile_reads,
+            regfile_writes: self.regfile_writes + other.regfile_writes,
+            alu_simple: self.alu_simple + other.alu_simple,
+            alu_complex: self.alu_complex + other.alu_complex,
+            lsq_ops: self.lsq_ops + other.lsq_ops,
+            l1d_accesses: self.l1d_accesses + other.l1d_accesses,
+            l2_accesses: self.l2_accesses + other.l2_accesses,
+            l3_accesses: self.l3_accesses + other.l3_accesses,
+            dram_accesses: self.dram_accesses + other.dram_accesses,
+            bpred_ops: self.bpred_ops + other.bpred_ops,
+            btb_ops: self.btb_ops + other.btb_ops,
+            rob_ops: self.rob_ops + other.rob_ops,
+            checkpoint_ops: self.checkpoint_ops + other.checkpoint_ops,
+            bq_ops: self.bq_ops + other.bq_ops,
+            vq_ops: self.vq_ops + other.vq_ops,
+            tq_ops: self.tq_ops + other.tq_ops,
+        }
+    }
+}
+
+/// Per-event energies in picojoules (CACTI-flavored relative ordering).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// I-fetch energy per instruction (L1I read amortized).
+    pub fetch_pj: f64,
+    /// Decode energy per instruction.
+    pub decode_pj: f64,
+    /// Rename energy per instruction.
+    pub rename_pj: f64,
+    /// Issue-queue write.
+    pub iq_write_pj: f64,
+    /// Issue-queue wakeup/select.
+    pub iq_wakeup_pj: f64,
+    /// Register file read port access.
+    pub regread_pj: f64,
+    /// Register file write port access.
+    pub regwrite_pj: f64,
+    /// Simple ALU op.
+    pub alu_pj: f64,
+    /// Complex ALU op.
+    pub complex_alu_pj: f64,
+    /// LSQ search/insert.
+    pub lsq_pj: f64,
+    /// L1D access.
+    pub l1d_pj: f64,
+    /// L2 access.
+    pub l2_pj: f64,
+    /// L3 access.
+    pub l3_pj: f64,
+    /// DRAM access.
+    pub dram_pj: f64,
+    /// Branch predictor access (64 KB ISL-TAGE-class).
+    pub bpred_pj: f64,
+    /// BTB access.
+    pub btb_pj: f64,
+    /// ROB access.
+    pub rob_pj: f64,
+    /// Checkpoint take/restore.
+    pub checkpoint_pj: f64,
+    /// BQ access (a 128 x 5-bit tagless RAM — paper Fig. 17b scale).
+    pub bq_pj: f64,
+    /// VQ renamer access (128 x 8-bit mapping RAM).
+    pub vq_pj: f64,
+    /// TQ/TCR access (256 x 17-bit tagless RAM).
+    pub tq_pj: f64,
+    /// Static (leakage + clock tree) energy per cycle.
+    pub static_pj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            fetch_pj: 28.0,
+            decode_pj: 6.0,
+            rename_pj: 9.0,
+            iq_write_pj: 8.0,
+            iq_wakeup_pj: 12.0,
+            regread_pj: 4.5,
+            regwrite_pj: 6.5,
+            alu_pj: 10.0,
+            complex_alu_pj: 38.0,
+            lsq_pj: 11.0,
+            l1d_pj: 30.0,
+            l2_pj: 85.0,
+            l3_pj: 260.0,
+            dram_pj: 2400.0,
+            bpred_pj: 14.0,
+            btb_pj: 8.0,
+            rob_pj: 5.0,
+            checkpoint_pj: 45.0,
+            bq_pj: 0.7,
+            vq_pj: 2.2,
+            tq_pj: 1.4,
+            static_pj_per_cycle: 110.0,
+        }
+    }
+}
+
+/// An itemized energy total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyBreakdown {
+    /// (component name, picojoules), in model order.
+    pub components: Vec<(&'static str, f64)>,
+    /// Sum of all components.
+    pub total_pj: f64,
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {:.1} nJ", self.total_pj / 1000.0)?;
+        for (name, pj) in &self.components {
+            if *pj > 0.0 {
+                writeln!(f, "  {name:12} {:10.1} nJ ({:4.1}%)", pj / 1000.0, 100.0 * pj / self.total_pj)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl EnergyModel {
+    /// Itemized energy for a set of event counts.
+    pub fn breakdown(&self, c: &EventCounts) -> EnergyBreakdown {
+        let components: Vec<(&'static str, f64)> = vec![
+            ("fetch", c.fetched as f64 * self.fetch_pj),
+            ("decode", c.decoded as f64 * self.decode_pj),
+            ("rename", c.renamed as f64 * self.rename_pj),
+            ("iq", c.iq_writes as f64 * self.iq_write_pj + c.iq_wakeups as f64 * self.iq_wakeup_pj),
+            ("regfile", c.regfile_reads as f64 * self.regread_pj + c.regfile_writes as f64 * self.regwrite_pj),
+            ("alu", c.alu_simple as f64 * self.alu_pj + c.alu_complex as f64 * self.complex_alu_pj),
+            ("lsq", c.lsq_ops as f64 * self.lsq_pj),
+            ("l1d", c.l1d_accesses as f64 * self.l1d_pj),
+            ("l2", c.l2_accesses as f64 * self.l2_pj),
+            ("l3", c.l3_accesses as f64 * self.l3_pj),
+            ("dram", c.dram_accesses as f64 * self.dram_pj),
+            ("bpred", c.bpred_ops as f64 * self.bpred_pj),
+            ("btb", c.btb_ops as f64 * self.btb_pj),
+            ("rob", c.rob_ops as f64 * self.rob_pj),
+            ("checkpoint", c.checkpoint_ops as f64 * self.checkpoint_pj),
+            ("bq", c.bq_ops as f64 * self.bq_pj),
+            ("vq-renamer", c.vq_ops as f64 * self.vq_pj),
+            ("tq", c.tq_ops as f64 * self.tq_pj),
+            ("static", c.cycles as f64 * self.static_pj_per_cycle),
+        ];
+        let total_pj = components.iter().map(|(_, v)| v).sum();
+        EnergyBreakdown { components, total_pj }
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self, c: &EventCounts) -> f64 {
+        self.breakdown(c).total_pj
+    }
+}
+
+/// Storage overhead of the CFD structures, as in paper Fig. 17b.
+///
+/// Returns `(bq_bytes, vq_renamer_bytes, tq_bytes)` for the given sizes.
+///
+/// Each BQ entry: predicate + pushed + popped bits + checkpoint id (4 bits
+/// at 8 checkpoints) ≈ 7 bits with head/tail/mark pointers amortized. Each
+/// VQ renamer entry: a physical register mapping (8 bits at a 256-entry
+/// PRF). Each TQ entry: a 16-bit trip count + pushed + overflow bits.
+pub fn cfd_storage_bytes(bq_size: usize, vq_size: usize, tq_size: usize) -> (usize, usize, usize) {
+    let bq_bits = bq_size * 7 + 3 * 8; // entries + head/tail/mark pointers
+    let vq_bits = vq_size * 8 + 2 * 8;
+    let tq_bits = tq_size * 18 + 2 * 8 + 16; // entries + pointers + TCR
+    (bq_bits.div_ceil(8), vq_bits.div_ceil(8), tq_bits.div_ceil(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_events_zero_dynamic_energy() {
+        let m = EnergyModel::default();
+        let c = EventCounts::default();
+        assert_eq!(m.total_pj(&c), 0.0);
+    }
+
+    #[test]
+    fn static_energy_scales_with_cycles() {
+        let m = EnergyModel::default();
+        let a = EventCounts { cycles: 100, ..Default::default() };
+        let b = EventCounts { cycles: 200, ..Default::default() };
+        assert!((m.total_pj(&b) - 2.0 * m.total_pj(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = EnergyModel::default();
+        let c = EventCounts {
+            cycles: 1000,
+            fetched: 4000,
+            l1d_accesses: 900,
+            dram_accesses: 3,
+            bq_ops: 120,
+            ..Default::default()
+        };
+        let b = m.breakdown(&c);
+        let sum: f64 = b.components.iter().map(|(_, v)| v).sum();
+        assert!((sum - b.total_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_dominates_same_count() {
+        let m = EnergyModel::default();
+        assert!(m.dram_pj > m.l3_pj && m.l3_pj > m.l2_pj && m.l2_pj > m.l1d_pj);
+        assert!(m.bq_pj < m.btb_pj, "the BQ must be far cheaper than even the BTB");
+    }
+
+    #[test]
+    fn counts_add_elementwise() {
+        let a = EventCounts { fetched: 10, bq_ops: 2, ..Default::default() };
+        let b = EventCounts { fetched: 5, tq_ops: 7, ..Default::default() };
+        let c = a.add(&b);
+        assert_eq!(c.fetched, 15);
+        assert_eq!(c.bq_ops, 2);
+        assert_eq!(c.tq_ops, 7);
+    }
+
+    #[test]
+    fn storage_matches_paper_scale() {
+        // Paper Fig. 17b reports on the order of 100 B for the BQ and ~600 B
+        // for the TQ at 128/128/256 entries.
+        let (bq, vq, tq) = cfd_storage_bytes(128, 128, 256);
+        assert!((80..=150).contains(&bq), "bq={bq}");
+        assert!((100..=200).contains(&vq), "vq={vq}");
+        assert!((500..=700).contains(&tq), "tq={tq}");
+    }
+
+    #[test]
+    fn display_breakdown_mentions_total() {
+        let m = EnergyModel::default();
+        let c = EventCounts { cycles: 10, ..Default::default() };
+        let s = m.breakdown(&c).to_string();
+        assert!(s.contains("total:"));
+        assert!(s.contains("static"));
+    }
+}

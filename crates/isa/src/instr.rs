@@ -1,0 +1,544 @@
+//! Instruction set definition, including the CFD extension.
+//!
+//! The base ISA is a small load/store RISC machine (think stripped-down
+//! Alpha/RISC-V): ALU register/immediate operations, loads/stores of 1/2/4/8
+//! bytes, compare-and-branch, and direct/indirect jumps.
+//!
+//! The **CFD extension** adds the architectural queues of the paper:
+//!
+//! * [`Instr::PushBq`] / [`Instr::BranchOnBq`] — the Branch Queue (§III),
+//! * [`Instr::MarkBq`] / [`Instr::ForwardBq`] — bulk-pop for nested breaks (§IV-A),
+//! * [`Instr::PushVq`] / [`Instr::PopVq`] — the Value Queue (§IV-B),
+//! * [`Instr::PushTq`] / [`Instr::PopTq`] / [`Instr::BranchOnTcr`] — the
+//!   Trip-count Queue and trip-count register (§IV-C),
+//! * [`Instr::PopTqBrOvf`] — the overflow-tolerant pop (§IV-C4),
+//! * save/restore instructions for context switches (§III-A).
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; division by zero yields 0 (non-faulting, like Alpha's
+    /// software convention — keeps the simulators exception-free).
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Sll,
+    /// Logical shift right (shift amount masked to 6 bits).
+    Srl,
+    /// Arithmetic shift right (shift amount masked to 6 bits).
+    Sra,
+    /// Set if less-than, signed: `rd = (a < b) as i64`.
+    Slt,
+    /// Set if less-than, unsigned.
+    Sltu,
+    /// Set if equal.
+    Seq,
+    /// Set if not equal.
+    Sne,
+    /// Set if greater-or-equal, signed.
+    Sge,
+    /// Signed minimum (used by kernels that clamp).
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl AluOp {
+    /// Whether this operation uses the long-latency complex ALU
+    /// (multiply/divide pipe) in the timing model.
+    pub fn is_complex(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Rem)
+    }
+}
+
+/// Conditions for compare-and-branch instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less-than, signed.
+    Lt,
+    /// Branch if greater-or-equal, signed.
+    Ge,
+    /// Branch if less-than, unsigned.
+    Ltu,
+    /// Branch if greater-or-equal, unsigned.
+    Geu,
+}
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// The second source operand of an ALU instruction: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src2 {
+    /// A register operand.
+    Reg(Reg),
+    /// A sign-extended immediate operand.
+    Imm(i64),
+}
+
+impl From<Reg> for Src2 {
+    fn from(r: Reg) -> Src2 {
+        Src2::Reg(r)
+    }
+}
+
+impl From<i64> for Src2 {
+    fn from(v: i64) -> Src2 {
+        Src2::Imm(v)
+    }
+}
+
+impl fmt::Display for Src2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src2::Reg(r) => write!(f, "{r}"),
+            Src2::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A single instruction.
+///
+/// Branch/jump targets are absolute instruction indices into the containing
+/// [`Program`](crate::Program); the assembler resolves symbolic labels into
+/// these indices. "PC" throughout this crate means an instruction index, not
+/// a byte address (the timing model charges I-fetch per instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `rd = alu_op(rs1, src2)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source operand.
+        src2: Src2,
+    },
+    /// `rd = imm` (load immediate).
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd = zero_extend(mem[rs(base) + offset])`; `signed` sign-extends.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend the loaded value.
+        signed: bool,
+    },
+    /// `mem[rs(base) + offset] = src` (low `width` bytes).
+    Store {
+        /// Source register holding the value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Non-binding, non-faulting software prefetch of `mem[base + offset]`.
+    Prefetch {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Conditional branch: if `cond(rs1, rs2)` jump to `target`.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First comparison source.
+        rs1: Reg,
+        /// Second comparison source.
+        rs2: Reg,
+        /// Taken-target instruction index.
+        target: u32,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Jump-and-link: `rd = pc + 1; pc = target`.
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Indirect jump: `pc = rs` (used for returns).
+    Jr {
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// CFD: push `(rs != 0)` as a predicate onto the Branch Queue.
+    PushBq {
+        /// Source register; non-zero pushes predicate 1.
+        rs: Reg,
+    },
+    /// CFD: pop a predicate from the Branch Queue; **branch to `target` when
+    /// the predicate is 0** (skip-if-false idiom), fall through when it is 1.
+    BranchOnBq {
+        /// Taken-target instruction index (the skip label).
+        target: u32,
+    },
+    /// CFD: mark the current Branch Queue tail (§IV-A).
+    MarkBq,
+    /// CFD: bulk-pop the Branch Queue through to the most recent mark (§IV-A).
+    ForwardBq,
+    /// CFD: push the value of `rs` onto the Value Queue.
+    PushVq {
+        /// Source register.
+        rs: Reg,
+    },
+    /// CFD: pop the Value Queue head into `rd`.
+    PopVq {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// CFD: push a trip-count (low 32 bits of `rs`, clamped at 0) onto the
+    /// Trip-count Queue. Sets the entry's overflow bit when the count does
+    /// not fit in the architected trip-count width (§IV-C4).
+    PushTq {
+        /// Source register holding the trip-count.
+        rs: Reg,
+    },
+    /// CFD: pop the Trip-count Queue head into the Trip-Count Register.
+    PopTq,
+    /// CFD: if `TCR != 0`, decrement it and branch to `target` (continue the
+    /// loop); if `TCR == 0`, fall through (exit the loop).
+    BranchOnTcr {
+        /// Loop-top target instruction index.
+        target: u32,
+    },
+    /// CFD: pop the Trip-count Queue head into the TCR and, when the popped
+    /// entry's overflow bit is set, branch to `target` (the unmodified loop
+    /// copy, §IV-C4).
+    PopTqBrOvf {
+        /// Overflow-handler target instruction index.
+        target: u32,
+    },
+    /// Save the Branch Queue (length + predicates) to `mem[base + offset]`.
+    SaveBq {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Restore the Branch Queue from `mem[base + offset]`.
+    RestoreBq {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Save the Value Queue to `mem[base + offset]`.
+    SaveVq {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Restore the Value Queue from `mem[base + offset]`.
+    RestoreVq {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Save the Trip-count Queue (length + counts + overflow bits + TCR).
+    SaveTq {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Restore the Trip-count Queue.
+    RestoreTq {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// No operation.
+    Nop,
+    /// Stop the machine; the program's observable state is final.
+    Halt,
+}
+
+impl Instr {
+    /// Whether the instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::Jump { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::BranchOnBq { .. }
+                | Instr::BranchOnTcr { .. }
+                | Instr::PopTqBrOvf { .. }
+        )
+    }
+
+    /// Whether the instruction is a *conditional* control transfer whose
+    /// direction the front end must know (predict or resolve) at fetch.
+    pub fn is_conditional(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::BranchOnBq { .. } | Instr::BranchOnTcr { .. } | Instr::PopTqBrOvf { .. }
+        )
+    }
+
+    /// Whether this is a conventional (predictor-served) conditional branch.
+    pub fn is_plain_conditional(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// Whether the instruction belongs to the CFD ISA extension.
+    pub fn is_cfd(&self) -> bool {
+        matches!(
+            self,
+            Instr::PushBq { .. }
+                | Instr::BranchOnBq { .. }
+                | Instr::MarkBq
+                | Instr::ForwardBq
+                | Instr::PushVq { .. }
+                | Instr::PopVq { .. }
+                | Instr::PushTq { .. }
+                | Instr::PopTq
+                | Instr::BranchOnTcr { .. }
+                | Instr::PopTqBrOvf { .. }
+                | Instr::SaveBq { .. }
+                | Instr::RestoreBq { .. }
+                | Instr::SaveVq { .. }
+                | Instr::RestoreVq { .. }
+                | Instr::SaveTq { .. }
+                | Instr::RestoreTq { .. }
+        )
+    }
+
+    /// Whether the instruction reads or writes data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::Prefetch { .. }
+                | Instr::SaveBq { .. }
+                | Instr::RestoreBq { .. }
+                | Instr::SaveVq { .. }
+                | Instr::RestoreVq { .. }
+                | Instr::SaveTq { .. }
+                | Instr::RestoreTq { .. }
+        )
+    }
+
+    /// The taken-target instruction index, for direct control instructions.
+    pub fn direct_target(&self) -> Option<u32> {
+        match *self {
+            Instr::Branch { target, .. }
+            | Instr::Jump { target }
+            | Instr::Jal { target, .. }
+            | Instr::BranchOnBq { target }
+            | Instr::BranchOnTcr { target }
+            | Instr::PopTqBrOvf { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The destination architectural register written by this instruction.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { rd, .. } | Instr::Li { rd, .. } | Instr::Load { rd, .. } | Instr::Jal { rd, .. } | Instr::PopVq { rd } => {
+                (!rd.is_zero()).then_some(rd)
+            }
+            _ => None,
+        }
+    }
+
+    /// The architectural register sources read by this instruction
+    /// (at most two; `r0` sources are included).
+    pub fn sources(&self) -> (Option<Reg>, Option<Reg>) {
+        match *self {
+            Instr::Alu { rs1, src2, .. } => match src2 {
+                Src2::Reg(rs2) => (Some(rs1), Some(rs2)),
+                Src2::Imm(_) => (Some(rs1), None),
+            },
+            Instr::Li { .. } => (None, None),
+            Instr::Load { base, .. } => (Some(base), None),
+            Instr::Store { src, base, .. } => (Some(base), Some(src)),
+            Instr::Prefetch { base, .. } => (Some(base), None),
+            Instr::Branch { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Instr::Jump { .. } | Instr::Jal { .. } => (None, None),
+            Instr::Jr { rs } => (Some(rs), None),
+            Instr::PushBq { rs } | Instr::PushVq { rs } | Instr::PushTq { rs } => (Some(rs), None),
+            Instr::BranchOnBq { .. }
+            | Instr::MarkBq
+            | Instr::ForwardBq
+            | Instr::PopVq { .. }
+            | Instr::PopTq
+            | Instr::BranchOnTcr { .. }
+            | Instr::PopTqBrOvf { .. }
+            | Instr::Nop
+            | Instr::Halt => (None, None),
+            Instr::SaveBq { base, .. }
+            | Instr::RestoreBq { base, .. }
+            | Instr::SaveVq { base, .. }
+            | Instr::RestoreVq { base, .. }
+            | Instr::SaveTq { base, .. }
+            | Instr::RestoreTq { base, .. } => (Some(base), None),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs1, src2 } => write!(f, "{:?} {rd}, {rs1}, {src2}", op),
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Load { rd, base, offset, width, signed } => {
+                write!(f, "l{}{} {rd}, {offset}({base})", width.bytes(), if signed { "s" } else { "" })
+            }
+            Instr::Store { src, base, offset, width } => write!(f, "s{} {src}, {offset}({base})", width.bytes()),
+            Instr::Prefetch { base, offset } => write!(f, "prefetch {offset}({base})"),
+            Instr::Branch { cond, rs1, rs2, target } => write!(f, "b{:?} {rs1}, {rs2}, @{target}", cond),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::Jal { rd, target } => write!(f, "jal {rd}, @{target}"),
+            Instr::Jr { rs } => write!(f, "jr {rs}"),
+            Instr::PushBq { rs } => write!(f, "push_bq {rs}"),
+            Instr::BranchOnBq { target } => write!(f, "branch_on_bq @{target}"),
+            Instr::MarkBq => write!(f, "mark_bq"),
+            Instr::ForwardBq => write!(f, "forward_bq"),
+            Instr::PushVq { rs } => write!(f, "push_vq {rs}"),
+            Instr::PopVq { rd } => write!(f, "pop_vq {rd}"),
+            Instr::PushTq { rs } => write!(f, "push_tq {rs}"),
+            Instr::PopTq => write!(f, "pop_tq"),
+            Instr::BranchOnTcr { target } => write!(f, "branch_on_tcr @{target}"),
+            Instr::PopTqBrOvf { target } => write!(f, "pop_tq_brovf @{target}"),
+            Instr::SaveBq { base, offset } => write!(f, "save_bq {offset}({base})"),
+            Instr::RestoreBq { base, offset } => write!(f, "restore_bq {offset}({base})"),
+            Instr::SaveVq { base, offset } => write!(f, "save_vq {offset}({base})"),
+            Instr::RestoreVq { base, offset } => write!(f, "restore_vq {offset}({base})"),
+            Instr::SaveTq { base, offset } => write!(f, "save_tq {offset}({base})"),
+            Instr::RestoreTq { base, offset } => write!(f, "restore_tq {offset}({base})"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_flags() {
+        let b = Instr::Branch { cond: BranchCond::Eq, rs1: Reg::new(1), rs2: Reg::new(2), target: 7 };
+        assert!(b.is_control() && b.is_conditional() && b.is_plain_conditional() && !b.is_cfd());
+
+        let pop = Instr::BranchOnBq { target: 3 };
+        assert!(pop.is_control() && pop.is_conditional() && !pop.is_plain_conditional() && pop.is_cfd());
+
+        let push = Instr::PushBq { rs: Reg::new(4) };
+        assert!(!push.is_control() && push.is_cfd());
+
+        assert!(Instr::Load { rd: Reg::new(1), base: Reg::new(2), offset: 0, width: MemWidth::B8, signed: false }.is_mem());
+        assert!(Instr::SaveBq { base: Reg::new(2), offset: 0 }.is_mem());
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), src2: Src2::Reg(Reg::new(2)) };
+        assert_eq!(i.dest(), Some(Reg::new(3)));
+        assert_eq!(i.sources(), (Some(Reg::new(1)), Some(Reg::new(2))));
+
+        // Writes to r0 are architectural no-ops and report no destination.
+        let z = Instr::Li { rd: Reg::ZERO, imm: 5 };
+        assert_eq!(z.dest(), None);
+
+        let st = Instr::Store { src: Reg::new(5), base: Reg::new(6), offset: 8, width: MemWidth::B4 };
+        assert_eq!(st.dest(), None);
+        assert_eq!(st.sources(), (Some(Reg::new(6)), Some(Reg::new(5))));
+    }
+
+    #[test]
+    fn direct_targets() {
+        assert_eq!(Instr::Jump { target: 9 }.direct_target(), Some(9));
+        assert_eq!(Instr::BranchOnTcr { target: 2 }.direct_target(), Some(2));
+        assert_eq!(Instr::Jr { rs: Reg::new(1) }.direct_target(), None);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), src2: Src2::Imm(4) };
+        assert_eq!(i.to_string(), "Add r3, r1, 4");
+        assert_eq!(Instr::BranchOnBq { target: 12 }.to_string(), "branch_on_bq @12");
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B1.bytes(), 1);
+        assert_eq!(MemWidth::B8.bytes(), 8);
+    }
+
+    #[test]
+    fn complex_alu_ops() {
+        assert!(AluOp::Mul.is_complex());
+        assert!(AluOp::Div.is_complex());
+        assert!(!AluOp::Add.is_complex());
+    }
+}

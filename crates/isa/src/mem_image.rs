@@ -1,0 +1,164 @@
+//! Sparse byte-addressable data memory image.
+//!
+//! The machine's data memory is a 64-bit byte-addressable space backed by
+//! 4 KiB pages allocated on first write. Reads of unmapped memory return
+//! zero without allocating, which keeps wrong-path execution in the timing
+//! simulator exception-free (the paper's substrate likewise never faults in
+//! the simulated regions).
+
+use crate::instr::MemWidth;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse, paged data memory.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_isa::{MemImage, MemWidth};
+/// let mut m = MemImage::new();
+/// m.write(0x1000, 0x1234_5678, MemWidth::B4);
+/// assert_eq!(m.read(0x1000, MemWidth::B4, false), 0x1234_5678);
+/// assert_eq!(m.read(0xdead_0000, MemWidth::B8, false), 0); // unmapped
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemImage {
+    /// Creates an empty memory image.
+    pub fn new() -> MemImage {
+        MemImage::default()
+    }
+
+    #[inline]
+    fn read_byte(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    #[inline]
+    fn write_byte(&mut self, addr: u64, val: u8) {
+        let page = self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Reads `width` bytes, little-endian, zero- or sign-extended to `i64`.
+    pub fn read(&self, addr: u64, width: MemWidth, signed: bool) -> i64 {
+        let n = width.bytes();
+        let mut v: u64 = 0;
+        for i in 0..n {
+            v |= (self.read_byte(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        if signed {
+            let shift = 64 - 8 * n as u32;
+            ((v << shift) as i64) >> shift
+        } else {
+            v as i64
+        }
+    }
+
+    /// Writes the low `width` bytes of `val`, little-endian.
+    pub fn write(&mut self, addr: u64, val: i64, width: MemWidth) {
+        let n = width.bytes();
+        let v = val as u64;
+        for i in 0..n {
+            self.write_byte(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads an unsigned 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, MemWidth::B8, false) as u64
+    }
+
+    /// Writes a 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write(addr, val as i64, MemWidth::B8);
+    }
+
+    /// Reads a signed 32-bit word.
+    pub fn read_i32(&self, addr: u64) -> i32 {
+        self.read(addr, MemWidth::B4, true) as i32
+    }
+
+    /// Writes a 32-bit word.
+    pub fn write_i32(&mut self, addr: u64, val: i32) {
+        self.write(addr, val as i64, MemWidth::B4);
+    }
+
+    /// Whether the page containing `addr` has been written.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr >> PAGE_SHIFT))
+    }
+
+    /// Number of mapped 4 KiB pages (the footprint).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_byte(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero_and_do_not_allocate() {
+        let m = MemImage::new();
+        assert_eq!(m.read(0x5000, MemWidth::B8, false), 0);
+        assert_eq!(m.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn widths_and_sign_extension() {
+        let mut m = MemImage::new();
+        m.write(0x100, -1, MemWidth::B1);
+        assert_eq!(m.read(0x100, MemWidth::B1, false), 0xff);
+        assert_eq!(m.read(0x100, MemWidth::B1, true), -1);
+        m.write(0x200, -2, MemWidth::B4);
+        assert_eq!(m.read(0x200, MemWidth::B4, true), -2);
+        assert_eq!(m.read(0x200, MemWidth::B4, false), 0xffff_fffe);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MemImage::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles a page boundary
+        m.write(addr, 0x1122_3344_5566_7788, MemWidth::B8);
+        assert_eq!(m.read(addr, MemWidth::B8, false), 0x1122_3344_5566_7788);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn byte_slice_roundtrip() {
+        let mut m = MemImage::new();
+        m.write_bytes(0x3000, b"hello");
+        assert_eq!(m.read_bytes(0x3000, 5), b"hello");
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = MemImage::new();
+        m.write(0x10, 0x0102_0304, MemWidth::B4);
+        assert_eq!(m.read(0x10, MemWidth::B1, false), 0x04);
+        assert_eq!(m.read(0x13, MemWidth::B1, false), 0x01);
+    }
+}

@@ -1,0 +1,492 @@
+//! Text-format assembler: parses the format [`Program::disassemble`]
+//! produces, closing the round trip (useful for golden files, hand-written
+//! kernels, and debugging dumps).
+//!
+//! Grammar (one item per line; `;` starts a comment):
+//!
+//! ```text
+//! label:                     ; defines `label` at the next instruction
+//!   Add r3, r1, 4            ; ALU ops use their canonical names
+//!   li r1, 5
+//!   l8 r4, 0(r7)             ; loads: l{1,2,4,8}[s]; stores: s{1,2,4,8}
+//!   bLt r1, r2, @7           ; targets: @<pc> or a label name
+//!   branch_on_bq skip
+//!   push_bq r6
+//!   halt
+//! ```
+//!
+//! Leading PC numbers (as emitted by the disassembler) are ignored.
+
+use crate::instr::{AluOp, BranchCond, Instr, MemWidth, Src2};
+use crate::program::{AsmError, Assembler, Program};
+use crate::reg::{Reg, NUM_REGS};
+use std::fmt;
+
+/// A parse failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> Self {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    let idx: usize = t
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected a register, got `{t}`")))?;
+    if idx >= NUM_REGS {
+        return Err(err(line, format!("register index {idx} out of range")));
+    }
+    Ok(Reg::new(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    t.parse().map_err(|_| err(line, format!("expected an immediate, got `{t}`")))
+}
+
+/// Register or immediate.
+fn parse_src2(tok: &str, line: usize) -> Result<Src2, ParseError> {
+    let t = tok.trim();
+    if t.starts_with('r') && t[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Src2::Reg(parse_reg(t, line)?))
+    } else {
+        Ok(Src2::Imm(parse_imm(t, line)?))
+    }
+}
+
+/// `offset(base)` addressing.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i64, Reg), ParseError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| err(line, format!("expected `offset(base)`, got `{t}`")))?;
+    let close = t.rfind(')').ok_or_else(|| err(line, "missing `)`"))?;
+    let offset = parse_imm(&t[..open], line)?;
+    let base = parse_reg(&t[open + 1..close], line)?;
+    Ok((offset, base))
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    let ops = [
+        ("add", AluOp::Add),
+        ("sub", AluOp::Sub),
+        ("mul", AluOp::Mul),
+        ("div", AluOp::Div),
+        ("rem", AluOp::Rem),
+        ("and", AluOp::And),
+        ("or", AluOp::Or),
+        ("xor", AluOp::Xor),
+        ("sll", AluOp::Sll),
+        ("srl", AluOp::Srl),
+        ("sra", AluOp::Sra),
+        ("slt", AluOp::Slt),
+        ("sltu", AluOp::Sltu),
+        ("seq", AluOp::Seq),
+        ("sne", AluOp::Sne),
+        ("sge", AluOp::Sge),
+        ("min", AluOp::Min),
+        ("max", AluOp::Max),
+    ];
+    let lower = name.to_ascii_lowercase();
+    ops.iter().find(|(n, _)| *n == lower).map(|(_, op)| *op)
+}
+
+fn branch_cond(name: &str) -> Option<BranchCond> {
+    match name.to_ascii_lowercase().as_str() {
+        "beq" => Some(BranchCond::Eq),
+        "bne" => Some(BranchCond::Ne),
+        "blt" => Some(BranchCond::Lt),
+        "bge" => Some(BranchCond::Ge),
+        "bltu" => Some(BranchCond::Ltu),
+        "bgeu" => Some(BranchCond::Geu),
+        _ => None,
+    }
+}
+
+/// A branch target: `@12` resolves immediately; anything else is a label.
+enum Target {
+    Absolute(u32),
+    Label(String),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, ParseError> {
+    let t = tok.trim();
+    if let Some(n) = t.strip_prefix('@') {
+        n.parse().map(Target::Absolute).map_err(|_| err(line, format!("bad absolute target `{t}`")))
+    } else if !t.is_empty() {
+        Ok(Target::Label(t.to_string()))
+    } else {
+        Err(err(line, "missing branch target"))
+    }
+}
+
+/// Parses assembler text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line, or a wrapped
+/// [`AsmError`] for undefined/duplicate labels.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    // Pre-scan: which instruction indices are referenced by absolute `@n`
+    // targets? Synthetic labels are defined for them during the main pass.
+    let mut abs_targets: Vec<u32> = Vec::new();
+    for raw_line in text.lines() {
+        let code = raw_line.split(';').next().unwrap_or("");
+        for tok in code.split_whitespace() {
+            if let Some(n) = tok.trim_matches(',').strip_prefix('@') {
+                if let Ok(v) = n.parse::<u32>() {
+                    abs_targets.push(v);
+                }
+            }
+        }
+    }
+    abs_targets.sort_unstable();
+    abs_targets.dedup();
+
+    let mut a = Assembler::new();
+    let emit_target = |t: Target| -> String {
+        match t {
+            Target::Label(l) => l,
+            Target::Absolute(n) => format!("@abs{n}"),
+        }
+    };
+    let define_abs = |a: &mut Assembler, abs_targets: &[u32]| {
+        if abs_targets.binary_search(&a.here()).is_ok() {
+            let l = format!("@abs{}", a.here());
+            a.label(&l);
+        }
+    };
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut code = raw_line;
+        if let Some(semi) = code.find(';') {
+            code = &code[..semi];
+        }
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(label) = code.strip_suffix(':') {
+            if label.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label `{label}`")));
+            }
+            a.label(label.trim());
+            continue;
+        }
+        // This line emits exactly one instruction: define a synthetic label
+        // here if an absolute target points at this index.
+        define_abs(&mut a, &abs_targets);
+        // Strip a leading PC number (disassembler output).
+        let mut tokens: Vec<&str> = code.split_whitespace().collect();
+        if tokens[0].chars().all(|c| c.is_ascii_digit()) {
+            tokens.remove(0);
+            if tokens.is_empty() {
+                return Err(err(line, "pc number without an instruction"));
+            }
+        }
+        let mnemonic = tokens[0];
+        let rest = tokens[1..].join(" ");
+        let args: Vec<&str> = if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+        let need = |n: usize| -> Result<(), ParseError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", args.len())))
+            }
+        };
+
+        if let Some(op) = alu_op(mnemonic) {
+            need(3)?;
+            a.alu(op, parse_reg(args[0], line)?, parse_reg(args[1], line)?, parse_src2(args[2], line)?);
+        } else if let Some(cond) = branch_cond(mnemonic) {
+            need(3)?;
+            let (rs1, rs2) = (parse_reg(args[0], line)?, parse_reg(args[1], line)?);
+            let label = emit_target(parse_target(args[2], line)?);
+            a.branch(cond, rs1, rs2, &label);
+        } else {
+            match mnemonic.to_ascii_lowercase().as_str() {
+                "li" => {
+                    need(2)?;
+                    a.li(parse_reg(args[0], line)?, parse_imm(args[1], line)?);
+                }
+                m @ ("l1" | "l2" | "l4" | "l8" | "l1s" | "l2s" | "l4s" | "l8s") => {
+                    need(2)?;
+                    let width = match &m[1..2] {
+                        "1" => MemWidth::B1,
+                        "2" => MemWidth::B2,
+                        "4" => MemWidth::B4,
+                        _ => MemWidth::B8,
+                    };
+                    let signed = m.ends_with('s');
+                    let (offset, base) = parse_mem_operand(args[1], line)?;
+                    a.load(parse_reg(args[0], line)?, offset, base, width, signed);
+                }
+                m @ ("s1" | "s2" | "s4" | "s8") => {
+                    need(2)?;
+                    let width = match &m[1..2] {
+                        "1" => MemWidth::B1,
+                        "2" => MemWidth::B2,
+                        "4" => MemWidth::B4,
+                        _ => MemWidth::B8,
+                    };
+                    let (offset, base) = parse_mem_operand(args[1], line)?;
+                    let src = parse_reg(args[0], line)?;
+                    a.raw(Instr::Store { src, base, offset, width });
+                }
+                "prefetch" => {
+                    need(1)?;
+                    let (offset, base) = parse_mem_operand(args[0], line)?;
+                    a.prefetch(offset, base);
+                }
+                "j" => {
+                    need(1)?;
+                    let label = emit_target(parse_target(args[0], line)?);
+                    a.j(&label);
+                }
+                "jal" => {
+                    need(2)?;
+                    let rd = parse_reg(args[0], line)?;
+                    let label = emit_target(parse_target(args[1], line)?);
+                    a.jal(rd, &label);
+                }
+                "jr" => {
+                    need(1)?;
+                    a.jr(parse_reg(args[0], line)?);
+                }
+                "push_bq" => {
+                    need(1)?;
+                    a.push_bq(parse_reg(args[0], line)?);
+                }
+                "branch_on_bq" => {
+                    need(1)?;
+                    let label = emit_target(parse_target(args[0], line)?);
+                    a.branch_on_bq(&label);
+                }
+                "mark_bq" => {
+                    need(0)?;
+                    a.mark_bq();
+                }
+                "forward_bq" => {
+                    need(0)?;
+                    a.forward_bq();
+                }
+                "push_vq" => {
+                    need(1)?;
+                    a.push_vq(parse_reg(args[0], line)?);
+                }
+                "pop_vq" => {
+                    need(1)?;
+                    a.pop_vq(parse_reg(args[0], line)?);
+                }
+                "push_tq" => {
+                    need(1)?;
+                    a.push_tq(parse_reg(args[0], line)?);
+                }
+                "pop_tq" => {
+                    need(0)?;
+                    a.pop_tq();
+                }
+                "branch_on_tcr" => {
+                    need(1)?;
+                    let label = emit_target(parse_target(args[0], line)?);
+                    a.branch_on_tcr(&label);
+                }
+                "pop_tq_brovf" => {
+                    need(1)?;
+                    let label = emit_target(parse_target(args[0], line)?);
+                    a.pop_tq_brovf(&label);
+                }
+                "save_bq" | "restore_bq" | "save_vq" | "restore_vq" | "save_tq" | "restore_tq" => {
+                    need(1)?;
+                    let (offset, base) = parse_mem_operand(args[0], line)?;
+                    match mnemonic {
+                        "save_bq" => a.save_bq(offset, base),
+                        "restore_bq" => a.restore_bq(offset, base),
+                        "save_vq" => a.save_vq(offset, base),
+                        "restore_vq" => a.restore_vq(offset, base),
+                        "save_tq" => a.save_tq(offset, base),
+                        _ => a.restore_tq(offset, base),
+                    };
+                }
+                "nop" => {
+                    need(0)?;
+                    a.nop();
+                }
+                "halt" => {
+                    need(0)?;
+                    a.halt();
+                }
+                other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+            }
+        }
+    }
+    // Absolute targets may point one past the last instruction.
+    define_abs(&mut a, &abs_targets);
+    Ok(a.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Machine;
+    use crate::MemImage;
+
+    #[test]
+    fn parses_simple_program() {
+        let p = parse_program(
+            "
+            ; sum 0..9
+              li r2, 10
+            loop:
+              Add r3, r3, r1
+              Add r1, r1, 1
+              bLt r1, r2, loop
+              halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(p, MemImage::new());
+        m.run_to_halt().unwrap();
+        assert_eq!(m.regs.read(Reg::new(3)), 45);
+    }
+
+    #[test]
+    fn parses_memory_and_cfd_ops() {
+        let p = parse_program(
+            "
+              li r1, 4096
+              li r2, 7
+              s8 r2, 0(r1)
+              l8 r3, 0(r1)
+              push_bq r3
+              branch_on_bq skip
+              Add r4, r4, 1
+            skip:
+              halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(p, MemImage::new());
+        m.run_to_halt().unwrap();
+        assert_eq!(m.regs.read(Reg::new(3)), 7);
+        assert_eq!(m.regs.read(Reg::new(4)), 1, "predicate true -> CD executes");
+    }
+
+    #[test]
+    fn roundtrips_disassembly() {
+        // Build with the builder, disassemble, reparse: same instructions.
+        let mut a = Assembler::new();
+        let r = Reg::new;
+        a.li(r(2), 50);
+        a.label("top");
+        a.sll(r(4), r(1), 3i64);
+        a.add(r(4), r(4), r(3));
+        a.ld(r(5), 0, r(4));
+        a.slt(r(6), r(5), 25i64);
+        a.push_bq(r(6));
+        a.branch_on_bq("skip");
+        a.add(r(7), r(7), r(5));
+        a.label("skip");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "top");
+        a.halt();
+        let original = a.finish().unwrap();
+        let reparsed = parse_program(&original.disassemble()).unwrap();
+        assert_eq!(reparsed.instrs(), original.instrs());
+    }
+
+    #[test]
+    fn roundtrips_tq_kernel() {
+        let mut a = Assembler::new();
+        let r = Reg::new;
+        a.li(r(1), 3);
+        a.push_tq(r(1));
+        a.pop_tq();
+        a.j("test");
+        a.label("body");
+        a.addi(r(2), r(2), 1);
+        a.label("test");
+        a.branch_on_tcr("body");
+        a.halt();
+        let original = a.finish().unwrap();
+        let reparsed = parse_program(&original.disassemble()).unwrap();
+        assert_eq!(reparsed.instrs(), original.instrs());
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic_with_line() {
+        let e = parse_program("  li r1, 1\n  frobnicate r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn reports_bad_register() {
+        let e = parse_program("  li r99, 1\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn reports_operand_count() {
+        let e = parse_program("  Add r1, r2\n").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn absolute_targets_with_tab_separators() {
+        // The @N pre-scan must see targets regardless of the whitespace
+        // style (tabs, multiple spaces, trailing commas).
+        let p = parse_program("\tli r1, 5\n\tbeq\tr0, r0,\t@3\n\tli r2, 9\n\thalt\n").unwrap();
+        let mut m = Machine::new(p, MemImage::new());
+        m.run_to_halt().unwrap();
+        // The branch at pc 1 jumps over `li r2, 9`.
+        assert_eq!(m.regs.read(Reg::new(2)), 0);
+        assert_eq!(m.regs.read(Reg::new(1)), 5);
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let e = parse_program("  j nowhere\n  halt\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn loads_and_stores_with_widths() {
+        let p = parse_program(
+            "
+              li r1, 8192
+              li r2, -1
+              s1 r2, 0(r1)
+              l1 r3, 0(r1)
+              l1s r4, 0(r1)
+              halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(p, MemImage::new());
+        m.run_to_halt().unwrap();
+        assert_eq!(m.regs.read(Reg::new(3)), 0xff);
+        assert_eq!(m.regs.read(Reg::new(4)), -1);
+    }
+}

@@ -1,0 +1,564 @@
+//! Programs and the label-resolving assembler.
+
+use crate::instr::{AluOp, BranchCond, Instr, MemWidth, Src2};
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembled program: a flat instruction vector plus symbol metadata.
+///
+/// Instruction indices serve as PCs. A program is produced by the
+/// [`Assembler`] and is immutable thereafter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, u32>,
+    annotations: BTreeMap<u32, String>,
+}
+
+impl Program {
+    /// The instructions, indexed by PC.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: u32) -> Option<Instr> {
+        self.instrs.get(pc as usize).copied()
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The PC a label resolves to, if defined.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels, sorted by name.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.labels.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// A human-readable annotation attached to `pc` (e.g. a branch's name
+    /// for profiling reports).
+    pub fn annotation(&self, pc: u32) -> Option<&str> {
+        self.annotations.get(&pc).map(String::as_str)
+    }
+
+    /// Disassembles the whole program, one instruction per line, with labels.
+    pub fn disassemble(&self) -> String {
+        let mut by_pc: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, pc) in &self.labels {
+            by_pc.entry(*pc).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            if let Some(names) = by_pc.get(&(pc as u32)) {
+                for n in names {
+                    out.push_str(&format!("{n}:\n"));
+                }
+            }
+            out.push_str(&format!("  {pc:4}  {instr}"));
+            if let Some(a) = self.annotations.get(&(pc as u32)) {
+                out.push_str(&format!("    ; {a}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+/// Errors produced when finishing an [`Assembler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A program assembler with symbolic labels and forward references.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_isa::{Assembler, Reg};
+/// let mut a = Assembler::new();
+/// let (i, n) = (Reg::new(1), Reg::new(2));
+/// a.li(n, 10);
+/// a.label("loop");
+/// a.addi(i, i, 1);
+/// a.blt(i, n, "loop");
+/// a.halt();
+/// let prog = a.finish()?;
+/// assert_eq!(prog.label("loop"), Some(1));
+/// # Ok::<(), cfd_isa::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, u32>,
+    annotations: BTreeMap<u32, String>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, String)>,
+    duplicate: Option<String>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// The PC the next emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Defines `name` at the current PC.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.here()).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name.to_string());
+        }
+        self
+    }
+
+    /// Attaches a human-readable annotation to the *next* instruction.
+    pub fn annotate(&mut self, text: &str) -> &mut Self {
+        self.annotations.insert(self.here(), text.to_string());
+        self
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn push_labeled(&mut self, i: Instr, label: &str) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(i);
+        self
+    }
+
+    /// Emits a raw instruction (targets must already be resolved).
+    pub fn raw(&mut self, i: Instr) -> &mut Self {
+        self.push(i)
+    }
+
+    /// Emits an ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.push(Instr::Alu { op, rd, rs1, src2: src2.into() })
+    }
+
+    /// `rd = rs1 + src2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 + imm` (alias of [`add`](Self::add) with an immediate).
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 - src2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 * src2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 / src2` (signed; x/0 = 0).
+    pub fn div(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Div, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 % src2` (signed; x%0 = 0).
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Rem, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 & src2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::And, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 | src2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 ^ src2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 << src2`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Sll, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 >> src2` (logical).
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Srl, rd, rs1, src2)
+    }
+
+    /// `rd = rs1 >> src2` (arithmetic).
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Sra, rd, rs1, src2)
+    }
+
+    /// `rd = (rs1 < src2)` signed.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Slt, rd, rs1, src2)
+    }
+
+    /// `rd = (rs1 == src2)`.
+    pub fn seq(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Seq, rd, rs1, src2)
+    }
+
+    /// `rd = (rs1 != src2)`.
+    pub fn sne(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Sne, rd, rs1, src2)
+    }
+
+    /// `rd = (rs1 >= src2)` signed.
+    pub fn sge(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Sge, rd, rs1, src2)
+    }
+
+    /// `rd = min(rs1, src2)` signed.
+    pub fn min(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Min, rd, rs1, src2)
+    }
+
+    /// `rd = max(rs1, src2)` signed.
+    pub fn max(&mut self, rd: Reg, rs1: Reg, src2: impl Into<Src2>) -> &mut Self {
+        self.alu(AluOp::Max, rd, rs1, src2)
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Li { rd, imm })
+    }
+
+    /// `rd = rs` (register move; encoded as `add rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs, 0i64)
+    }
+
+    /// 8-byte load.
+    pub fn ld(&mut self, rd: Reg, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::Load { rd, base, offset, width: MemWidth::B8, signed: false })
+    }
+
+    /// 4-byte sign-extending load.
+    pub fn lw(&mut self, rd: Reg, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::Load { rd, base, offset, width: MemWidth::B4, signed: true })
+    }
+
+    /// 1-byte zero-extending load.
+    pub fn lb(&mut self, rd: Reg, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::Load { rd, base, offset, width: MemWidth::B1, signed: false })
+    }
+
+    /// Generic load.
+    pub fn load(&mut self, rd: Reg, offset: i64, base: Reg, width: MemWidth, signed: bool) -> &mut Self {
+        self.push(Instr::Load { rd, base, offset, width, signed })
+    }
+
+    /// 8-byte store.
+    pub fn sd(&mut self, src: Reg, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::Store { src, base, offset, width: MemWidth::B8 })
+    }
+
+    /// 4-byte store.
+    pub fn sw(&mut self, src: Reg, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::Store { src, base, offset, width: MemWidth::B4 })
+    }
+
+    /// 1-byte store.
+    pub fn sb(&mut self, src: Reg, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::Store { src, base, offset, width: MemWidth::B1 })
+    }
+
+    /// Software prefetch.
+    pub fn prefetch(&mut self, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::Prefetch { base, offset })
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.push_labeled(Instr::Branch { cond, rs1, rs2, target: 0 }, label)
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// Branch if less-than (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// Branch if greater-or-equal (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// Branch if `rs == 0`.
+    pub fn beqz(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.beq(rs, Reg::ZERO, label)
+    }
+
+    /// Branch if `rs != 0`.
+    pub fn bnez(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.bne(rs, Reg::ZERO, label)
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.push_labeled(Instr::Jump { target: 0 }, label)
+    }
+
+    /// Jump-and-link to `label`.
+    pub fn jal(&mut self, rd: Reg, label: &str) -> &mut Self {
+        self.push_labeled(Instr::Jal { rd, target: 0 }, label)
+    }
+
+    /// Indirect jump through `rs`.
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instr::Jr { rs })
+    }
+
+    /// CFD: push predicate `(rs != 0)` onto the BQ.
+    pub fn push_bq(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instr::PushBq { rs })
+    }
+
+    /// CFD: pop a predicate; branch to `skip_label` when it is 0.
+    pub fn branch_on_bq(&mut self, skip_label: &str) -> &mut Self {
+        self.push_labeled(Instr::BranchOnBq { target: 0 }, skip_label)
+    }
+
+    /// CFD: mark the BQ tail.
+    pub fn mark_bq(&mut self) -> &mut Self {
+        self.push(Instr::MarkBq)
+    }
+
+    /// CFD: bulk-pop the BQ through the last mark.
+    pub fn forward_bq(&mut self) -> &mut Self {
+        self.push(Instr::ForwardBq)
+    }
+
+    /// CFD: push `rs` onto the VQ.
+    pub fn push_vq(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instr::PushVq { rs })
+    }
+
+    /// CFD: pop the VQ head into `rd`.
+    pub fn pop_vq(&mut self, rd: Reg) -> &mut Self {
+        self.push(Instr::PopVq { rd })
+    }
+
+    /// CFD: push a trip-count onto the TQ.
+    pub fn push_tq(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instr::PushTq { rs })
+    }
+
+    /// CFD: pop the TQ head into the TCR.
+    pub fn pop_tq(&mut self) -> &mut Self {
+        self.push(Instr::PopTq)
+    }
+
+    /// CFD: loop-continue on a non-zero TCR.
+    pub fn branch_on_tcr(&mut self, loop_label: &str) -> &mut Self {
+        self.push_labeled(Instr::BranchOnTcr { target: 0 }, loop_label)
+    }
+
+    /// CFD: pop the TQ, branching to `overflow_label` on an overflowed entry.
+    pub fn pop_tq_brovf(&mut self, overflow_label: &str) -> &mut Self {
+        self.push_labeled(Instr::PopTqBrOvf { target: 0 }, overflow_label)
+    }
+
+    /// Save the BQ to memory.
+    pub fn save_bq(&mut self, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::SaveBq { base, offset })
+    }
+
+    /// Restore the BQ from memory.
+    pub fn restore_bq(&mut self, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::RestoreBq { base, offset })
+    }
+
+    /// Save the VQ to memory.
+    pub fn save_vq(&mut self, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::SaveVq { base, offset })
+    }
+
+    /// Restore the VQ from memory.
+    pub fn restore_vq(&mut self, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::RestoreVq { base, offset })
+    }
+
+    /// Save the TQ to memory.
+    pub fn save_tq(&mut self, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::SaveTq { base, offset })
+    }
+
+    /// Restore the TQ from memory.
+    pub fn restore_tq(&mut self, offset: i64, base: Reg) -> &mut Self {
+        self.push(Instr::RestoreTq { base, offset })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if a referenced label was never
+    /// defined, or [`AsmError::DuplicateLabel`] if a label was defined twice.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(dup) = self.duplicate {
+            return Err(AsmError::DuplicateLabel(dup));
+        }
+        for (idx, name) in &self.fixups {
+            let pc = *self.labels.get(name).ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+            let i = &mut self.instrs[*idx];
+            match i {
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Jal { target, .. }
+                | Instr::BranchOnBq { target }
+                | Instr::BranchOnTcr { target }
+                | Instr::PopTqBrOvf { target } => *target = pc,
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        Ok(Program { instrs: self.instrs, labels: self.labels, annotations: self.annotations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        let r1 = Reg::new(1);
+        a.j("end"); // forward reference
+        a.label("top");
+        a.addi(r1, r1, 1);
+        a.label("end");
+        a.beqz(r1, "top"); // backward reference
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::Jump { target: 2 }));
+        assert_eq!(p.fetch(2), Some(Instr::Branch { cond: BranchCond::Eq, rs1: r1, rs2: Reg::ZERO, target: 1 }));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Assembler::new();
+        a.j("nowhere");
+        assert_eq!(a.finish().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Assembler::new();
+        a.label("x").nop();
+        a.label("x").halt();
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn annotations_attach_to_next_instruction() {
+        let mut a = Assembler::new();
+        a.nop();
+        a.annotate("the hard branch");
+        a.beqz(Reg::new(1), "done");
+        a.label("done").halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.annotation(1), Some("the hard branch"));
+        assert_eq!(p.annotation(0), None);
+    }
+
+    #[test]
+    fn disassembly_contains_labels() {
+        let mut a = Assembler::new();
+        a.label("main");
+        a.li(Reg::new(1), 5);
+        a.halt();
+        let p = a.finish().unwrap();
+        let d = p.disassemble();
+        assert!(d.contains("main:"));
+        assert!(d.contains("li r1, 5"));
+    }
+
+    #[test]
+    fn cfd_instructions_assemble() {
+        let mut a = Assembler::new();
+        a.label("loop2");
+        a.branch_on_bq("skip");
+        a.nop();
+        a.label("skip");
+        a.branch_on_tcr("loop2");
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.fetch(0), Some(Instr::BranchOnBq { target: 2 }));
+        assert_eq!(p.fetch(2), Some(Instr::BranchOnTcr { target: 0 }));
+    }
+
+    #[test]
+    fn here_tracks_pc() {
+        let mut a = Assembler::new();
+        assert_eq!(a.here(), 0);
+        a.nop().nop();
+        assert_eq!(a.here(), 2);
+    }
+}

@@ -1,0 +1,561 @@
+//! Architectural queues of the CFD ISA extension.
+//!
+//! These types define the *ISA-visible* semantics of the Branch Queue (BQ),
+//! Value Queue (VQ) and Trip-count Queue (TQ): FIFO contents, a length
+//! register, and the push/pop ordering rules of §III-A. The functional
+//! simulator executes directly on them; the timing simulator's fetch-resident
+//! structures (`cfd-core`) implement the same contract and are property-tested
+//! against these as the reference model.
+//!
+//! Per the paper, only the *length register* and entry contents are
+//! architectural; head/tail indices are microarchitectural. We implement the
+//! queues as circular buffers with absolute (monotonic) head/tail counters,
+//! which also gives recovery snapshots a trivial representation.
+
+use std::fmt;
+
+/// Ordering-rule violations raised by queue operations.
+///
+/// A correct CFD program never triggers these: the ISA requires that N
+/// consecutive pushes are followed by exactly N pops and that N never
+/// exceeds the queue size (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// Push onto a full queue.
+    Overflow,
+    /// Pop from an empty queue.
+    Underflow,
+    /// `Forward` executed with no prior `Mark`.
+    ForwardWithoutMark,
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Overflow => write!(f, "queue overflow: push onto a full queue"),
+            QueueError::Underflow => write!(f, "queue underflow: pop from an empty queue"),
+            QueueError::ForwardWithoutMark => write!(f, "forward without a preceding mark"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// A generic architectural FIFO with absolute head/tail counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ArchFifo<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Absolute index of the head entry (total pops so far).
+    head: u64,
+    /// Absolute index one past the tail entry (total pushes so far).
+    tail: u64,
+}
+
+impl<T: Copy + Default> ArchFifo<T> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        ArchFifo { buf: vec![T::default(); capacity], capacity, head: 0, tail: 0 }
+    }
+
+    fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    fn push(&mut self, v: T) -> Result<(), QueueError> {
+        if self.len() == self.capacity {
+            return Err(QueueError::Overflow);
+        }
+        let idx = (self.tail % self.capacity as u64) as usize;
+        self.buf[idx] = v;
+        self.tail += 1;
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<T, QueueError> {
+        if self.len() == 0 {
+            return Err(QueueError::Underflow);
+        }
+        let idx = (self.head % self.capacity as u64) as usize;
+        self.head += 1;
+        Ok(self.buf[idx])
+    }
+
+    fn peek(&self, n: usize) -> Option<T> {
+        if n < self.len() {
+            let idx = ((self.head + n as u64) % self.capacity as u64) as usize;
+            Some(self.buf[idx])
+        } else {
+            None
+        }
+    }
+
+    fn clear(&mut self) {
+        self.head = 0;
+        self.tail = 0;
+    }
+
+    fn contents(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.peek(i).unwrap()).collect()
+    }
+}
+
+/// The architectural Branch Queue: a FIFO of taken/not-taken predicates with
+/// a mark pointer for bulk pops (§III-A, §IV-A).
+///
+/// # Examples
+///
+/// ```
+/// use cfd_isa::ArchBq;
+/// let mut bq = ArchBq::new(128);
+/// bq.push(true)?;
+/// bq.push(false)?;
+/// assert_eq!(bq.len(), 2);
+/// assert_eq!(bq.pop()?, true);
+/// # Ok::<(), cfd_isa::QueueError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchBq {
+    fifo: ArchFifo<bool>,
+    mark: Option<u64>,
+}
+
+impl ArchBq {
+    /// Creates a BQ of the given capacity (the ISA's `size` parameter;
+    /// 128 in the paper's evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> ArchBq {
+        ArchBq { fifo: ArchFifo::new(capacity), mark: None }
+    }
+
+    /// Capacity (`size` in the ISA specification).
+    pub fn capacity(&self) -> usize {
+        self.fifo.capacity
+    }
+
+    /// The length register: current occupancy.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes a predicate at the tail.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Overflow`] when the queue is full.
+    pub fn push(&mut self, predicate: bool) -> Result<(), QueueError> {
+        self.fifo.push(predicate)
+    }
+
+    /// Pops the head predicate.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Underflow`] when the queue is empty.
+    pub fn pop(&mut self) -> Result<bool, QueueError> {
+        let v = self.fifo.pop()?;
+        // A mark between old head and new head can no longer be forwarded to;
+        // it stays valid only while at or ahead of the head.
+        if let Some(m) = self.mark {
+            if m < self.fifo.head {
+                self.mark = Some(self.fifo.head);
+            }
+        }
+        Ok(v)
+    }
+
+    /// Peeks the `n`-th predicate from the head without popping.
+    pub fn peek(&self, n: usize) -> Option<bool> {
+        self.fifo.peek(n)
+    }
+
+    /// `Mark`: records the current tail (the entry *following* the last
+    /// pushed predicate). Consecutive marks simply overwrite.
+    pub fn mark(&mut self) {
+        self.mark = Some(self.fifo.tail);
+    }
+
+    /// `Forward`: bulk-pops through to the most recent mark, decrementing
+    /// the length register by the number of discarded entries. Returns how
+    /// many entries were popped.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::ForwardWithoutMark`] when no mark has been set.
+    pub fn forward(&mut self) -> Result<usize, QueueError> {
+        let m = self.mark.ok_or(QueueError::ForwardWithoutMark)?;
+        let skipped = m.saturating_sub(self.fifo.head) as usize;
+        self.fifo.head = self.fifo.head.max(m);
+        Ok(skipped)
+    }
+
+    /// The predicates currently in the queue, head first. Used by
+    /// `Save_BQ` and by test oracles.
+    pub fn contents(&self) -> Vec<bool> {
+        self.fifo.contents()
+    }
+
+    /// Replaces the contents (head first), e.g. for `Restore_BQ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predicates.len()` exceeds the capacity.
+    pub fn restore(&mut self, predicates: &[bool]) {
+        assert!(predicates.len() <= self.capacity(), "restored BQ longer than its capacity");
+        self.fifo.clear();
+        self.mark = None;
+        for &p in predicates {
+            self.fifo.push(p).expect("capacity checked above");
+        }
+    }
+}
+
+/// The architectural Value Queue: a FIFO of register-width values (§IV-B).
+///
+/// The paper specifies 32-bit entries for its 32-bit substrate; our machine
+/// has 64-bit registers so VQ entries are 64-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchVq {
+    fifo: ArchFifo<i64>,
+}
+
+impl ArchVq {
+    /// Creates a VQ of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> ArchVq {
+        ArchVq { fifo: ArchFifo::new(capacity) }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.fifo.capacity
+    }
+
+    /// The length register.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes a value at the tail.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Overflow`] when the queue is full.
+    pub fn push(&mut self, value: i64) -> Result<(), QueueError> {
+        self.fifo.push(value)
+    }
+
+    /// Pops the head value.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Underflow`] when the queue is empty.
+    pub fn pop(&mut self) -> Result<i64, QueueError> {
+        self.fifo.pop()
+    }
+
+    /// The values currently in the queue, head first.
+    pub fn contents(&self) -> Vec<i64> {
+        self.fifo.contents()
+    }
+
+    /// Replaces the contents (head first), e.g. for `Restore_VQ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` exceeds the capacity.
+    pub fn restore(&mut self, values: &[i64]) {
+        assert!(values.len() <= self.capacity(), "restored VQ longer than its capacity");
+        self.fifo.clear();
+        for &v in values {
+            self.fifo.push(v).expect("capacity checked above");
+        }
+    }
+}
+
+/// One Trip-count Queue entry: an N-bit trip-count plus the software-visible
+/// overflow bit of §IV-C4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TqEntry {
+    /// The trip-count (valid only when `overflow` is false).
+    pub trip_count: u32,
+    /// Set when the pushed count exceeded the architected maximum.
+    pub overflow: bool,
+}
+
+/// The architectural Trip-count Queue and Trip-Count Register (§IV-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchTq {
+    fifo: ArchFifo<TqEntry>,
+    tcr: u32,
+    trip_bits: u32,
+}
+
+impl ArchTq {
+    /// Default architected trip-count width, in bits.
+    pub const DEFAULT_TRIP_BITS: u32 = 16;
+
+    /// Creates a TQ of the given capacity with [`Self::DEFAULT_TRIP_BITS`]
+    /// trip-count entries (256 entries in the paper's evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> ArchTq {
+        ArchTq::with_trip_bits(capacity, Self::DEFAULT_TRIP_BITS)
+    }
+
+    /// Creates a TQ with an explicit trip-count width `N` (1..=32 bits);
+    /// counts `>= 2^N` set the overflow bit instead of being stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `trip_bits` is not in `1..=32`.
+    pub fn with_trip_bits(capacity: usize, trip_bits: u32) -> ArchTq {
+        assert!((1..=32).contains(&trip_bits), "trip_bits must be in 1..=32");
+        ArchTq { fifo: ArchFifo::new(capacity), tcr: 0, trip_bits }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.fifo.capacity
+    }
+
+    /// The length register.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximum representable trip-count, `2^N - 1`.
+    pub fn max_trip_count(&self) -> u32 {
+        if self.trip_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.trip_bits) - 1
+        }
+    }
+
+    /// The current Trip-Count Register value.
+    pub fn tcr(&self) -> u32 {
+        self.tcr
+    }
+
+    /// Sets the TCR (used by recovery and `Restore_TQ`).
+    pub fn set_tcr(&mut self, v: u32) {
+        self.tcr = v;
+    }
+
+    /// `Push_TQ`: pushes `count`, setting the entry's overflow bit when it
+    /// exceeds the architected maximum (§IV-C4). Negative inputs clamp to 0.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Overflow`] when the queue is full.
+    pub fn push(&mut self, count: i64) -> Result<(), QueueError> {
+        let clamped = count.max(0) as u64;
+        let entry = if clamped > self.max_trip_count() as u64 {
+            TqEntry { trip_count: 0, overflow: true }
+        } else {
+            TqEntry { trip_count: clamped as u32, overflow: false }
+        };
+        self.fifo.push(entry)
+    }
+
+    /// `Pop_TQ`: pops the head entry and loads the TCR. Returns the entry
+    /// (so `Pop_TQ_and_Branch_on_Overflow` can test the overflow bit).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Underflow`] when the queue is empty.
+    pub fn pop(&mut self) -> Result<TqEntry, QueueError> {
+        let e = self.fifo.pop()?;
+        self.tcr = e.trip_count;
+        Ok(e)
+    }
+
+    /// Peeks the `n`-th entry from the head.
+    pub fn peek(&self, n: usize) -> Option<TqEntry> {
+        self.fifo.peek(n)
+    }
+
+    /// `Branch_on_TCR`: if the TCR is non-zero, decrements it and reports
+    /// `true` (continue the loop); otherwise reports `false` (exit).
+    pub fn branch_on_tcr(&mut self) -> bool {
+        if self.tcr != 0 {
+            self.tcr -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The entries currently in the queue, head first.
+    pub fn contents(&self) -> Vec<TqEntry> {
+        self.fifo.contents()
+    }
+
+    /// Replaces the contents, e.g. for `Restore_TQ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len()` exceeds the capacity.
+    pub fn restore(&mut self, entries: &[TqEntry]) {
+        assert!(entries.len() <= self.capacity(), "restored TQ longer than its capacity");
+        self.fifo.clear();
+        for &e in entries {
+            self.fifo.push(e).expect("capacity checked above");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bq_fifo_order() {
+        let mut bq = ArchBq::new(4);
+        for p in [true, false, true] {
+            bq.push(p).unwrap();
+        }
+        assert_eq!(bq.pop(), Ok(true));
+        assert_eq!(bq.pop(), Ok(false));
+        assert_eq!(bq.pop(), Ok(true));
+        assert_eq!(bq.pop(), Err(QueueError::Underflow));
+    }
+
+    #[test]
+    fn bq_overflow() {
+        let mut bq = ArchBq::new(2);
+        bq.push(true).unwrap();
+        bq.push(true).unwrap();
+        assert_eq!(bq.push(false), Err(QueueError::Overflow));
+    }
+
+    #[test]
+    fn bq_wraparound() {
+        let mut bq = ArchBq::new(2);
+        for i in 0..10 {
+            bq.push(i % 3 == 0).unwrap();
+            assert_eq!(bq.pop(), Ok(i % 3 == 0));
+        }
+    }
+
+    #[test]
+    fn mark_forward_drops_excess() {
+        let mut bq = ArchBq::new(8);
+        for _ in 0..5 {
+            bq.push(true).unwrap();
+        }
+        bq.mark(); // marks the tail after 5 pushes
+        // Consumer pops only 2, then forwards.
+        bq.pop().unwrap();
+        bq.pop().unwrap();
+        assert_eq!(bq.forward(), Ok(3));
+        assert!(bq.is_empty());
+    }
+
+    #[test]
+    fn forward_without_mark_errors() {
+        let mut bq = ArchBq::new(4);
+        assert_eq!(bq.forward(), Err(QueueError::ForwardWithoutMark));
+    }
+
+    #[test]
+    fn consecutive_marks_use_last() {
+        let mut bq = ArchBq::new(8);
+        bq.push(true).unwrap();
+        bq.mark();
+        bq.push(false).unwrap();
+        bq.mark();
+        assert_eq!(bq.forward(), Ok(2));
+        assert!(bq.is_empty());
+    }
+
+    #[test]
+    fn bq_restore_roundtrip() {
+        let mut bq = ArchBq::new(8);
+        bq.restore(&[true, false, false, true]);
+        assert_eq!(bq.len(), 4);
+        assert_eq!(bq.contents(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn vq_fifo_values() {
+        let mut vq = ArchVq::new(3);
+        vq.push(10).unwrap();
+        vq.push(-20).unwrap();
+        assert_eq!(vq.pop(), Ok(10));
+        assert_eq!(vq.pop(), Ok(-20));
+        assert_eq!(vq.pop(), Err(QueueError::Underflow));
+    }
+
+    #[test]
+    fn tq_pop_loads_tcr_and_branch_decrements() {
+        let mut tq = ArchTq::new(4);
+        tq.push(3).unwrap();
+        tq.pop().unwrap();
+        assert_eq!(tq.tcr(), 3);
+        assert!(tq.branch_on_tcr());
+        assert!(tq.branch_on_tcr());
+        assert!(tq.branch_on_tcr());
+        assert!(!tq.branch_on_tcr()); // exits
+        assert_eq!(tq.tcr(), 0);
+    }
+
+    #[test]
+    fn tq_overflow_bit() {
+        let mut tq = ArchTq::with_trip_bits(4, 4); // max 15
+        tq.push(15).unwrap();
+        tq.push(16).unwrap();
+        assert_eq!(tq.pop().unwrap(), TqEntry { trip_count: 15, overflow: false });
+        assert_eq!(tq.pop().unwrap(), TqEntry { trip_count: 0, overflow: true });
+    }
+
+    #[test]
+    fn tq_negative_counts_clamp() {
+        let mut tq = ArchTq::new(4);
+        tq.push(-5).unwrap();
+        assert_eq!(tq.pop().unwrap().trip_count, 0);
+    }
+
+    #[test]
+    fn tq_max_trip_count_widths() {
+        assert_eq!(ArchTq::with_trip_bits(1, 16).max_trip_count(), 65535);
+        assert_eq!(ArchTq::with_trip_bits(1, 32).max_trip_count(), u32::MAX);
+        assert_eq!(ArchTq::with_trip_bits(1, 1).max_trip_count(), 1);
+    }
+
+    #[test]
+    fn pop_invalidates_stale_mark() {
+        let mut bq = ArchBq::new(8);
+        bq.push(true).unwrap();
+        bq.mark(); // mark at abs 1
+        bq.push(false).unwrap();
+        bq.pop().unwrap();
+        bq.pop().unwrap(); // head (2) passes the mark (1)
+        // Forward must not move the head backwards.
+        assert_eq!(bq.forward(), Ok(0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Architectural register file description.
+//!
+//! The ISA specifies 32 general-purpose 64-bit integer registers. Register
+//! `r0` is hardwired to zero: writes to it are discarded, reads return `0`,
+//! exactly like MIPS/RISC-V. This gives workloads and the simulators a
+//! convenient sink/zero source and matches the paper's Alpha-like substrate.
+
+use std::fmt;
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural general-purpose register (`r0`–`r31`).
+///
+/// `Reg` is a validated newtype: it can only hold indices below
+/// [`NUM_REGS`], so downstream tables may index with it unchecked.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[inline]
+    pub fn new(index: usize) -> Reg {
+        assert!(index < NUM_REGS, "register index {index} out of range");
+        Reg(index as u8)
+    }
+
+    /// Creates a register, returning `None` when the index is out of range.
+    #[inline]
+    pub fn try_new(index: usize) -> Option<Reg> {
+        (index < NUM_REGS).then_some(Reg(index as u8))
+    }
+
+    /// The register's index in `0..NUM_REGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over every architectural register, `r0` first.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS).map(|i| Reg(i as u8))
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+/// The architectural register file: 32 64-bit values with `r0` pinned to 0.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_isa::{Reg, RegFile};
+/// let mut rf = RegFile::new();
+/// rf.write(Reg::new(3), 42);
+/// assert_eq!(rf.read(Reg::new(3)), 42);
+/// rf.write(Reg::ZERO, 7); // discarded
+/// assert_eq!(rf.read(Reg::ZERO), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile {
+    vals: [i64; NUM_REGS],
+}
+
+impl RegFile {
+    /// Creates a register file with all registers zeroed.
+    pub fn new() -> RegFile {
+        RegFile { vals: [0; NUM_REGS] }
+    }
+
+    /// Reads a register. `r0` always reads 0.
+    #[inline]
+    pub fn read(&self, r: Reg) -> i64 {
+        self.vals[r.index()]
+    }
+
+    /// Writes a register. Writes to `r0` are silently discarded.
+    #[inline]
+    pub fn write(&mut self, r: Reg, val: i64) {
+        if !r.is_zero() {
+            self.vals[r.index()] = val;
+        }
+    }
+
+    /// A snapshot of all register values (`r0` included, always 0).
+    pub fn snapshot(&self) -> [i64; NUM_REGS] {
+        self.vals
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_reads_zero() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::ZERO, 123);
+        assert_eq!(rf.read(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut rf = RegFile::new();
+        for i in 1..NUM_REGS {
+            rf.write(Reg::new(i), i as i64 * 3 - 7);
+        }
+        for i in 1..NUM_REGS {
+            assert_eq!(rf.read(Reg::new(i)), i as i64 * 3 - 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(NUM_REGS);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+    }
+
+    #[test]
+    fn display_name() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+    }
+
+    #[test]
+    fn all_covers_every_register() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), NUM_REGS);
+        assert_eq!(v[0], Reg::ZERO);
+        assert_eq!(v[31], Reg::new(31));
+    }
+}

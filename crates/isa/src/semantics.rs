@@ -1,0 +1,122 @@
+//! Pure instruction semantics shared by the functional and timing simulators.
+//!
+//! Both simulators must compute identical values — the timing simulator is
+//! execute-at-execute — so the arithmetic lives here in one place.
+
+use crate::instr::{AluOp, BranchCond};
+
+/// Evaluates an ALU operation on two 64-bit operands.
+///
+/// Division and remainder by zero yield 0 (the ISA is exception-free).
+/// Shift amounts are masked to 6 bits.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_isa::{eval_alu, AluOp};
+/// assert_eq!(eval_alu(AluOp::Add, 2, 3), 5);
+/// assert_eq!(eval_alu(AluOp::Div, 7, 0), 0);
+/// assert_eq!(eval_alu(AluOp::Slt, -1, 0), 1);
+/// ```
+pub fn eval_alu(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+        AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+        AluOp::Sra => a >> (b as u64 & 63),
+        AluOp::Slt => (a < b) as i64,
+        AluOp::Sltu => ((a as u64) < (b as u64)) as i64,
+        AluOp::Seq => (a == b) as i64,
+        AluOp::Sne => (a != b) as i64,
+        AluOp::Sge => (a >= b) as i64,
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+    }
+}
+
+/// Evaluates a branch condition on two 64-bit operands.
+///
+/// # Examples
+///
+/// ```
+/// use cfd_isa::{eval_branch, BranchCond};
+/// assert!(eval_branch(BranchCond::Lt, -5, 0));
+/// assert!(!eval_branch(BranchCond::Ltu, -5, 0)); // unsigned: huge value
+/// ```
+pub fn eval_branch(cond: BranchCond, a: i64, b: i64) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => a < b,
+        BranchCond::Ge => a >= b,
+        BranchCond::Ltu => (a as u64) < (b as u64),
+        BranchCond::Geu => (a as u64) >= (b as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_arithmetic() {
+        assert_eq!(eval_alu(AluOp::Add, i64::MAX, 1), i64::MIN);
+        assert_eq!(eval_alu(AluOp::Mul, i64::MAX, 2), -2);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(eval_alu(AluOp::Div, 42, 0), 0);
+        assert_eq!(eval_alu(AluOp::Rem, 42, 0), 0);
+        // i64::MIN / -1 must not trap either.
+        assert_eq!(eval_alu(AluOp::Div, i64::MIN, -1), i64::MIN);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(eval_alu(AluOp::Sll, 1, 64), 1); // 64 & 63 == 0
+        assert_eq!(eval_alu(AluOp::Srl, -1, 63), 1);
+        assert_eq!(eval_alu(AluOp::Sra, -8, 2), -2);
+    }
+
+    #[test]
+    fn set_ops_produce_zero_one() {
+        assert_eq!(eval_alu(AluOp::Seq, 3, 3), 1);
+        assert_eq!(eval_alu(AluOp::Sne, 3, 3), 0);
+        assert_eq!(eval_alu(AluOp::Sge, 3, 4), 0);
+        assert_eq!(eval_alu(AluOp::Sltu, -1, 1), 0);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(eval_alu(AluOp::Min, -3, 7), -3);
+        assert_eq!(eval_alu(AluOp::Max, -3, 7), 7);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(eval_branch(BranchCond::Eq, 1, 1));
+        assert!(eval_branch(BranchCond::Ne, 1, 2));
+        assert!(eval_branch(BranchCond::Ge, 2, 2));
+        assert!(eval_branch(BranchCond::Geu, -1, 1));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the ISA layer: queue semantics against model
+//! queues, save/restore round-trips, and memory-image laws.
+
+use cfd_isa::{
+    ArchBq, ArchTq, ArchVq, Assembler, Machine, MemImage, MemWidth, QueueError, Reg, TqEntry,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The architectural BQ is exactly a bounded FIFO of booleans.
+    #[test]
+    fn arch_bq_is_a_bounded_fifo(
+        ops in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..300)
+    ) {
+        let mut bq = ArchBq::new(8);
+        let mut model: VecDeque<bool> = VecDeque::new();
+        for (is_push, val) in ops {
+            if is_push {
+                match bq.push(val) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < 8);
+                        model.push_back(val);
+                    }
+                    Err(QueueError::Overflow) => prop_assert_eq!(model.len(), 8),
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                }
+            } else {
+                match bq.pop() {
+                    Ok(got) => prop_assert_eq!(Some(got), model.pop_front()),
+                    Err(QueueError::Underflow) => prop_assert!(model.is_empty()),
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                }
+            }
+            prop_assert_eq!(bq.len(), model.len());
+        }
+    }
+
+    /// Save_BQ / Restore_BQ round-trips arbitrary contents through memory.
+    #[test]
+    fn save_restore_bq_roundtrip(preds in proptest::collection::vec(any::<bool>(), 0..16)) {
+        let r = Reg::new;
+        let (base, v) = (r(1), r(2));
+        let mut a = Assembler::new();
+        a.li(base, 0x9000);
+        for &p in &preds {
+            a.li(v, p as i64);
+            a.push_bq(v);
+        }
+        a.save_bq(0, base);
+        // Drain everything, then restore.
+        for k in 0..preds.len() {
+            let l = format!("d{k}");
+            a.branch_on_bq(&l);
+            a.label(&l);
+        }
+        a.restore_bq(0, base);
+        a.halt();
+        let mut m = Machine::new(a.finish().unwrap(), MemImage::new());
+        m.run_to_halt().unwrap();
+        prop_assert_eq!(m.bq.contents(), preds);
+    }
+
+    /// Save_VQ / Restore_VQ round-trips values.
+    #[test]
+    fn save_restore_vq_roundtrip(vals in proptest::collection::vec(-1000i64..1000, 0..12)) {
+        let r = Reg::new;
+        let (base, v, d) = (r(1), r(2), r(3));
+        let mut a = Assembler::new();
+        a.li(base, 0xa000);
+        for &x in &vals {
+            a.li(v, x);
+            a.push_vq(v);
+        }
+        a.save_vq(0, base);
+        for _ in 0..vals.len() {
+            a.pop_vq(d);
+        }
+        a.restore_vq(0, base);
+        a.halt();
+        let mut m = Machine::new(a.finish().unwrap(), MemImage::new());
+        m.run_to_halt().unwrap();
+        prop_assert_eq!(m.vq.contents(), vals);
+    }
+
+    /// The TQ preserves counts below the architected max and flags larger
+    /// ones; draining via branch_on_tcr yields exactly the stored count.
+    #[test]
+    fn tq_preserves_or_flags_counts(counts in proptest::collection::vec(0i64..200_000, 1..8)) {
+        let mut tq = ArchTq::with_trip_bits(8, 16);
+        for &c in &counts {
+            tq.push(c).unwrap();
+        }
+        for &c in &counts {
+            let e = tq.pop().unwrap();
+            if c <= 0xffff {
+                prop_assert_eq!(e, TqEntry { trip_count: c as u32, overflow: false });
+                let mut drained = 0i64;
+                while tq.branch_on_tcr() {
+                    drained += 1;
+                }
+                prop_assert_eq!(drained, c);
+            } else {
+                prop_assert!(e.overflow);
+            }
+        }
+    }
+
+    /// Memory image: the last write to an address wins, regardless of the
+    /// interleaving of other addresses and widths.
+    #[test]
+    fn mem_image_last_write_wins(
+        writes in proptest::collection::vec((0u64..4096, any::<i64>()), 1..100)
+    ) {
+        let mut mem = MemImage::new();
+        let mut shadow = std::collections::HashMap::new();
+        for (addr, val) in &writes {
+            let addr = addr * 8; // aligned, non-overlapping cells
+            mem.write(addr, *val, MemWidth::B8);
+            shadow.insert(addr, *val);
+        }
+        for (addr, val) in shadow {
+            prop_assert_eq!(mem.read(addr, MemWidth::B8, false), val);
+        }
+    }
+
+    /// Functional machine determinism: the same program and image always
+    /// produce the same retirement count and register state.
+    #[test]
+    fn machine_is_deterministic(seed in any::<u64>()) {
+        let r = Reg::new;
+        let mut a = Assembler::new();
+        let (i, n, acc) = (r(1), r(2), r(3));
+        a.li(n, 64);
+        a.label("top");
+        a.xor(acc, acc, i);
+        a.mul(acc, acc, 31i64);
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut mem = MemImage::new();
+        mem.write_u64(0x100, seed);
+        let run = |prog: &cfd_isa::Program, mem: &MemImage| {
+            let mut m = Machine::new(prog.clone(), mem.clone());
+            m.run_to_halt().unwrap();
+            (m.retired(), m.regs.read(acc))
+        };
+        prop_assert_eq!(run(&program, &mem), run(&program, &mem));
+    }
+}
+
+/// VQ ordering rules are enforced: a pop before its push is an error.
+#[test]
+fn vq_underflow_is_an_error() {
+    let mut vq = ArchVq::new(4);
+    assert_eq!(vq.pop(), Err(QueueError::Underflow));
+}

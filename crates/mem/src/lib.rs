@@ -1,0 +1,33 @@
+//! # cfd-mem — cache hierarchy substrate
+//!
+//! Timing-only memory system for the CFD reproduction: set-associative
+//! caches ([`Cache`]), MSHRs with occupancy histograms ([`MshrFile`]),
+//! next-line/stride prefetchers, and the three-level [`Hierarchy`]
+//! (Sandy-Bridge-like 32 KB / 256 KB / 8 MB + DRAM) the timing core issues
+//! demand accesses to.
+//!
+//! Data does not live here — the `cfd-isa` memory image holds values; this
+//! crate models tags, latency, and bandwidth-limiting structures only.
+//!
+//! # Example
+//!
+//! ```
+//! use cfd_mem::{Hierarchy, HierarchyConfig, MemLevel};
+//! let mut h = Hierarchy::new(HierarchyConfig::default());
+//! let cold = h.access(0x40, 0x1_0000, false, 0);
+//! assert_eq!(cold.level, MemLevel::Mem);
+//! let warm = h.access(0x40, 0x1_0000, false, 500);
+//! assert_eq!(warm.level, MemLevel::L1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod mshr;
+mod prefetch;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Eviction};
+pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, MemLevel};
+pub use mshr::{MshrFile, MshrOutcome, MshrProbe};
+pub use prefetch::{NextLinePrefetcher, PrefetchRequest, StridePrefetcher};

@@ -1,0 +1,169 @@
+//! Branch Target Buffer.
+//!
+//! The BTB detects control instructions and supplies taken targets in the
+//! fetch cycle. Per the paper (§III-C4), `Branch_on_BQ` is cached in the
+//! BTB like any other branch; its predicate is read from the BQ head *in
+//! parallel* with the BTB access. A BTB miss on a taken control instruction
+//! costs a 1-cycle misfetch bubble in the timing model.
+
+/// The kind of control instruction cached in a BTB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    /// Conventional conditional branch (predictor-served).
+    Conditional,
+    /// Unconditional direct jump/call.
+    Unconditional,
+    /// Indirect jump (`jr`).
+    Indirect,
+    /// CFD `Branch_on_BQ` (predicate from the BQ head).
+    CfdPop,
+    /// CFD `Branch_on_TCR` (direction from the TCR).
+    CfdTcr,
+}
+
+/// One BTB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbEntry {
+    /// Cached taken-target (instruction index).
+    pub target: u32,
+    /// Cached branch kind.
+    pub kind: BranchKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u32,
+    entry: BtbEntry,
+    lru: u8,
+    valid: bool,
+}
+
+/// A set-associative Branch Target Buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<Way>>,
+    set_bits: u32,
+    /// Lookup count (for energy accounting).
+    pub lookups: u64,
+    /// Hit count.
+    pub hits: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `2^set_bits` sets of `ways` entries
+    /// (default Sandy-Bridge-class: 1024 sets × 4 ways ≈ 4K entries).
+    pub fn new(set_bits: u32, ways: usize) -> Btb {
+        assert!(ways > 0);
+        let dummy = Way {
+            tag: 0,
+            entry: BtbEntry { target: 0, kind: BranchKind::Conditional },
+            lru: 0,
+            valid: false,
+        };
+        Btb { sets: vec![vec![dummy; ways]; 1 << set_bits], set_bits, lookups: 0, hits: 0 }
+    }
+
+    fn set_index(&self, pc: u64) -> usize {
+        (pc as usize) & ((1 << self.set_bits) - 1)
+    }
+
+    fn tag(&self, pc: u64) -> u32 {
+        (pc >> self.set_bits) as u32
+    }
+
+    /// Looks up `pc`; a hit refreshes LRU state.
+    pub fn lookup(&mut self, pc: u64) -> Option<BtbEntry> {
+        self.lookups += 1;
+        let idx = self.set_index(pc);
+        let tag = self.tag(pc);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.valid && w.tag == tag)?;
+        self.hits += 1;
+        let entry = set[pos].entry;
+        let old = set[pos].lru;
+        for w in set.iter_mut() {
+            if w.lru > old {
+                w.lru -= 1;
+            }
+        }
+        let ways = set.len() as u8;
+        set[pos].lru = ways - 1;
+        Some(entry)
+    }
+
+    /// Inserts or updates the entry for `pc`.
+    pub fn insert(&mut self, pc: u64, entry: BtbEntry) {
+        let idx = self.set_index(pc);
+        let tag = self.tag(pc);
+        let set = &mut self.sets[idx];
+        let ways = set.len() as u8;
+        let pos = set
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+            .or_else(|| set.iter().position(|w| !w.valid))
+            .unwrap_or_else(|| set.iter().enumerate().min_by_key(|(_, w)| w.lru).map(|(i, _)| i).unwrap());
+        let old = if set[pos].valid { set[pos].lru } else { 0 };
+        for w in set.iter_mut() {
+            if w.valid && w.lru > old {
+                w.lru -= 1;
+            }
+        }
+        set[pos] = Way { tag, entry, lru: ways - 1, valid: true };
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.sets[0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(target: u32) -> BtbEntry {
+        BtbEntry { target, kind: BranchKind::Conditional }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(4, 2);
+        assert!(btb.lookup(0x40).is_none());
+        btb.insert(0x40, e(7));
+        assert_eq!(btb.lookup(0x40), Some(e(7)));
+        assert_eq!(btb.hits, 1);
+        assert_eq!(btb.lookups, 2);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut btb = Btb::new(4, 2);
+        btb.insert(0x40, e(7));
+        btb.insert(0x40, e(9));
+        assert_eq!(btb.lookup(0x40).unwrap().target, 9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut btb = Btb::new(0, 2); // one set, two ways
+        btb.insert(0, e(1));
+        btb.insert(1, e(2));
+        btb.lookup(0); // refresh pc 0
+        btb.insert(2, e(3)); // must evict pc 1
+        assert!(btb.lookup(0).is_some());
+        assert!(btb.lookup(1).is_none());
+        assert!(btb.lookup(2).is_some());
+    }
+
+    #[test]
+    fn kinds_are_cached() {
+        let mut btb = Btb::new(4, 4);
+        btb.insert(0x80, BtbEntry { target: 12, kind: BranchKind::CfdPop });
+        assert_eq!(btb.lookup(0x80).unwrap().kind, BranchKind::CfdPop);
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(Btb::new(10, 4).capacity(), 4096);
+    }
+}

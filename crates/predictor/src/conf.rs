@@ -1,0 +1,85 @@
+//! JRS-style branch confidence estimator.
+//!
+//! Jacobsen, Rotenberg & Smith (MICRO 1996): a table of resetting counters.
+//! A counter increments on every correct prediction of branches mapping to
+//! it and resets to zero on a misprediction; a branch is *high confidence*
+//! when its counter saturates. The paper's best baseline uses a confidence
+//! estimator to guide checkpoint allocation (§VI), which is exactly what
+//! `cfd-core` uses this type for.
+
+/// Resetting-counter confidence estimator.
+#[derive(Debug, Clone)]
+pub struct ConfidenceEstimator {
+    ctrs: Vec<u8>,
+    index_bits: u32,
+    threshold: u8,
+}
+
+impl ConfidenceEstimator {
+    /// Creates an estimator with `2^index_bits` 4-bit resetting counters and
+    /// the given saturation threshold (15 = classic "MaxCtr" policy).
+    pub fn new(index_bits: u32, threshold: u8) -> ConfidenceEstimator {
+        assert!(threshold <= 15);
+        ConfidenceEstimator { ctrs: vec![0; 1 << index_bits], index_bits, threshold }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize ^ (pc >> 11) as usize) & ((1 << self.index_bits) - 1)
+    }
+
+    /// Whether the branch at `pc` is currently predicted with high
+    /// confidence (its counter has reached the threshold).
+    pub fn is_confident(&self, pc: u64) -> bool {
+        self.ctrs[self.index(pc)] >= self.threshold
+    }
+
+    /// Updates the counter with the outcome of a prediction.
+    pub fn update(&mut self, pc: u64, correct: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.ctrs[idx];
+        if correct {
+            *c = (*c + 1).min(15);
+        } else {
+            *c = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unconfident() {
+        let ce = ConfidenceEstimator::new(10, 15);
+        assert!(!ce.is_confident(0x40));
+    }
+
+    #[test]
+    fn saturates_to_confident() {
+        let mut ce = ConfidenceEstimator::new(10, 15);
+        for _ in 0..15 {
+            ce.update(0x40, true);
+        }
+        assert!(ce.is_confident(0x40));
+    }
+
+    #[test]
+    fn resets_on_mispredict() {
+        let mut ce = ConfidenceEstimator::new(10, 15);
+        for _ in 0..20 {
+            ce.update(0x40, true);
+        }
+        ce.update(0x40, false);
+        assert!(!ce.is_confident(0x40));
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let mut ce = ConfidenceEstimator::new(10, 4);
+        for _ in 0..4 {
+            ce.update(0x80, true);
+        }
+        assert!(ce.is_confident(0x80));
+    }
+}

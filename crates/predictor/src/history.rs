@@ -1,0 +1,291 @@
+//! Speculative global branch history with O(1) folded views.
+//!
+//! TAGE-style predictors index their tables with very long global histories
+//! (hundreds of bits) folded down to table-index width. We keep the history
+//! in a large circular bit buffer with an *insertion position* and maintain
+//! folded CSRs incrementally. Recovery from a misprediction restores the
+//! position and the folded registers from a per-branch [`HistorySnapshot`];
+//! the bits behind the restored position are still intact in the buffer
+//! (wrong-path bits ahead of it are overwritten before they can ever be
+//! read), so rewinding is O(#folds), not O(history length).
+
+/// Size of the circular history buffer in bits. Must exceed the longest
+/// history length plus the maximum number of in-flight branches.
+const BUF_BITS: usize = 4096;
+
+/// An incrementally folded view of the last `hist_len` history bits,
+/// compressed to `out_bits` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldedHistory {
+    value: u32,
+    hist_len: u16,
+    out_bits: u8,
+    /// `hist_len % out_bits`, the rotation applied to the outgoing bit.
+    out_pos: u8,
+}
+
+impl FoldedHistory {
+    /// An inert placeholder fold (used to pre-fill fixed-size arrays).
+    pub const fn empty() -> FoldedHistory {
+        FoldedHistory { value: 0, hist_len: 0, out_bits: 1, out_pos: 0 }
+    }
+
+    /// Creates a folded view of `hist_len` bits compressed to `out_bits`.
+    pub fn new(hist_len: usize, out_bits: u32) -> FoldedHistory {
+        assert!(out_bits > 0 && out_bits <= 31);
+        assert!(hist_len <= u16::MAX as usize);
+        FoldedHistory {
+            value: 0,
+            hist_len: hist_len as u16,
+            out_bits: out_bits as u8,
+            out_pos: (hist_len % out_bits as usize) as u8,
+        }
+    }
+
+    /// The current folded value.
+    #[inline]
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Shifts in `new_bit` and shifts out `old_bit` (the bit leaving the
+    /// `hist_len` window).
+    #[inline]
+    pub fn update(&mut self, new_bit: bool, old_bit: bool) {
+        let mask = (1u32 << self.out_bits) - 1;
+        // Rotate-insert the new bit.
+        self.value = (self.value << 1) | (new_bit as u32);
+        self.value ^= self.value >> self.out_bits;
+        self.value &= mask;
+        // Remove the outgoing bit at its rotated position.
+        self.value ^= (old_bit as u32) << self.out_pos;
+        // If the outgoing bit's position is at or above out_bits the xor-fold
+        // already cancelled it; out_pos < out_bits by construction.
+    }
+}
+
+/// Maximum number of folded views a [`GlobalHistory`] may carry.
+pub const MAX_FOLDS: usize = 48;
+
+/// Snapshot of the history state at a branch, for misprediction recovery.
+///
+/// Fixed-size (no heap) because one is taken per predicted branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistorySnapshot {
+    pos: u64,
+    phist: u32,
+    n_folds: u8,
+    folds: [FoldedHistory; MAX_FOLDS],
+}
+
+/// The speculative global history: a circular bit buffer plus a set of
+/// registered folded views and a short path history.
+#[derive(Debug, Clone)]
+pub struct GlobalHistory {
+    buf: Vec<u64>,
+    /// Total bits ever inserted (insertion position).
+    pos: u64,
+    /// 16-bit path history (low bits of branch PCs).
+    phist: u32,
+    n_folds: usize,
+    folds: [FoldedHistory; MAX_FOLDS],
+}
+
+impl GlobalHistory {
+    /// Creates an empty history with no folded views.
+    pub fn new() -> GlobalHistory {
+        GlobalHistory {
+            buf: vec![0; BUF_BITS / 64],
+            pos: 0,
+            phist: 0,
+            n_folds: 0,
+            folds: [FoldedHistory::empty(); MAX_FOLDS],
+        }
+    }
+
+    /// Registers a folded view; returns its handle for [`folded`](Self::folded).
+    pub fn add_fold(&mut self, hist_len: usize, out_bits: u32) -> usize {
+        assert!(hist_len < BUF_BITS / 2, "history length too large for the buffer");
+        assert!(self.n_folds < MAX_FOLDS, "too many folded views");
+        self.folds[self.n_folds] = FoldedHistory::new(hist_len, out_bits);
+        self.n_folds += 1;
+        self.n_folds - 1
+    }
+
+    /// The current value of a registered folded view.
+    #[inline]
+    pub fn folded(&self, handle: usize) -> u32 {
+        self.folds[handle].value()
+    }
+
+    /// The 16-bit path history.
+    #[inline]
+    pub fn path(&self) -> u32 {
+        self.phist
+    }
+
+    #[inline]
+    fn bit(&self, abs: u64) -> bool {
+        let idx = (abs as usize) % BUF_BITS;
+        (self.buf[idx / 64] >> (idx % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, abs: u64, v: bool) {
+        let idx = (abs as usize) % BUF_BITS;
+        let (w, b) = (idx / 64, idx % 64);
+        if v {
+            self.buf[w] |= 1 << b;
+        } else {
+            self.buf[w] &= !(1 << b);
+        }
+    }
+
+    /// Raw history bit `n` positions back (0 = most recent).
+    #[inline]
+    pub fn recent(&self, n: usize) -> bool {
+        if (n as u64) < self.pos {
+            self.bit(self.pos - 1 - n as u64)
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a branch outcome (speculatively, at predict time).
+    pub fn insert(&mut self, taken: bool, pc: u64) {
+        let pos = self.pos;
+        self.set_bit(pos, taken);
+        self.pos += 1;
+        for f in self.folds[..self.n_folds].iter_mut() {
+            let old = if pos >= f.hist_len as u64 {
+                // This reads a bit strictly behind the insertion point, which
+                // survives any later rewind (see module docs).
+                self.buf[((pos - f.hist_len as u64) as usize % BUF_BITS) / 64]
+                    >> ((pos - f.hist_len as u64) as usize % BUF_BITS % 64)
+                    & 1
+                    != 0
+            } else {
+                false
+            };
+            f.update(taken, old);
+        }
+        self.phist = ((self.phist << 1) | ((pc >> 2) & 1) as u32) & 0xffff;
+    }
+
+    /// Captures the state for later recovery.
+    pub fn snapshot(&self) -> HistorySnapshot {
+        HistorySnapshot { pos: self.pos, phist: self.phist, n_folds: self.n_folds as u8, folds: self.folds }
+    }
+
+    /// Restores a snapshot (the state *before* the mispredicted branch was
+    /// inserted), then re-inserts the resolved outcome.
+    pub fn recover(&mut self, snap: &HistorySnapshot, resolved_taken: bool, pc: u64) {
+        self.pos = snap.pos;
+        self.phist = snap.phist;
+        self.folds = snap.folds;
+        self.insert(resolved_taken, pc);
+    }
+
+    /// Restores a snapshot exactly (no re-insert). Used when squashing a
+    /// wrong-path branch entirely.
+    pub fn restore(&mut self, snap: &HistorySnapshot) {
+        self.pos = snap.pos;
+        self.phist = snap.phist;
+        self.folds = snap.folds;
+    }
+}
+
+impl Default for GlobalHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference fold: xor together hist_len bits in out_bits chunks.
+    fn reference_fold(bits: &[bool], hist_len: usize, out_bits: u32) -> u32 {
+        let mut v: u32 = 0;
+        // bits[0] is oldest; fold so that the most recent bit lands in bit 0
+        // of the first chunk, matching the incremental scheme.
+        for (age, b) in bits.iter().rev().take(hist_len).enumerate() {
+            let pos = age as u32 % out_bits;
+            // Incremental scheme effectively xors bit at (age % out_bits)
+            // but with chunks laid out from the recent end.
+            if *b {
+                v ^= 1 << pos;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn folded_matches_reference_after_random_stream() {
+        let mut gh = GlobalHistory::new();
+        let h = gh.add_fold(13, 7);
+        let mut bits = Vec::new();
+        let mut x: u64 = 0x12345;
+        for i in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = x >> 63 != 0;
+            bits.push(b);
+            gh.insert(b, i);
+        }
+        assert_eq!(gh.folded(h), reference_fold(&bits, 13, 7));
+    }
+
+    #[test]
+    fn snapshot_recover_roundtrip() {
+        let mut gh = GlobalHistory::new();
+        let h = gh.add_fold(20, 9);
+        for i in 0..100 {
+            gh.insert(i % 3 == 0, i);
+        }
+        let snap = gh.snapshot();
+        let correct_value_after = {
+            let mut copy = gh.clone();
+            copy.insert(true, 999);
+            copy.folded(h)
+        };
+        // Wrong path: insert garbage, then recover with the actual outcome.
+        gh.insert(false, 999);
+        for i in 0..50 {
+            gh.insert(i % 2 == 0, 5000 + i);
+        }
+        gh.recover(&snap, true, 999);
+        assert_eq!(gh.folded(h), correct_value_after);
+    }
+
+    #[test]
+    fn restore_is_exact() {
+        let mut gh = GlobalHistory::new();
+        gh.add_fold(8, 5);
+        for i in 0..10 {
+            gh.insert(true, i);
+        }
+        let snap = gh.snapshot();
+        gh.insert(false, 11);
+        gh.restore(&snap);
+        assert_eq!(gh.snapshot(), snap);
+    }
+
+    #[test]
+    fn recent_reads_latest_bits() {
+        let mut gh = GlobalHistory::new();
+        gh.insert(true, 0);
+        gh.insert(false, 4);
+        assert!(!gh.recent(0));
+        assert!(gh.recent(1));
+        assert!(!gh.recent(2)); // beyond inserted history
+    }
+
+    #[test]
+    fn path_history_tracks_pc_bits() {
+        let mut gh = GlobalHistory::new();
+        gh.insert(true, 0b100); // pc bit (pc>>2)&1 = 1
+        gh.insert(true, 0b000); // 0
+        assert_eq!(gh.path() & 0b11, 0b10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Return Address Stack with checkpoint-based repair.
+//!
+//! Calls push a return address at fetch; returns pop speculatively. On a
+//! squash the stack is repaired from a [`RasSnapshot`] (top-of-stack index
+//! plus the top value), the standard low-cost repair scheme.
+
+/// Snapshot of the RAS for recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasSnapshot {
+    top: usize,
+    top_value: u32,
+}
+
+/// A fixed-size circular return address stack.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u32>,
+    top: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with `depth` entries (16 is Sandy-Bridge-class).
+    pub fn new(depth: usize) -> Ras {
+        assert!(depth > 0);
+        Ras { stack: vec![0; depth], top: 0 }
+    }
+
+    /// Pushes a return address (at a call's fetch).
+    pub fn push(&mut self, ret_addr: u32) {
+        self.top = (self.top + 1) % self.stack.len();
+        self.stack[self.top] = ret_addr;
+    }
+
+    /// Pops the predicted return address (at a return's fetch).
+    pub fn pop(&mut self) -> u32 {
+        let v = self.stack[self.top];
+        self.top = (self.top + self.stack.len() - 1) % self.stack.len();
+        v
+    }
+
+    /// Captures repair state.
+    pub fn snapshot(&self) -> RasSnapshot {
+        RasSnapshot { top: self.top, top_value: self.stack[self.top] }
+    }
+
+    /// Restores repair state.
+    pub fn restore(&mut self, snap: &RasSnapshot) {
+        self.top = snap.top;
+        self.stack[self.top] = snap.top_value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut ras = Ras::new(8);
+        ras.push(10);
+        ras.push(20);
+        assert_eq!(ras.pop(), 20);
+        assert_eq!(ras.pop(), 10);
+    }
+
+    #[test]
+    fn snapshot_restore_repairs_wrong_path() {
+        let mut ras = Ras::new(8);
+        ras.push(10);
+        let snap = ras.snapshot();
+        ras.push(99); // wrong path
+        ras.pop();
+        ras.pop();
+        ras.restore(&snap);
+        assert_eq!(ras.pop(), 10);
+    }
+
+    #[test]
+    fn wraps_without_panic() {
+        let mut ras = Ras::new(2);
+        for i in 0..10 {
+            ras.push(i);
+        }
+        assert_eq!(ras.pop(), 9);
+        assert_eq!(ras.pop(), 8);
+    }
+}

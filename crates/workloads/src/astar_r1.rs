@@ -1,0 +1,301 @@
+//! astar region #1 analog — the paper's case study (Fig. 22).
+//!
+//! The original (`makebound2`) walks a list of cell indices, checks each
+//! cell's fill stamp, and for unstamped cells checks a second field,
+//! records matches, stamps the cell, and *returns early* once enough
+//! matches accumulate. Three challenges (§VII-B):
+//!
+//! 1. **Nested hard branches** — the inner load is only safe under the
+//!    outer predicate, so the decoupling uses three loops: outer-predicate
+//!    generation, combined-predicate generation (guarded by popped outer
+//!    predicates), and the consumer loop.
+//! 2. **Partial separability** — the stamp store feeds later outer
+//!    predicates through memory; it is hoisted into the first loop and
+//!    if-converted (synthesized select).
+//! 3. **Early exit** — the second loop duplicates the return guard and
+//!    breaks; `Mark`/`Forward` discard the first loop's excess pushes.
+//!
+//! The cell array is treated as region-local scratch (not part of the
+//! observable result): the first loop stamps a whole strip-mined chunk
+//! even when the break lands mid-chunk, exactly like the paper's region
+//! ends with the function's return.
+
+use crate::common::{regs, InterestBranch, PaperClass, Scale, Suite, Variant, Workload, Xorshift};
+use cfd_isa::{Assembler, MemImage, Program};
+
+const WAY_BASE: u64 = 0x100_0000;
+const BND_BASE: u64 = 0x10_0000;
+const OUT_BASE: u64 = 0x800_0000;
+/// Ratio of cell-array entries to outer iterations (footprint control).
+const WAY_FACTOR: u64 = 4;
+const FILLNUM: i64 = 9;
+// Loop 2 holds a chunk of outer predicates while pushing a chunk of
+// combined predicates, so the worst-case BQ occupancy is 2*CHUNK.
+const CHUNK: i64 = 64;
+
+/// Fraction (percent) of cells pre-stamped with `FILLNUM` (outer predicate
+/// false on first touch).
+const PRESTAMPED_PCT: u64 = 40;
+
+fn gen_mem(scale: Scale) -> MemImage {
+    let mut mem = MemImage::new();
+    let mut rng = Xorshift::new(scale.seed ^ 0xa57a);
+    let ways = scale.n as u64 * WAY_FACTOR;
+    for k in 0..ways {
+        let fill = if rng.chance(PRESTAMPED_PCT) { FILLNUM as u64 } else { rng.below(4) };
+        let num = rng.below(4); // regf matches ~1/4
+        mem.write_u64(WAY_BASE + 16 * k, fill);
+        mem.write_u64(WAY_BASE + 16 * k + 8, num);
+    }
+    for i in 0..scale.n as u64 {
+        mem.write_u64(BND_BASE + 8 * i, rng.below(ways));
+    }
+    mem
+}
+
+/// Builds the requested variant.
+///
+/// Supported: `Base`, `Cfd`, `Dfd`, `CfdDfd`.
+///
+/// # Panics
+///
+/// Panics on unsupported variants or internal assembly errors.
+pub fn build(variant: Variant, scale: Scale) -> Workload {
+    let limit = (scale.n / 10).max(4) as i64; // early exit deep into the run
+    let (program, branches) = match variant {
+        Variant::Base => build_base(scale, limit, false),
+        Variant::Dfd => build_base(scale, limit, true),
+        Variant::Cfd => build_cfd(scale, limit, false),
+        Variant::CfdDfd => build_cfd(scale, limit, true),
+        other => panic!("astar_r1_like does not support variant {other}"),
+    };
+    Workload {
+        name: "astar_r1_like",
+        variant,
+        suite: Suite::Spec2006,
+        program,
+        mem: gen_mem(scale),
+        observable: vec![regs::acc(0), regs::acc(6)],
+        check_ranges: vec![(OUT_BASE, 8 * limit as u64)],
+        interest: branches,
+    }
+}
+
+/// Variants this kernel supports.
+pub fn variants() -> &'static [Variant] {
+    &[Variant::Base, Variant::Cfd, Variant::Dfd, Variant::CfdDfd]
+}
+
+fn emit_preamble(a: &mut Assembler, scale: Scale, limit: i64) {
+    a.li(regs::n(), scale.n as i64);
+    a.li(regs::base_a(), WAY_BASE as i64);
+    a.li(regs::base_b(), BND_BASE as i64);
+    a.li(regs::base_c(), OUT_BASE as i64);
+    a.li(regs::t(4), FILLNUM);
+    a.li(regs::t(5), limit);
+    a.li(regs::i(), 0);
+}
+
+/// `t0 = &way[bnd[i]]` (two dependent loads — the miss chain).
+fn emit_way_addr(a: &mut Assembler) {
+    let (i, base_a, base_b, t0) = (regs::i(), regs::base_a(), regs::base_b(), regs::t(0));
+    a.sll(t0, i, 3i64);
+    a.add(t0, t0, base_b);
+    a.ld(t0, 0, t0); // k = bnd[i]
+    a.sll(t0, t0, 4i64); // 16-byte cells
+    a.add(t0, t0, base_a);
+}
+
+fn build_base(scale: Scale, limit: i64, dfd: bool) -> (Program, Vec<InterestBranch>) {
+    let mut a = Assembler::new();
+    let (i, n, x, p, cnt, acc) = (regs::i(), regs::n(), regs::x(), regs::p(), regs::acc(6), regs::acc(0));
+    let (t0, t1, fillnum, limit_r) = (regs::t(0), regs::t(1), regs::t(4), regs::t(5));
+    let (cs, lim) = (regs::strip(0), regs::strip(1));
+    emit_preamble(&mut a, scale, limit);
+    if dfd {
+        a.label("chunk");
+        a.addi(lim, i, CHUNK * 2);
+        a.min(lim, lim, n);
+        a.mv(cs, i);
+        // DFD loop (Fig. 16): the load feeding the branches + address slice.
+        a.label("dfd");
+        emit_way_addr(&mut a);
+        a.prefetch(0, t0);
+        a.addi(i, i, 1);
+        a.blt(i, lim, "dfd");
+        a.mv(i, cs);
+    } else {
+        a.mv(lim, n);
+    }
+    a.label("top");
+    emit_way_addr(&mut a);
+    a.ld(x, 0, t0); // way[k].fill
+    let outer_pc = a.here();
+    a.annotate("outer: cell unstamped");
+    a.beq(x, fillnum, "skip"); // outer branch (inverted: skip when stamped)
+    a.ld(t1, 8, t0); // way[k].num — safe only here
+    let inner_pc = a.here();
+    a.annotate("inner: num matches");
+    a.bnez(t1, "stamp"); // inner branch: match when num == 0
+    // Record the match.
+    a.sll(t1, cnt, 3i64);
+    a.add(t1, t1, regs::base_c());
+    a.srl(p, t0, 4i64);
+    a.sd(p, 0, t1); // out[cnt] = &way[k] >> 4
+    a.add(acc, acc, p);
+    a.addi(cnt, cnt, 1);
+    a.beq(cnt, limit_r, "done"); // early return
+    a.label("stamp");
+    a.sd(fillnum, 0, t0); // way[k].fill = FILLNUM (feeds later predicates)
+    a.label("skip");
+    a.addi(i, i, 1);
+    a.blt(i, lim, "top");
+    if dfd {
+        a.blt(i, n, "chunk");
+    }
+    a.label("done");
+    a.halt();
+    let program = a.finish().expect("astar_r1 base assembles");
+    let branches = vec![
+        InterestBranch { pc: outer_pc, what: "outer: cell unstamped", class: PaperClass::SeparablePartial },
+        InterestBranch { pc: inner_pc, what: "inner: num matches", class: PaperClass::SeparablePartial },
+    ];
+    (program, branches)
+}
+
+fn build_cfd(scale: Scale, limit: i64, dfd: bool) -> (Program, Vec<InterestBranch>) {
+    let mut a = Assembler::new();
+    let (i, n, x, p, cnt, acc) = (regs::i(), regs::n(), regs::x(), regs::p(), regs::acc(6), regs::acc(0));
+    let (t0, t1, fillnum, limit_r) = (regs::t(0), regs::t(1), regs::t(4), regs::t(5));
+    let (cs, lim, procd) = (regs::strip(0), regs::strip(1), regs::strip(2));
+    let j = regs::j();
+    emit_preamble(&mut a, scale, limit);
+    a.label("chunk");
+    a.addi(lim, i, CHUNK);
+    a.min(lim, lim, n);
+    a.mv(cs, i);
+    if dfd {
+        a.label("dfd");
+        emit_way_addr(&mut a);
+        a.prefetch(0, t0);
+        a.addi(i, i, 1);
+        a.blt(i, lim, "dfd");
+        a.mv(i, cs);
+    }
+    // ---- Loop 1: outer predicates + hoisted, if-converted stamp ----
+    a.label("gen");
+    emit_way_addr(&mut a);
+    a.ld(x, 0, t0); // fill
+    a.sne(p, x, fillnum); // outer predicate: unstamped
+    a.push_bq(p);
+    // If-converted stamp: way[k].fill = p ? FILLNUM : old (always stores).
+    a.sub(t1, regs::zero(), p); // mask = 0 - p
+    a.and(j, fillnum, t1);
+    a.xor(t1, t1, -1i64);
+    a.and(t1, x, t1);
+    a.or(t1, t1, j);
+    a.sd(t1, 0, t0);
+    a.addi(i, i, 1);
+    a.blt(i, lim, "gen");
+    a.mark_bq(); // excess outer predicates are discarded on early exit
+    a.mv(i, cs);
+    // ---- Loop 2: combined predicates (guarded loads), duplicated guard ----
+    // procd counts this chunk's processed iterations for loop 3; j mirrors
+    // the global match count so the early exit fires like the original.
+    a.li(procd, 0);
+    a.mv(j, cnt);
+    a.label("mid");
+    a.li(p, 0);
+    a.branch_on_bq("mid_skip"); // outer predicate false -> combined 0
+    emit_way_addr(&mut a);
+    a.ld(t1, 8, t0);
+    a.seq(p, t1, 0i64); // inner: num == 0
+    a.label("mid_skip");
+    a.push_bq(p);
+    a.add(j, j, p);
+    a.addi(i, i, 1);
+    a.addi(procd, procd, 1);
+    a.beq(j, limit_r, "mid_done"); // duplicated return guard
+    a.blt(i, lim, "mid");
+    a.label("mid_done");
+    a.forward_bq(); // bulk-pop unconsumed outer predicates (§IV-A)
+    // ---- Loop 3: consumer, guarded by the combined predicate ----
+    a.mv(i, cs);
+    a.add(procd, cs, procd); // end bound for loop 3
+    a.label("use");
+    a.branch_on_bq("use_skip");
+    emit_way_addr(&mut a);
+    a.sll(t1, cnt, 3i64);
+    a.add(t1, t1, regs::base_c());
+    a.srl(p, t0, 4i64);
+    a.sd(p, 0, t1);
+    a.add(acc, acc, p);
+    a.addi(cnt, cnt, 1);
+    a.label("use_skip");
+    a.addi(i, i, 1);
+    a.blt(i, procd, "use");
+    a.beq(cnt, limit_r, "done");
+    a.blt(i, n, "chunk");
+    a.label("done");
+    a.halt();
+    let program = a.finish().expect("astar_r1 cfd assembles");
+    (program, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfd_matches_base() {
+        let scale = Scale::small();
+        let want = build(Variant::Base, scale).observe().unwrap();
+        let got = build(Variant::Cfd, scale).observe().unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dfd_matches_base() {
+        let scale = Scale::small();
+        let want = build(Variant::Base, scale).observe().unwrap();
+        assert_eq!(build(Variant::Dfd, scale).observe().unwrap(), want);
+        assert_eq!(build(Variant::CfdDfd, scale).observe().unwrap(), want);
+    }
+
+    #[test]
+    fn early_exit_actually_fires() {
+        let scale = Scale::small();
+        let w = build(Variant::Base, scale);
+        let out = w.observe().unwrap();
+        // acc(6) == cnt == limit when the early return triggered.
+        let limit = (scale.n / 10).max(4) as i64;
+        assert_eq!(out[1], limit, "early exit must trigger (cnt)");
+    }
+
+    #[test]
+    fn stamping_makes_repeats_skip() {
+        // With a tiny cell array, repeats are guaranteed; the second touch
+        // of a cell must take the outer-skip path. Equivalence across
+        // variants already covers this; here we check it is exercised:
+        // matches must be strictly fewer than unstamped first touches.
+        let scale = Scale { n: 2_000, seed: 77 };
+        let w = build(Variant::Base, scale);
+        let out = w.observe().unwrap();
+        assert!(out[1] > 0, "some matches found");
+    }
+
+    #[test]
+    fn cfd_uses_mark_and_forward() {
+        let w = build(Variant::Cfd, Scale::small());
+        let instrs = w.program.instrs();
+        assert!(instrs.iter().any(|i| matches!(i, cfd_isa::Instr::MarkBq)));
+        assert!(instrs.iter().any(|i| matches!(i, cfd_isa::Instr::ForwardBq)));
+    }
+
+    #[test]
+    fn different_seeds_different_results() {
+        let a = build(Variant::Base, Scale { n: 1000, seed: 1 }).observe().unwrap();
+        let b = build(Variant::Base, Scale { n: 1000, seed: 2 }).observe().unwrap();
+        assert_ne!(a, b);
+    }
+}

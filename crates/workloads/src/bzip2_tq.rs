@@ -1,0 +1,151 @@
+//! bzip2 decompress analog for CFD(TQ) (paper Table IV, Fig. 27).
+//!
+//! Run-length expansion: each input token carries a data-dependent repeat
+//! count; the inner copy loop's trip count (1..=32, skewed short) defeats
+//! the loop predictor. The counts do not depend on the copy loop's body,
+//! so the loop-branch is separable — a TQ target.
+
+use crate::common::{regs, InterestBranch, PaperClass, Scale, Suite, Variant, Workload, Xorshift};
+use cfd_isa::{Assembler, MemImage, Program};
+
+const RUNS_BASE: u64 = 0x10_0000;
+const SYMS_BASE: u64 = 0x40_0000;
+const OUT_BASE: u64 = 0x800_0000;
+const CHUNK: i64 = 128; // max run 32 -> worst-case 128 pushes < TQ 256? 128*1 counts
+
+fn gen_mem(scale: Scale) -> MemImage {
+    let mut mem = MemImage::new();
+    let mut rng = Xorshift::new(scale.seed ^ 0xb21b);
+    for k in 0..scale.n as u64 {
+        // Skewed-short run lengths: mostly 1-4, occasionally long.
+        let run = if rng.chance(75) { 1 + rng.below(4) } else { 5 + rng.below(28) };
+        mem.write_u64(RUNS_BASE + 8 * k, run);
+        mem.write_u64(SYMS_BASE + 8 * k, rng.below(256));
+    }
+    mem
+}
+
+/// Builds the requested variant. Supported: `Base`, `CfdTq`.
+///
+/// # Panics
+///
+/// Panics on unsupported variants or internal assembly errors.
+pub fn build(variant: Variant, scale: Scale) -> Workload {
+    let (program, branches) = match variant {
+        Variant::Base => build_kernel(scale, false),
+        Variant::CfdTq => build_kernel(scale, true),
+        other => panic!("bzip2_tq_like does not support variant {other}"),
+    };
+    Workload {
+        name: "bzip2_tq_like",
+        variant,
+        suite: Suite::Spec2006,
+        program,
+        mem: gen_mem(scale),
+        observable: vec![regs::acc(0), regs::acc(6)],
+        check_ranges: Vec::new(),
+        interest: branches,
+    }
+}
+
+/// Variants this kernel supports.
+pub fn variants() -> &'static [Variant] {
+    &[Variant::Base, Variant::CfdTq]
+}
+
+fn build_kernel(scale: Scale, use_tq: bool) -> (Program, Vec<InterestBranch>) {
+    let mut a = Assembler::new();
+    let (i, n, j, m, x, out) = (regs::i(), regs::n(), regs::j(), regs::m(), regs::x(), regs::t(0));
+    let (acc, cnt, tmp) = (regs::acc(0), regs::acc(6), regs::tmp());
+    let (cs, lim) = (regs::strip(0), regs::strip(1));
+    a.li(n, scale.n as i64);
+    a.li(regs::base_a(), RUNS_BASE as i64);
+    a.li(regs::base_b(), SYMS_BASE as i64);
+    a.li(out, OUT_BASE as i64);
+    a.li(i, 0);
+
+    let load_run = |a: &mut Assembler| {
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, regs::base_a());
+        a.ld(m, 0, tmp);
+    };
+    let load_sym = |a: &mut Assembler| {
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, regs::base_b());
+        a.ld(x, 0, tmp);
+    };
+
+    let mut branches = Vec::new();
+    if use_tq {
+        a.label("chunk");
+        a.addi(lim, i, CHUNK);
+        a.min(lim, lim, n);
+        a.mv(cs, i);
+        a.label("gen");
+        load_run(&mut a);
+        a.push_tq(m);
+        a.addi(i, i, 1);
+        a.blt(i, lim, "gen");
+        a.mv(i, cs);
+        a.label("outer");
+        load_sym(&mut a);
+        a.pop_tq();
+        a.j("inner_test");
+        a.label("inner_body");
+        a.sb(x, 0, out);
+        a.addi(out, out, 1);
+        a.add(acc, acc, x);
+        a.addi(cnt, cnt, 1);
+        a.label("inner_test");
+        a.branch_on_tcr("inner_body");
+        a.addi(i, i, 1);
+        a.blt(i, lim, "outer");
+        a.blt(i, n, "chunk");
+    } else {
+        a.label("outer");
+        load_run(&mut a);
+        load_sym(&mut a);
+        a.li(j, 0);
+        a.j("inner_test");
+        a.label("inner_body");
+        a.sb(x, 0, out);
+        a.addi(out, out, 1);
+        a.add(acc, acc, x);
+        a.addi(cnt, cnt, 1);
+        a.addi(j, j, 1);
+        a.label("inner_test");
+        let bpc = a.here();
+        a.annotate("run-length copy loop");
+        a.blt(j, m, "inner_body");
+        a.addi(i, i, 1);
+        a.blt(i, n, "outer");
+        branches.push(InterestBranch {
+            pc: bpc,
+            what: "run-length copy loop",
+            class: PaperClass::SeparableLoopBranch,
+        });
+    }
+    a.halt();
+    (a.finish().expect("bzip2_tq assembles"), branches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tq_matches_base() {
+        let scale = Scale::small();
+        let want = build(Variant::Base, scale).observe().unwrap();
+        assert_eq!(build(Variant::CfdTq, scale).observe().unwrap(), want);
+    }
+
+    #[test]
+    fn output_counts_match_total_runs() {
+        let scale = Scale { n: 500, seed: 3 };
+        let w = build(Variant::Base, scale);
+        let total: u64 = (0..500).map(|k| w.mem.read_u64(RUNS_BASE + 8 * k)).sum();
+        let out = w.observe().unwrap();
+        assert_eq!(out[1] as u64, total);
+    }
+}

@@ -1,0 +1,333 @@
+//! The benchmark-analog catalog: one entry per paper benchmark region.
+//!
+//! Maps the paper's Table I / Tables V–VI rows to kernels. Scan-family
+//! entries are [`ScanKernel`] configurations; bespoke kernels (astar
+//! region #1, the TQ kernels, tiff-2-bw, the classification kernels) are
+//! dispatched to their modules.
+
+use crate::astar_r1;
+use crate::astar_tq;
+use crate::bzip2_tq;
+use crate::classes;
+use crate::ctxswitch;
+use crate::common::{Scale, Suite, Variant, Workload};
+use crate::patterns::{AddressPattern, CdRegion, Predicate, ScanKernel};
+use crate::tiff2bw;
+
+/// A catalog entry: a named kernel and how to build it.
+#[derive(Clone)]
+pub struct CatalogEntry {
+    /// Kernel name.
+    pub name: &'static str,
+    /// The paper benchmark (and input) this is the analog of.
+    pub paper_benchmark: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// Supported variants.
+    pub variants: &'static [Variant],
+    builder: Builder,
+}
+
+#[derive(Clone)]
+enum Builder {
+    Scan(ScanKernel),
+    AstarR1,
+    AstarTq,
+    Bzip2Tq,
+    Tiff2bw,
+    CtxSwitch,
+    Hammock,
+    Inseparable,
+}
+
+impl std::fmt::Debug for CatalogEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogEntry")
+            .field("name", &self.name)
+            .field("paper_benchmark", &self.paper_benchmark)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CatalogEntry {
+    /// Builds a variant at a scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `variant` is not in [`Self::variants`].
+    pub fn build(&self, variant: Variant, scale: Scale) -> Workload {
+        assert!(self.variants.contains(&variant), "{} does not support {variant}", self.name);
+        match &self.builder {
+            Builder::Scan(k) => k.build(variant, scale),
+            Builder::AstarR1 => astar_r1::build(variant, scale),
+            Builder::AstarTq => astar_tq::build(variant, scale),
+            Builder::Bzip2Tq => bzip2_tq::build(variant, scale),
+            Builder::Tiff2bw => tiff2bw::build(variant, scale),
+            Builder::CtxSwitch => ctxswitch::build(variant, scale),
+            Builder::Hammock => classes::build_hammock(variant, scale),
+            Builder::Inseparable => classes::build_inseparable(variant, scale),
+        }
+    }
+}
+
+fn scan(k: ScanKernel, paper: &'static str) -> CatalogEntry {
+    CatalogEntry { name: k.name, paper_benchmark: paper, suite: k.suite, variants: k.variants(), builder: Builder::Scan(k) }
+}
+
+/// The full catalog, in the paper's Table V/VI order.
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        scan(
+            ScanKernel {
+                name: "soplex_ref_like",
+                suite: Suite::Spec2006,
+                pattern: AddressPattern::Streaming,
+                predicate: Predicate::Threshold { threshold: 35, range: 100 },
+                cd: CdRegion { alu_updates: 6, stores: true },
+                chunk: 128,
+                partial_feedback: false,
+                what: "test[i] < theeps",
+            },
+            "soplex (ref)",
+        ),
+        scan(
+            ScanKernel {
+                name: "soplex_pds_like",
+                suite: Suite::Spec2006,
+                pattern: AddressPattern::Streaming,
+                predicate: Predicate::Threshold { threshold: 55, range: 100 },
+                cd: CdRegion { alu_updates: 8, stores: true },
+                chunk: 128,
+                partial_feedback: false,
+                what: "test[i] < theeps",
+            },
+            "soplex (pds-50)",
+        ),
+        CatalogEntry {
+            name: "astar_r1_like",
+            paper_benchmark: "astar region #1 (makebound2)",
+            suite: Suite::Spec2006,
+            variants: astar_r1::variants(),
+            builder: Builder::AstarR1,
+        },
+        scan(
+            ScanKernel {
+                name: "astar_r2_like",
+                suite: Suite::Spec2006,
+                pattern: AddressPattern::Indirect,
+                predicate: Predicate::Threshold { threshold: 45, range: 100 },
+                cd: CdRegion { alu_updates: 7, stores: true },
+                chunk: 128,
+                partial_feedback: false,
+                what: "bound cell passable",
+            },
+            "astar region #2",
+        ),
+        CatalogEntry {
+            name: "astar_tq_like",
+            paper_benchmark: "astar elem-expansion (Fig. 14)",
+            suite: Suite::Spec2006,
+            variants: astar_tq::variants(),
+            builder: Builder::AstarTq,
+        },
+        scan(
+            ScanKernel {
+                name: "bzip2_like",
+                suite: Suite::Spec2006,
+                pattern: AddressPattern::Streaming,
+                predicate: Predicate::BitTest { mask: 0x3, match_val: 0x1 },
+                cd: CdRegion { alu_updates: 6, stores: false },
+                chunk: 128,
+                partial_feedback: false,
+                what: "sort comparison outcome",
+            },
+            "bzip2 (input.source)",
+        ),
+        CatalogEntry {
+            name: "bzip2_tq_like",
+            paper_benchmark: "bzip2 decompress run-lengths",
+            suite: Suite::Spec2006,
+            variants: bzip2_tq::variants(),
+            builder: Builder::Bzip2Tq,
+        },
+        scan(
+            ScanKernel {
+                name: "mcf_like",
+                suite: Suite::Spec2006,
+                pattern: AddressPattern::Indirect,
+                predicate: Predicate::Threshold { threshold: 40, range: 100 },
+                cd: CdRegion { alu_updates: 5, stores: false },
+                chunk: 128,
+                partial_feedback: false,
+                what: "arc cost negative",
+            },
+            "mcf",
+        ),
+        scan(
+            ScanKernel {
+                name: "gromacs_like",
+                suite: Suite::Spec2006,
+                pattern: AddressPattern::Streaming,
+                predicate: Predicate::Threshold { threshold: 30, range: 100 },
+                cd: CdRegion { alu_updates: 5, stores: false },
+                chunk: 128,
+                partial_feedback: false,
+                what: "pair within cutoff",
+            },
+            "gromacs",
+        ),
+        scan(
+            ScanKernel {
+                name: "namd_like",
+                suite: Suite::Spec2006,
+                pattern: AddressPattern::Streaming,
+                predicate: Predicate::Threshold { threshold: 60, range: 100 },
+                cd: CdRegion { alu_updates: 6, stores: false },
+                chunk: 128,
+                partial_feedback: false,
+                what: "pairlist cutoff",
+            },
+            "namd",
+        ),
+        scan(
+            ScanKernel {
+                name: "eclat_like",
+                suite: Suite::NuMineBench,
+                pattern: AddressPattern::Indirect,
+                predicate: Predicate::BitTest { mask: 0x7, match_val: 0x5 },
+                cd: CdRegion { alu_updates: 6, stores: true },
+                chunk: 128,
+                partial_feedback: false,
+                what: "itemset intersection hit",
+            },
+            "eclat",
+        ),
+        scan(
+            ScanKernel {
+                name: "jpeg_like",
+                suite: Suite::CBench,
+                pattern: AddressPattern::Streaming,
+                predicate: Predicate::BitTest { mask: 0xf, match_val: 0x0 },
+                cd: CdRegion { alu_updates: 5, stores: true },
+                chunk: 128,
+                partial_feedback: false,
+                what: "coefficient zero after quant",
+            },
+            "jpeg-compr",
+        ),
+        CatalogEntry {
+            name: "tiff2bw_like",
+            paper_benchmark: "tiff-2-bw (hoist-only CFD)",
+            suite: Suite::CBench,
+            variants: tiff2bw::variants(),
+            builder: Builder::Tiff2bw,
+        },
+        scan(
+            ScanKernel {
+                name: "tiffmedian_like",
+                suite: Suite::CBench,
+                pattern: AddressPattern::Streaming,
+                predicate: Predicate::Threshold { threshold: 160, range: 256 },
+                cd: CdRegion { alu_updates: 5, stores: true },
+                chunk: 128,
+                partial_feedback: false,
+                what: "histogram bin above cut",
+            },
+            "tiff-median",
+        ),
+        scan(
+            ScanKernel {
+                name: "hmmer_like",
+                suite: Suite::BioBench,
+                pattern: AddressPattern::Streaming,
+                predicate: Predicate::Threshold { threshold: 48, range: 100 },
+                cd: CdRegion { alu_updates: 6, stores: false },
+                chunk: 128,
+                partial_feedback: true,
+                what: "viterbi score beats running best",
+            },
+            "hmmer (partially separable)",
+        ),
+        CatalogEntry {
+            name: "ctxswitch_like",
+            paper_benchmark: "context-switch save/restore (§III-A)",
+            suite: Suite::CBench,
+            variants: ctxswitch::variants(),
+            builder: Builder::CtxSwitch,
+        },
+        CatalogEntry {
+            name: "hammock_like",
+            paper_benchmark: "hammock class (e.g. hmmer)",
+            suite: Suite::BioBench,
+            variants: classes::hammock_variants(),
+            builder: Builder::Hammock,
+        },
+        CatalogEntry {
+            name: "inseparable_like",
+            paper_benchmark: "inseparable class (e.g. sjeng)",
+            suite: Suite::NuMineBench,
+            variants: &[Variant::Base],
+            builder: Builder::Inseparable,
+        },
+    ]
+}
+
+/// Looks up a catalog entry by kernel name.
+pub fn by_name(name: &str) -> Option<CatalogEntry> {
+    catalog().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::BTreeSet;
+        let names: BTreeSet<&str> = catalog().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), catalog().len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("soplex_ref_like").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_entry_builds_base() {
+        for e in catalog() {
+            let w = e.build(Variant::Base, Scale { n: 50, seed: 1 });
+            assert_eq!(w.name, e.name);
+            w.observe().unwrap();
+        }
+    }
+
+    #[test]
+    fn every_non_base_variant_matches_its_base() {
+        for e in catalog() {
+            let scale = Scale { n: 400, seed: 9 };
+            let want = e.build(Variant::Base, scale).observe().unwrap();
+            for &v in e.variants {
+                if v == Variant::Base {
+                    continue;
+                }
+                let got = e.build(v, scale).observe().unwrap();
+                assert_eq!(got, want, "{} variant {v} diverges from base", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_suites_represented() {
+        use std::collections::BTreeSet;
+        let suites: BTreeSet<String> = catalog().iter().map(|e| e.suite.to_string()).collect();
+        assert_eq!(suites.len(), 4, "all four paper suites must appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_variant_panics() {
+        by_name("mcf_like").unwrap().build(Variant::CfdTq, Scale::small());
+    }
+}

@@ -1,0 +1,170 @@
+//! Classification-coverage kernels: hammocks and inseparable branches.
+//!
+//! These exist so the profiler's control-flow breakdown (Fig. 6c) has all
+//! four classes to find, and to compare CFD against if-conversion on the
+//! class where if-conversion wins (§II-B).
+
+use crate::common::{regs, InterestBranch, PaperClass, Scale, Suite, Variant, Workload, Xorshift};
+use cfd_isa::{Assembler, MemImage};
+
+const DATA_BASE: u64 = 0x10_0000;
+
+fn gen_mem(scale: Scale, seed_salt: u64) -> MemImage {
+    let mut mem = MemImage::new();
+    let mut rng = Xorshift::new(scale.seed ^ seed_salt);
+    for k in 0..scale.n as u64 {
+        mem.write_u64(DATA_BASE + 8 * k, rng.below(1000));
+    }
+    mem
+}
+
+/// Hammock kernel: `acc += (x < 500) ? x : -x` with a 2-instruction arm —
+/// classic if-conversion territory.
+///
+/// Supported variants: `Base` (branchy), `IfConv` (synthesized select).
+///
+/// # Panics
+///
+/// Panics on unsupported variants.
+pub fn build_hammock(variant: Variant, scale: Scale) -> Workload {
+    let mut a = Assembler::new();
+    let (i, n, x, p, tmp, acc) = (regs::i(), regs::n(), regs::x(), regs::p(), regs::tmp(), regs::acc(0));
+    let t0 = regs::t(0);
+    a.li(n, scale.n as i64);
+    a.li(regs::base_a(), DATA_BASE as i64);
+    a.li(i, 0);
+    a.label("top");
+    a.sll(tmp, i, 3i64);
+    a.add(tmp, tmp, regs::base_a());
+    a.ld(x, 0, tmp);
+    let mut branches = Vec::new();
+    match variant {
+        Variant::Base => {
+            a.slt(p, x, 500i64);
+            let bpc = a.here();
+            a.annotate("hammock: sign select");
+            a.beqz(p, "else");
+            a.add(acc, acc, x);
+            a.j("join");
+            a.label("else");
+            a.sub(acc, acc, x);
+            a.label("join");
+            branches.push(InterestBranch { pc: bpc, what: "hammock: sign select", class: PaperClass::Hammock });
+        }
+        Variant::IfConv => {
+            // mask = -(x < 500); acc += (x & mask) | (-x & ~mask)
+            a.slt(p, x, 500i64);
+            a.sub(p, regs::zero(), p); // mask
+            a.sub(t0, regs::zero(), x); // -x
+            a.and(x, x, p);
+            a.xor(p, p, -1i64);
+            a.and(t0, t0, p);
+            a.or(x, x, t0);
+            a.add(acc, acc, x);
+        }
+        other => panic!("hammock_like does not support variant {other}"),
+    }
+    a.addi(i, i, 1);
+    a.blt(i, n, "top");
+    a.halt();
+    Workload {
+        name: "hammock_like",
+        variant,
+        suite: Suite::BioBench,
+        program: a.finish().expect("hammock assembles"),
+        mem: gen_mem(scale, 0x4a44),
+        observable: vec![acc],
+        check_ranges: Vec::new(),
+        interest: branches,
+    }
+}
+
+/// Variants of the hammock kernel.
+pub fn hammock_variants() -> &'static [Variant] {
+    &[Variant::Base, Variant::IfConv]
+}
+
+/// Inseparable kernel: the predicate folds in four accumulators that the
+/// guarded region itself updates — the slice *is* the region, so CFD does
+/// not apply (§II-B; the paper points to vector operations instead).
+///
+/// Supported variant: `Base` only.
+///
+/// # Panics
+///
+/// Panics on unsupported variants.
+pub fn build_inseparable(variant: Variant, scale: Scale) -> Workload {
+    assert!(variant == Variant::Base, "inseparable_like supports only the base variant");
+    let mut a = Assembler::new();
+    let (i, n, x, p, tmp) = (regs::i(), regs::n(), regs::x(), regs::p(), regs::tmp());
+    let accs = [regs::acc(0), regs::acc(1), regs::acc(2), regs::acc(3)];
+    a.li(n, scale.n as i64);
+    a.li(regs::base_a(), DATA_BASE as i64);
+    a.li(i, 0);
+    a.label("top");
+    a.sll(tmp, i, 3i64);
+    a.add(tmp, tmp, regs::base_a());
+    a.ld(x, 0, tmp);
+    // Predicate depends on all four accumulators (the CD region's outputs).
+    a.add(p, accs[0], accs[1]);
+    a.add(p, p, accs[2]);
+    a.add(p, p, accs[3]);
+    a.add(p, p, x);
+    a.and(p, p, 1i64);
+    let bpc = a.here();
+    a.annotate("inseparable: state-fed branch");
+    a.beqz(p, "skip");
+    a.add(accs[0], accs[0], x);
+    a.xor(accs[1], accs[1], accs[0]);
+    a.add(accs[2], accs[2], accs[1]);
+    a.sub(accs[3], accs[3], accs[2]);
+    a.add(accs[0], accs[0], 1i64);
+    a.xor(accs[2], accs[2], 7i64);
+    a.label("skip");
+    a.addi(i, i, 1);
+    a.blt(i, n, "top");
+    a.halt();
+    Workload {
+        name: "inseparable_like",
+        variant,
+        suite: Suite::NuMineBench,
+        program: a.finish().expect("inseparable assembles"),
+        mem: gen_mem(scale, 0x1458),
+        observable: accs.to_vec(),
+        check_ranges: Vec::new(),
+        interest: vec![InterestBranch { pc: bpc, what: "inseparable: state-fed branch", class: PaperClass::Inseparable }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ifconv_matches_branchy_hammock() {
+        let scale = Scale::small();
+        let want = build_hammock(Variant::Base, scale).observe().unwrap();
+        assert_eq!(build_hammock(Variant::IfConv, scale).observe().unwrap(), want);
+    }
+
+    #[test]
+    fn ifconv_has_no_hammock_branch() {
+        let w = build_hammock(Variant::IfConv, Scale::small());
+        // Only the loop back-edge branch remains.
+        let conds = w.program.instrs().iter().filter(|i| i.is_plain_conditional()).count();
+        assert_eq!(conds, 1);
+    }
+
+    #[test]
+    fn inseparable_runs() {
+        let w = build_inseparable(Variant::Base, Scale::small());
+        w.observe().unwrap();
+        assert_eq!(w.interest[0].class, PaperClass::Inseparable);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports only the base variant")]
+    fn inseparable_rejects_cfd() {
+        build_inseparable(Variant::Cfd, Scale::small());
+    }
+}

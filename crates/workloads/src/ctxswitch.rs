@@ -1,0 +1,217 @@
+//! Context-switch kernel: CFD state saved and restored mid-loop (§III-A).
+//!
+//! The ISA defines `Save_BQ`/`Restore_BQ` (and VQ/TQ counterparts) so the
+//! OS can context-switch with predicates in flight. This kernel interrupts
+//! a decoupled loop at chunk boundaries, saves the BQ, runs an unrelated
+//! "other process" region that uses the BQ itself, restores, and resumes —
+//! verifying the architectural state survives round trips and that the
+//! timing core's drain-and-reload macro-op path works under load.
+
+use crate::common::{regs, InterestBranch, PaperClass, Scale, Suite, Variant, Workload, Xorshift};
+use cfd_isa::{Assembler, MemImage, Program};
+
+const DATA_BASE: u64 = 0x10_0000;
+const OTHER_BASE: u64 = 0x40_0000;
+const SAVE_AREA: u64 = 0xc0_0000;
+const CHUNK: i64 = 64;
+/// Pops performed before the "context switch" interrupts the second loop.
+const PREFIX_POPS: i64 = 24;
+
+fn gen_mem(scale: Scale) -> MemImage {
+    let mut mem = MemImage::new();
+    let mut rng = Xorshift::new(scale.seed ^ 0xc7c5);
+    for k in 0..scale.n as u64 {
+        mem.write_u64(DATA_BASE + 8 * k, rng.below(100));
+        mem.write_u64(OTHER_BASE + 8 * k, rng.below(100));
+    }
+    mem
+}
+
+/// Builds the requested variant. Supported: `Base` (no queues anywhere),
+/// `Cfd` (decoupled with a mid-chunk save/restore round trip).
+///
+/// # Panics
+///
+/// Panics on unsupported variants or internal assembly errors.
+pub fn build(variant: Variant, scale: Scale) -> Workload {
+    let (program, branches) = match variant {
+        Variant::Base => build_base(scale),
+        Variant::Cfd => build_cfd(scale),
+        other => panic!("ctxswitch_like does not support variant {other}"),
+    };
+    Workload {
+        name: "ctxswitch_like",
+        variant,
+        suite: Suite::CBench,
+        program,
+        mem: gen_mem(scale),
+        observable: vec![regs::acc(0), regs::acc(1), regs::acc(6)],
+        check_ranges: Vec::new(),
+        interest: branches,
+    }
+}
+
+/// Variants this kernel supports.
+pub fn variants() -> &'static [Variant] {
+    &[Variant::Base, Variant::Cfd]
+}
+
+fn emit_load(a: &mut Assembler, base_addr: u64) {
+    let (i, x, tmp) = (regs::i(), regs::x(), regs::tmp());
+    a.sll(tmp, i, 3i64);
+    a.addi(tmp, tmp, base_addr as i64);
+    a.ld(x, 0, tmp);
+}
+
+/// The "other process": a short guarded scan over its own data that also
+/// uses the BQ (which is why the first process must save its state).
+fn emit_other_process(a: &mut Assembler, label: &str) {
+    let (x, p, acc1) = (regs::x(), regs::p(), regs::acc(1));
+    let j = regs::t(3);
+    a.li(j, 0);
+    a.label(&format!("op_gen_{label}"));
+    a.sll(x, j, 3i64);
+    a.addi(x, x, OTHER_BASE as i64);
+    a.ld(x, 0, x);
+    a.slt(p, x, 50i64);
+    a.push_bq(p);
+    a.addi(j, j, 1);
+    a.blt(j, regs::t(4), &format!("op_gen_{label}"));
+    a.li(j, 0);
+    a.label(&format!("op_use_{label}"));
+    a.branch_on_bq(&format!("op_skip_{label}"));
+    a.addi(acc1, acc1, 3);
+    a.label(&format!("op_skip_{label}"));
+    a.addi(j, j, 1);
+    a.blt(j, regs::t(4), &format!("op_use_{label}"));
+}
+
+fn build_base(scale: Scale) -> (Program, Vec<InterestBranch>) {
+    let (i, n, x, p, acc, cnt) = (regs::i(), regs::n(), regs::x(), regs::p(), regs::acc(0), regs::acc(6));
+    let mut a = Assembler::new();
+    a.li(n, scale.n as i64);
+    a.li(regs::t(4), 16); // other-process trip count
+    a.li(i, 0);
+    a.label("top");
+    emit_load(&mut a, DATA_BASE);
+    a.slt(p, x, 40i64);
+    let bpc = a.here();
+    a.annotate("guarded update");
+    a.beqz(p, "skip");
+    a.add(acc, acc, x);
+    a.xor(acc, acc, 5i64);
+    a.addi(cnt, cnt, 1);
+    a.label("skip");
+    // Periodically run the other process (branchy form, no queues).
+    a.and(regs::t(2), i, CHUNK - 1);
+    a.bne(regs::t(2), regs::zero(), "no_switch");
+    {
+        let (xr, pr, acc1, j) = (regs::x(), regs::p(), regs::acc(1), regs::t(3));
+        a.li(j, 0);
+        a.label("op_base");
+        a.sll(xr, j, 3i64);
+        a.addi(xr, xr, OTHER_BASE as i64);
+        a.ld(xr, 0, xr);
+        a.slt(pr, xr, 50i64);
+        a.beqz(pr, "op_base_skip");
+        a.addi(acc1, acc1, 3);
+        a.label("op_base_skip");
+        a.addi(j, j, 1);
+        a.blt(j, regs::t(4), "op_base");
+    }
+    a.label("no_switch");
+    a.addi(i, i, 1);
+    a.blt(i, n, "top");
+    a.halt();
+    let branches = vec![InterestBranch { pc: bpc, what: "guarded update", class: PaperClass::SeparableTotal }];
+    (a.finish().expect("ctxswitch base assembles"), branches)
+}
+
+fn build_cfd(scale: Scale) -> (Program, Vec<InterestBranch>) {
+    let (i, n, x, p, acc, cnt) = (regs::i(), regs::n(), regs::x(), regs::p(), regs::acc(0), regs::acc(6));
+    let (cs, lim, save) = (regs::strip(0), regs::strip(1), regs::strip(2));
+    let savep = regs::strip(3);
+    let mut a = Assembler::new();
+    a.li(n, scale.n as i64);
+    a.li(regs::t(4), 16);
+    a.li(savep, SAVE_AREA as i64);
+    a.li(i, 0);
+    a.label("chunk");
+    a.addi(lim, i, CHUNK);
+    a.min(lim, lim, n);
+    a.mv(cs, i);
+    // Loop 1: predicates for the whole chunk.
+    a.label("gen");
+    emit_load(&mut a, DATA_BASE);
+    a.slt(p, x, 40i64);
+    a.push_bq(p);
+    a.addi(i, i, 1);
+    a.blt(i, lim, "gen");
+    a.mv(save, i);
+    a.mv(i, cs);
+    // Loop 2, part 1: consume a prefix of the predicates...
+    a.addi(regs::t(2), cs, PREFIX_POPS);
+    a.min(regs::t(2), regs::t(2), save);
+    a.label("use1");
+    a.branch_on_bq("skip1");
+    emit_load(&mut a, DATA_BASE);
+    a.add(acc, acc, x);
+    a.xor(acc, acc, 5i64);
+    a.addi(cnt, cnt, 1);
+    a.label("skip1");
+    a.addi(i, i, 1);
+    a.blt(i, regs::t(2), "use1");
+    // ... then "context switch": save the BQ (in-flight predicates!),
+    // hand the other process a *fresh* queue (mark+forward empties it,
+    // playing the role of the OS restoring the other context's state),
+    // run it, and restore our own state.
+    a.save_bq(0, savep);
+    a.mark_bq();
+    a.forward_bq();
+    emit_other_process(&mut a, "cs");
+    a.restore_bq(0, savep);
+    // Loop 2, part 2: finish the chunk's predicates after the switch
+    // (none remain when the chunk was short enough for part 1).
+    a.bge(i, save, "after_use2");
+    a.label("use2");
+    a.branch_on_bq("skip2");
+    emit_load(&mut a, DATA_BASE);
+    a.add(acc, acc, x);
+    a.xor(acc, acc, 5i64);
+    a.addi(cnt, cnt, 1);
+    a.label("skip2");
+    a.addi(i, i, 1);
+    a.blt(i, save, "use2");
+    a.label("after_use2");
+    a.blt(i, n, "chunk");
+    a.halt();
+    (a.finish().expect("ctxswitch cfd assembles"), Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfd_with_context_switches_matches_base() {
+        // The base runs the other process once per chunk (i % CHUNK == 0);
+        // the CFD version runs it once per chunk at the save point — same
+        // number of invocations, same data, same observables.
+        let scale = Scale { n: 1_024, seed: 0xc5 };
+        let want = build(Variant::Base, scale).observe().unwrap();
+        let got = build(Variant::Cfd, scale).observe().unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn save_area_holds_pending_predicates() {
+        // After the first save, the save area must contain CHUNK-PREFIX_POPS
+        // predicates (length word at offset 0).
+        let scale = Scale { n: 128, seed: 0xc6 };
+        let w = build(Variant::Cfd, scale);
+        let mut m = cfd_isa::Machine::new(w.program.clone(), w.mem.clone());
+        m.run(10_000_000, &mut cfd_isa::NullSink).unwrap();
+        let saved_len = m.mem.read_u64(SAVE_AREA);
+        assert_eq!(saved_len, (CHUNK - PREFIX_POPS) as u64);
+    }
+}

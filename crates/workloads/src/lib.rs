@@ -1,0 +1,42 @@
+//! # cfd-workloads — benchmark-analog kernels
+//!
+//! The paper evaluates CFD on regions of SPEC2006, NU-MineBench, BioBench
+//! and cBench benchmarks. Those binaries cannot be rerun here, so this
+//! crate provides *analog kernels*: programs in the `cfd-isa` ISA that
+//! reproduce each region's control-flow idiom — branch class, predicate
+//! entropy, control-dependent region size, and memory behaviour — as
+//! catalogued in DESIGN.md §3.
+//!
+//! Every kernel builds several [`Variant`]s (base / CFD / CFD+ / DFD /
+//! TQ forms, as applicable), and every variant is verified to produce the
+//! base variant's observable result on the functional simulator — the
+//! analog of the paper's native-x86 verification with software queues
+//! (§VI).
+//!
+//! # Example
+//!
+//! ```
+//! use cfd_workloads::{by_name, Scale, Variant};
+//!
+//! let entry = by_name("soplex_ref_like").unwrap();
+//! let base = entry.build(Variant::Base, Scale { n: 300, seed: 7 });
+//! let cfd = entry.build(Variant::Cfd, Scale { n: 300, seed: 7 });
+//! assert_eq!(base.observe()?, cfd.observe()?);
+//! # Ok::<(), cfd_isa::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod astar_r1;
+mod astar_tq;
+mod bzip2_tq;
+mod catalog;
+mod classes;
+mod common;
+mod ctxswitch;
+mod patterns;
+mod tiff2bw;
+
+pub use catalog::{by_name, catalog, CatalogEntry};
+pub use common::{regs, InterestBranch, PaperClass, Scale, Suite, Variant, Workload, Xorshift};
+pub use patterns::{AddressPattern, CdRegion, Predicate, ScanKernel};

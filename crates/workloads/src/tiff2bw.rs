@@ -1,0 +1,139 @@
+//! tiff-2-bw analog — the hoist-only CFD outlier (§VII-A, Fig. 21c).
+//!
+//! The paper could not split this loop (a loop-carried output pointer), so
+//! the predicate computation was merely *hoisted* a few instructions ahead
+//! of the branch within the same iteration. The push-to-pop fetch
+//! separation is tiny, so whenever the predicate load misses even in the
+//! L1, the pop arrives before the push has executed — a **BQ miss** — and
+//! the core must speculate (or stall, Fig. 21c). The paper reports a ~20%
+//! BQ miss rate for this benchmark, making it the one case where
+//! CFD(stall) visibly loses.
+
+use crate::common::{regs, InterestBranch, PaperClass, Scale, Suite, Variant, Workload, Xorshift};
+use cfd_isa::{Assembler, MemImage, Program};
+
+const DATA_BASE: u64 = 0x10_0000;
+const OUT_BASE: u64 = 0x800_0000;
+
+fn gen_mem(scale: Scale) -> MemImage {
+    let mut mem = MemImage::new();
+    let mut rng = Xorshift::new(scale.seed ^ 0x71ff);
+    for k in 0..scale.n as u64 {
+        // Pixel luminance 0..255; the threshold test is ~50/50.
+        mem.write_u64(DATA_BASE + 8 * k, rng.below(256));
+    }
+    mem
+}
+
+/// Builds the requested variant. Supported: `Base`, `Cfd` (hoist-only).
+///
+/// # Panics
+///
+/// Panics on unsupported variants or internal assembly errors.
+pub fn build(variant: Variant, scale: Scale) -> Workload {
+    let (program, branches) = match variant {
+        Variant::Base => build_kernel(scale, false),
+        Variant::Cfd => build_kernel(scale, true),
+        other => panic!("tiff2bw_like does not support variant {other}"),
+    };
+    Workload {
+        name: "tiff2bw_like",
+        variant,
+        suite: Suite::CBench,
+        program,
+        mem: gen_mem(scale),
+        observable: vec![regs::acc(0), regs::acc(6)],
+        check_ranges: vec![(OUT_BASE, scale.n as u64)],
+        interest: branches,
+    }
+}
+
+/// Variants this kernel supports.
+pub fn variants() -> &'static [Variant] {
+    &[Variant::Base, Variant::Cfd]
+}
+
+fn build_kernel(scale: Scale, hoist_cfd: bool) -> (Program, Vec<InterestBranch>) {
+    let mut a = Assembler::new();
+    let (i, n, x, p, out, acc, cnt) =
+        (regs::i(), regs::n(), regs::x(), regs::p(), regs::t(0), regs::acc(0), regs::acc(6));
+    let (t1, t2) = (regs::t(1), regs::t(2));
+    a.li(n, scale.n as i64);
+    a.li(regs::base_a(), DATA_BASE as i64);
+    a.li(out, OUT_BASE as i64); // loop-carried output pointer: prevents splitting
+    a.li(i, 0);
+    a.label("top");
+    // Hoisted predicate computation (as far ahead as the loop allows).
+    a.sll(t1, i, 3i64);
+    a.add(t1, t1, regs::base_a());
+    a.ld(x, 0, t1);
+    a.slt(p, x, 128i64);
+    if hoist_cfd {
+        a.push_bq(p);
+    }
+    // Intervening luminance math — the most the loop allows between the
+    // hoisted slice and the branch (the paper hoists "far ahead within the
+    // loop"). Four independent dependence chains keep fetch and issue
+    // busy; the separation roughly covers the fetch-to-execute depth, so
+    // an L1-hitting predicate load usually pushes in time while an L1 miss
+    // forces a BQ miss (the paper's ~20% miss rate for this benchmark).
+    let chains = [regs::acc(1), regs::acc(2), regs::acc(3), regs::acc(4)];
+    for round in 0..30i64 {
+        for (k, &c) in chains.iter().enumerate() {
+            match (round + k as i64) % 4 {
+                0 => a.add(c, c, 3 + round),
+                1 => a.xor(c, c, 17 + round),
+                2 => a.sll(c, c, 1i64),
+                _ => a.srl(c, c, 1i64),
+            };
+        }
+    }
+    a.mul(t1, x, 19i64);
+    a.add(t2, t1, 37i64);
+    a.srl(t2, t2, 2i64);
+    a.add(acc, acc, t2);
+    let bpc = a.here();
+    a.annotate("pixel below threshold");
+    if hoist_cfd {
+        a.branch_on_bq("skip");
+    } else {
+        a.beqz(p, "skip");
+    }
+    // CD region: emit a black pixel and update running stats.
+    a.sb(t2, 0, out);
+    a.xor(acc, acc, t2);
+    a.add(acc, acc, x);
+    a.addi(cnt, cnt, 1);
+    a.label("skip");
+    a.addi(out, out, 1); // the serial output pointer
+    a.addi(i, i, 1);
+    a.blt(i, n, "top");
+    a.halt();
+    let program = a.finish().expect("tiff2bw assembles");
+    let branches =
+        vec![InterestBranch { pc: bpc, what: "pixel below threshold", class: PaperClass::SeparableTotal }];
+    (program, branches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoisted_cfd_matches_base() {
+        let scale = Scale::small();
+        let want = build(Variant::Base, scale).observe().unwrap();
+        assert_eq!(build(Variant::Cfd, scale).observe().unwrap(), want);
+    }
+
+    #[test]
+    fn push_sits_close_to_pop() {
+        // The defining property: few instructions between Push_BQ and
+        // Branch_on_BQ (insufficient fetch separation).
+        let w = build(Variant::Cfd, Scale::small());
+        let instrs = w.program.instrs();
+        let push = instrs.iter().position(|x| matches!(x, cfd_isa::Instr::PushBq { .. })).unwrap();
+        let pop = instrs.iter().position(|x| matches!(x, cfd_isa::Instr::BranchOnBq { .. })).unwrap();
+        assert!(pop > push && pop - push <= 160, "separation {} stays within one iteration", pop - push);
+    }
+}

@@ -1,0 +1,54 @@
+//! # cfd — Control-Flow Decoupling, reproduced in Rust
+//!
+//! A full reproduction of *"Control-Flow Decoupling: An Approach for
+//! Timely, Non-speculative Branching"* (Sheikh, Tuck, Rotenberg;
+//! MICRO 2012 / IEEE TC 2014): the CFD ISA extension, the fetch-resident
+//! Branch/Value/Trip-count queues, a Sandy-Bridge-class out-of-order core
+//! simulator, the paper's branch-classification analysis, benchmark-analog
+//! workloads, and an experiment harness that regenerates every table and
+//! figure of the evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's sub-crates under
+//! one roof. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+//! recorded paper-vs-measured results.
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`isa`] | `cfd-isa` | ISA + CFD extension, assembler, functional simulator |
+//! | [`predictor`] | `cfd-predictor` | ISL-TAGE-lite, gshare, bimodal, BTB, RAS, confidence |
+//! | [`mem`] | `cfd-mem` | cache hierarchy, MSHRs, prefetchers |
+//! | [`energy`] | `cfd-energy` | event-based energy accounting |
+//! | [`analysis`] | `cfd-analysis` | CFG/dominance/slices, separability classes, auto-CFD |
+//! | [`core`] | `cfd-core` | the cycle-level OOO core with CFD microarchitecture |
+//! | [`workloads`] | `cfd-workloads` | benchmark-analog kernels with all variants |
+//! | [`profile`] | `cfd-profile` | per-branch MPKI profiling (PIN-tool analog) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cfd::core::{Core, CoreConfig};
+//! use cfd::workloads::{by_name, Scale, Variant};
+//!
+//! let entry = by_name("soplex_ref_like").unwrap();
+//! let scale = Scale { n: 2_000, seed: 42 };
+//! let base = entry.build(Variant::Base, scale);
+//! let cfd = entry.build(Variant::Cfd, scale);
+//!
+//! let b = Core::new(CoreConfig::default(), base.program.clone(), base.mem.clone())
+//!     .run(100_000_000)?;
+//! let c = Core::new(CoreConfig::default(), cfd.program.clone(), cfd.mem.clone())
+//!     .run(100_000_000)?;
+//! assert!(c.speedup_over(&b) > 1.0, "CFD wins on the hard separable branch");
+//! # Ok::<(), cfd::core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cfd_analysis as analysis;
+pub use cfd_core as core;
+pub use cfd_energy as energy;
+pub use cfd_isa as isa;
+pub use cfd_mem as mem;
+pub use cfd_predictor as predictor;
+pub use cfd_profile as profile;
+pub use cfd_workloads as workloads;

@@ -1,11 +1,12 @@
 //! Property-based tests for the static analyses: random structured
 //! programs must satisfy the textbook dominance/control-dependence laws.
+//! Cases come from the in-repo seeded harness (`cfd_isa::prop_check`).
 
 use cfd_analysis::{backward_slice, classify_program, find_loops, Cfg, ClassifyConfig, DomTree};
-use cfd_isa::{Assembler, Program, Reg};
-use proptest::prelude::*;
+use cfd_isa::check::Rng;
+use cfd_isa::{prop_check, Assembler, Program, Reg};
 
-/// Generates a random structured program: a chain of `segments`, each either
+/// A random structured program: a chain of `segments`, each either
 /// straight-line code, an if (optionally with else), or a counted loop whose
 /// body is straight-line with an optional guarded region.
 #[derive(Debug, Clone)]
@@ -15,12 +16,19 @@ enum Segment {
     Loop { body_len: u8, guarded: Option<u8> },
 }
 
-fn segment() -> impl Strategy<Value = Segment> {
-    prop_oneof![
-        (1u8..6).prop_map(Segment::Straight),
-        ((1u8..5), any::<bool>()).prop_map(|(t, e)| Segment::IfThen { then_len: t, with_else: e }),
-        ((1u8..4), proptest::option::of(1u8..8)).prop_map(|(b, g)| Segment::Loop { body_len: b, guarded: g }),
-    ]
+fn segment(rng: &mut Rng) -> Segment {
+    match rng.below(3) {
+        0 => Segment::Straight(rng.range_u64(1, 6) as u8),
+        1 => Segment::IfThen { then_len: rng.range_u64(1, 5) as u8, with_else: rng.bool() },
+        _ => Segment::Loop {
+            body_len: rng.range_u64(1, 4) as u8,
+            guarded: rng.bool().then(|| rng.range_u64(1, 8) as u8),
+        },
+    }
+}
+
+fn segments(rng: &mut Rng) -> Vec<Segment> {
+    rng.vec(1, 8, segment)
 }
 
 fn build(segments: &[Segment]) -> Program {
@@ -74,78 +82,77 @@ fn build(segments: &[Segment]) -> Program {
     a.finish().expect("generated program assembles")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dominance_laws_hold(segments in proptest::collection::vec(segment(), 1..8)) {
-        let program = build(&segments);
+#[test]
+fn dominance_laws_hold() {
+    prop_check!(48, |rng| {
+        let program = build(&segments(rng));
         let cfg = Cfg::build(&program);
         let dom = DomTree::dominators(&cfg);
         let pdom = DomTree::post_dominators(&cfg);
         for b in 0..cfg.len() {
             // Entry dominates everything; exit post-dominates everything.
-            prop_assert!(dom.dominates(cfg.entry(), b));
-            prop_assert!(pdom.dominates(cfg.exit(), b));
+            assert!(dom.dominates(cfg.entry(), b));
+            assert!(pdom.dominates(cfg.exit(), b));
             // Reflexivity.
-            prop_assert!(dom.dominates(b, b));
+            assert!(dom.dominates(b, b));
             // idom is a strict dominator (except at the root).
             if b != cfg.entry() {
                 let id = dom.idom(b);
-                prop_assert!(dom.dominates(id, b));
-                prop_assert!(id == b || dom.strictly_dominates(id, b));
+                assert!(dom.dominates(id, b));
+                assert!(id == b || dom.strictly_dominates(id, b));
             }
             // Antisymmetry.
             for c in 0..cfg.len() {
                 if b != c {
-                    prop_assert!(
+                    assert!(
                         !(dom.strictly_dominates(b, c) && dom.strictly_dominates(c, b)),
                         "mutual strict dominance {b} <-> {c}"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn loops_have_dominating_headers(segments in proptest::collection::vec(segment(), 1..8)) {
-        let program = build(&segments);
+#[test]
+fn loops_have_dominating_headers() {
+    prop_check!(48, |rng| {
+        let program = build(&segments(rng));
         let cfg = Cfg::build(&program);
         let dom = DomTree::dominators(&cfg);
         for lp in find_loops(&cfg, &dom) {
-            prop_assert!(lp.contains(lp.header));
+            assert!(lp.contains(lp.header));
             for &b in &lp.blocks {
-                prop_assert!(dom.dominates(lp.header, b), "header must dominate the body");
+                assert!(dom.dominates(lp.header, b), "header must dominate the body");
             }
             for &latch in &lp.latches {
-                prop_assert!(lp.contains(latch));
-                prop_assert!(cfg.blocks[latch].succs.contains(&lp.header), "latch closes the loop");
+                assert!(lp.contains(latch));
+                assert!(cfg.blocks[latch].succs.contains(&lp.header), "latch closes the loop");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn classification_is_total_and_slices_are_in_loops(
-        segments in proptest::collection::vec(segment(), 1..8)
-    ) {
-        let program = build(&segments);
+#[test]
+fn classification_is_total_and_slices_are_in_loops() {
+    prop_check!(48, |rng| {
+        let program = build(&segments(rng));
         let cfg = Cfg::build(&program);
         let dom = DomTree::dominators(&cfg);
         let loops = find_loops(&cfg, &dom);
         let reports = classify_program(&program, Some(&cfg), ClassifyConfig::default());
         // Every plain conditional branch gets exactly one report.
-        let branch_count =
-            program.instrs().iter().filter(|x| x.is_plain_conditional()).count();
-        prop_assert_eq!(reports.len(), branch_count);
+        let branch_count = program.instrs().iter().filter(|x| x.is_plain_conditional()).count();
+        assert_eq!(reports.len(), branch_count);
         // Slices stay within their loop.
         for rep in &reports {
             let block = cfg.block_of(rep.pc);
             if let Some(lp) = loops.iter().find(|l| l.contains(block)) {
                 let slice = backward_slice(&program, &cfg, lp, rep.pc);
                 for pc in &slice.pcs {
-                    prop_assert!(lp.contains(cfg.block_of(*pc)), "slice escaped its loop");
+                    assert!(lp.contains(cfg.block_of(*pc)), "slice escaped its loop");
                 }
             }
         }
-    }
+    });
 }

@@ -1,11 +1,21 @@
-//! Experiment runner: regenerates the paper's tables and figures.
+//! Experiment runner: regenerates the paper's tables and figures, and
+//! runs fault-injection campaigns.
 //!
 //! Usage:
 //!   experiments list          list available experiments
 //!   experiments `<id>`...     run specific experiments (e.g. fig18 fig24)
 //!   experiments all           run everything (EXPERIMENTS.md source)
+//!   experiments faults [opts] run a fault-injection campaign (see below)
+//!
+//! Campaign options:
+//!   --seed N        trial-point seed (default 0xcfdfa017)
+//!   --trials N      trials per (workload, fault) pair (default 1)
+//!   --scale N       workload outer trip count (default 120)
+//!   --smoke         small fast sweep (scale 40)
+//!   --json PATH     write the JSON verdict table to PATH ("-" = stdout)
 
 use cfd_bench::experiments;
+use cfd_harden::{run_campaign, CampaignConfig};
 use std::time::Instant;
 
 fn main() {
@@ -16,6 +26,11 @@ fn main() {
             println!("  {:8} {}", e.id, e.what);
         }
         println!("  {:8} run every experiment", "all");
+        println!("  {:8} fault-injection campaign (--seed N --trials N --scale N --smoke --json PATH)", "faults");
+        return;
+    }
+    if args[0] == "faults" {
+        run_fault_campaign(&args[1..]);
         return;
     }
     let ids: Vec<String> = if args[0] == "all" {
@@ -35,5 +50,67 @@ fn main() {
         let out = (e.run)();
         println!("{out}");
         println!("[{} completed in {:.1}s]\n", e.id, t0.elapsed().as_secs_f64());
+    }
+}
+
+fn run_fault_campaign(args: &[String]) {
+    let mut cfg = CampaignConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(1);
+            });
+            parse_u64(v).unwrap_or_else(|| {
+                eprintln!("bad value for {what}: `{v}`");
+                std::process::exit(1);
+            })
+        };
+        match a.as_str() {
+            "--seed" => cfg.seed = num("--seed"),
+            "--trials" => cfg.trials_per_pair = num("--trials") as usize,
+            "--scale" => cfg.scale_n = num("--scale") as usize,
+            "--smoke" => cfg.scale_n = 40,
+            "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| {
+                eprintln!("--json needs a path");
+                std::process::exit(1);
+            })),
+            other => {
+                eprintln!("unknown campaign option `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    println!("fault campaign: seed {:#x}, {} workloads x {} fault classes, {} trial(s)/pair, scale {}",
+        cfg.seed, cfg.workloads.len(), cfg.faults.len(), cfg.trials_per_pair, cfg.scale_n);
+    let report = run_campaign(&cfg);
+    println!("{}", report.table());
+    match json_path.as_deref() {
+        Some("-") => println!("{}", report.to_json()),
+        Some(path) => {
+            std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("verdict table written to {path}");
+        }
+        None => {}
+    }
+    let silent = report.silent_divergences();
+    println!("[faults completed in {:.1}s: {} trials, {} contract violations]",
+        t0.elapsed().as_secs_f64(), report.outcomes.len(), silent);
+    if silent > 0 {
+        std::process::exit(2);
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
     }
 }

@@ -25,7 +25,7 @@ pub fn sweep_scale() -> Scale {
 /// Panics when the simulation fails — experiments treat simulator errors
 /// as fatal.
 pub fn run(workload: &Workload, cfg: &CoreConfig) -> RunReport {
-    Core::new(cfg.clone(), workload.program.clone(), workload.mem.clone())
+    Core::new(cfg.clone(), workload.program.clone(), workload.mem.clone()).unwrap()
         .run(CYCLE_LIMIT)
         .unwrap_or_else(|e| panic!("{} [{}] failed: {e}", workload.name, workload.variant))
 }

@@ -15,7 +15,7 @@ fn main() {
     let mut s = 99u64;
     for k in 0..n as u64 { s^=s<<13; s^=s>>7; s^=s<<17; mem.write_u64(0x100000+8*k, s%100); }
     let t0 = Instant::now();
-    let rep = Core::new(CoreConfig::default(), a.finish().unwrap(), mem).run(100_000_000).unwrap();
+    let rep = Core::new(CoreConfig::default(), a.finish().unwrap(), mem).unwrap().run(100_000_000).unwrap();
     let dt = t0.elapsed().as_secs_f64();
     println!("retired={} cycles={} ipc={:.2} | {:.2} M instr/s, {:.2} M cyc/s", rep.stats.retired, rep.stats.cycles, rep.ipc(), rep.stats.retired as f64/dt/1e6, rep.stats.cycles as f64/dt/1e6);
 }

@@ -106,6 +106,13 @@ pub struct CoreConfig {
     /// Verify the retired instruction stream against the functional oracle
     /// (cheap; catches simulator bugs — keep on).
     pub verify_retirement: bool,
+    /// Watchdog: declare a deadlock when no instruction retires for this
+    /// many cycles. Bounds the detection latency of dropped-entry faults.
+    pub watchdog_cycles: u64,
+    /// Keep the last N per-cycle pipeline snapshots for post-mortem dumps
+    /// (see [`Core::run_diag`](crate::Core::run_diag)); 0 disables the
+    /// ring.
+    pub post_mortem_depth: usize,
 }
 
 impl Default for CoreConfig {
@@ -135,6 +142,8 @@ impl Default for CoreConfig {
             hierarchy: HierarchyConfig::default(),
             model_icache: true,
             verify_retirement: true,
+            watchdog_cycles: 100_000,
+            post_mortem_depth: 0,
         }
     }
 }

@@ -25,9 +25,10 @@
 
 use crate::cfd_queues::{BqSnapshot, FetchBq, FetchTq, TqSnapshot};
 use crate::config::{BqMissPolicy, CheckpointPolicy, CoreConfig};
+use crate::fault::{FailureReport, FaultKind, FaultSite, FaultSpec, FaultState};
 use crate::rename::{join_taint, PhysReg, RenameState, Taint, VqRenamer};
 use crate::stats::{level_index, CoreStats, RunReport};
-use crate::trace::{PipeEvent, PipeTrace};
+use crate::trace::{CycleSnap, PipeEvent, PipeTrace, SnapRing};
 use cfd_energy::EventCounts;
 use cfd_isa::{eval_alu, eval_branch, Instr, Machine, MemImage, MemWidth, NullSink, Program, QueueConfig, Src2};
 use cfd_mem::{Cache, CacheConfig, Hierarchy};
@@ -84,6 +85,10 @@ struct DynInst {
     prev_phys: Option<PhysReg>,
     psrc1: Option<PhysReg>,
     psrc2: Option<PhysReg>,
+    /// The VQ mapping a `Pop_VQ` frees at retirement. Normally equals
+    /// `psrc1`; kept separate so the free list stays consistent when
+    /// fault injection corrupts the operand mapping.
+    vq_free: Option<PhysReg>,
     /// Occupies an IQ slot until issued.
     in_iq: bool,
     in_lsq: bool,
@@ -128,6 +133,7 @@ impl DynInst {
             prev_phys: None,
             psrc1: None,
             psrc2: None,
+            vq_free: None,
             in_iq: false,
             in_lsq: false,
             dispatched: false,
@@ -187,6 +193,8 @@ impl DynInst {
 /// A simulation failure (simulator bug or runaway program).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
+    /// The core configuration is invalid (e.g. an unknown predictor name).
+    Config(String),
     /// The cycle limit was reached before `Halt` retired.
     CycleLimit(u64),
     /// The retired stream diverged from the functional oracle.
@@ -212,6 +220,7 @@ pub enum CoreError {
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CoreError::Config(e) => write!(f, "invalid core configuration: {e}"),
             CoreError::CycleLimit(n) => write!(f, "cycle limit {n} reached before halt"),
             CoreError::OracleMismatch { seq, core_pc, oracle_pc } => {
                 write!(f, "retired pc {core_pc} at seq {seq}, oracle expected {oracle_pc}")
@@ -272,15 +281,23 @@ pub struct Core {
     stats: CoreStats,
     events: EventCounts,
     pipe_trace: Option<PipeTrace>,
+    /// Armed fault injection, if any (see [`crate::fault`]).
+    fault: Option<FaultState>,
+    /// Post-mortem snapshot ring (empty unless `post_mortem_depth > 0`).
+    snap_ring: SnapRing,
 }
 
 impl Core {
     /// Builds a core over `program` and an initial memory image.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configured predictor name is unknown.
-    pub fn new(cfg: CoreConfig, program: Program, mem: MemImage) -> Core {
+    /// [`CoreError::Config`] if the configured predictor name is unknown
+    /// or a structural parameter is out of range.
+    pub fn new(cfg: CoreConfig, program: Program, mem: MemImage) -> Result<Core, CoreError> {
+        if cfg.bq_size == 0 || cfg.vq_size == 0 || cfg.tq_size == 0 {
+            return Err(CoreError::Config("queue sizes must be non-zero".into()));
+        }
         let qc = QueueConfig {
             bq_size: cfg.bq_size,
             vq_size: cfg.vq_size,
@@ -290,8 +307,8 @@ impl Core {
         let oracle = Machine::with_queues(program.clone(), mem, qc);
         let fetch_oracle = oracle.clone();
         let predictor = predictor_by_name(&cfg.predictor)
-            .unwrap_or_else(|| panic!("unknown predictor `{}`", cfg.predictor));
-        Core {
+            .ok_or_else(|| CoreError::Config(format!("unknown predictor `{}`", cfg.predictor)))?;
+        Ok(Core {
             program,
             oracle,
             fetch_oracle,
@@ -325,8 +342,10 @@ impl Core {
             stats: CoreStats::default(),
             events: EventCounts::default(),
             pipe_trace: None,
+            fault: None,
+            snap_ring: SnapRing::new(cfg.post_mortem_depth),
             cfg,
-        }
+        })
     }
 
     /// Enables pipeline tracing for the first `limit` fetched instructions
@@ -334,6 +353,13 @@ impl Core {
     #[must_use]
     pub fn with_pipe_trace(mut self, limit: usize) -> Self {
         self.pipe_trace = Some(PipeTrace::new(limit));
+        self
+    }
+
+    /// Arms one deterministic fault injection (see [`crate::fault`]).
+    #[must_use]
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.fault = Some(FaultState::new(spec));
         self
     }
 
@@ -345,6 +371,35 @@ impl Core {
     /// [`CoreError::OracleMismatch`]/[`CoreError::Program`] on internal
     /// verification failures (these indicate simulator or program bugs).
     pub fn run(mut self, cycle_limit: u64) -> Result<RunReport, CoreError> {
+        match self.run_inner(cycle_limit) {
+            Ok(()) => Ok(self.into_report()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Like [`Core::run`], but a failure carries full post-mortem
+    /// diagnostics: the typed error, the final pipeline state, the
+    /// per-cycle snapshot ring (when `post_mortem_depth > 0`), and the
+    /// injected fault's record when one fired.
+    ///
+    /// # Errors
+    ///
+    /// A boxed [`FailureReport`] wrapping the same [`CoreError`]s as
+    /// [`Core::run`].
+    pub fn run_diag(mut self, cycle_limit: u64) -> Result<RunReport, Box<FailureReport>> {
+        match self.run_inner(cycle_limit) {
+            Ok(()) => Ok(self.into_report()),
+            Err(error) => {
+                let mut post_mortem =
+                    format!("final state: {}\nlast {} cycles:\n", self.dump_state(), self.snap_ring.snaps().count());
+                post_mortem.push_str(&self.snap_ring.render());
+                let injection = self.fault.as_ref().and_then(|f| f.fired().cloned());
+                Err(Box::new(FailureReport { error, post_mortem, injection }))
+            }
+        }
+    }
+
+    fn run_inner(&mut self, cycle_limit: u64) -> Result<(), CoreError> {
         let profile = std::env::var_os("CFD_PROF").is_some();
         let mut prof = [0u64; 5];
         let mut last_retired = (0u64, 0u64); // (cycle, count)
@@ -354,8 +409,11 @@ impl Core {
             }
             if self.stats.retired != last_retired.1 {
                 last_retired = (self.now, self.stats.retired);
-            } else if self.now - last_retired.0 > 100_000 {
+            } else if self.now - last_retired.0 > self.cfg.watchdog_cycles {
                 return Err(CoreError::Deadlock { cycle: self.now, state: self.dump_state() });
+            }
+            if self.cfg.post_mortem_depth > 0 {
+                self.snap_ring.push(self.cycle_snap());
             }
             if profile {
                 let t0 = std::time::Instant::now();
@@ -395,6 +453,11 @@ impl Core {
                 prof[0], prof[1], prof[2], prof[3], prof[4]
             );
         }
+        Ok(())
+    }
+
+    /// Finalizes counters and packages the report (successful runs only).
+    fn into_report(mut self) -> RunReport {
         self.hier.advance(self.now);
         self.stats.cycles = self.now;
         self.events.cycles = self.now;
@@ -404,14 +467,48 @@ impl Core {
         self.events.l3_accesses = l3.accesses;
         self.events.dram_accesses = self.hier.level_counts[3];
         self.events.btb_ops = self.btb.lookups;
-        Ok(RunReport {
+        RunReport {
             stats: self.stats,
             events: self.events,
             cache_stats: (l1, l2, l3),
             mshr_histogram: self.hier.mshr_histogram().to_vec(),
             level_counts: self.hier.level_counts,
             pipe_trace: self.pipe_trace,
-        })
+            injection: self.fault.as_ref().and_then(|f| f.fired().cloned()),
+        }
+    }
+
+    /// One post-mortem ring entry for the current cycle.
+    fn cycle_snap(&self) -> CycleSnap {
+        CycleSnap {
+            cycle: self.now,
+            fetch_pc: self.fetch_pc,
+            retired: self.stats.retired,
+            rob: self.rob.len(),
+            iq: self.iq_count,
+            lsq: self.lsq_count,
+            front_q: self.front_q.len(),
+            bq_len: self.bq.length(),
+            tq_len: self.tq.length(),
+            tcr: self.tq.tcr,
+            free_regs: self.rename.free_regs(),
+            ckpt_free: self.checkpoints_free,
+        }
+    }
+
+    /// Visits a fault-injection site: returns the armed fault's kind when
+    /// it fires at this visit (see [`crate::fault`]).
+    fn fault_at(&mut self, site: FaultSite) -> Option<FaultKind> {
+        let fired = self.fault.as_mut()?.visit(site, self.now);
+        if fired.is_some() {
+            self.stats.faults_injected += 1;
+        }
+        fired
+    }
+
+    /// Whether the armed fault has fired by now (recovery attribution).
+    fn fault_has_fired(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.fired().is_some())
     }
 
     /// Branch PC as presented to predictor structures: instruction indices
@@ -538,7 +635,7 @@ impl Core {
                     self.vq.retire_pop();
                     // The push's physical register is freed when the pop
                     // that references it retires (§IV-B).
-                    if let Some(p) = e.psrc1 {
+                    if let Some(p) = e.vq_free {
                         self.rename.free_phys(p);
                     }
                 }
@@ -656,7 +753,13 @@ impl Core {
                 Instr::PushTq { .. } => {
                     let abs = self.rob[i].tq_abs.expect("tq push has index");
                     let src = self.rob[i].psrc1.expect("tq push has source");
-                    let v = self.rename.read(src);
+                    let mut v = self.rename.read(src);
+                    // Fault injection at the TQ write port: an off-by-one
+                    // trip count makes `Branch_on_TCR` run the loop a wrong
+                    // number of times (oracle mismatch at retire).
+                    if self.fault_at(FaultSite::TqExecutePush) == Some(FaultKind::TqCorrupt) {
+                        v = v.wrapping_add(1);
+                    }
                     self.tq.execute_push(abs, v);
                     self.events.tq_ops += 1;
                 }
@@ -736,8 +839,16 @@ impl Core {
         let e = &self.rob[i];
         let abs = e.bq_abs.expect("bq push has index");
         let src = e.psrc1.expect("bq push has source");
-        let predicate = self.rename.read(src) != 0;
+        let mut predicate = self.rename.read(src) != 0;
         let taint = self.rename.taint(src);
+        // Fault injection at the BQ write port: a corrupted predicate
+        // steers the pop down the wrong path (oracle mismatch at retire);
+        // a dropped write leaves the pop unverifiable (watchdog trip).
+        match self.fault_at(FaultSite::BqExecutePush) {
+            Some(FaultKind::BqCorrupt) => predicate = !predicate,
+            Some(FaultKind::BqDrop) => return false,
+            _ => {}
+        }
         self.events.bq_ops += 1;
         let r = self.bq.execute_push_tainted(abs, predicate, level_index(taint) as u8);
         if self.trace {
@@ -787,6 +898,9 @@ impl Core {
     /// immediately when it holds a checkpoint, else deferred to retirement.
     /// Returns true when the ROB was truncated now.
     fn begin_recovery(&mut self, i: usize, _target: u32, _actual_taken: bool) -> bool {
+        if self.fault_has_fired() {
+            self.stats.post_fault_recoveries += 1;
+        }
         if self.rob[i].has_checkpoint {
             self.stats.immediate_recoveries += 1;
             self.events.checkpoint_ops += 1;
@@ -869,6 +983,14 @@ impl Core {
         if self.diverged_at == Some(seq) {
             self.diverged_at = None;
             debug_assert_eq!(self.fetch_oracle.pc(), target, "fetch oracle resync mismatch");
+        } else if self.diverged_at.is_none() && self.fetch_oracle.pc() != target {
+            // A "recovery" that leaves the oracle's path can only come from
+            // corrupted state (fault injection): an on-path branch resolved
+            // with a wrong value. Mark fetch as diverged so the retirement
+            // oracle reports the mismatch instead of the fetch-side
+            // divergence tracker asserting.
+            debug_assert!(self.fault.is_some(), "off-oracle recovery without fault injection");
+            self.diverged_at = Some(seq);
         }
     }
 
@@ -1064,7 +1186,13 @@ impl Core {
                         }
                         value = self.oracle.mem.read(addr, width, signed);
                         out_taint = join_taint(in_taint, Some(res.level));
-                        latency = res.latency as u64;
+                        // Fault injection: a delayed memory response is a
+                        // timing-only perturbation and must be masked.
+                        let extra = match self.fault_at(FaultSite::LoadAccess) {
+                            Some(FaultKind::MemDelay(n)) => n,
+                            _ => 0,
+                        };
+                        latency = res.latency as u64 + extra;
                     }
                     ForwardState::MustWait => unreachable!("checked by load_may_issue"),
                 }
@@ -1228,7 +1356,20 @@ impl Core {
                     // physical register); the destination renames normally.
                     // `pop_vq r0` is ISA-legal (consume and discard): it
                     // still pops the mapping but writes no register.
-                    e.psrc1 = Some(self.vq.rename_pop());
+                    let mut vq_src = self.vq.rename_pop();
+                    e.vq_free = Some(vq_src);
+                    // Fault injection at the VQ rename map: the pop latches
+                    // a different physical register than its push wrote.
+                    // The wrong value either reaches control flow (oracle
+                    // mismatch), wedges on a never-ready register
+                    // (watchdog), or is overwritten downstream (masked —
+                    // committed memory comes from the retire oracle). The
+                    // free at retirement uses the true mapping (`vq_free`)
+                    // either way.
+                    if self.fault_at(FaultSite::VqRenamePop) == Some(FaultKind::VqRemapCorrupt) {
+                        vq_src = (vq_src ^ 1) % self.cfg.prf_size as PhysReg;
+                    }
+                    e.psrc1 = Some(vq_src);
                     self.events.vq_ops += 1;
                     if let Some(rd) = instr.dest() {
                         let Some((p, prev)) = self.rename.rename_dest(rd) else { return };
@@ -1443,6 +1584,9 @@ impl Core {
                     e.pred_meta = Some(meta);
                     d
                 };
+                // Fault injection: an inverted prediction must be masked by
+                // the normal misprediction-recovery machinery.
+                let dir = dir ^ (self.fault_at(FaultSite::PredictorPredict) == Some(FaultKind::PredictorFlip));
                 self.events.bpred_ops += 1;
                 e.fetch_taken = Some(dir);
                 e.fetch_target = target;
@@ -1511,6 +1655,12 @@ impl Core {
                                     self.events.bpred_ops += 1;
                                     !d
                                 };
+                                // Fault injection: a flipped speculative-pop
+                                // prediction must be caught by late-push
+                                // verification.
+                                let predicted_pred = predicted_pred
+                                    ^ (self.fault_at(FaultSite::PredictorPredict)
+                                        == Some(FaultKind::PredictorFlip));
                                 if self.trace {
                                     eprintln!("[{}] SPEC_POP seq={} abs={} pred={}", self.now, seq, abs, predicted_pred);
                                 }

@@ -38,7 +38,7 @@
 //! a.blt(i, n, "top");
 //! a.halt();
 //!
-//! let report = Core::new(CoreConfig::default(), a.finish()?, MemImage::new())
+//! let report = Core::new(CoreConfig::default(), a.finish()?, MemImage::new())?
 //!     .run(1_000_000)?;
 //! assert!(report.stats.retired > 1000);
 //! assert!(report.ipc() > 0.5);
@@ -51,6 +51,7 @@ mod cfd_queues;
 mod config;
 #[allow(clippy::module_inception)]
 mod core;
+pub mod fault;
 mod rename;
 mod stats;
 mod trace;
@@ -58,6 +59,7 @@ mod trace;
 pub use crate::core::{Core, CoreError};
 pub use cfd_queues::{BqSnapshot, FetchBq, FetchTq, TqSnapshot};
 pub use config::{BqMissPolicy, CheckpointPolicy, CoreConfig, PerfectMode};
+pub use fault::{FailureReport, FaultKind, FaultSite, FaultSpec, InjectionRecord};
 pub use rename::{join_taint, PhysReg, RenameState, Taint, VqRenamer, VqSnapshot};
 pub use stats::{level_index, BranchStat, CoreStats, RunReport};
-pub use trace::{PipeEvent, PipeTrace};
+pub use trace::{CycleSnap, PipeEvent, PipeTrace, SnapRing};

@@ -1,5 +1,6 @@
 //! Simulation statistics and the run report.
 
+use crate::fault::InjectionRecord;
 use crate::trace::PipeTrace;
 use cfd_energy::{EnergyBreakdown, EnergyModel, EventCounts};
 use cfd_mem::{CacheStats, MemLevel};
@@ -81,6 +82,12 @@ pub struct CoreStats {
     pub icache_misses: u64,
     /// Store-to-load forwards in the LSQ.
     pub lsq_forwards: u64,
+    /// Faults injected by the fault-injection harness (0 in normal runs).
+    pub faults_injected: u64,
+    /// Recoveries attributable to an injected fault: recovery events
+    /// (immediate, retire-time or BQ-speculation) observed after the
+    /// injection cycle. Bounds the fault's recovery latency in events.
+    pub post_fault_recoveries: u64,
     /// Per-PC branch statistics.
     pub branches: BTreeMap<u32, BranchStat>,
 }
@@ -132,6 +139,10 @@ pub struct RunReport {
     pub level_counts: [u64; 4],
     /// Pipeline trace, when enabled via `Core::with_pipe_trace`.
     pub pipe_trace: Option<PipeTrace>,
+    /// The injected fault that fired during this run, if any. A completed
+    /// run with a fired injection means the fault was architecturally
+    /// masked (the retirement oracle verified every instruction).
+    pub injection: Option<InjectionRecord>,
 }
 
 impl RunReport {

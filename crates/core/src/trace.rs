@@ -1,11 +1,18 @@
-//! Per-instruction pipeline tracing (pipeview).
+//! Per-instruction pipeline tracing (pipeview) and the post-mortem
+//! snapshot ring.
 //!
 //! When enabled, the core records each instruction's stage timestamps —
 //! fetch, dispatch, issue, completion, retirement (or squash) — and can
 //! render them as a classic pipeline diagram. Invaluable for seeing the
 //! CFD mechanism at work: `Branch_on_BQ` pops complete at dispatch (they
 //! resolved at fetch), while baseline branches crawl through the backend.
+//!
+//! [`SnapRing`] is the complementary whole-pipeline view: a fixed-size
+//! ring of per-cycle occupancy snapshots ([`CycleSnap`]), dumped when a
+//! run dies (deadlock watchdog, oracle mismatch) so the last moments
+//! before the failure are visible without re-running under a tracer.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// Stage timestamps for one traced instruction.
@@ -147,6 +154,91 @@ impl PipeTrace {
     }
 }
 
+/// One cycle's pipeline occupancy snapshot (post-mortem ring entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleSnap {
+    /// Cycle number.
+    pub cycle: u64,
+    /// Next fetch PC.
+    pub fetch_pc: u32,
+    /// Instructions retired so far.
+    pub retired: u64,
+    /// ROB occupancy.
+    pub rob: usize,
+    /// Issue-queue occupancy.
+    pub iq: usize,
+    /// Load/store-queue occupancy.
+    pub lsq: usize,
+    /// Front-pipe (fetched, not yet dispatched) occupancy.
+    pub front_q: usize,
+    /// Fetch-resident BQ occupancy.
+    pub bq_len: u64,
+    /// Fetch-resident TQ occupancy.
+    pub tq_len: u64,
+    /// Current TCR value.
+    pub tcr: u32,
+    /// Free physical registers.
+    pub free_regs: usize,
+    /// Free checkpoints.
+    pub ckpt_free: usize,
+}
+
+/// A fixed-size ring buffer of per-cycle pipeline snapshots.
+///
+/// The core pushes one [`CycleSnap`] per simulated cycle when
+/// `CoreConfig::post_mortem_depth > 0`; on any failure the ring holds the
+/// last `depth` cycles for the post-mortem dump.
+#[derive(Debug, Clone)]
+pub struct SnapRing {
+    buf: VecDeque<CycleSnap>,
+    depth: usize,
+}
+
+impl SnapRing {
+    /// A ring keeping the most recent `depth` snapshots.
+    pub fn new(depth: usize) -> SnapRing {
+        SnapRing { buf: VecDeque::with_capacity(depth.min(4096)), depth }
+    }
+
+    /// Appends a snapshot, evicting the oldest when full.
+    pub fn push(&mut self, snap: CycleSnap) {
+        if self.depth == 0 {
+            return;
+        }
+        if self.buf.len() == self.depth {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(snap);
+    }
+
+    /// The retained snapshots, oldest first.
+    pub fn snaps(&self) -> impl Iterator<Item = &CycleSnap> {
+        self.buf.iter()
+    }
+
+    /// Renders the ring as a fixed-width table, oldest cycle first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>10} {:>5} {:>4} {:>4} {:>7} {:>5} {:>5} {:>6} {:>5} {:>5}",
+            "cycle", "fetch_pc", "retired", "rob", "iq", "lsq", "front_q", "bq", "tq", "tcr", "pregs", "ckpt"
+        );
+        for s in &self.buf {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>8} {:>10} {:>5} {:>4} {:>4} {:>7} {:>5} {:>5} {:>6} {:>5} {:>5}",
+                s.cycle, s.fetch_pc, s.retired, s.rob, s.iq, s.lsq, s.front_q, s.bq_len, s.tq_len,
+                s.tcr, s.free_regs, s.ckpt_free
+            );
+        }
+        if self.buf.is_empty() {
+            out.push_str("(no snapshots; set post_mortem_depth > 0)\n");
+        }
+        out
+    }
+}
+
 fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         format!("{s:n$}")
@@ -208,5 +300,43 @@ mod tests {
     #[test]
     fn empty_trace_renders() {
         assert!(PipeTrace::new(4).render().contains("empty"));
+    }
+
+    fn snap(cycle: u64) -> CycleSnap {
+        CycleSnap {
+            cycle,
+            fetch_pc: 7,
+            retired: cycle * 2,
+            rob: 10,
+            iq: 3,
+            lsq: 2,
+            front_q: 4,
+            bq_len: 1,
+            tq_len: 0,
+            tcr: 0,
+            free_regs: 100,
+            ckpt_free: 8,
+        }
+    }
+
+    #[test]
+    fn snap_ring_keeps_last_depth() {
+        let mut r = SnapRing::new(3);
+        for c in 0..10 {
+            r.push(snap(c));
+        }
+        let cycles: Vec<u64> = r.snaps().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+        let table = r.render();
+        assert!(table.contains("fetch_pc"));
+        assert!(table.contains('9'));
+    }
+
+    #[test]
+    fn zero_depth_ring_stays_empty() {
+        let mut r = SnapRing::new(0);
+        r.push(snap(1));
+        assert_eq!(r.snaps().count(), 0);
+        assert!(r.render().contains("no snapshots"));
     }
 }

@@ -50,7 +50,7 @@ fn separable_kernel(n: i64, p_taken_percent: u64) -> (Program, u32, MemImage) {
 }
 
 fn run(cfg: CoreConfig, program: Program, mem: MemImage) -> RunReport {
-    Core::new(cfg, program, mem).run(50_000_000).expect("simulation completes")
+    Core::new(cfg, program, mem).unwrap().run(50_000_000).expect("simulation completes")
 }
 
 fn final_regs(program: &Program, mem: &MemImage, regs: &[Reg]) -> Vec<i64> {

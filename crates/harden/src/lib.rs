@@ -1,0 +1,453 @@
+//! # cfd-harden — fault-injection campaigns with differential verification
+//!
+//! The timing core carries a retire-side functional oracle, so every
+//! completed run is already verified instruction-by-instruction. This
+//! crate turns that into a *robustness harness*: it sweeps deterministic
+//! microarchitectural faults ([`cfd_core::FaultKind`]) across the
+//! workload catalog and classifies each trial's outcome against the
+//! detection contract:
+//!
+//! * **Masked** — the run completed and is architecturally identical to
+//!   the fault-free functional reference (normal speculation machinery
+//!   absorbed the fault);
+//! * **Detected** — the run ended in a typed [`cfd_core::CoreError`]
+//!   naming the failure (oracle mismatch, queue-protocol error, or the
+//!   bounded-latency deadlock watchdog);
+//! * **Hang** — the run blew through the cycle limit without the
+//!   watchdog converting it into a report (a harness failure);
+//! * **SilentDivergence** — the run completed with a result that differs
+//!   from the reference (the one outcome the contract forbids);
+//! * **NotReached** — the fault's trigger site was never visited (e.g. a
+//!   VQ fault on a variant that never pushes the VQ).
+//!
+//! Campaigns are seeded: the same [`CampaignConfig`] produces the same
+//! trial list and the same verdict table, byte for byte.
+//!
+//! # Example
+//!
+//! ```
+//! use cfd_harden::{CampaignConfig, run_campaign};
+//!
+//! let cfg = CampaignConfig { scale_n: 40, trials_per_pair: 1, ..CampaignConfig::default() };
+//! let report = run_campaign(&cfg);
+//! assert!(report.outcomes.len() >= 12);
+//! assert_eq!(report.silent_divergences(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+use cfd_core::{Core, CoreConfig, CoreError, FaultKind, FaultSpec};
+use cfd_isa::check::Rng;
+use cfd_workloads::{by_name, CatalogEntry, Scale, Variant, Workload};
+use std::fmt;
+
+/// The classified outcome of one fault-injection trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Completed, architecturally identical to the reference.
+    Masked,
+    /// Ended in a typed [`CoreError`]; the string is the error class
+    /// (`"oracle_mismatch"`, `"deadlock"`, `"queue_protocol"`).
+    Detected(String),
+    /// Ran past the cycle limit without a watchdog report.
+    Hang,
+    /// Completed with a result that differs from the reference.
+    SilentDivergence,
+    /// The fault's trigger site was never visited.
+    NotReached,
+}
+
+impl Verdict {
+    /// Short machine-readable label.
+    pub fn label(&self) -> &str {
+        match self {
+            Verdict::Masked => "masked",
+            Verdict::Detected(_) => "detected",
+            Verdict::Hang => "hang",
+            Verdict::SilentDivergence => "silent_divergence",
+            Verdict::NotReached => "not_reached",
+        }
+    }
+
+    /// Whether this outcome satisfies the detection contract.
+    pub fn acceptable(&self) -> bool {
+        !matches!(self, Verdict::Hang | Verdict::SilentDivergence)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Detected(class) => write!(f, "detected({class})"),
+            v => f.write_str(v.label()),
+        }
+    }
+}
+
+/// One row of the verdict table.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// Workload name from the catalog.
+    pub workload: &'static str,
+    /// Variant the trial ran.
+    pub variant: Variant,
+    /// Injected fault class (machine name, e.g. `"bq_corrupt"`).
+    pub fault: &'static str,
+    /// Site the fault targets (e.g. `"execute.push_bq"`).
+    pub site: &'static str,
+    /// The trial fired the fault at the site's `nth` visit.
+    pub nth: u64,
+    /// Classified outcome.
+    pub verdict: Verdict,
+    /// Cycle the fault fired, when it did.
+    pub injected_cycle: Option<u64>,
+    /// Cycles simulated (to completion or failure).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles between injection and the failure report, for detected
+    /// trials — the observed detection latency.
+    pub detect_latency: Option<u64>,
+}
+
+/// A fault-injection campaign: seed, sweep axes, and run limits.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed for trial-point selection (`nth` choices).
+    pub seed: u64,
+    /// Catalog workloads to sweep (must support [`Variant::CfdPlus`] or
+    /// [`Variant::Cfd`]).
+    pub workloads: Vec<&'static str>,
+    /// Fault classes to sweep.
+    pub faults: Vec<FaultKind>,
+    /// Trials per (workload, fault) pair, each at a fresh `nth`.
+    pub trials_per_pair: usize,
+    /// Workload scale (outer trip count).
+    pub scale_n: usize,
+    /// Cycle limit per trial.
+    pub cycle_limit: u64,
+    /// Deadlock watchdog interval (cycles with no retirement).
+    pub watchdog_cycles: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 0xcfdf_a017,
+            workloads: vec![
+                "soplex_ref_like",
+                "astar_r1_like",
+                "bzip2_like",
+                "gromacs_like",
+                "bzip2_tq_like",
+            ],
+            faults: vec![
+                FaultKind::PredictorFlip,
+                FaultKind::BqCorrupt,
+                FaultKind::BqDrop,
+                FaultKind::TqCorrupt,
+                FaultKind::VqRemapCorrupt,
+                FaultKind::MemDelay(300),
+            ],
+            trials_per_pair: 1,
+            scale_n: 120,
+            cycle_limit: 4_000_000,
+            watchdog_cycles: 50_000,
+        }
+    }
+}
+
+/// A finished campaign: the verdict table plus its config echo.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The seed the campaign ran with.
+    pub seed: u64,
+    /// One row per trial, in sweep order.
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+impl CampaignReport {
+    /// Number of trials whose outcome violates the contract.
+    pub fn silent_divergences(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.verdict.acceptable()).count()
+    }
+
+    /// Count of each verdict label, in a fixed order.
+    pub fn tally(&self) -> Vec<(&'static str, usize)> {
+        ["masked", "detected", "hang", "silent_divergence", "not_reached"]
+            .iter()
+            .map(|&label| {
+                (label, self.outcomes.iter().filter(|o| o.verdict.label() == label).count())
+            })
+            .collect()
+    }
+
+    /// Renders the verdict table for humans.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<18} {:<8} {:<16} {:<18} {:>5} {:<22} {:>9} {:>9}",
+            "workload", "variant", "fault", "site", "nth", "verdict", "cycles", "latency"
+        );
+        for o in &self.outcomes {
+            let lat =
+                o.detect_latency.map_or_else(|| "-".to_string(), |l| l.to_string());
+            let _ = writeln!(
+                out,
+                "{:<18} {:<8} {:<16} {:<18} {:>5} {:<22} {:>9} {:>9}",
+                o.workload,
+                o.variant.label(),
+                o.fault,
+                o.site,
+                o.nth,
+                o.verdict.to_string(),
+                o.cycles,
+                lat
+            );
+        }
+        let _ = writeln!(out);
+        for (label, n) in self.tally() {
+            let _ = writeln!(out, "{label:<18} {n}");
+        }
+        out
+    }
+
+    /// Serialises the verdict table as JSON (hand-rolled; no external
+    /// dependencies). The output is deterministic for a given config.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"silent_divergences\": {},\n", self.silent_divergences()));
+        s.push_str("  \"tally\": {");
+        let tally = self.tally();
+        for (i, (label, n)) in tally.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{label}\": {n}"));
+        }
+        s.push_str("},\n  \"trials\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"workload\": {}, ", json_str(o.workload)));
+            s.push_str(&format!("\"variant\": {}, ", json_str(o.variant.label())));
+            s.push_str(&format!("\"fault\": {}, ", json_str(o.fault)));
+            s.push_str(&format!("\"site\": {}, ", json_str(o.site)));
+            s.push_str(&format!("\"nth\": {}, ", o.nth));
+            s.push_str(&format!("\"verdict\": {}, ", json_str(o.verdict.label())));
+            let class = match &o.verdict {
+                Verdict::Detected(c) => json_str(c),
+                _ => "null".to_string(),
+            };
+            s.push_str(&format!("\"error_class\": {class}, "));
+            let cyc = o.injected_cycle.map_or("null".to_string(), |c| c.to_string());
+            s.push_str(&format!("\"injected_cycle\": {cyc}, "));
+            s.push_str(&format!("\"cycles\": {}, ", o.cycles));
+            s.push_str(&format!("\"retired\": {}, ", o.retired));
+            let lat = o.detect_latency.map_or("null".to_string(), |l| l.to_string());
+            s.push_str(&format!("\"detect_latency\": {lat}"));
+            s.push_str(if i + 1 < self.outcomes.len() { "},\n" } else { "}\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Picks the variant a fault should run under: the richest decoupled
+/// form the workload supports, so the fault's target structure is live.
+fn variant_for(workload: &CatalogEntry, fault: FaultKind) -> Option<Variant> {
+    let prefer: &[Variant] = match fault {
+        // TQ faults need a TQ-using variant.
+        FaultKind::TqCorrupt => &[Variant::CfdTq, Variant::CfdBqTq],
+        // VQ faults need CFD+ (the only VQ user).
+        FaultKind::VqRemapCorrupt => &[Variant::CfdPlus],
+        // Everything else fires on any CFD variant (BQ + loads + branches).
+        _ => &[Variant::CfdPlus, Variant::Cfd, Variant::CfdTq, Variant::CfdBqTq],
+    };
+    prefer.iter().copied().find(|v| workload.variants.contains(v))
+}
+
+/// Runs one trial and classifies it.
+pub fn run_trial(
+    wl: &Workload,
+    fault: FaultKind,
+    nth: u64,
+    cfg: &CampaignConfig,
+) -> TrialOutcome {
+    let reference = wl
+        .dynamic_instructions()
+        .expect("catalog workloads run clean functionally");
+    let core_cfg = CoreConfig {
+        watchdog_cycles: cfg.watchdog_cycles,
+        post_mortem_depth: 0,
+        ..Default::default()
+    };
+    let spec = FaultSpec { kind: fault, nth };
+    let out = Core::new(core_cfg, wl.program.clone(), wl.mem.clone())
+        .expect("default config is valid")
+        .with_fault(spec)
+        .run_diag(cfg.cycle_limit);
+    let (verdict, injected_cycle, cycles, retired, detect_latency) = match out {
+        Ok(rep) => {
+            let injected = rep.injection.as_ref().map(|i| i.cycle);
+            let verdict = match (&rep.injection, rep.stats.retired == reference) {
+                (None, _) => Verdict::NotReached,
+                (Some(_), true) => Verdict::Masked,
+                (Some(_), false) => Verdict::SilentDivergence,
+            };
+            (verdict, injected, rep.stats.cycles, rep.stats.retired, None)
+        }
+        Err(fail) => {
+            let injected = fail.injection.as_ref().map(|i| i.cycle);
+            let (at, verdict) = match &fail.error {
+                CoreError::Deadlock { cycle, .. } => {
+                    (Some(*cycle), Verdict::Detected("deadlock".to_string()))
+                }
+                CoreError::OracleMismatch { .. } => {
+                    (None, Verdict::Detected("oracle_mismatch".to_string()))
+                }
+                CoreError::Program(_) => {
+                    (None, Verdict::Detected("queue_protocol".to_string()))
+                }
+                CoreError::CycleLimit(n) => (Some(*n), Verdict::Hang),
+                CoreError::Config(_) => (None, Verdict::Detected("config".to_string())),
+            };
+            let latency = match (at, injected) {
+                (Some(at), Some(inj)) => at.checked_sub(inj),
+                _ => None,
+            };
+            (verdict, injected, 0, 0, latency)
+        }
+    };
+    TrialOutcome {
+        workload: wl.name,
+        variant: wl.variant,
+        fault: fault.name(),
+        site: fault.site().name(),
+        nth,
+        verdict,
+        injected_cycle,
+        cycles,
+        retired,
+        detect_latency,
+    }
+}
+
+/// Runs a full campaign: every configured fault class against every
+/// configured workload, `trials_per_pair` times at seeded `nth` offsets.
+///
+/// # Panics
+///
+/// Panics when a configured workload is not in the catalog, or a catalog
+/// workload fails its fault-free functional run (both are repo bugs, not
+/// campaign outcomes).
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let mut rng = Rng::new(cfg.seed);
+    let mut outcomes = Vec::new();
+    for name in &cfg.workloads {
+        let entry = by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
+        let scale = Scale { n: cfg.scale_n, ..Scale::small() };
+        for &fault in &cfg.faults {
+            let Some(variant) = variant_for(&entry, fault) else {
+                continue;
+            };
+            let wl = entry.build(variant, scale);
+            for _ in 0..cfg.trials_per_pair {
+                // Early site visits exercise warm-up; spread `nth` across
+                // a window the run length comfortably covers (sites are
+                // visited roughly once per outer iteration).
+                let nth = rng.below((cfg.scale_n as u64 / 2).max(8));
+                outcomes.push(run_trial(&wl, fault, nth, cfg));
+            }
+        }
+    }
+    CampaignReport { seed: cfg.seed, outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> CampaignConfig {
+        CampaignConfig {
+            workloads: vec!["soplex_ref_like", "astar_r1_like", "bzip2_like"],
+            scale_n: 40,
+            trials_per_pair: 1,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_has_no_silent_divergence() {
+        let report = run_campaign(&smoke_cfg());
+        assert!(report.outcomes.len() >= 12, "got {} trials", report.outcomes.len());
+        for o in &report.outcomes {
+            assert!(o.verdict.acceptable(), "{} / {} / nth {}: {}", o.workload, o.fault, o.nth, o.verdict);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = run_campaign(&smoke_cfg()).to_json();
+        let b = run_campaign(&smoke_cfg()).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_pick_different_trial_points() {
+        let a = run_campaign(&smoke_cfg());
+        let b = run_campaign(&CampaignConfig { seed: 99, ..smoke_cfg() });
+        let nths_a: Vec<u64> = a.outcomes.iter().map(|o| o.nth).collect();
+        let nths_b: Vec<u64> = b.outcomes.iter().map(|o| o.nth).collect();
+        assert_ne!(nths_a, nths_b);
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let report = run_campaign(&CampaignConfig {
+            workloads: vec!["soplex_ref_like"],
+            faults: vec![FaultKind::PredictorFlip, FaultKind::BqCorrupt],
+            scale_n: 40,
+            ..CampaignConfig::default()
+        });
+        let j = report.to_json();
+        assert!(j.contains("\"trials\": ["));
+        assert!(j.contains("\"verdict\": "));
+        assert!(j.contains("\"silent_divergences\": 0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn verdict_labels_and_contract() {
+        assert!(Verdict::Masked.acceptable());
+        assert!(Verdict::Detected("deadlock".into()).acceptable());
+        assert!(Verdict::NotReached.acceptable());
+        assert!(!Verdict::Hang.acceptable());
+        assert!(!Verdict::SilentDivergence.acceptable());
+        assert_eq!(Verdict::Detected("x".into()).label(), "detected");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

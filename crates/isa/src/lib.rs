@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 mod instr;
 mod mem_image;
 mod parse;
@@ -74,4 +75,5 @@ pub use program::{AsmError, Assembler, Program};
 pub use queues::{ArchBq, ArchTq, ArchVq, QueueError, TqEntry};
 pub use reg::{Reg, RegFile, NUM_REGS};
 pub use semantics::{eval_alu, eval_branch};
+pub use check::Rng;
 pub use sim::{run_and_read, Machine, MemAccess, NullSink, QueueConfig, RetireEvent, RunStats, SimError, TraceSink};

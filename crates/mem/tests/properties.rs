@@ -1,19 +1,17 @@
-//! Property-based tests for the cache hierarchy.
+//! Property-based tests for the cache hierarchy, driven by the in-repo
+//! seeded harness (`cfd_isa::prop_check`).
 
+use cfd_isa::prop_check;
 use cfd_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig, MemLevel, MshrFile, MshrOutcome};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A cache can only hit blocks that were filled and never evicted; a
-    /// shadow model tracks the resident set exactly for a direct-mapped
-    /// cache (associativity 1 makes the reference model trivial).
-    #[test]
-    fn direct_mapped_cache_matches_shadow_model(
-        addrs in proptest::collection::vec(0u64..(1 << 14), 1..300)
-    ) {
+/// A cache can only hit blocks that were filled and never evicted; a
+/// shadow model tracks the resident set exactly for a direct-mapped
+/// cache (associativity 1 makes the reference model trivial).
+#[test]
+fn direct_mapped_cache_matches_shadow_model() {
+    prop_check!(64, |rng| {
+        let addrs = rng.vec(1, 300, |r| r.range_u64(0, 1 << 14));
         let cfg = CacheConfig { size_bytes: 1024, ways: 1, block_bits: 6 };
         let mut cache = Cache::new(cfg);
         let sets = cfg.sets() as u64;
@@ -22,20 +20,21 @@ proptest! {
             let block = addr >> 6;
             let set = (block % sets) as usize;
             let hit = cache.access(addr, false);
-            prop_assert_eq!(hit, shadow[set] == Some(block), "addr {:#x}", addr);
+            assert_eq!(hit, shadow[set] == Some(block), "addr {addr:#x}");
             if !hit {
                 cache.fill(addr, false);
                 shadow[set] = Some(block);
             }
         }
-    }
+    });
+}
 
-    /// LRU invariant: with associativity W, the W most recently touched
-    /// distinct blocks of a set always hit.
-    #[test]
-    fn lru_keeps_most_recent_ways(
-        blocks in proptest::collection::vec(0u64..32, 8..200)
-    ) {
+/// LRU invariant: with associativity W, the W most recently touched
+/// distinct blocks of a set always hit.
+#[test]
+fn lru_keeps_most_recent_ways() {
+    prop_check!(64, |rng| {
+        let blocks = rng.vec(8, 200, |r| r.range_u64(0, 32));
         let cfg = CacheConfig { size_bytes: 4 * 64, ways: 4, block_bits: 6 };
         let mut cache = Cache::new(cfg); // one set, 4 ways
         let mut recency: Vec<u64> = Vec::new();
@@ -43,22 +42,23 @@ proptest! {
             let addr = b << 6;
             let hit = cache.access(addr, false);
             let expect_hit = recency.iter().rev().take(4).any(|&x| x == b);
-            prop_assert_eq!(hit, expect_hit, "block {}", b);
+            assert_eq!(hit, expect_hit, "block {b}");
             if !hit {
                 cache.fill(addr, false);
             }
             recency.retain(|&x| x != b);
             recency.push(b);
         }
-    }
+    });
+}
 
-    /// Hierarchy sanity: level counts partition demand accesses, repeated
-    /// accesses promote blocks inward, and total latency is monotone in
-    /// the furthest level.
-    #[test]
-    fn hierarchy_level_accounting(
-        addrs in proptest::collection::vec(0u64..(1 << 20), 1..200)
-    ) {
+/// Hierarchy sanity: level counts partition demand accesses, repeated
+/// accesses promote blocks inward, and total latency is monotone in
+/// the furthest level.
+#[test]
+fn hierarchy_level_accounting() {
+    prop_check!(64, |rng| {
+        let addrs = rng.vec(1, 200, |r| r.range_u64(0, 1 << 20));
         let mut h = Hierarchy::new(HierarchyConfig::default());
         let mut now = 0u64;
         let mut seen: HashSet<u64> = HashSet::new();
@@ -66,13 +66,13 @@ proptest! {
         for addr in addrs {
             now += 400; // far enough apart that fills complete
             let r = h.access(0x40, addr, false, now);
-            prop_assert!(!r.mshr_full);
+            assert!(!r.mshr_full);
             total += 1;
             let block = addr >> 6;
             if seen.contains(&block) {
                 // Previously touched within a small footprint: must not be
                 // a fresh DRAM access.
-                prop_assert!(r.level <= MemLevel::L3, "re-access went to {:?}", r.level);
+                assert!(r.level <= MemLevel::L3, "re-access went to {:?}", r.level);
             }
             seen.insert(block);
             let floor = match r.level {
@@ -81,16 +81,17 @@ proptest! {
                 MemLevel::L3 => 39,
                 MemLevel::Mem => 204,
             };
-            prop_assert_eq!(r.latency, floor);
+            assert_eq!(r.latency, floor);
         }
-        prop_assert_eq!(h.level_counts.iter().sum::<u64>(), total);
-    }
+        assert_eq!(h.level_counts.iter().sum::<u64>(), total);
+    });
+}
 
-    /// MSHR occupancy histogram accounts for every elapsed cycle.
-    #[test]
-    fn mshr_histogram_covers_all_time(
-        misses in proptest::collection::vec((0u64..64, 1u64..300), 1..50)
-    ) {
+/// MSHR occupancy histogram accounts for every elapsed cycle.
+#[test]
+fn mshr_histogram_covers_all_time() {
+    prop_check!(64, |rng| {
+        let misses = rng.vec(1, 50, |r| (r.range_u64(0, 64), r.range_u64(1, 300)));
         let mut m = MshrFile::new(8);
         let mut now = 0u64;
         for (block, dur) in misses {
@@ -100,15 +101,18 @@ proptest! {
         let end = now + 1000;
         m.advance(end);
         let total: u64 = m.histogram().iter().sum();
-        prop_assert_eq!(total, end, "histogram must cover every cycle");
-    }
+        assert_eq!(total, end, "histogram must cover every cycle");
+    });
+}
 
-    /// Merging: a second request to an in-flight block never allocates.
-    #[test]
-    fn mshr_merges_same_block(gap in 1u64..100) {
+/// Merging: a second request to an in-flight block never allocates.
+#[test]
+fn mshr_merges_same_block() {
+    prop_check!(64, |rng| {
+        let gap = rng.range_u64(1, 100);
         let mut m = MshrFile::new(4);
         assert_eq!(m.request(0x1000, 0, 200), MshrOutcome::Allocated);
         let r = m.request(0x1000, gap.min(199), 500);
-        prop_assert_eq!(r, MshrOutcome::Merged { done_at: 200 });
-    }
+        assert_eq!(r, MshrOutcome::Merged { done_at: 200 });
+    });
 }

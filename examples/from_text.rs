@@ -53,8 +53,8 @@ fn main() {
         mem.write_u64(65536 + 8 * k, s % 100);
     }
 
-    let base = Core::new(CoreConfig::default(), program, mem.clone()).run(200_000_000).expect("base");
-    let cfd = Core::new(CoreConfig::default(), t.program, mem).run(200_000_000).expect("cfd");
+    let base = Core::new(CoreConfig::default(), program, mem.clone()).unwrap().run(200_000_000).expect("base");
+    let cfd = Core::new(CoreConfig::default(), t.program, mem).unwrap().run(200_000_000).expect("cfd");
     println!(
         "base: {} cycles / {} mispredicts   cfd: {} cycles / {} mispredicts   speedup {:.2}x",
         base.stats.cycles,

@@ -23,10 +23,10 @@ fn main() {
     assert_eq!(base_w.observe().unwrap(), cfd_w.observe().unwrap());
 
     let cfg = CoreConfig::default();
-    let base = Core::new(cfg.clone(), base_w.program.clone(), base_w.mem.clone())
+    let base = Core::new(cfg.clone(), base_w.program.clone(), base_w.mem.clone()).unwrap()
         .run(200_000_000)
         .expect("base run");
-    let cfd = Core::new(cfg, cfd_w.program.clone(), cfd_w.mem.clone()).run(200_000_000).expect("cfd run");
+    let cfd = Core::new(cfg, cfd_w.program.clone(), cfd_w.mem.clone()).unwrap().run(200_000_000).expect("cfd run");
 
     let model = EnergyModel::default();
     println!("                       base          CFD");

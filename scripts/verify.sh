@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a smoke fault-injection campaign, fully offline.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the release rebuild of the campaign runner when it is
+#             already built (CI convenience)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+echo "== tier-1: cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "== tier-1: cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+if [[ "$QUICK" == "0" ]]; then
+    echo "== smoke fault campaign (deterministic seed, contract-checked)"
+    out=$(mktemp)
+    trap 'rm -f "$out"' EXIT
+    cargo run -q --release --offline -p cfd-bench --bin experiments -- \
+        faults --smoke --seed 0xcfdfa017 --json "$out"
+    # Same seed must reproduce the same verdict table byte-for-byte.
+    out2=$(mktemp)
+    trap 'rm -f "$out" "$out2"' EXIT
+    cargo run -q --release --offline -p cfd-bench --bin experiments -- \
+        faults --smoke --seed 0xcfdfa017 --json "$out2" > /dev/null
+    cmp "$out" "$out2"
+    echo "== campaign deterministic: verdict tables identical"
+fi
+
+echo "== verify OK"

@@ -34,9 +34,9 @@
 //! let base = entry.build(Variant::Base, scale);
 //! let cfd = entry.build(Variant::Cfd, scale);
 //!
-//! let b = Core::new(CoreConfig::default(), base.program.clone(), base.mem.clone())
+//! let b = Core::new(CoreConfig::default(), base.program.clone(), base.mem.clone())?
 //!     .run(100_000_000)?;
-//! let c = Core::new(CoreConfig::default(), cfd.program.clone(), cfd.mem.clone())
+//! let c = Core::new(CoreConfig::default(), cfd.program.clone(), cfd.mem.clone())?
 //!     .run(100_000_000)?;
 //! assert!(c.speedup_over(&b) > 1.0, "CFD wins on the hard separable branch");
 //! # Ok::<(), cfd::core::CoreError>(())
@@ -47,6 +47,7 @@
 pub use cfd_analysis as analysis;
 pub use cfd_core as core;
 pub use cfd_energy as energy;
+pub use cfd_harden as harden;
 pub use cfd_isa as isa;
 pub use cfd_mem as mem;
 pub use cfd_predictor as predictor;

@@ -11,7 +11,7 @@ fn small() -> Scale {
 }
 
 fn run_timing(w: &cfd::workloads::Workload, cfg: &CoreConfig) -> cfd::core::RunReport {
-    Core::new(cfg.clone(), w.program.clone(), w.mem.clone()).run(100_000_000).expect("simulation completes")
+    Core::new(cfg.clone(), w.program.clone(), w.mem.clone()).unwrap().run(100_000_000).expect("simulation completes")
 }
 
 #[test]
@@ -156,7 +156,7 @@ fn auto_transform_output_runs_on_the_timing_core() {
         mem.write_u64(0x20000 + 8 * k, s % 1000);
     }
     let t = apply_cfd(&program, bpc, 128, &[r(20), r(21), r(22), r(23)]).unwrap();
-    let b = Core::new(CoreConfig::default(), program, mem.clone()).run(100_000_000).unwrap();
-    let c = Core::new(CoreConfig::default(), t.program, mem).run(100_000_000).unwrap();
+    let b = Core::new(CoreConfig::default(), program, mem.clone()).unwrap().run(100_000_000).unwrap();
+    let c = Core::new(CoreConfig::default(), t.program, mem).unwrap().run(100_000_000).unwrap();
     assert!(c.stats.mispredictions * 5 < b.stats.mispredictions, "transform kills the mispredictions");
 }

@@ -1,9 +1,9 @@
-//! Property-based tests over the reproduction's core invariants.
+//! Property-based tests over the reproduction's core invariants, driven
+//! by the in-repo seeded harness (`cfd_isa::prop_check`).
 
 use cfd::core::{Core, CoreConfig, FetchBq, FetchTq};
-use cfd::isa::{eval_alu, AluOp, ArchBq, ArchTq, Assembler, Machine, MemImage, Reg};
+use cfd::isa::{eval_alu, prop_check, AluOp, ArchBq, ArchTq, Assembler, Machine, MemImage, Reg};
 use cfd::workloads::{AddressPattern, CdRegion, Predicate, Scale, ScanKernel, Suite, Variant};
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
 // BQ: the microarchitectural queue tracks the architectural model under
@@ -18,20 +18,19 @@ enum BqOp {
     Forward,
 }
 
-fn bq_op() -> impl Strategy<Value = BqOp> {
-    prop_oneof![
-        3 => any::<bool>().prop_map(BqOp::PushExec),
-        3 => Just(BqOp::Pop),
-        1 => Just(BqOp::Mark),
-        1 => Just(BqOp::Forward),
-    ]
+fn bq_op(rng: &mut cfd::isa::Rng) -> BqOp {
+    match rng.weighted(&[3, 3, 1, 1]) {
+        0 => BqOp::PushExec(rng.bool()),
+        1 => BqOp::Pop,
+        2 => BqOp::Mark,
+        _ => BqOp::Forward,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fetch_bq_matches_arch_bq(ops in proptest::collection::vec(bq_op(), 1..200)) {
+#[test]
+fn fetch_bq_matches_arch_bq() {
+    prop_check!(64, |rng| {
+        let ops = rng.vec(1, 200, bq_op);
         let mut hw = FetchBq::new(16);
         let mut model = ArchBq::new(16);
         let mut marked = false;
@@ -39,7 +38,7 @@ proptest! {
             match op {
                 BqOp::PushExec(p) => {
                     if hw.push_would_stall() {
-                        prop_assert_eq!(model.len(), 16, "stall only when the model is full");
+                        assert_eq!(model.len(), 16, "stall only when the model is full");
                         continue;
                     }
                     let abs = hw.fetch_push();
@@ -54,7 +53,7 @@ proptest! {
                     let (_, pred) = hw.fetch_pop();
                     hw.retire_pop();
                     let want = model.pop().unwrap();
-                    prop_assert_eq!(pred, Some(want), "predicate mismatch");
+                    assert_eq!(pred, Some(want), "predicate mismatch");
                 }
                 BqOp::Mark => {
                     hw.fetch_mark();
@@ -69,20 +68,21 @@ proptest! {
                     let skipped_hw = hw.fetch_forward().unwrap();
                     hw.retire_forward();
                     let skipped_model = model.forward().unwrap() as u64;
-                    prop_assert_eq!(skipped_hw, skipped_model, "forward skip count mismatch");
+                    assert_eq!(skipped_hw, skipped_model, "forward skip count mismatch");
                 }
             }
-            prop_assert_eq!(hw.length(), model.len() as u64, "occupancy mismatch");
+            assert_eq!(hw.length(), model.len() as u64, "occupancy mismatch");
         }
-    }
+    });
+}
 
-    #[test]
-    fn bq_recovery_restores_future_pops(
-        prefix in proptest::collection::vec(any::<bool>(), 1..12),
-        wrong in proptest::collection::vec(any::<bool>(), 1..12),
-    ) {
+#[test]
+fn bq_recovery_restores_future_pops() {
+    prop_check!(64, |rng| {
         // Push a prefix, snapshot, do wrong-path pushes/pops, recover: the
         // pops after recovery must see exactly the prefix.
+        let prefix = rng.vec(1, 12, |r| r.bool());
+        let wrong = rng.vec(1, 12, |r| r.bool());
         let mut hw = FetchBq::new(32);
         for &p in &prefix {
             let abs = hw.fetch_push();
@@ -99,22 +99,23 @@ proptest! {
         hw.recover(&snap);
         for &want in &prefix {
             let (_, got) = hw.fetch_pop();
-            prop_assert_eq!(got, Some(want));
+            assert_eq!(got, Some(want));
         }
-    }
+    });
+}
 
-    #[test]
-    fn fetch_tq_matches_arch_tq(
-        ops in proptest::collection::vec((any::<bool>(), 0i64..100_000), 1..150)
-    ) {
+#[test]
+fn fetch_tq_matches_arch_tq() {
+    prop_check!(64, |rng| {
         // Random interleaving of pushes (with counts occasionally exceeding
         // the 16-bit architected maximum) and pop+drain sequences.
+        let ops = rng.vec(1, 150, |r| (r.bool(), r.range_i64(0, 100_000)));
         let mut hw = FetchTq::new(8, 16);
         let mut model = ArchTq::with_trip_bits(8, 16);
         for (is_push, count) in ops {
             if is_push {
                 if hw.push_would_stall() {
-                    prop_assert_eq!(model.len(), 8);
+                    assert_eq!(model.len(), 8);
                     continue;
                 }
                 let abs = hw.fetch_push();
@@ -127,35 +128,44 @@ proptest! {
                 }
                 let (_, ovf) = hw.fetch_pop();
                 let want = model.pop().unwrap();
-                prop_assert_eq!(ovf, Some(want.overflow));
-                prop_assert_eq!(hw.tcr, model.tcr());
+                assert_eq!(ovf, Some(want.overflow));
+                assert_eq!(hw.tcr, model.tcr());
                 // Drain the trip count through Branch_on_TCR.
                 let mut iters = 0u32;
                 while hw.fetch_branch_on_tcr() {
-                    prop_assert!(model.branch_on_tcr());
+                    assert!(model.branch_on_tcr());
                     iters += 1;
                 }
-                prop_assert!(!model.branch_on_tcr());
-                prop_assert_eq!(iters, want.trip_count);
+                assert!(!model.branch_on_tcr());
+                assert_eq!(iters, want.trip_count);
                 hw.retire_pop(0);
             }
-            prop_assert_eq!(hw.length(), model.len() as u64);
+            assert_eq!(hw.length(), model.len() as u64);
         }
-    }
+    });
+}
 
-    // -----------------------------------------------------------------
-    // Functional simulator vs an independent interpreter on random
-    // straight-line ALU programs.
-    // -----------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Functional simulator vs an independent interpreter on random
+// straight-line ALU programs.
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn functional_sim_matches_reference_interpreter(
-        ops in proptest::collection::vec((0usize..14, 1usize..8, 1usize..8, 1usize..8, -50i64..50), 1..60)
-    ) {
+#[test]
+fn functional_sim_matches_reference_interpreter() {
+    prop_check!(64, |rng| {
         let alu_ops = [
             AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Div, AluOp::Rem, AluOp::And, AluOp::Or,
             AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Slt, AluOp::Seq, AluOp::Max,
         ];
+        let ops = rng.vec(1, 60, |r| {
+            (
+                r.range_usize(0, 14),
+                r.range_usize(1, 8),
+                r.range_usize(1, 8),
+                r.range_usize(1, 8),
+                r.range_i64(-50, 50),
+            )
+        });
         let mut a = Assembler::new();
         let mut ref_regs = [0i64; 8];
         for (op_idx, rd, rs1, rs2, imm) in &ops {
@@ -172,71 +182,60 @@ proptest! {
         let mut m = Machine::new(a.finish().unwrap(), MemImage::new());
         m.run_to_halt().unwrap();
         for (r, want) in ref_regs.iter().enumerate().skip(1) {
-            prop_assert_eq!(m.regs.read(Reg::new(r)), *want, "r{} mismatch", r);
+            assert_eq!(m.regs.read(Reg::new(r)), *want, "r{r} mismatch");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
-// Whole-kernel properties (fewer cases: each runs four simulations).
+// Whole-kernel properties (fewer cases: each runs several simulations).
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn scan_kernel_variants_always_agree(
-        seed in 1u64..u64::MAX,
-        threshold in 5i64..95,
-        alu_updates in 5usize..10,
-        stores in any::<bool>(),
-        indirect in any::<bool>(),
-        partial in any::<bool>(),
-        chunk in 8i64..128,
-    ) {
+#[test]
+fn scan_kernel_variants_always_agree() {
+    prop_check!(10, |rng| {
         let kernel = ScanKernel {
             name: "prop_scan",
             suite: Suite::Spec2006,
-            pattern: if indirect { AddressPattern::Indirect } else { AddressPattern::Streaming },
-            predicate: Predicate::Threshold { threshold, range: 100 },
-            cd: CdRegion { alu_updates, stores },
-            chunk,
-            partial_feedback: partial,
+            pattern: if rng.bool() { AddressPattern::Indirect } else { AddressPattern::Streaming },
+            predicate: Predicate::Threshold { threshold: rng.range_i64(5, 95), range: 100 },
+            cd: CdRegion { alu_updates: rng.range_usize(5, 10), stores: rng.bool() },
+            chunk: rng.range_i64(8, 128),
+            partial_feedback: rng.bool(),
             what: "prop branch",
         };
-        let scale = Scale { n: 300, seed };
+        let scale = Scale { n: 300, seed: rng.range_u64(1, u64::MAX) };
         let want = kernel.build(Variant::Base, scale).observe().unwrap();
         for v in [Variant::Cfd, Variant::CfdPlus, Variant::Dfd, Variant::CfdDfd] {
             let got = kernel.build(v, scale).observe().unwrap();
-            prop_assert_eq!(&got, &want, "variant {} diverges", v);
+            assert_eq!(got, want, "variant {v} diverges");
         }
-    }
+    });
+}
 
-    #[test]
-    fn timing_core_retires_functional_stream_on_random_kernels(
-        seed in 1u64..u64::MAX,
-        threshold in 10i64..90,
-        chunk in 16i64..128,
-    ) {
+#[test]
+fn timing_core_retires_functional_stream_on_random_kernels() {
+    prop_check!(10, |rng| {
         // The core's internal oracle verifies every retired instruction;
         // additionally the retired count must match functional execution.
+        let chunk = rng.range_i64(16, 128);
         let kernel = ScanKernel {
             name: "prop_timing",
             suite: Suite::Spec2006,
             pattern: AddressPattern::Streaming,
-            predicate: Predicate::Threshold { threshold, range: 100 },
+            predicate: Predicate::Threshold { threshold: rng.range_i64(10, 90), range: 100 },
             cd: CdRegion { alu_updates: 6, stores: true },
             chunk,
             partial_feedback: false,
             what: "prop branch",
         };
-        let scale = Scale { n: 250, seed };
+        let scale = Scale { n: 250, seed: rng.range_u64(1, u64::MAX) };
         for v in [Variant::Base, Variant::Cfd] {
             let w = kernel.build(v, scale);
             let functional = w.dynamic_instructions().unwrap();
             let cfg = CoreConfig { bq_size: chunk.max(16) as usize, ..Default::default() };
-            let rep = Core::new(cfg, w.program.clone(), w.mem.clone()).run(50_000_000).unwrap();
-            prop_assert_eq!(rep.stats.retired, functional);
+            let rep = Core::new(cfg, w.program.clone(), w.mem.clone()).unwrap().run(50_000_000).unwrap();
+            assert_eq!(rep.stats.retired, functional);
         }
-    }
+    });
 }

@@ -47,17 +47,21 @@
 mod cfg;
 mod classify;
 mod control_dep;
+mod diag;
 mod dom;
 mod loops;
 mod slice;
 mod transform;
 mod transform_tq;
+mod verify;
 
 pub use cfg::{BasicBlock, Cfg};
 pub use classify::{classify_program, BranchClass, BranchReport, ClassifyConfig};
 pub use control_dep::ControlDeps;
+pub use diag::{Diagnostic, LintReport, QueueBounds, Rule, Severity};
 pub use dom::DomTree;
 pub use loops::{find_loops, is_nested, NaturalLoop};
 pub use slice::{backward_slice, Slice};
 pub use transform::{apply_cfd, TransformError, TransformReport};
 pub use transform_tq::apply_cfd_tq;
+pub use verify::{lint_program, LintConfig};

@@ -72,6 +72,11 @@ pub struct TransformReport {
     pub chunk: usize,
     /// Static instruction count before/after.
     pub static_instrs: (usize, usize),
+    /// Translation validation: the rewritten program re-linted by
+    /// [`lint_program`](crate::lint_program) against the queue size the
+    /// transform strip-mined for. A non-clean report means the rewrite
+    /// itself broke the queue discipline.
+    pub lint: crate::LintReport,
 }
 
 /// Applies the CFD transform to the totally separable branch at
@@ -360,7 +365,11 @@ pub fn apply_cfd(
     }
     let new_program = a.finish()?;
     let static_instrs = (program.len(), new_program.len());
-    Ok(TransformReport { program: new_program, chunk, static_instrs })
+    let lint = crate::lint_program(
+        &new_program,
+        &crate::LintConfig { bq_size: chunk, ..crate::LintConfig::default() },
+    );
+    Ok(TransformReport { program: new_program, chunk, static_instrs, lint })
 }
 
 fn label_for(target: u32, loop_start: u32, loop_end: u32) -> String {
@@ -440,10 +449,20 @@ mod tests {
     }
 
     #[test]
+    fn transformed_program_passes_translation_validation() {
+        let (program, bpc, _) = kernel(1000);
+        let rep = apply_cfd(&program, bpc, 128, &[r(20), r(21), r(22), r(23)]).unwrap();
+        assert!(rep.lint.clean(), "{}", rep.lint.table());
+        assert_eq!(rep.lint.bounds.bq, Some(128));
+    }
+
+    #[test]
     fn equivalence_with_tiny_bq_chunks() {
         let (program, bpc, mem) = kernel(100);
         let rep = apply_cfd(&program, bpc, 8, &[r(20), r(21), r(22), r(23)]).unwrap();
         assert_eq!(outputs(program, mem.clone()), outputs(rep.program, mem));
+        assert!(rep.lint.clean(), "{}", rep.lint.table());
+        assert_eq!(rep.lint.bounds.bq, Some(8));
     }
 
     #[test]

@@ -238,7 +238,11 @@ pub fn apply_cfd_tq(
     }
     let new_program = a.finish()?;
     let static_instrs = (program.len(), new_program.len());
-    Ok(TransformReport { program: new_program, chunk: tq_size, static_instrs })
+    let lint = crate::lint_program(
+        &new_program,
+        &crate::LintConfig { tq_size, ..crate::LintConfig::default() },
+    );
+    Ok(TransformReport { program: new_program, chunk: tq_size, static_instrs, lint })
 }
 
 fn label_for(target: u32, outer_start: u32) -> String {
@@ -306,9 +310,19 @@ mod tests {
     }
 
     #[test]
+    fn transformed_program_passes_translation_validation() {
+        let (program, bpc, _) = kernel(800);
+        let t = apply_cfd_tq(&program, bpc, 256, &[r(20), r(21), r(22), r(23)]).unwrap();
+        assert!(t.lint.clean(), "{}", t.lint.table());
+        assert_eq!(t.lint.bounds.tq, Some(256));
+    }
+
+    #[test]
     fn equivalence_with_tiny_tq() {
         let (program, bpc, mem) = kernel(300);
         let t = apply_cfd_tq(&program, bpc, 8, &[r(20), r(21), r(22), r(23)]).unwrap();
+        assert!(t.lint.clean(), "{}", t.lint.table());
+        assert_eq!(t.lint.bounds.tq, Some(8));
         // Run on a machine with a matching TQ size: strip mining must fit.
         let mut m = Machine::with_queues(
             t.program,

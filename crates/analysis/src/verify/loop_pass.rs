@@ -1,0 +1,700 @@
+//! Loop summarization for the CFD queue-discipline verifier.
+//!
+//! A loop is summarized in two walks: a **shape pass** with fully
+//! havocked registers finds per-iteration deltas (which registers are
+//! invariant / stride by a constant, which queues move by an exact
+//! constant), then a **checking pass** re-walks the body parameterized
+//! by an iteration index `ι` bounded by the loop's trip-count
+//! expression, so every in-body push/pop check sees the precise
+//! occupancy at iteration `ι`. Exit states substitute `ι` with the trip
+//! count, which keeps a trailing loop's pops structurally equal to the
+//! leading loop's pushes.
+//!
+//! Data-dependent queue traffic (a nested producer pushing `max(0, m)`
+//! entries per outer iteration for a loaded `m`) cannot be an exact
+//! per-iteration constant; such loops get a *mirror segment*: the
+//! producer's total is an opaque `σ`, and a consumer loop with the same
+//! value class and the same trip-count expression consumes exactly `σ`.
+//! This pairing is the verifier's one trusted axiom and is validated
+//! dynamically by the `cfd-harden` cross-check.
+//!
+//! Loops whose body contains Mark/Forward or queue save/restore get the
+//! conservative steady-state treatment instead: check the first
+//! iteration from the real entry state and all later iterations from a
+//! verified steady state, so mark flags stay definite on each walk.
+
+use super::*;
+use cfd_isa::NUM_REGS;
+
+/// Loop-nest recursion guard.
+const MAX_DEPTH: u32 = 16;
+
+impl<'a> Lint<'a> {
+    pub(super) fn process_loop(&mut self, li: usize, entry: AbsState, ctx: &mut WalkCtx) -> Vec<Edge> {
+        let blocks = self.loops[li].blocks.clone();
+        let header = self.loops[li].header;
+        let latch_blocks = self.loops[li].latches.clone();
+        if ctx.depth >= MAX_DEPTH {
+            if !ctx.quiet {
+                self.emit(
+                    Rule::AnalysisDegraded,
+                    Severity::Warning,
+                    None,
+                    Some(self.cfg.blocks[header].start),
+                    "loop nest exceeds the analysis depth limit; queue state is unknown past it".into(),
+                );
+            }
+            return self.havoc_exits(&blocks, &entry);
+        }
+        let complex = blocks.iter().any(|&b| {
+            self.cfg.blocks[b].pcs().any(|pc| {
+                matches!(
+                    self.program.instrs()[pc as usize].queue_op(),
+                    Some(q) if matches!(
+                        q.op,
+                        QueueOpKind::Mark | QueueOpKind::Forward | QueueOpKind::Save | QueueOpKind::Restore
+                    )
+                )
+            })
+        });
+        if complex {
+            return self.complex_loop(&blocks, header, entry, ctx);
+        }
+
+        // ---- Shape pass: havocked entry, find per-iteration deltas. ----
+        let mut reg_vars = [SENTINEL; NUM_REGS];
+        let mut a_entry = AbsState::initial();
+        for (r, rv) in reg_vars.iter_mut().enumerate().skip(1) {
+            let v = self.fresh(None, None, None, None);
+            *rv = v;
+            a_entry.regs[r] = Expr::var(v);
+        }
+        let mut q_vars = [SENTINEL; 3];
+        for (qi, qv) in q_vars.iter_mut().enumerate() {
+            let v = self.fresh(Some(0), None, None, None);
+            *qv = v;
+            let marked = entry.q[qi].marked;
+            a_entry.q[qi] = QState {
+                ahead: Expr::var(v),
+                since: if marked == Tri::No {
+                    Expr::konst(0)
+                } else {
+                    Expr::var(self.fresh(Some(0), None, None, None))
+                },
+                marked,
+                saved: entry.q[qi].saved.clone(),
+                content: entry.q[qi].content,
+            };
+        }
+        a_entry.tcr = entry.tcr;
+        let mut actx = WalkCtx {
+            quiet: true,
+            iter_var: None,
+            tcr_depth: ctx.tcr_depth,
+            depth: ctx.depth + 1,
+            segs: [Vec::new(), Vec::new(), Vec::new()],
+        };
+        let (_, a_latches) = self.walk_region(&blocks, header, a_entry.clone(), Some(li), &mut actx);
+        if a_latches.is_empty() {
+            // The body can never reach a latch: it runs at most once.
+            let mut cctx = WalkCtx {
+                quiet: ctx.quiet,
+                iter_var: ctx.iter_var,
+                tcr_depth: ctx.tcr_depth,
+                depth: ctx.depth + 1,
+                segs: [Vec::new(), Vec::new(), Vec::new()],
+            };
+            let (exits, _) = self.walk_region(&blocks, header, entry, Some(li), &mut cctx);
+            return exits;
+        }
+        let latch_a = self.join_all(a_latches);
+
+        let deltas: Vec<RegDelta> = (0..NUM_REGS)
+            .map(|r| {
+                if r == 0 || latch_a.regs[r] == Expr::var(reg_vars[r]) {
+                    RegDelta::Invariant
+                } else {
+                    match latch_a.regs[r].sub(&Expr::var(reg_vars[r])).as_const() {
+                        Some(c) => RegDelta::Step(c),
+                        None => RegDelta::Varying,
+                    }
+                }
+            })
+            .collect();
+        let shapes: Vec<QShape> = (0..3)
+            .map(|qi| {
+                let da = latch_a.q[qi].ahead.sub(&a_entry.q[qi].ahead);
+                let ds = latch_a.q[qi].since.sub(&a_entry.q[qi].since);
+                match (da.as_const(), ds.as_const()) {
+                    (Some(a), Some(s)) => QShape::Const(a, s),
+                    _ => {
+                        let docc = da.add(&ds);
+                        QShape::Fuzzy {
+                            per_lo: self.lo(&docc, &latch_a.facts),
+                            per_hi: self.ub(&docc, &latch_a.facts),
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        // ---- Style and trip count, from the real entry state. ----
+        let (style, trips, canon) = self.style_and_trips(header, &latch_blocks, &blocks, &entry, &deltas, ctx.quiet);
+
+        // ---- Checking pass: entry parameterized by iteration ι. ----
+        let ub_t = self.ub(&trips, &entry.facts);
+        let iota = self.fresh(
+            Some(0),
+            ub_t.map(|t| (t - 1).max(0)),
+            None,
+            Some(trips.sub(&Expr::konst(1))),
+        );
+        let iv = Expr::var(iota);
+        let mut b_entry = AbsState::initial();
+        for (r, delta) in deltas.iter().enumerate().skip(1) {
+            b_entry.regs[r] = match *delta {
+                RegDelta::Invariant => entry.regs[r].clone(),
+                RegDelta::Step(c) => self.capped(entry.regs[r].add(&iv.scale(c)), &entry.facts),
+                RegDelta::Varying => {
+                    let lo = match (self.lo(&entry.regs[r], &entry.facts), self.lo(&latch_a.regs[r], &latch_a.facts)) {
+                        (Some(x), Some(y)) => Some(x.min(y)),
+                        _ => None,
+                    };
+                    let hi = match (self.ub(&entry.regs[r], &entry.facts), self.ub(&latch_a.regs[r], &latch_a.facts)) {
+                        (Some(x), Some(y)) => Some(x.max(y)),
+                        _ => None,
+                    };
+                    Expr::var(self.fresh(lo, hi, None, None))
+                }
+            };
+        }
+        // Content seed for the ι-parameterized entry. Class ids from the
+        // havocked shape pass are not comparable with this pass's (memo
+        // keys embed pass-local variables), so the seed comes from the
+        // real entry alone: sound when the body only pushes (every
+        // iteration re-pushes the same classes, pops never read stale
+        // content) or only pops (pops don't change content). A body
+        // doing both could pop values pushed by earlier iterations under
+        // classes this pass hasn't seen, so it degrades to `Mixed`.
+        let mut body_push = [false; 3];
+        let mut body_pop = [false; 3];
+        for &b in &blocks {
+            for pc in self.cfg.blocks[b].pcs() {
+                if let Some(q) = self.program.instrs()[pc as usize].queue_op() {
+                    match q.op {
+                        QueueOpKind::Push => body_push[qidx(q.queue)] = true,
+                        QueueOpKind::Pop => body_pop[qidx(q.queue)] = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let mut phi_on_since = [false; 3];
+        for qi in 0..3 {
+            let marked = entry.q[qi].marked;
+            let (ahead, since) = match shapes[qi] {
+                QShape::Const(da, ds) => (
+                    self.capped(entry.q[qi].ahead.add(&iv.scale(da)), &entry.facts),
+                    self.capped(entry.q[qi].since.add(&iv.scale(ds)), &entry.facts),
+                ),
+                QShape::Fuzzy { per_lo, per_hi } => {
+                    let span = ub_t.map(|t| (t - 1).max(0));
+                    let lo = per_lo.and_then(|l| if l >= 0 { Some(0) } else { span.map(|s| l.saturating_mul(s)) });
+                    let hi = per_hi.and_then(|h| if h <= 0 { Some(0) } else { span.map(|s| h.saturating_mul(s)) });
+                    let phi = Expr::var(self.fresh(lo, hi, None, None));
+                    phi_on_since[qi] = marked == Tri::Yes;
+                    if phi_on_since[qi] {
+                        (entry.q[qi].ahead.clone(), entry.q[qi].since.add(&phi))
+                    } else {
+                        (entry.q[qi].ahead.add(&phi), entry.q[qi].since.clone())
+                    }
+                }
+            };
+            b_entry.q[qi] = QState {
+                ahead,
+                since,
+                marked,
+                saved: entry.q[qi].saved.clone(),
+                content: if body_push[qi] && body_pop[qi] {
+                    Content::Mixed
+                } else if body_push[qi] && self.ub(&entry.q[qi].occupancy(), &entry.facts) == Some(0) {
+                    // Provably empty at entry: the queue holds only this
+                    // loop's own pushes, whose classes this pass sees.
+                    Content::Empty
+                } else {
+                    entry.q[qi].content
+                },
+            };
+        }
+        b_entry.tcr = match (entry.tcr, latch_a.tcr) {
+            (Some(a), Some(b)) => Some(if a == b { a } else { None }),
+            _ => None,
+        };
+        if style == Style::Tcr {
+            // The checked header needs a loaded TCR; the style detection
+            // already diagnosed a missing one.
+            b_entry.tcr = Some(trips.as_single_var().and_then(|(v, _)| self.vars[v as usize].class));
+        }
+        b_entry.facts = entry.facts.clone();
+
+        let fuzzy_any = shapes.iter().any(|s| matches!(s, QShape::Fuzzy { .. }));
+        let pend_start = self.pending.len();
+        if fuzzy_any {
+            self.pending_depth += 1;
+        }
+        let mut bctx = WalkCtx {
+            quiet: ctx.quiet,
+            iter_var: Some(iota),
+            tcr_depth: ctx.tcr_depth + u32::from(style == Style::Tcr),
+            depth: ctx.depth + 1,
+            segs: [Vec::new(), Vec::new(), Vec::new()],
+        };
+        let (bexits, b_latches) = self.walk_region(&blocks, header, b_entry.clone(), Some(li), &mut bctx);
+        let latch_b = if b_latches.is_empty() { None } else { Some(self.join_all(b_latches)) };
+
+        // ---- Mirror segments and data-dependent exit effects. ----
+        let all_canon = canon.is_some_and(|c| bexits.iter().all(|&(f, t, _)| (f, t) == c));
+        let mut effects: [Option<Expr>; 3] = [None, None, None];
+        let mut matched = [false; 3];
+        for qi in 0..3 {
+            let QShape::Fuzzy { per_lo, per_hi } = shapes[qi] else { continue };
+            let span = ub_t;
+            let tot_lo = per_lo.and_then(|l| if l >= 0 { Some(0) } else { span.map(|s| l.saturating_mul(s)) });
+            let tot_hi = per_hi.and_then(|h| if h <= 0 { Some(0) } else { span.map(|s| h.saturating_mul(s)) });
+            let delta_b = latch_b
+                .as_ref()
+                .map(|lb| lb.q[qi].occupancy().sub(&b_entry.q[qi].occupancy()));
+            let cls = delta_b.as_ref().and_then(|d| self.delta_class(d));
+            effects[qi] = Some(match cls {
+                Some((k, 1)) if all_canon => {
+                    let sigma = self.fresh(Some(0), tot_hi, None, None);
+                    ctx.segs[qi].push(ProdSeg { trips: trips.clone(), class: k, sigma });
+                    Expr::var(sigma)
+                }
+                Some((k, -1))
+                    if all_canon
+                        && ctx.segs[qi]
+                            .last()
+                            .is_some_and(|s| s.class == k && s.trips == trips) =>
+                {
+                    let seg = ctx.segs[qi].pop().expect("checked above");
+                    matched[qi] = true;
+                    Expr::var(seg.sigma).neg()
+                }
+                _ => Expr::var(self.fresh(tot_lo, tot_hi, None, None)),
+            });
+        }
+        if fuzzy_any {
+            self.pending_depth -= 1;
+            let buffered: Vec<(usize, Diagnostic)> = self.pending.split_off(pend_start);
+            for (qi, d) in buffered {
+                if matched[qi] {
+                    continue;
+                }
+                if self.pending_depth > 0 {
+                    self.pending.push((qi, d));
+                } else {
+                    self.push_diag(d);
+                }
+            }
+        }
+
+        // ---- Exit states: substitute ι with the iterations completed. ----
+        let min_iters: i64 = if style == Style::Bottom { 1 } else { 0 };
+        let shared_tau = if style != Style::Unknown && !all_canon {
+            Some(Expr::var(self.fresh(Some(min_iters), ub_t, None, Some(trips.clone()))))
+        } else {
+            None
+        };
+        let mut out = Vec::with_capacity(bexits.len());
+        for (from, to, mut st) in bexits {
+            match style {
+                Style::Unknown => {}
+                _ => {
+                    let is_canon = canon == Some((from, to));
+                    let repl = match &shared_tau {
+                        Some(tau) => {
+                            if is_canon && style != Style::Bottom {
+                                tau.clone()
+                            } else {
+                                tau.sub(&Expr::konst(1))
+                            }
+                        }
+                        None => {
+                            if style == Style::Bottom {
+                                trips.sub(&Expr::konst(1))
+                            } else {
+                                trips.clone()
+                            }
+                        }
+                    };
+                    st.subst_all(iota, &repl);
+                }
+            }
+            for qi in 0..3 {
+                if let Some(eff) = &effects[qi] {
+                    if phi_on_since[qi] {
+                        st.q[qi].ahead = entry.q[qi].ahead.clone();
+                        st.q[qi].since = self.capped(entry.q[qi].since.add(eff), &entry.facts);
+                    } else {
+                        st.q[qi].ahead = self.capped(entry.q[qi].ahead.add(eff), &entry.facts);
+                        st.q[qi].since = entry.q[qi].since.clone();
+                    }
+                    st.q[qi].marked = entry.q[qi].marked;
+                }
+            }
+            if style == Style::Tcr {
+                st.tcr = None;
+            }
+            out.push((from, to, st));
+        }
+        out
+    }
+
+    /// Classifies a loop by its header/latch test and derives a trip
+    /// count from the real entry state.
+    fn style_and_trips(
+        &mut self,
+        header: usize,
+        latch_blocks: &[usize],
+        blocks: &BTreeSet<usize>,
+        entry: &AbsState,
+        deltas: &[RegDelta],
+        quiet: bool,
+    ) -> (Style, Expr, Option<(usize, usize)>) {
+        let hpc = self.cfg.blocks[header].end - 1;
+        let hterm = self.program.instrs()[hpc as usize];
+        if let Instr::BranchOnTcr { target } = hterm {
+            let taken = self.boe(target);
+            let fall = self.boe(hpc + 1);
+            if blocks.contains(&taken) && !blocks.contains(&fall) {
+                let trip_max = (1i64 << self.config.tq_trip_bits.min(62)) - 1;
+                let (class, hi) = match entry.tcr {
+                    None => {
+                        if !quiet {
+                            self.check_tcr_loaded(hpc, &WalkCtx::top());
+                        }
+                        (None, trip_max)
+                    }
+                    Some(cls) => {
+                        let ch = cls.and_then(|c| self.class_bounds[c as usize].1);
+                        (cls, ch.map_or(trip_max, |h| h.min(trip_max).max(0)))
+                    }
+                };
+                let v = self.fresh(Some(0), Some(hi), class, None);
+                return (Style::Tcr, Expr::var(v), Some((header, fall)));
+            }
+        }
+        if let [latch] = latch_blocks {
+            let lpc = self.cfg.blocks[*latch].end - 1;
+            if let Instr::Branch { cond: BranchCond::Lt, rs1, rs2, target } = self.program.instrs()[lpc as usize] {
+                let fall = self.boe(lpc + 1);
+                if self.boe(target) == header && !blocks.contains(&fall) {
+                    if let (RegDelta::Step(s), RegDelta::Invariant) = (deltas[rs1.index()], deltas[rs2.index()]) {
+                        if s >= 1 {
+                            let trips = self.trip_count(entry, rs1.index(), rs2.index(), s, 1);
+                            return (Style::Bottom, trips, Some((*latch, fall)));
+                        }
+                    }
+                }
+            }
+        }
+        if let Instr::Branch { cond, rs1, rs2, target } = hterm {
+            let taken = self.boe(target);
+            let fall = self.boe(hpc + 1);
+            let out_succ = match cond {
+                BranchCond::Lt if blocks.contains(&taken) && !blocks.contains(&fall) => Some(fall),
+                BranchCond::Ge if !blocks.contains(&taken) && blocks.contains(&fall) => Some(taken),
+                _ => None,
+            };
+            if let Some(out) = out_succ {
+                if let (RegDelta::Step(s), RegDelta::Invariant) = (deltas[rs1.index()], deltas[rs2.index()]) {
+                    if s >= 1 {
+                        let trips = self.trip_count(entry, rs1.index(), rs2.index(), s, 0);
+                        return (Style::Header, trips, Some((header, out)));
+                    }
+                }
+            }
+        }
+        (Style::Unknown, Expr::var(self.fresh(Some(0), None, None, None)), None)
+    }
+
+    /// `max(min_iters, ceil((bound - start) / step))` over the entry state.
+    fn trip_count(&mut self, entry: &AbsState, rs1: usize, rs2: usize, step: i64, min_iters: i64) -> Expr {
+        let d = entry.regs[rs2].sub(&entry.regs[rs1]);
+        let d = self.capped(d, &entry.facts);
+        if step == 1 {
+            let facts = entry.facts.clone();
+            self.max_e(Expr::konst(min_iters), d, &facts)
+        } else {
+            let hi = self
+                .ub(&d, &entry.facts)
+                .map(|u| ((u.max(0)).saturating_add(step - 1) / step).max(min_iters));
+            Expr::var(self.fresh(Some(min_iters), hi, None, None))
+        }
+    }
+
+    /// `±v` or `max(0, v)` / `min(0, -v)` for a class-tagged `v`.
+    fn delta_class(&self, e: &Expr) -> Option<(u32, i64)> {
+        if let Some((v, c)) = e.as_single_var() {
+            if c == 1 || c == -1 {
+                if let Some(k) = self.vars[v as usize].class {
+                    return Some((k, c));
+                }
+                // Look through an interned atom: `±max(0, m)` keeps the
+                // value class of `m`.
+                if let Some(Expr::Max(a, b)) = &self.vars[v as usize].ub {
+                    if a.as_const() == Some(0) {
+                        if let Some((m, 1)) = b.as_single_var() {
+                            return self.vars[m as usize].class.map(|k| (k, c));
+                        }
+                    }
+                }
+            }
+        }
+        match e {
+            Expr::Max(a, b) if a.as_const() == Some(0) => b
+                .as_single_var()
+                .filter(|&(_, c)| c == 1)
+                .and_then(|(v, _)| self.vars[v as usize].class)
+                .map(|k| (k, 1)),
+            Expr::Min(a, b) if a.as_const() == Some(0) => b
+                .as_single_var()
+                .filter(|&(_, c)| c == -1)
+                .and_then(|(v, _)| self.vars[v as usize].class)
+                .map(|k| (k, -1)),
+            _ => None,
+        }
+    }
+
+    /// Loops with Mark/Forward or save/restore in the body: check the
+    /// first iteration from the real entry and later iterations from a
+    /// verified steady state, so mark flags stay definite on each walk.
+    fn complex_loop(
+        &mut self,
+        blocks: &BTreeSet<usize>,
+        header: usize,
+        entry: AbsState,
+        ctx: &mut WalkCtx,
+    ) -> Vec<Edge> {
+        let li = self.header_loop[&header];
+        let quiet_ctx = |c: &WalkCtx| WalkCtx {
+            quiet: true,
+            iter_var: None,
+            tcr_depth: c.tcr_depth,
+            depth: c.depth + 1,
+            segs: [Vec::new(), Vec::new(), Vec::new()],
+        };
+        let mut q1 = quiet_ctx(ctx);
+        let (_, lat1) = self.walk_region(blocks, header, entry.clone(), Some(li), &mut q1);
+        let mut cctx = WalkCtx {
+            quiet: ctx.quiet,
+            iter_var: None,
+            tcr_depth: ctx.tcr_depth,
+            depth: ctx.depth + 1,
+            segs: [Vec::new(), Vec::new(), Vec::new()],
+        };
+        if lat1.is_empty() {
+            // The body runs at most once.
+            let (exits, _) = self.walk_region(blocks, header, entry, Some(li), &mut cctx);
+            return exits;
+        }
+        let lat1 = self.join_all(lat1);
+
+        let mut steady = self.make_steady(&entry, &lat1, &[]);
+        let mut stable = false;
+        for _ in 0..2 {
+            let mut q2 = quiet_ctx(ctx);
+            let (_, lat2) = self.walk_region(blocks, header, steady.clone(), Some(li), &mut q2);
+            if lat2.is_empty() {
+                stable = true;
+                break;
+            }
+            let lat2 = self.join_all(lat2);
+            let widen = self.unstable_parts(&steady, &lat2);
+            if widen.is_empty() {
+                stable = true;
+                break;
+            }
+            steady = self.make_steady(&entry, &lat1, &widen);
+        }
+        if !stable {
+            if !ctx.quiet {
+                self.emit(
+                    Rule::AnalysisDegraded,
+                    Severity::Warning,
+                    None,
+                    Some(self.cfg.blocks[header].start),
+                    "loop with queue marks/saves did not reach a steady state; queue state is unknown past it".into(),
+                );
+            }
+            return self.havoc_exits(blocks, &entry);
+        }
+
+        let (ex1, _) = self.walk_region(blocks, header, entry, Some(li), &mut cctx);
+        let mut cctx2 = WalkCtx {
+            quiet: ctx.quiet,
+            iter_var: None,
+            tcr_depth: ctx.tcr_depth,
+            depth: ctx.depth + 1,
+            segs: [Vec::new(), Vec::new(), Vec::new()],
+        };
+        let (ex2, _) = self.walk_region(blocks, header, steady, Some(li), &mut cctx2);
+
+        let mut grouped: Vec<(usize, usize, Vec<AbsState>)> = Vec::new();
+        for (f, t, s) in ex1.into_iter().chain(ex2) {
+            match grouped.iter_mut().find(|(gf, gt, _)| *gf == f && *gt == t) {
+                Some((_, _, v)) => v.push(s),
+                None => grouped.push((f, t, vec![s])),
+            }
+        }
+        grouped.into_iter().map(|(f, t, v)| (f, t, self.join_all(v))).collect()
+    }
+
+    /// Builds the steady (iterations ≥ 2) entry state: components the
+    /// body provably leaves alone keep their entry expression, the rest
+    /// are havocked; anything listed in `widen` is havocked unbounded.
+    fn make_steady(&mut self, entry: &AbsState, lat1: &AbsState, widen: &[(usize, usize)]) -> AbsState {
+        let widened = |kind: usize, idx: usize| widen.contains(&(kind, idx));
+        let mut s = AbsState::initial();
+        for r in 1..NUM_REGS {
+            s.regs[r] = if lat1.regs[r] == entry.regs[r] && !widened(0, r) {
+                entry.regs[r].clone()
+            } else if widened(0, r) {
+                Expr::var(self.fresh(None, None, None, None))
+            } else {
+                let lo = match (self.lo(&entry.regs[r], &entry.facts), self.lo(&lat1.regs[r], &lat1.facts)) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    _ => None,
+                };
+                let hi = match (self.ub(&entry.regs[r], &entry.facts), self.ub(&lat1.regs[r], &lat1.facts)) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    _ => None,
+                };
+                Expr::var(self.fresh(lo, hi, None, None))
+            };
+        }
+        for qi in 0..3 {
+            let comp = |lint: &mut Self, a: &Expr, b: &Expr, w: bool| {
+                if a == b && !w {
+                    a.clone()
+                } else if w {
+                    Expr::var(lint.fresh(Some(0), None, None, None))
+                } else {
+                    let lo = match (lint.lo(a, &entry.facts), lint.lo(b, &lat1.facts)) {
+                        (Some(x), Some(y)) => Some(x.min(y).max(0)),
+                        _ => Some(0),
+                    };
+                    let hi = match (lint.ub(a, &entry.facts), lint.ub(b, &lat1.facts)) {
+                        (Some(x), Some(y)) => Some(x.max(y)),
+                        _ => None,
+                    };
+                    Expr::var(lint.fresh(lo, hi, None, None))
+                }
+            };
+            let ahead = comp(self, &entry.q[qi].ahead, &lat1.q[qi].ahead, widened(1, qi));
+            let since = comp(self, &entry.q[qi].since, &lat1.q[qi].since, widened(2, qi));
+            let saved = match (&entry.q[qi].saved, &lat1.q[qi].saved) {
+                (Some(a), Some(b)) if a == b => Some(a.clone()),
+                (_, Some((b, cb))) => {
+                    let hi = self.ub(b, &lat1.facts);
+                    Some((Expr::var(self.fresh(Some(0), hi, None, None)), *cb))
+                }
+                (_, None) => None,
+            };
+            s.q[qi] = QState { ahead, since, marked: lat1.q[qi].marked, saved, content: lat1.q[qi].content };
+        }
+        s.tcr = lat1.tcr;
+        s.facts = entry
+            .facts
+            .iter()
+            .filter(|f| lat1.facts.iter().any(|g| g.expr == f.expr && g.lo == f.lo && g.hi == f.hi))
+            .cloned()
+            .collect();
+        s
+    }
+
+    /// Components of `steady` the re-walk escaped from. Encoded as
+    /// `(kind, index)`: kind 0 = register, 1 = queue ahead, 2 = queue
+    /// since.
+    fn unstable_parts(&self, steady: &AbsState, lat2: &AbsState) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let within = |lint: &Self, kept: &Expr, new: &Expr| -> bool {
+            if kept == new {
+                return true;
+            }
+            let Some((v, 1)) = kept.as_single_var() else { return false };
+            let info = &lint.vars[v as usize];
+            let lo_ok = match info.lo {
+                None => true,
+                Some(l) => lint.lo(new, &lat2.facts).is_some_and(|x| x >= l),
+            };
+            let hi_ok = match info.hi {
+                None => true,
+                Some(h) => lint.ub(new, &lat2.facts).is_some_and(|x| x <= h),
+            };
+            lo_ok && hi_ok
+        };
+        for r in 1..NUM_REGS {
+            if !within(self, &steady.regs[r], &lat2.regs[r]) {
+                out.push((0, r));
+            }
+        }
+        for qi in 0..3 {
+            if !within(self, &steady.q[qi].ahead, &lat2.q[qi].ahead) {
+                out.push((1, qi));
+            }
+            if !within(self, &steady.q[qi].since, &lat2.q[qi].since) {
+                out.push((2, qi));
+            }
+            if steady.q[qi].marked != lat2.q[qi].marked
+                || steady.q[qi].saved.is_some() != lat2.q[qi].saved.is_some()
+                || steady.q[qi].content != lat2.q[qi].content
+            {
+                // Flag the queue itself; make_steady joins these parts
+                // from lat1 again, so a second pass can only settle if
+                // the walk converges on its own.
+                out.push((1, qi));
+            }
+        }
+        if steady.tcr != lat2.tcr {
+            out.push((0, 0));
+        }
+        out
+    }
+
+    /// When analysis gives up on a loop: conservative unknown state on
+    /// every edge leaving it. The reported bounds become unknown too —
+    /// occupancy inside the abandoned loop was never fully checked, so
+    /// any number would be a false claim.
+    fn havoc_exits(&mut self, blocks: &BTreeSet<usize>, entry: &AbsState) -> Vec<Edge> {
+        self.unbounded = [true; 3];
+        let mut out = Vec::new();
+        for &b in blocks {
+            let succs = self.cfg.blocks[b].succs.clone();
+            for s in succs {
+                if blocks.contains(&s) {
+                    continue;
+                }
+                let mut st = AbsState::initial();
+                for r in 1..NUM_REGS {
+                    st.regs[r] = Expr::var(self.fresh(None, None, None, None));
+                }
+                for qi in 0..3 {
+                    st.q[qi] = QState {
+                        ahead: Expr::var(self.fresh(Some(0), None, None, None)),
+                        since: Expr::var(self.fresh(Some(0), None, None, None)),
+                        marked: Tri::Maybe,
+                        saved: entry.q[qi].saved.as_ref().map(|(_, c)| {
+                            (Expr::var(self.fresh(Some(0), None, None, None)), *c)
+                        }),
+                        content: Content::Mixed,
+                    };
+                }
+                st.tcr = None;
+                out.push((b, s, st));
+            }
+        }
+        out
+    }
+}

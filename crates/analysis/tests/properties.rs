@@ -2,7 +2,10 @@
 //! programs must satisfy the textbook dominance/control-dependence laws.
 //! Cases come from the in-repo seeded harness (`cfd_isa::prop_check`).
 
-use cfd_analysis::{backward_slice, classify_program, find_loops, Cfg, ClassifyConfig, DomTree};
+use cfd_analysis::{
+    backward_slice, classify_program, find_loops, lint_program, Cfg, ClassifyConfig, DomTree,
+    LintConfig, Rule, Severity,
+};
 use cfd_isa::check::Rng;
 use cfd_isa::{prop_check, Assembler, Program, Reg};
 
@@ -131,6 +134,114 @@ fn loops_have_dominating_headers() {
             }
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate control-flow graphs: the queue-discipline verifier must
+// stay total (no panic, a verdict for every input) on the shapes real
+// front-ends occasionally emit.
+// ---------------------------------------------------------------------------
+
+/// Queue-op-free structured programs are vacuously clean with all-zero
+/// bounds, whatever their CFG shape.
+#[test]
+fn lint_is_clean_on_random_queue_free_programs() {
+    prop_check!(48, |rng| {
+        let program = build(&segments(rng));
+        let rep = lint_program(&program, &LintConfig::default());
+        assert!(rep.clean(), "{}", rep.table());
+        assert_eq!(rep.bounds.bq, Some(0));
+        assert_eq!(rep.bounds.vq, Some(0));
+        assert_eq!(rep.bounds.tq, Some(0));
+    });
+}
+
+/// The empty program — a bare `halt` — is the smallest valid input.
+#[test]
+fn lint_handles_empty_program() {
+    let mut a = Assembler::new();
+    a.halt();
+    let rep = lint_program(&a.finish().unwrap(), &LintConfig::default());
+    assert!(rep.clean(), "{}", rep.table());
+    assert_eq!(rep.bounds.bq, Some(0));
+}
+
+/// Code after an unconditional jump is unreachable; a queue violation
+/// buried there must not poison the verdict of the live code, but the
+/// dead region is reported.
+#[test]
+fn lint_skips_unreachable_blocks() {
+    let r = Reg::new;
+    let mut a = Assembler::new();
+    a.addi(r(4), r(4), 1);
+    a.j("live");
+    // Dead: a bare pop that would underflow if it could ever run.
+    a.branch_on_bq("live");
+    a.label("live");
+    a.addi(r(5), r(5), 1);
+    a.halt();
+    let rep = lint_program(&a.finish().unwrap(), &LintConfig::default());
+    assert!(rep.clean(), "{}", rep.table());
+    assert!(
+        rep.diagnostics.iter().any(|d| d.rule == Rule::UnreachableCode),
+        "dead block not reported:\n{}",
+        rep.table()
+    );
+}
+
+/// A conditional branch whose fallthrough is the final `halt`: the
+/// fallthrough edge runs straight into the CFG exit, so exit-balance
+/// checking must see both the taken and the fallthrough path.
+#[test]
+fn lint_checks_fallthrough_into_exit() {
+    let r = Reg::new;
+    // Unbalanced on the fallthrough path: one push, popped only on the
+    // taken side.
+    let mut a = Assembler::new();
+    a.li(r(9), 0x1000);
+    a.ld(r(5), 0, r(9)); // opaque predicate: both branch arms stay live
+    a.push_bq(r(4));
+    a.beqz(r(5), "drain");
+    a.halt();
+    a.label("drain");
+    a.branch_on_bq("out");
+    a.label("out");
+    a.halt();
+    let rep = lint_program(&a.finish().unwrap(), &LintConfig::default());
+    assert!(!rep.clean(), "missed the unbalanced fallthrough exit");
+    assert!(
+        rep.diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::UnbalancedAtExit && d.severity == Severity::Error),
+        "wrong finding:\n{}",
+        rep.table()
+    );
+}
+
+/// A cycle with two distinct entry points is irreducible — no natural
+/// loop exists, and the verifier must refuse loudly instead of proving
+/// bounds it cannot justify.
+#[test]
+fn lint_flags_irreducible_loop() {
+    let r = Reg::new;
+    let mut a = Assembler::new();
+    a.beqz(r(4), "l2"); // second entry into the cycle, skipping l1
+    a.label("l1");
+    a.addi(r(5), r(5), 1);
+    a.label("l2");
+    a.addi(r(6), r(6), 1);
+    a.bnez(r(6), "l1"); // closes the l1 <-> l2 cycle
+    a.halt();
+    let rep = lint_program(&a.finish().unwrap(), &LintConfig::default());
+    assert!(!rep.clean());
+    assert!(
+        rep.diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::IrreducibleCfg && d.severity == Severity::Error),
+        "irreducible cycle not flagged:\n{}",
+        rep.table()
+    );
+    assert_eq!(rep.bounds.bq, None, "no bound may be claimed on an unanalyzed CFG");
 }
 
 #[test]

@@ -6,6 +6,12 @@
 //!   experiments `<id>`...     run specific experiments (e.g. fig18 fig24)
 //!   experiments all           run everything (EXPERIMENTS.md source)
 //!   experiments faults [opts] run a fault-injection campaign (see below)
+//!   experiments lint [opts]   statically verify queue discipline of every
+//!                             catalog workload and transform output; exits
+//!                             non-zero on any error finding
+//!
+//! Lint options:
+//!   --json PATH     write the JSON lint table to PATH ("-" = stdout)
 //!
 //! Campaign options:
 //!   --seed N        trial-point seed (default 0xcfdfa017)
@@ -27,10 +33,15 @@ fn main() {
         }
         println!("  {:8} run every experiment", "all");
         println!("  {:8} fault-injection campaign (--seed N --trials N --scale N --smoke --json PATH)", "faults");
+        println!("  {:8} static queue-discipline verification of catalog + transforms (--json PATH)", "lint");
         return;
     }
     if args[0] == "faults" {
         run_fault_campaign(&args[1..]);
+        return;
+    }
+    if args[0] == "lint" {
+        run_lint(&args[1..]);
         return;
     }
     let ids: Vec<String> = if args[0] == "all" {
@@ -50,6 +61,44 @@ fn main() {
         let out = (e.run)();
         println!("{out}");
         println!("[{} completed in {:.1}s]\n", e.id, t0.elapsed().as_secs_f64());
+    }
+}
+
+fn run_lint(args: &[String]) {
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(1);
+                }))
+            }
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let rows = cfd_bench::lint::lint_all();
+    print!("{}", cfd_bench::lint::table(&rows));
+    match json_path.as_deref() {
+        Some("-") => println!("{}", cfd_bench::lint::to_json(&rows)),
+        Some(path) => {
+            std::fs::write(path, cfd_bench::lint::to_json(&rows)).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("lint table written to {path}");
+        }
+        None => {}
+    }
+    let errors = cfd_bench::lint::error_count(&rows);
+    println!("[lint completed in {:.1}s: {} programs, {} error finding(s)]", t0.elapsed().as_secs_f64(), rows.len(), errors);
+    if errors > 0 {
+        std::process::exit(2);
     }
 }
 

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod lint;
 pub mod runner;
 
 pub use experiments::{all, by_id, Experiment};

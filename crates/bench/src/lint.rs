@@ -1,0 +1,227 @@
+//! The `experiments lint` backend: runs the static CFD queue-discipline
+//! verifier ([`cfd_analysis::lint_program`]) over every workload in the
+//! catalog (every supported variant) and over the automatic transform
+//! outputs, and renders the findings as a fixed-width table plus
+//! deterministic JSON.
+//!
+//! A clean sweep is the translation-validation half of DESIGN.md §9: the
+//! hand-written kernels and the `apply_cfd`/`apply_cfd_tq` rewrites all
+//! obey the queue discipline the simulator enforces dynamically.
+
+use cfd_analysis::{apply_cfd, apply_cfd_tq, lint_program, LintConfig, LintReport, Severity};
+use cfd_isa::{Assembler, Program, Reg};
+use cfd_workloads::{catalog, PaperClass, Scale, Variant};
+
+/// One linted program: where it came from and what the verifier said.
+#[derive(Debug, Clone)]
+pub struct LintRow {
+    /// Catalog kernel name, or the transform-validation pseudo-kernel.
+    pub kernel: String,
+    /// Variant label (catalog) or transform name.
+    pub variant: String,
+    /// The verifier's findings and proved bounds.
+    pub report: LintReport,
+}
+
+/// Lints every `(kernel, variant)` pair in the catalog at `scale`.
+///
+/// The scale only affects constants baked into the programs (trip
+/// counts); the verifier itself is static, so any scale exercises the
+/// same code shape.
+pub fn lint_catalog(scale: Scale) -> Vec<LintRow> {
+    let config = LintConfig::default();
+    let mut rows = Vec::new();
+    for entry in catalog() {
+        for &variant in entry.variants {
+            let w = entry.build(variant, scale);
+            rows.push(LintRow {
+                kernel: entry.name.to_string(),
+                variant: variant.label().to_string(),
+                report: lint_program(&w.program, &config),
+            });
+        }
+    }
+    rows
+}
+
+/// Lints the outputs of the automatic decoupling transforms: each
+/// [`cfd_analysis::TransformReport`] already carries the lint verdict
+/// of its rewritten program (translation validation), so the rows here
+/// simply surface those verdicts — one per `(kernel, chunk)` pair — for
+/// the canonical separable kernel and loop-branch nest, plus every
+/// catalog base kernel whose branch of interest the transform accepts.
+pub fn lint_transforms() -> Vec<LintRow> {
+    let scratch: Vec<Reg> = (28..32).map(Reg::new).collect();
+    let mut rows = Vec::new();
+
+    let (program, bpc) = canonical_separable_kernel();
+    for chunk in [8usize, 128] {
+        let t = apply_cfd(&program, bpc, chunk, &scratch).expect("canonical kernel transforms");
+        rows.push(LintRow {
+            kernel: "canonical_separable".to_string(),
+            variant: format!("apply_cfd/{chunk}"),
+            report: t.lint,
+        });
+    }
+    let (program, bpc) = canonical_loop_branch_kernel();
+    for tq in [64usize, 256] {
+        let t = apply_cfd_tq(&program, bpc, tq, &scratch).expect("canonical nest transforms");
+        rows.push(LintRow {
+            kernel: "canonical_loop_branch".to_string(),
+            variant: format!("apply_cfd_tq/{tq}"),
+            report: t.lint,
+        });
+    }
+
+    // Catalog base kernels: transform wherever the branch of interest
+    // matches the canonical shape the pass accepts.
+    for entry in catalog() {
+        let w = entry.build(Variant::Base, Scale { n: 400, seed: 9 });
+        for ib in &w.interest {
+            let t = match ib.class {
+                PaperClass::SeparableTotal | PaperClass::SeparablePartial => {
+                    apply_cfd(&w.program, ib.pc, 128, &scratch)
+                }
+                PaperClass::SeparableLoopBranch => apply_cfd_tq(&w.program, ib.pc, 256, &scratch),
+                _ => continue,
+            };
+            if let Ok(t) = t {
+                rows.push(LintRow {
+                    kernel: entry.name.to_string(),
+                    variant: format!("auto@pc{}", ib.pc),
+                    report: t.lint,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The canonical totally separable kernel `apply_cfd` is specified
+/// against: a streaming threshold scan with a 6-instruction
+/// control-dependent region disjoint from the predicate slice.
+fn canonical_separable_kernel() -> (Program, u32) {
+    let r = Reg::new;
+    let (i, n, base, eps, x, p, sum, cnt) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let mut a = Assembler::new();
+    a.li(n, 1000);
+    a.li(base, 0x1000);
+    a.li(eps, 500);
+    a.label("top");
+    a.sll(r(9), i, 3i64);
+    a.add(r(9), r(9), base);
+    a.ld(x, 0, r(9));
+    a.slt(p, x, eps);
+    let bpc = a.here();
+    a.beqz(p, "skip");
+    a.add(sum, sum, x);
+    a.addi(cnt, cnt, 1);
+    a.xor(r(10), sum, cnt);
+    a.add(r(11), r(11), r(10));
+    a.sub(r(12), r(11), sum);
+    a.add(r(12), r(12), 7i64);
+    a.label("skip");
+    a.addi(i, i, 1);
+    a.blt(i, n, "top");
+    a.halt();
+    (a.finish().expect("canonical kernel assembles"), bpc)
+}
+
+/// The canonical separable loop-branch nest `apply_cfd_tq` is
+/// specified against: an outer loop whose inner trip count is loaded
+/// per iteration.
+fn canonical_loop_branch_kernel() -> (Program, u32) {
+    let r = Reg::new;
+    let (i, n, base, m, j, acc) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    let mut a = Assembler::new();
+    a.li(n, 500);
+    a.li(base, 0x1000);
+    a.label("outer");
+    a.sll(r(9), i, 3i64);
+    a.add(r(9), r(9), base);
+    a.ld(m, 0, r(9));
+    a.li(j, 0);
+    a.j("test");
+    a.label("body");
+    a.add(acc, acc, j);
+    a.addi(j, j, 1);
+    a.label("test");
+    let bpc = a.here();
+    a.blt(j, m, "body");
+    a.addi(i, i, 1);
+    a.blt(i, n, "outer");
+    a.halt();
+    (a.finish().expect("canonical nest assembles"), bpc)
+}
+
+/// Renders lint rows as a fixed-width table.
+pub fn table(rows: &[LintRow]) -> String {
+    let mut out = String::new();
+    let b = |x: Option<u64>| x.map_or("unbounded".to_string(), |v| v.to_string());
+    out.push_str(&format!(
+        "{:<18} {:<12} {:<8} {:>6} {:>6} {:>6}  findings\n",
+        "kernel", "variant", "verdict", "bq", "vq", "tq"
+    ));
+    for r in rows {
+        let rep = &r.report;
+        out.push_str(&format!(
+            "{:<18} {:<12} {:<8} {:>6} {:>6} {:>6}  {}\n",
+            r.kernel,
+            r.variant,
+            if rep.clean() { "clean" } else { "ERROR" },
+            b(rep.bounds.bq),
+            b(rep.bounds.vq),
+            b(rep.bounds.tq),
+            rep.diagnostics.len(),
+        ));
+        for d in &rep.diagnostics {
+            if d.severity >= Severity::Warning {
+                out.push_str(&format!("    {d}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic JSON rendering of lint rows.
+pub fn to_json(rows: &[LintRow]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"kernel\":\"{}\",\"variant\":\"{}\",\"report\":{}}}",
+            r.kernel,
+            r.variant,
+            r.report.to_json()
+        ));
+    }
+    s.push(']');
+    s
+}
+
+/// Total error-severity findings across all rows.
+pub fn error_count(rows: &[LintRow]) -> usize {
+    rows.iter().map(|r| r.report.error_count()).sum()
+}
+
+/// Runs the full sweep (catalog + transforms) at a small scale.
+pub fn lint_all() -> Vec<LintRow> {
+    let mut rows = lint_catalog(Scale { n: 400, seed: 9 });
+    rows.extend(lint_transforms());
+    rows
+}
+
+/// The variants the catalog exercises, for reference in reports.
+pub fn variant_universe() -> Vec<Variant> {
+    let mut vs = Vec::new();
+    for entry in catalog() {
+        for &v in entry.variants {
+            if !vs.contains(&v) {
+                vs.push(v);
+            }
+        }
+    }
+    vs
+}

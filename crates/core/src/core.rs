@@ -614,6 +614,13 @@ impl Core {
             }
             self.oracle.step(&mut NullSink).map_err(|err| CoreError::Program(err.to_string()))?;
 
+            // Architectural queue high-water marks, sampled on the committed
+            // (oracle) state so speculation never inflates them. cfd-harden
+            // checks these against the static bounds from cfd-lint.
+            self.stats.max_bq_occupancy = self.stats.max_bq_occupancy.max(self.oracle.bq.len() as u64);
+            self.stats.max_vq_occupancy = self.stats.max_vq_occupancy.max(self.oracle.vq.len() as u64);
+            self.stats.max_tq_occupancy = self.stats.max_tq_occupancy.max(self.oracle.tq.len() as u64);
+
             self.stats.retired += 1;
             self.events.rob_ops += 1;
             if e.in_lsq {

@@ -82,6 +82,12 @@ pub struct CoreStats {
     pub icache_misses: u64,
     /// Store-to-load forwards in the LSQ.
     pub lsq_forwards: u64,
+    /// Maximum architectural BQ occupancy observed at retirement.
+    pub max_bq_occupancy: u64,
+    /// Maximum architectural VQ occupancy observed at retirement.
+    pub max_vq_occupancy: u64,
+    /// Maximum architectural TQ occupancy observed at retirement.
+    pub max_tq_occupancy: u64,
     /// Faults injected by the fault-injection harness (0 in normal runs).
     pub faults_injected: u64,
     /// Recoveries attributable to an injected fault: recovery events

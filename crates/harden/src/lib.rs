@@ -36,9 +36,10 @@
 
 #![warn(missing_docs)]
 
+use cfd_analysis::{lint_program, LintConfig};
 use cfd_core::{Core, CoreConfig, CoreError, FaultKind, FaultSpec};
 use cfd_isa::check::Rng;
-use cfd_workloads::{by_name, CatalogEntry, Scale, Variant, Workload};
+use cfd_workloads::{by_name, catalog, CatalogEntry, Scale, Variant, Workload};
 use std::fmt;
 
 /// The classified outcome of one fault-injection trial.
@@ -272,6 +273,92 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// One row of the static/dynamic cross-check: the static verifier's
+/// verdict for a program against a fault-free timing simulation of it.
+#[derive(Debug, Clone)]
+pub struct CrosscheckRow {
+    /// Workload name from the catalog.
+    pub workload: &'static str,
+    /// Variant the row covers.
+    pub variant: Variant,
+    /// The static verifier found no error-severity violation.
+    pub clean: bool,
+    /// Static per-queue occupancy bounds `[BQ, VQ, TQ]` (`None` =
+    /// unproved).
+    pub static_bounds: [Option<u64>; 3],
+    /// Fault-free run outcome: `None` when the run completed, else the
+    /// error it raised.
+    pub run_error: Option<String>,
+    /// Observed architectural high-water marks `[BQ, VQ, TQ]` from
+    /// [`cfd_core::CoreStats`] (zeros when the run failed).
+    pub observed: [u64; 3],
+}
+
+impl CrosscheckRow {
+    /// The soundness contract the verifier promises: a statically-clean
+    /// program completes its fault-free run without a queue-structure
+    /// error, and every proved bound dominates the occupancy the
+    /// simulation actually observed. Rows the verifier flagged (or
+    /// declined to bound) are vacuously fine — the contract only binds
+    /// positive claims.
+    pub fn holds(&self) -> bool {
+        if !self.clean {
+            return true;
+        }
+        self.run_error.is_none()
+            && self
+                .static_bounds
+                .iter()
+                .zip(self.observed)
+                .all(|(b, seen)| b.is_none_or(|b| b >= seen))
+    }
+}
+
+/// Cross-checks the static verifier against fault-free simulation for
+/// every `(workload, variant)` pair in the catalog at scale `n`: lints
+/// the program under the core's queue configuration, runs it with no
+/// fault injected, and records both verdicts side by side.
+pub fn run_crosscheck(n: usize, cycle_limit: u64) -> Vec<CrosscheckRow> {
+    let core_cfg = CoreConfig::default();
+    let lint_cfg = LintConfig {
+        bq_size: core_cfg.bq_size,
+        vq_size: core_cfg.vq_size,
+        tq_size: core_cfg.tq_size,
+        tq_trip_bits: core_cfg.tq_trip_bits,
+    };
+    let scale = Scale { n, ..Scale::small() };
+    let mut rows = Vec::new();
+    for entry in catalog() {
+        for &variant in entry.variants {
+            let w = entry.build(variant, scale);
+            let rep = lint_program(&w.program, &lint_cfg);
+            let out = Core::new(core_cfg.clone(), w.program.clone(), w.mem.clone())
+                .expect("default config is valid")
+                .run(cycle_limit);
+            let (run_error, observed) = match out {
+                Ok(r) => (
+                    None,
+                    [
+                        r.stats.max_bq_occupancy,
+                        r.stats.max_vq_occupancy,
+                        r.stats.max_tq_occupancy,
+                    ],
+                ),
+                Err(e) => (Some(e.to_string()), [0; 3]),
+            };
+            rows.push(CrosscheckRow {
+                workload: entry.name,
+                variant,
+                clean: rep.clean(),
+                static_bounds: [rep.bounds.bq, rep.bounds.vq, rep.bounds.tq],
+                run_error,
+                observed,
+            });
+        }
+    }
+    rows
+}
+
 /// Picks the variant a fault should run under: the richest decoupled
 /// form the workload supports, so the fault's target structure is live.
 fn variant_for(workload: &CatalogEntry, fault: FaultKind) -> Option<Variant> {
@@ -449,5 +536,30 @@ mod tests {
     #[test]
     fn json_escapes_strings() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn static_verdicts_agree_with_fault_free_simulation() {
+        let rows = run_crosscheck(48, 4_000_000);
+        assert!(rows.len() >= 12, "got {} rows", rows.len());
+        let mut clean_bounded = 0;
+        for r in &rows {
+            assert!(
+                r.holds(),
+                "{} / {}: clean={} bounds={:?} observed={:?} error={:?}",
+                r.workload,
+                r.variant.label(),
+                r.clean,
+                r.static_bounds,
+                r.observed,
+                r.run_error
+            );
+            if r.clean && r.static_bounds.iter().any(|b| b.is_some()) {
+                clean_bounded += 1;
+            }
+        }
+        // The check must not pass vacuously: most catalog rows are
+        // statically clean with at least one proved bound.
+        assert!(clean_bounded >= 8, "only {clean_bounded} clean bounded rows");
     }
 }

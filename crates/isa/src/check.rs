@@ -100,7 +100,7 @@ impl Rng {
 }
 
 /// Default base seed for property checks (overridable via `CFD_PROP_SEED`).
-pub const DEFAULT_PROP_SEED: u64 = 0x5eed_0f_c0de;
+pub const DEFAULT_PROP_SEED: u64 = 0x005e_ed0f_c0de;
 
 fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.trim().parse().ok()

@@ -443,6 +443,90 @@ impl Instr {
             | Instr::RestoreTq { base, .. } => (Some(base), None),
         }
     }
+
+    /// Per-instruction queue-effect metadata: which architectural CFD
+    /// queue the instruction touches and how. `None` for non-CFD
+    /// instructions. This is the single source of truth the static
+    /// verifier (`cfd_analysis::lint_program`) keys its transfer
+    /// functions on, so a new CFD instruction that forgets to declare
+    /// its effect here fails the exhaustiveness check below.
+    pub fn queue_op(&self) -> Option<QueueOp> {
+        use QueueKind::*;
+        use QueueOpKind::*;
+        let (queue, op) = match self {
+            Instr::PushBq { .. } => (Bq, Push),
+            // `Branch_on_BQ` consumes one predicate per execution.
+            Instr::BranchOnBq { .. } => (Bq, Pop),
+            Instr::MarkBq => (Bq, Mark),
+            Instr::ForwardBq => (Bq, Forward),
+            Instr::PushVq { .. } => (Vq, Push),
+            Instr::PopVq { .. } => (Vq, Pop),
+            Instr::PushTq { .. } => (Tq, Push),
+            // Both TQ pops load the trip-count register as a side effect.
+            Instr::PopTq => (Tq, Pop),
+            Instr::PopTqBrOvf { .. } => (Tq, Pop),
+            // `Branch_on_TCR` reads/decrements TCR, not the queue proper.
+            Instr::BranchOnTcr { .. } => (Tq, BranchTcr),
+            Instr::SaveBq { .. } => (Bq, Save),
+            Instr::RestoreBq { .. } => (Bq, Restore),
+            Instr::SaveVq { .. } => (Vq, Save),
+            Instr::RestoreVq { .. } => (Vq, Restore),
+            Instr::SaveTq { .. } => (Tq, Save),
+            Instr::RestoreTq { .. } => (Tq, Restore),
+            _ => return None,
+        };
+        Some(QueueOp { queue, op })
+    }
+}
+
+/// One of the three architectural CFD queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueueKind {
+    /// The branch queue (predicates for `Branch_on_BQ`).
+    Bq,
+    /// The value queue (CFD+ communicated values).
+    Vq,
+    /// The trip-count queue (loop-branch trip counts).
+    Tq,
+}
+
+impl QueueKind {
+    /// Short lower-case name ("bq"/"vq"/"tq") for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueKind::Bq => "bq",
+            QueueKind::Vq => "vq",
+            QueueKind::Tq => "tq",
+        }
+    }
+}
+
+/// What a CFD instruction does to its queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueOpKind {
+    /// Appends one entry at the tail.
+    Push,
+    /// Consumes one entry from the head.
+    Pop,
+    /// Records the current tail position (BQ `Mark`).
+    Mark,
+    /// Bulk-pops every entry pushed before the mark (BQ `Forward`).
+    Forward,
+    /// Reads and decrements the trip-count register (no queue traffic).
+    BranchTcr,
+    /// Spills the queue contents to memory (context switch out).
+    Save,
+    /// Reloads the queue contents from memory (context switch in).
+    Restore,
+}
+
+/// A queue-effect record: which queue, and what happens to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueOp {
+    /// The queue operated on.
+    pub queue: QueueKind,
+    /// The operation performed.
+    pub op: QueueOpKind,
 }
 
 impl fmt::Display for Instr {
@@ -527,6 +611,45 @@ mod tests {
         let i = Instr::Alu { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), src2: Src2::Imm(4) };
         assert_eq!(i.to_string(), "Add r3, r1, 4");
         assert_eq!(Instr::BranchOnBq { target: 12 }.to_string(), "branch_on_bq @12");
+    }
+
+    #[test]
+    fn queue_op_covers_exactly_the_cfd_extension() {
+        let r = Reg::new(4);
+        let samples = [
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Li { rd: r, imm: 1 },
+            Instr::Branch { cond: BranchCond::Lt, rs1: r, rs2: r, target: 0 },
+            Instr::Jump { target: 0 },
+            Instr::Jr { rs: r },
+            Instr::Load { rd: r, base: r, offset: 0, width: MemWidth::B8, signed: false },
+            Instr::Store { src: r, base: r, offset: 0, width: MemWidth::B8 },
+            Instr::PushBq { rs: r },
+            Instr::BranchOnBq { target: 0 },
+            Instr::MarkBq,
+            Instr::ForwardBq,
+            Instr::PushVq { rs: r },
+            Instr::PopVq { rd: r },
+            Instr::PushTq { rs: r },
+            Instr::PopTq,
+            Instr::BranchOnTcr { target: 0 },
+            Instr::PopTqBrOvf { target: 0 },
+            Instr::SaveBq { base: r, offset: 0 },
+            Instr::RestoreBq { base: r, offset: 0 },
+            Instr::SaveVq { base: r, offset: 0 },
+            Instr::RestoreVq { base: r, offset: 0 },
+            Instr::SaveTq { base: r, offset: 0 },
+            Instr::RestoreTq { base: r, offset: 0 },
+        ];
+        for i in &samples {
+            assert_eq!(i.queue_op().is_some(), i.is_cfd(), "queue_op/is_cfd disagree on {i}");
+        }
+        let pop = Instr::BranchOnBq { target: 0 }.queue_op().unwrap();
+        assert_eq!((pop.queue, pop.op), (QueueKind::Bq, QueueOpKind::Pop));
+        let ovf = Instr::PopTqBrOvf { target: 0 }.queue_op().unwrap();
+        assert_eq!((ovf.queue, ovf.op), (QueueKind::Tq, QueueOpKind::Pop));
+        assert_eq!(QueueKind::Tq.name(), "tq");
     }
 
     #[test]

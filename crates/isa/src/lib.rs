@@ -68,7 +68,7 @@ mod reg;
 mod semantics;
 mod sim;
 
-pub use instr::{AluOp, BranchCond, Instr, MemWidth, Src2};
+pub use instr::{AluOp, BranchCond, Instr, MemWidth, QueueKind, QueueOp, QueueOpKind, Src2};
 pub use mem_image::MemImage;
 pub use parse::{parse_program, ParseError};
 pub use program::{AsmError, Assembler, Program};

@@ -81,6 +81,10 @@ fn emit_load_trip(a: &mut Assembler) {
     let (i, base_a, m, tmp) = (regs::i(), regs::base_a(), regs::m(), regs::tmp());
     a.sll(tmp, i, 3i64);
     a.add(tmp, tmp, base_a);
+    // The data generator caps trips at 9 (astar's region sizes); the
+    // hint lets the static verifier bound BQ traffic per outer
+    // iteration (cfd-lint: value<=9).
+    a.annotate("trip count load (cfd-lint: value<=9)");
     a.ld(m, 0, tmp);
 }
 

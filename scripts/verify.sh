@@ -16,6 +16,12 @@ cargo build --release --offline --workspace
 echo "== tier-1: cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "== lint gate: cargo clippy --all-targets -- -D warnings"
+cargo clippy -q --offline --all-targets -- -D warnings
+
+echo "== static queue-discipline verification (experiments lint)"
+cargo run -q --release --offline -p cfd-bench --bin experiments -- lint > /dev/null
+
 if [[ "$QUICK" == "0" ]]; then
     echo "== smoke fault campaign (deterministic seed, contract-checked)"
     out=$(mktemp)

@@ -4,11 +4,17 @@
 //! Usage:
 //!   experiments list          list available experiments
 //!   experiments `<id>`...     run specific experiments (e.g. fig18 fig24)
-//!   experiments all           run everything (EXPERIMENTS.md source)
+//!   experiments all           run everything; also writes the deterministic
+//!                             transcript to artifacts/experiments_output.txt
 //!   experiments faults [opts] run a fault-injection campaign (see below)
 //!   experiments lint [opts]   statically verify queue discipline of every
 //!                             catalog workload and transform output; exits
 //!                             non-zero on any error finding
+//!
+//! Global options (any subcommand):
+//!   --jobs N        worker threads for simulations (default $CFD_JOBS or 1);
+//!                   results are byte-identical at any worker count
+//!   --no-cache      bypass the on-disk result cache (target/cfd-cache)
 //!
 //! Lint options:
 //!   --json PATH     write the JSON lint table to PATH ("-" = stdout)
@@ -21,11 +27,38 @@
 //!   --json PATH     write the JSON verdict table to PATH ("-" = stdout)
 
 use cfd_bench::experiments;
-use cfd_harden::{run_campaign, CampaignConfig};
+use cfd_exec::{Engine, ExecConfig};
+use cfd_harden::{run_campaign_on, CampaignConfig};
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExecConfig::from_env();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                args.remove(i);
+                let v = if i < args.len() {
+                    args.remove(i)
+                } else {
+                    eprintln!("--jobs needs a value");
+                    std::process::exit(1);
+                };
+                cfg.jobs = parse_u64(&v).filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("bad value for --jobs: `{v}`");
+                    std::process::exit(1);
+                }) as usize;
+            }
+            "--no-cache" => {
+                args.remove(i);
+                cfg.use_cache = false;
+            }
+            _ => i += 1,
+        }
+    }
+    let engine = Engine::new(cfg);
+
     if args.is_empty() || args[0] == "list" {
         println!("available experiments:");
         for e in experiments::all() {
@@ -37,34 +70,58 @@ fn main() {
         return;
     }
     if args[0] == "faults" {
-        run_fault_campaign(&args[1..]);
+        run_fault_campaign(&engine, &args[1..]);
         return;
     }
     if args[0] == "lint" {
-        run_lint(&args[1..]);
+        run_lint(&engine, &args[1..]);
         return;
     }
+    let write_transcript = args[0] == "all";
     let ids: Vec<String> = if args[0] == "all" {
         experiments::all().iter().map(|e| e.id.to_string()).collect()
     } else {
         args
     };
+    let mut transcript = String::new();
     for id in ids {
         let Some(e) = experiments::by_id(&id) else {
             eprintln!("unknown experiment `{id}` (try `list`)");
             std::process::exit(1);
         };
         let t0 = Instant::now();
-        println!("==============================================================");
-        println!("== {} — {}", e.id, e.what);
-        println!("==============================================================");
-        let out = (e.run)();
+        let header = format!(
+            "==============================================================\n\
+             == {} — {}\n\
+             ==============================================================\n",
+            e.id, e.what
+        );
+        print!("{header}");
+        let out = (e.run)(&engine);
         println!("{out}");
         println!("[{} completed in {:.1}s]\n", e.id, t0.elapsed().as_secs_f64());
+        if write_transcript {
+            transcript.push_str(&header);
+            transcript.push_str(&out);
+            transcript.push_str("\n\n");
+        }
     }
+    if write_transcript {
+        let path = "artifacts/experiments_output.txt";
+        std::fs::create_dir_all("artifacts").unwrap_or_else(|e| {
+            eprintln!("cannot create artifacts/: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(path, &transcript).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("transcript written to {path}");
+    }
+    eprintln!("{}", engine.stats_line());
 }
 
-fn run_lint(args: &[String]) {
+fn run_lint(engine: &Engine, args: &[String]) {
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,7 +139,7 @@ fn run_lint(args: &[String]) {
         }
     }
     let t0 = Instant::now();
-    let rows = cfd_bench::lint::lint_all();
+    let rows = cfd_bench::lint::lint_all_on(engine);
     print!("{}", cfd_bench::lint::table(&rows));
     match json_path.as_deref() {
         Some("-") => println!("{}", cfd_bench::lint::to_json(&rows)),
@@ -97,12 +154,13 @@ fn run_lint(args: &[String]) {
     }
     let errors = cfd_bench::lint::error_count(&rows);
     println!("[lint completed in {:.1}s: {} programs, {} error finding(s)]", t0.elapsed().as_secs_f64(), rows.len(), errors);
+    eprintln!("{}", engine.stats_line());
     if errors > 0 {
         std::process::exit(2);
     }
 }
 
-fn run_fault_campaign(args: &[String]) {
+fn run_fault_campaign(engine: &Engine, args: &[String]) {
     let mut cfg = CampaignConfig::default();
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
@@ -135,7 +193,7 @@ fn run_fault_campaign(args: &[String]) {
     let t0 = Instant::now();
     println!("fault campaign: seed {:#x}, {} workloads x {} fault classes, {} trial(s)/pair, scale {}",
         cfg.seed, cfg.workloads.len(), cfg.faults.len(), cfg.trials_per_pair, cfg.scale_n);
-    let report = run_campaign(&cfg);
+    let report = run_campaign_on(engine, &cfg);
     println!("{}", report.table());
     match json_path.as_deref() {
         Some("-") => println!("{}", report.to_json()),
@@ -151,6 +209,7 @@ fn run_fault_campaign(args: &[String]) {
     let silent = report.silent_divergences();
     println!("[faults completed in {:.1}s: {} trials, {} contract violations]",
         t0.elapsed().as_secs_f64(), report.outcomes.len(), silent);
+    eprintln!("{}", engine.stats_line());
     if silent > 0 {
         std::process::exit(2);
     }

@@ -106,10 +106,13 @@ fn main() {
     });
 
     bench(f, "functional_sim_kernel", 20, 5, {
-        let w = by_name("gromacs_like").unwrap().build(Variant::Base, Scale { n: 200, seed: 1 });
+        let w = by_name("gromacs_like")
+            .expect("gromacs_like is in the catalog")
+            .build(Variant::Base, Scale { n: 200, seed: 1 });
         move || {
             let mut m = Machine::new(w.program.clone(), w.mem.clone());
-            m.run(10_000_000, &mut NullSink).unwrap();
+            m.run(10_000_000, &mut NullSink)
+                .unwrap_or_else(|e| panic!("gromacs_like [base] failed: {e}"));
             black_box(m.retired());
         }
     });
@@ -124,11 +127,12 @@ fn main() {
         a.addi(i, i, 1);
         a.blt(i, n, "top");
         a.halt();
-        let program = a.finish().unwrap();
+        let program = a.finish().expect("microbench loop assembles");
         move || {
-            let rep = Core::new(CoreConfig::default(), program.clone(), MemImage::new()).unwrap()
+            let rep = Core::new(CoreConfig::default(), program.clone(), MemImage::new())
+                .expect("default config is valid")
                 .run(10_000_000)
-                .unwrap();
+                .unwrap_or_else(|e| panic!("timing_core_small_loop failed: {e}"));
             black_box(rep.stats.cycles);
         }
     });

@@ -7,18 +7,18 @@
 //! predictor ablation (does a weaker/stronger predictor change CFD's
 //! story?) and hardware prefetching as an alternative to software DFD.
 
-use crate::runner::{self, ratio, sweep_scale, TextTable};
+use crate::runner::{ratio, sweep_scale, Batch, TextTable};
 use cfd_core::{CheckpointPolicy, CoreConfig};
 use cfd_energy::EnergyModel;
+use cfd_exec::Engine;
 use cfd_workloads::{by_name, Variant};
 
 /// §VI checkpoint exploration: IPC vs number of checkpoints and policy.
 /// The paper found gains level off at 8 with confidence-guided allocation.
-pub fn ablation_checkpoints() -> String {
+pub fn ablation_checkpoints(engine: &Engine) -> String {
     let scale = sweep_scale();
     let apps = ["soplex_ref_like", "astar_r2_like", "bzip2_like"];
-    let mut t = TextTable::new(vec!["checkpoints", "policy", "IPC (hmean)"]);
-    for (n, policy) in [
+    let points = [
         (0usize, CheckpointPolicy::None),
         (4, CheckpointPolicy::ConfidenceGuided),
         (8, CheckpointPolicy::ConfidenceGuided),
@@ -26,15 +26,25 @@ pub fn ablation_checkpoints() -> String {
         (64, CheckpointPolicy::ConfidenceGuided),
         (8, CheckpointPolicy::AllBranches),
         (64, CheckpointPolicy::AllBranches),
-    ] {
-        let cfg =
-            CoreConfig { n_checkpoints: n, checkpoint_policy: policy, ..Default::default() };
-        let mut h = 0.0;
-        for name in apps {
-            let entry = by_name(name).expect("in catalog");
-            let rep = runner::run_variant(&entry, Variant::Base, scale, &cfg);
-            h += 1.0 / rep.ipc();
-        }
+    ];
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
+    for (n, policy) in points {
+        let cfg = CoreConfig { n_checkpoints: n, checkpoint_policy: policy, ..Default::default() };
+        let handles: Vec<_> = apps
+            .iter()
+            .map(|name| {
+                let entry = by_name(name).expect("in catalog");
+                batch.sim_variant(&entry, Variant::Base, scale, &cfg)
+            })
+            .collect();
+        rows.push((n, policy, handles));
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["checkpoints", "policy", "IPC (hmean)"]);
+    for (n, policy, handles) in rows {
+        let h: f64 = handles.iter().map(|&h| 1.0 / res[h].ipc()).sum();
         t.row(vec![n.to_string(), format!("{policy:?}"), format!("{:.3}", apps.len() as f64 / h)]);
     }
     format!(
@@ -47,15 +57,25 @@ pub fn ablation_checkpoints() -> String {
 /// Predictor ablation: the baseline suffers with weaker predictors, while
 /// CFD's performance barely depends on the predictor at all (its targeted
 /// branches never consult it).
-pub fn ablation_predictor() -> String {
+pub fn ablation_predictor(engine: &Engine) -> String {
     let scale = sweep_scale();
     let entry = by_name("soplex_ref_like").expect("in catalog");
-    let mut t = TextTable::new(vec!["predictor", "base IPC", "CFD eff. IPC", "CFD speedup"]);
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for pred in ["bimodal", "gshare", "perceptron", "isl-tage"] {
         let cfg = CoreConfig { predictor: pred.to_string(), ..Default::default() };
-        let base = runner::run_variant(&entry, Variant::Base, scale, &cfg);
-        let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &cfg);
-        let e = cfd.effective_ipc(base.stats.retired);
+        rows.push((
+            pred,
+            batch.sim_variant(&entry, Variant::Base, scale, &cfg),
+            batch.sim_variant(&entry, Variant::Cfd, scale, &cfg),
+        ));
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["predictor", "base IPC", "CFD eff. IPC", "CFD speedup"]);
+    for (pred, hb, hc) in rows {
+        let base = &res[hb];
+        let e = res[hc].effective_ipc(base.stats.retired);
         t.row(vec![pred.to_string(), format!("{:.3}", base.ipc()), format!("{e:.3}"), ratio(e / base.ipc())]);
     }
     format!(
@@ -68,25 +88,28 @@ pub fn ablation_predictor() -> String {
 /// Hardware prefetching vs software DFD on the irregular (indirect) astar
 /// kernel: stride prefetchers cannot learn a random permutation, while
 /// DFD's software address slice can.
-pub fn ablation_prefetch() -> String {
+pub fn ablation_prefetch(engine: &Engine) -> String {
     let scale = sweep_scale();
     let entry = by_name("astar_r2_like").expect("in catalog");
-    let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
-    let mut t = TextTable::new(vec!["scheme", "speedup over plain base", "DRAM accesses"]);
-    t.row(vec!["base".to_string(), "1.00x".to_string(), base.level_counts[3].to_string()]);
-
     let mut hw = CoreConfig::default();
     hw.hierarchy.stride_prefetch = true;
     hw.hierarchy.next_line_prefetch = true;
-    let hw_rep = runner::run_variant(&entry, Variant::Base, scale, &hw);
+
+    let mut batch = Batch::new(engine);
+    let hbase = batch.sim_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+    let hhw = batch.sim_variant(&entry, Variant::Base, scale, &hw);
+    let hdfd = batch.sim_variant(&entry, Variant::Dfd, scale, &CoreConfig::default());
+    let res = batch.run();
+
+    let (base, hw_rep, dfd) = (&res[hbase], &res[hhw], &res[hdfd]);
+    let mut t = TextTable::new(vec!["scheme", "speedup over plain base", "DRAM accesses"]);
+    t.row(vec!["base".to_string(), "1.00x".to_string(), base.level_counts[3].to_string()]);
     t.row(vec![
         "base + HW prefetch (stride+next-line)".to_string(),
-        ratio(hw_rep.speedup_over(&base)),
+        ratio(hw_rep.speedup_over(base)),
         hw_rep.level_counts[3].to_string(),
     ]);
-
-    let dfd = runner::run_variant(&entry, Variant::Dfd, scale, &CoreConfig::default());
-    t.row(vec!["DFD (software)".to_string(), ratio(dfd.speedup_over(&base)), dfd.level_counts[3].to_string()]);
+    t.row(vec!["DFD (software)".to_string(), ratio(dfd.speedup_over(base)), dfd.level_counts[3].to_string()]);
     format!(
         "Ablation — hardware prefetching vs software DFD on the irregular kernel\n\
          (a stride prefetcher cannot learn data[perm[i]]; DFD's address slice can)\n\n{}",
@@ -96,23 +119,30 @@ pub fn ablation_prefetch() -> String {
 
 /// BTB ablation: CFD pops are BTB-resident like all branches (§III-C4);
 /// shrink the BTB until misfetches appear.
-pub fn ablation_btb() -> String {
+pub fn ablation_btb(engine: &Engine) -> String {
     // The BTB size is fixed inside the core; approximate the study by
     // comparing misfetch counts across kernels with very different static
     // branch counts instead.
     let scale = sweep_scale();
-    let mut t = TextTable::new(vec!["kernel", "variant", "BTB misfetches", "fetched (M)"]);
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for name in ["soplex_ref_like", "astar_tq_like"] {
         let entry = by_name(name).expect("in catalog");
         for &v in entry.variants.iter().take(2) {
-            let rep = runner::run_variant(&entry, v, scale, &CoreConfig::default());
-            t.row(vec![
-                name.to_string(),
-                v.to_string(),
-                rep.stats.btb_misfetches.to_string(),
-                format!("{:.2}", rep.stats.fetched as f64 / 1e6),
-            ]);
+            rows.push((name, v, batch.sim_variant(&entry, v, scale, &CoreConfig::default())));
         }
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["kernel", "variant", "BTB misfetches", "fetched (M)"]);
+    for (name, v, h) in rows {
+        let rep = &res[h];
+        t.row(vec![
+            name.to_string(),
+            v.to_string(),
+            rep.stats.btb_misfetches.to_string(),
+            format!("{:.2}", rep.stats.fetched as f64 / 1e6),
+        ]);
     }
     format!(
         "Ablation — BTB behaviour of CFD pops (cached like ordinary branches;\n\
@@ -124,14 +154,17 @@ pub fn ablation_btb() -> String {
 /// Component-level energy: where exactly CFD's savings come from
 /// (wrong-path fetch/decode/rename and predictor activity disappear; the
 /// BQ itself costs almost nothing).
-pub fn energy_detail() -> String {
+pub fn energy_detail(engine: &Engine) -> String {
     let scale = sweep_scale();
     let entry = by_name("soplex_ref_like").expect("in catalog");
     let model = EnergyModel::default();
-    let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
-    let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
-    let be = base.energy(&model);
-    let ce = cfd.energy(&model);
+    let mut batch = Batch::new(engine);
+    let hbase = batch.sim_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+    let hcfd = batch.sim_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
+    let res = batch.run();
+
+    let be = res[hbase].energy(&model);
+    let ce = res[hcfd].energy(&model);
     let mut t = TextTable::new(vec!["component", "base (nJ)", "CFD (nJ)", "delta"]);
     for ((name, b), (_, c)) in be.components.iter().zip(ce.components.iter()) {
         if *b < 1.0 && *c < 1.0 {

@@ -1,8 +1,9 @@
 //! Fig. 1 (motivation: real vs perfect prediction) and Fig. 2 (who feeds
 //! the mispredictions; window scaling needs perfect prediction).
 
-use crate::runner::{self, default_scale, pct, ratio, sweep_scale, TextTable};
+use crate::runner::{default_scale, pct, ratio, relative_energy, sweep_scale, Batch, TextTable};
 use cfd_core::{CoreConfig, PerfectMode};
+use cfd_exec::Engine;
 use cfd_workloads::{catalog, Variant};
 
 /// Benchmarks shown in Fig. 1 (hard-to-predict set).
@@ -10,20 +11,26 @@ const FIG1_APPS: &[&str] =
     &["astar_r1_like", "astar_r2_like", "soplex_ref_like", "mcf_like", "bzip2_like", "eclat_like", "gromacs_like"];
 
 /// Fig. 1a/1b: IPC and energy, real vs perfect branch prediction.
-pub fn fig01() -> String {
+pub fn fig01(engine: &Engine) -> String {
     let scale = default_scale();
-    let mut t = TextTable::new(vec!["app", "IPC (real)", "IPC (perfect)", "speedup", "energy"]);
+    let perfect_cfg = CoreConfig { perfect: PerfectMode::All, ..Default::default() };
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for entry in catalog().iter().filter(|e| FIG1_APPS.contains(&e.name)) {
         let w = entry.build(Variant::Base, scale);
-        let base = runner::run(&w, &CoreConfig::default());
-        let cfg = CoreConfig { perfect: PerfectMode::All, ..Default::default() };
-        let perfect = runner::run(&w, &cfg);
+        rows.push((entry.name, batch.sim(&w, &CoreConfig::default()), batch.sim(&w, &perfect_cfg)));
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["app", "IPC (real)", "IPC (perfect)", "speedup", "energy"]);
+    for (name, hb, hp) in rows {
+        let (base, perfect) = (&res[hb], &res[hp]);
         t.row(vec![
-            entry.name.to_string(),
+            name.to_string(),
             format!("{:.2}", base.ipc()),
             format!("{:.2}", perfect.ipc()),
-            ratio(perfect.speedup_over(&base)),
-            pct(runner::relative_energy(&perfect, &base) - 1.0),
+            ratio(perfect.speedup_over(base)),
+            pct(relative_energy(perfect, base) - 1.0),
         ]);
     }
     format!(
@@ -36,29 +43,40 @@ pub fn fig01() -> String {
 /// Fig. 2a: breakdown of mispredicted branches by the furthest memory
 /// level feeding them; Fig. 2b: window scaling with and without perfect
 /// prediction for the miss-fed astar kernel.
-pub fn fig02() -> String {
+pub fn fig02(engine: &Engine) -> String {
     let scale = default_scale();
-    let mut a = TextTable::new(vec!["app", "NoData", "L1", "L2", "L3", "MEM"]);
-    for name in ["soplex_ref_like", "astar_r2_like", "mcf_like", "gromacs_like"] {
+    let mut batch = Batch::new(engine);
+
+    let a_apps = ["soplex_ref_like", "astar_r2_like", "mcf_like", "gromacs_like"];
+    let mut a_rows = Vec::new();
+    for name in a_apps {
         let entry = cfd_workloads::by_name(name).expect("in catalog");
         let w = entry.build(Variant::Base, scale);
-        let rep = runner::run(&w, &CoreConfig::default());
-        let by = rep.stats.mispredictions_by_level();
+        a_rows.push((name, batch.sim(&w, &CoreConfig::default())));
+    }
+
+    let entry = cfd_workloads::by_name("astar_r2_like").expect("in catalog");
+    let w = entry.build(Variant::Base, sweep_scale());
+    let mut b_rows = Vec::new();
+    for rob in [168usize, 256, 512] {
+        let cfg = CoreConfig::default().with_window(rob);
+        let mut pcfg = cfg.clone();
+        pcfg.perfect = PerfectMode::All;
+        b_rows.push((rob, batch.sim(&w, &cfg), batch.sim(&w, &pcfg)));
+    }
+    let res = batch.run();
+
+    let mut a = TextTable::new(vec!["app", "NoData", "L1", "L2", "L3", "MEM"]);
+    for (name, h) in a_rows {
+        let by = res[h].stats.mispredictions_by_level();
         let total: u64 = by.iter().sum::<u64>().max(1);
         let cell = |v: u64| format!("{:.0}%", 100.0 * v as f64 / total as f64);
         a.row(vec![name.to_string(), cell(by[0]), cell(by[1]), cell(by[2]), cell(by[3]), cell(by[4])]);
     }
 
     let mut b = TextTable::new(vec!["window (ROB)", "IPC real", "IPC perfect"]);
-    let entry = cfd_workloads::by_name("astar_r2_like").expect("in catalog");
-    let w = entry.build(Variant::Base, sweep_scale());
-    for rob in [168usize, 256, 512] {
-        let cfg = CoreConfig::default().with_window(rob);
-        let real = runner::run(&w, &cfg);
-        let mut pcfg = cfg.clone();
-        pcfg.perfect = PerfectMode::All;
-        let perfect = runner::run(&w, &pcfg);
-        b.row(vec![rob.to_string(), format!("{:.3}", real.ipc()), format!("{:.3}", perfect.ipc())]);
+    for (rob, hr, hp) in b_rows {
+        b.row(vec![rob.to_string(), format!("{:.3}", res[hr].ipc()), format!("{:.3}", res[hp].ipc())]);
     }
     format!(
         "Fig. 2a — mispredicted branches by furthest feeding memory level\n\n{}\n\

@@ -1,11 +1,12 @@
 //! Fig. 6 + Table I (profiling & classification) and the configuration
 //! tables (Table II, Fig. 17, Tables III–VI).
 
-use crate::runner::{default_scale, TextTable};
+use crate::runner::{default_scale, Batch, TextTable};
 use cfd_analysis::BranchClass;
 use cfd_core::CoreConfig;
 use cfd_energy::cfd_storage_bytes;
-use cfd_profile::{classified_mpki, profile};
+use cfd_exec::Engine;
+use cfd_profile::classified_mpki;
 use cfd_workloads::{catalog, Scale, Variant};
 use std::collections::BTreeMap;
 
@@ -17,13 +18,21 @@ fn profile_scale() -> Scale {
 
 /// Table I + Fig. 6a: MPKI of every kernel under ISL-TAGE-lite, grouped by
 /// suite with MPKI-weighted suite shares.
-pub fn table1_fig6a() -> String {
+pub fn table1_fig6a(engine: &Engine) -> String {
     let scale = profile_scale();
-    let mut t = TextTable::new(vec!["suite", "kernel", "paper analog", "MPKI", "miss rate"]);
-    let mut suite_mpki: BTreeMap<String, f64> = BTreeMap::new();
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for entry in catalog() {
         let w = entry.build(Variant::Base, scale);
-        let rep = profile(&w, "isl-tage", PROFILE_LIMIT).expect("profile runs");
+        let h = batch.profile(&w, "isl-tage", PROFILE_LIMIT);
+        rows.push((entry, h));
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["suite", "kernel", "paper analog", "MPKI", "miss rate"]);
+    let mut suite_mpki: BTreeMap<String, f64> = BTreeMap::new();
+    for (entry, h) in rows {
+        let rep = &res[h];
         *suite_mpki.entry(entry.suite.to_string()).or_insert(0.0) += rep.mpki();
         t.row(vec![
             entry.suite.to_string(),
@@ -48,13 +57,20 @@ pub fn table1_fig6a() -> String {
 
 /// Fig. 6c: class breakdown of targeted mispredictions (static classifier
 /// joined with the dynamic profile).
-pub fn fig6c() -> String {
+pub fn fig6c(engine: &Engine) -> String {
     let scale = profile_scale();
-    let mut per_class: BTreeMap<BranchClass, f64> = BTreeMap::new();
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for entry in catalog() {
         let w = entry.build(Variant::Base, scale);
-        let rep = profile(&w, "isl-tage", PROFILE_LIMIT).expect("profile runs");
-        for (class, mpki) in classified_mpki(&w, &rep) {
+        let h = batch.profile(&w, "isl-tage", PROFILE_LIMIT);
+        rows.push((w, h));
+    }
+    let res = batch.run();
+
+    let mut per_class: BTreeMap<BranchClass, f64> = BTreeMap::new();
+    for (w, h) in &rows {
+        for (class, mpki) in classified_mpki(w, &res[*h]) {
             *per_class.entry(class).or_insert(0.0) += mpki;
         }
     }
@@ -71,8 +87,9 @@ pub fn fig6c() -> String {
 }
 
 /// Table II + Fig. 17: pipeline-depth constants, the baseline core
-/// configuration, and the CFD storage overhead.
-pub fn table2_fig17() -> String {
+/// configuration, and the CFD storage overhead. Pure formatting — no
+/// simulations, so the engine goes unused.
+pub fn table2_fig17(_engine: &Engine) -> String {
     let cfg = CoreConfig::default();
     let mut t = TextTable::new(vec!["processor", "min fetch-to-execute (cycles)"]);
     for (proc_name, depth) in
@@ -124,18 +141,25 @@ pub fn table2_fig17() -> String {
 }
 
 /// Tables III/IV: dynamic-instruction overhead factors of every variant.
-pub fn table3_4() -> String {
+pub fn table3_4(engine: &Engine) -> String {
     let scale = profile_scale();
-    let mut t = TextTable::new(vec!["kernel", "variant", "overhead (x base instructions)"]);
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for entry in catalog() {
-        let base = entry.build(Variant::Base, scale).dynamic_instructions().expect("base runs");
+        let hbase = batch.func(&entry.build(Variant::Base, scale));
         for &v in entry.variants {
             if v == Variant::Base {
                 continue;
             }
-            let instrs = entry.build(v, scale).dynamic_instructions().expect("variant runs");
-            t.row(vec![entry.name.to_string(), v.to_string(), format!("{:.2}", instrs as f64 / base as f64)]);
+            let hv = batch.func(&entry.build(v, scale));
+            rows.push((entry.name, v, hbase, hv));
         }
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["kernel", "variant", "overhead (x base instructions)"]);
+    for (name, v, hbase, hv) in rows {
+        t.row(vec![name.to_string(), v.to_string(), format!("{:.2}", res[hv] as f64 / res[hbase] as f64)]);
     }
     format!(
         "Tables III/IV — instruction overhead factors of the modified binaries\n\
@@ -146,19 +170,27 @@ pub fn table3_4() -> String {
 
 /// Tables V/VI: the modified-region metadata (branches of interest, their
 /// class, and dynamic execution shares).
-pub fn table5_6() -> String {
+pub fn table5_6(engine: &Engine) -> String {
     let scale = profile_scale();
-    let mut t = TextTable::new(vec!["kernel", "branch", "class", "pc", "exec share", "miss rate"]);
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for entry in catalog() {
         let w = entry.build(Variant::Base, scale);
         if w.interest.is_empty() {
             continue;
         }
-        let rep = profile(&w, "isl-tage", PROFILE_LIMIT).expect("profile runs");
+        let h = batch.profile(&w, "isl-tage", PROFILE_LIMIT);
+        rows.push((entry.name, w, h));
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["kernel", "branch", "class", "pc", "exec share", "miss rate"]);
+    for (name, w, h) in &rows {
+        let rep = &res[*h];
         for ib in &w.interest {
             let b = rep.per_branch.get(&ib.pc).cloned().unwrap_or_default();
             t.row(vec![
-                entry.name.to_string(),
+                name.to_string(),
                 ib.what.to_string(),
                 ib.class.to_string(),
                 ib.pc.to_string(),

@@ -3,8 +3,9 @@
 //! (pipeline depth, window scaling, BQ-miss policy), Fig. 23 (astar window
 //! catalyst).
 
-use crate::runner::{self, default_scale, pct, ratio, sweep_scale, TextTable};
+use crate::runner::{default_scale, pct, ratio, relative_energy, sweep_scale, Batch, TextTable};
 use cfd_core::{BqMissPolicy, CoreConfig, PerfectMode};
+use cfd_exec::Engine;
 use cfd_workloads::{by_name, catalog, AddressPattern, CdRegion, Predicate, ScanKernel, Suite, Variant};
 
 /// Kernels evaluated for CFD(BQ) in Fig. 18/19 (separable-branch targets).
@@ -24,27 +25,41 @@ pub const CFD_APPS: &[&str] = &[
 ];
 
 /// Fig. 18a/18b: CFD and CFD+ speedup and energy versus the baseline.
-pub fn fig18() -> String {
+pub fn fig18(engine: &Engine) -> String {
     let scale = default_scale();
+    let cfg = CoreConfig::default();
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
+    for entry in catalog().iter().filter(|e| CFD_APPS.contains(&e.name)) {
+        let base = batch.sim_variant(entry, Variant::Base, scale, &cfg);
+        let cfd = batch.sim_variant(entry, Variant::Cfd, scale, &cfg);
+        let plus = entry
+            .variants
+            .contains(&Variant::CfdPlus)
+            .then(|| batch.sim_variant(entry, Variant::CfdPlus, scale, &cfg));
+        rows.push((entry.name, base, cfd, plus));
+    }
+    let res = batch.run();
+
     let mut t = TextTable::new(vec!["app", "CFD speedup", "CFD energy", "CFD+ speedup", "CFD+ energy"]);
     let mut geo_cfd = 1.0f64;
     let mut count = 0u32;
-    for entry in catalog().iter().filter(|e| CFD_APPS.contains(&e.name)) {
-        let base = runner::run_variant(entry, Variant::Base, scale, &CoreConfig::default());
-        let cfd = runner::run_variant(entry, Variant::Cfd, scale, &CoreConfig::default());
-        let (plus_speed, plus_energy) = if entry.variants.contains(&Variant::CfdPlus) {
-            let plus = runner::run_variant(entry, Variant::CfdPlus, scale, &CoreConfig::default());
-            (ratio(plus.speedup_over(&base)), pct(runner::relative_energy(&plus, &base) - 1.0))
-        } else {
-            ("-".to_string(), "-".to_string())
+    for (name, hb, hc, hp) in rows {
+        let (base, cfd) = (&res[hb], &res[hc]);
+        let (plus_speed, plus_energy) = match hp {
+            Some(hp) => {
+                let plus = &res[hp];
+                (ratio(plus.speedup_over(base)), pct(relative_energy(plus, base) - 1.0))
+            }
+            None => ("-".to_string(), "-".to_string()),
         };
-        let s = cfd.speedup_over(&base);
+        let s = cfd.speedup_over(base);
         geo_cfd *= s;
         count += 1;
         t.row(vec![
-            entry.name.to_string(),
+            name.to_string(),
             ratio(s),
-            pct(runner::relative_energy(&cfd, &base) - 1.0),
+            pct(relative_energy(cfd, base) - 1.0),
             plus_speed,
             plus_energy,
         ]);
@@ -60,21 +75,28 @@ pub fn fig18() -> String {
 
 /// Fig. 19: effective IPC of Base, CFD(+), Base+PerfectCFD, and full
 /// perfect prediction — the paper's Group-1/2/3 comparison.
-pub fn fig19() -> String {
+pub fn fig19(engine: &Engine) -> String {
     let scale = default_scale();
-    let mut t = TextTable::new(vec!["app", "Base", "CFD", "Base+PerfectCFD", "Perfect", "group"]);
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for entry in catalog().iter().filter(|e| CFD_APPS.contains(&e.name)) {
         let w_base = entry.build(Variant::Base, scale);
-        let base = runner::run(&w_base, &CoreConfig::default());
-        let baseline_instrs = base.stats.retired;
-        let cfd = runner::run_variant(entry, Variant::Cfd, scale, &CoreConfig::default());
+        let base = batch.sim(&w_base, &CoreConfig::default());
+        let cfd = batch.sim_variant(entry, Variant::Cfd, scale, &CoreConfig::default());
         // Base + PerfectCFD: only the targeted separable branches perfect.
         let pcfg = CoreConfig { perfect: PerfectMode::Pcs(w_base.interest.iter().map(|b| b.pc).collect()), ..Default::default() };
-        let perfect_cfd = runner::run(&w_base, &pcfg);
+        let perfect_cfd = batch.sim(&w_base, &pcfg);
         let acfg = CoreConfig { perfect: PerfectMode::All, ..Default::default() };
-        let perfect = runner::run(&w_base, &acfg);
+        let perfect = batch.sim(&w_base, &acfg);
+        rows.push((entry.name, base, cfd, perfect_cfd, perfect));
+    }
+    let res = batch.run();
 
-        let (e_cfd, e_pcfd) = (cfd.effective_ipc(baseline_instrs), perfect_cfd.effective_ipc(baseline_instrs));
+    let mut t = TextTable::new(vec!["app", "Base", "CFD", "Base+PerfectCFD", "Perfect", "group"]);
+    for (name, hb, hc, hpc, hp) in rows {
+        let base = &res[hb];
+        let baseline_instrs = base.stats.retired;
+        let (e_cfd, e_pcfd) = (res[hc].effective_ipc(baseline_instrs), res[hpc].effective_ipc(baseline_instrs));
         let group = if e_cfd < 0.97 * e_pcfd {
             "1 (overheads bite)"
         } else if e_cfd <= 1.03 * e_pcfd {
@@ -83,11 +105,11 @@ pub fn fig19() -> String {
             "3 (beats PerfectCFD)"
         };
         t.row(vec![
-            entry.name.to_string(),
+            name.to_string(),
             format!("{:.3}", base.ipc()),
             format!("{:.3}", e_cfd),
             format!("{:.3}", e_pcfd),
-            format!("{:.3}", perfect.effective_ipc(baseline_instrs)),
+            format!("{:.3}", res[hp].effective_ipc(baseline_instrs)),
             group.to_string(),
         ]);
     }
@@ -100,11 +122,12 @@ pub fn fig19() -> String {
 
 /// BQ-size sensitivity (§III-B strip mining): the same kernel decoupled
 /// with matching chunk sizes on cores with matching BQ sizes.
-pub fn fig20() -> String {
+pub fn fig20(engine: &Engine) -> String {
     let scale = sweep_scale();
-    let mut t = TextTable::new(vec!["BQ size", "speedup over base", "BQ push-stall cycles"]);
+    let mut batch = Batch::new(engine);
     let base_entry = by_name("soplex_ref_like").expect("in catalog");
-    let base = runner::run_variant(&base_entry, Variant::Base, scale, &CoreConfig::default());
+    let hbase = batch.sim_variant(&base_entry, Variant::Base, scale, &CoreConfig::default());
+    let mut rows = Vec::new();
     for bq in [16i64, 32, 64, 128] {
         let kernel = ScanKernel {
             name: "soplex_ref_like",
@@ -118,8 +141,15 @@ pub fn fig20() -> String {
         };
         let w = kernel.build(Variant::Cfd, scale);
         let cfg = CoreConfig { bq_size: bq as usize, ..Default::default() };
-        let rep = runner::run(&w, &cfg);
-        t.row(vec![bq.to_string(), ratio(rep.speedup_over(&base)), rep.stats.bq_push_stall_cycles.to_string()]);
+        rows.push((bq, batch.sim(&w, &cfg)));
+    }
+    let res = batch.run();
+
+    let base = &res[hbase];
+    let mut t = TextTable::new(vec!["BQ size", "speedup over base", "BQ push-stall cycles"]);
+    for (bq, h) in rows {
+        let rep = &res[h];
+        t.row(vec![bq.to_string(), ratio(rep.speedup_over(base)), rep.stats.bq_push_stall_cycles.to_string()]);
     }
     format!(
         "Fig. 20 — BQ size sensitivity (strip-mining chunk = BQ size)\n\
@@ -130,52 +160,81 @@ pub fn fig20() -> String {
 
 /// Fig. 21a: pipeline-depth sensitivity; Fig. 21b: window scaling;
 /// Fig. 21c: BQ-miss policy (speculate vs stall).
-pub fn fig21() -> String {
+pub fn fig21(engine: &Engine) -> String {
     let scale = sweep_scale();
     let apps = ["soplex_ref_like", "astar_r2_like", "gromacs_like"];
+    let mut batch = Batch::new(engine);
 
     // (a) depth sweep.
-    let mut a = TextTable::new(vec!["fetch-to-execute", "base IPC (hmean)", "CFD IPC (hmean)", "CFD speedup"]);
+    let mut a_rows = Vec::new();
     for depth in [5u32, 10, 15, 20] {
         let cfg = CoreConfig { front_depth: depth - 2, ..Default::default() };
-        let mut hb = 0.0;
-        let mut hc = 0.0;
+        let mut pairs = Vec::new();
         for name in apps {
             let entry = by_name(name).expect("in catalog");
-            let base = runner::run_variant(&entry, Variant::Base, scale, &cfg);
-            let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &cfg);
-            hb += 1.0 / base.ipc();
-            hc += 1.0 / cfd.effective_ipc(base.stats.retired);
+            pairs.push((
+                batch.sim_variant(&entry, Variant::Base, scale, &cfg),
+                batch.sim_variant(&entry, Variant::Cfd, scale, &cfg),
+            ));
         }
-        let (hb, hc) = (apps.len() as f64 / hb, apps.len() as f64 / hc);
-        a.row(vec![depth.to_string(), format!("{hb:.3}"), format!("{hc:.3}"), ratio(hc / hb)]);
+        a_rows.push((depth, pairs));
     }
 
     // (b) window scaling.
-    let mut b = TextTable::new(vec!["ROB", "base IPC (hmean)", "CFD IPC (hmean)", "CFD speedup"]);
+    let mut b_rows = Vec::new();
     for rob in [168usize, 256, 512] {
         let cfg = CoreConfig::default().with_window(rob);
-        let mut hb = 0.0;
-        let mut hc = 0.0;
+        let mut pairs = Vec::new();
         for name in apps {
             let entry = by_name(name).expect("in catalog");
-            let base = runner::run_variant(&entry, Variant::Base, scale, &cfg);
-            let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &cfg);
-            hb += 1.0 / base.ipc();
-            hc += 1.0 / cfd.effective_ipc(base.stats.retired);
+            pairs.push((
+                batch.sim_variant(&entry, Variant::Base, scale, &cfg),
+                batch.sim_variant(&entry, Variant::Cfd, scale, &cfg),
+            ));
         }
-        let (hb, hc) = (apps.len() as f64 / hb, apps.len() as f64 / hc);
-        b.row(vec![rob.to_string(), format!("{hb:.3}"), format!("{hc:.3}"), ratio(hc / hb)]);
+        b_rows.push((rob, pairs));
     }
 
     // (c) speculate vs stall on BQ miss; tiff2bw is the outlier.
-    let mut c = TextTable::new(vec!["app", "BQ miss rate", "CFD(spec) IPC", "CFD(stall) IPC"]);
+    let stall_cfg = CoreConfig { bq_miss_policy: BqMissPolicy::Stall, ..Default::default() };
+    let mut c_rows = Vec::new();
     for name in ["soplex_ref_like", "gromacs_like", "tiff2bw_like"] {
         let entry = by_name(name).expect("in catalog");
-        let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
-        let spec = runner::run_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
-        let stall_cfg = CoreConfig { bq_miss_policy: BqMissPolicy::Stall, ..Default::default() };
-        let stall = runner::run_variant(&entry, Variant::Cfd, scale, &stall_cfg);
+        c_rows.push((
+            name,
+            batch.sim_variant(&entry, Variant::Base, scale, &CoreConfig::default()),
+            batch.sim_variant(&entry, Variant::Cfd, scale, &CoreConfig::default()),
+            batch.sim_variant(&entry, Variant::Cfd, scale, &stall_cfg),
+        ));
+    }
+    let res = batch.run();
+
+    let hmean_row = |pairs: &[(crate::runner::Handle, crate::runner::Handle)]| {
+        let mut hb = 0.0;
+        let mut hc = 0.0;
+        for &(b, c) in pairs {
+            let base = &res[b];
+            hb += 1.0 / base.ipc();
+            hc += 1.0 / res[c].effective_ipc(base.stats.retired);
+        }
+        (apps.len() as f64 / hb, apps.len() as f64 / hc)
+    };
+
+    let mut a = TextTable::new(vec!["fetch-to-execute", "base IPC (hmean)", "CFD IPC (hmean)", "CFD speedup"]);
+    for (depth, pairs) in &a_rows {
+        let (hb, hc) = hmean_row(pairs);
+        a.row(vec![depth.to_string(), format!("{hb:.3}"), format!("{hc:.3}"), ratio(hc / hb)]);
+    }
+
+    let mut b = TextTable::new(vec!["ROB", "base IPC (hmean)", "CFD IPC (hmean)", "CFD speedup"]);
+    for (rob, pairs) in &b_rows {
+        let (hb, hc) = hmean_row(pairs);
+        b.row(vec![rob.to_string(), format!("{hb:.3}"), format!("{hc:.3}"), ratio(hc / hb)]);
+    }
+
+    let mut c = TextTable::new(vec!["app", "BQ miss rate", "CFD(spec) IPC", "CFD(stall) IPC"]);
+    for (name, hb, hs, hst) in c_rows {
+        let (base, spec, stall) = (&res[hb], &res[hs], &res[hst]);
         let pops = spec.stats.bq_hits + spec.stats.bq_misses;
         c.row(vec![
             name.to_string(),
@@ -197,24 +256,35 @@ pub fn fig21() -> String {
 
 /// Fig. 23: astar effective IPC vs window size — CFD as the latency-
 /// tolerance catalyst.
-pub fn fig23() -> String {
+pub fn fig23(engine: &Engine) -> String {
     let scale = sweep_scale();
-    let mut t = TextTable::new(vec!["kernel", "ROB", "base IPC", "CFD eff. IPC", "speedup"]);
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for name in ["astar_r1_like", "astar_r2_like"] {
         let entry = by_name(name).expect("in catalog");
         for rob in [168usize, 320, 640] {
             let cfg = CoreConfig::default().with_window(rob);
-            let base = runner::run_variant(&entry, Variant::Base, scale, &cfg);
-            let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &cfg);
-            let e = cfd.effective_ipc(base.stats.retired);
-            t.row(vec![
-                name.to_string(),
-                rob.to_string(),
-                format!("{:.3}", base.ipc()),
-                format!("{e:.3}"),
-                ratio(e / base.ipc()),
-            ]);
+            rows.push((
+                name,
+                rob,
+                batch.sim_variant(&entry, Variant::Base, scale, &cfg),
+                batch.sim_variant(&entry, Variant::Cfd, scale, &cfg),
+            ));
         }
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["kernel", "ROB", "base IPC", "CFD eff. IPC", "speedup"]);
+    for (name, rob, hb, hc) in rows {
+        let base = &res[hb];
+        let e = res[hc].effective_ipc(base.stats.retired);
+        t.row(vec![
+            name.to_string(),
+            rob.to_string(),
+            format!("{:.3}", base.ipc()),
+            format!("{e:.3}"),
+            ratio(e / base.ipc()),
+        ]);
     }
     format!(
         "Fig. 23 — astar: CFD speedup grows with window size\n\

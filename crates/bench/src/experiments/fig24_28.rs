@@ -2,28 +2,40 @@
 //! misprediction-level shift), Fig. 26 (CFD+DFD), Fig. 27 (CFD(TQ)),
 //! Fig. 28 (BQ/TQ/BQ+TQ).
 
-use crate::runner::{self, default_scale, pct, ratio, TextTable};
+use crate::runner::{default_scale, pct, ratio, relative_energy, Batch, TextTable};
 use cfd_core::CoreConfig;
+use cfd_exec::Engine;
 use cfd_workloads::{by_name, Variant};
 
 /// Kernels with high off-chip miss rates (the DFD targets).
 const DFD_APPS: &[&str] = &["astar_r1_like", "astar_r2_like", "soplex_ref_like"];
 
 /// Fig. 24: DFD vs CFD performance and energy.
-pub fn fig24() -> String {
+pub fn fig24(engine: &Engine) -> String {
     let scale = default_scale();
-    let mut t = TextTable::new(vec!["app", "CFD speedup", "DFD speedup", "CFD energy", "DFD energy"]);
+    let cfg = CoreConfig::default();
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for name in DFD_APPS {
         let entry = by_name(name).expect("in catalog");
-        let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
-        let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
-        let dfd = runner::run_variant(&entry, Variant::Dfd, scale, &CoreConfig::default());
+        rows.push((
+            name,
+            batch.sim_variant(&entry, Variant::Base, scale, &cfg),
+            batch.sim_variant(&entry, Variant::Cfd, scale, &cfg),
+            batch.sim_variant(&entry, Variant::Dfd, scale, &cfg),
+        ));
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["app", "CFD speedup", "DFD speedup", "CFD energy", "DFD energy"]);
+    for (name, hb, hc, hd) in rows {
+        let (base, cfd, dfd) = (&res[hb], &res[hc], &res[hd]);
         t.row(vec![
             name.to_string(),
-            ratio(cfd.speedup_over(&base)),
-            ratio(dfd.speedup_over(&base)),
-            pct(runner::relative_energy(&cfd, &base) - 1.0),
-            pct(runner::relative_energy(&dfd, &base) - 1.0),
+            ratio(cfd.speedup_over(base)),
+            ratio(dfd.speedup_over(base)),
+            pct(relative_energy(cfd, base) - 1.0),
+            pct(relative_energy(dfd, base) - 1.0),
         ]);
     }
     format!(
@@ -35,20 +47,26 @@ pub fn fig24() -> String {
 
 /// Fig. 25a: L1 MSHR occupancy histograms (summarized); Fig. 25b: the
 /// misprediction-level shift under DFD.
-pub fn fig25() -> String {
+pub fn fig25(engine: &Engine) -> String {
     let scale = default_scale();
     let entry = by_name("astar_r2_like").expect("in catalog");
+    let variants = [Variant::Base, Variant::Cfd, Variant::Dfd];
+    let mut batch = Batch::new(engine);
+    let handles: Vec<_> =
+        variants.iter().map(|&v| batch.sim_variant(&entry, v, scale, &CoreConfig::default())).collect();
+    let res = batch.run();
+
     let mut a = TextTable::new(vec!["variant", "cycles@0", "cycles@1-10", "cycles@11-21", "cycles@22-32", "mean occ"]);
     let mut b = TextTable::new(vec!["variant", "NoData", "L1", "L2", "L3", "MEM"]);
-    for v in [Variant::Base, Variant::Cfd, Variant::Dfd] {
-        let rep = runner::run_variant(&entry, v, scale, &CoreConfig::default());
-        let h = &rep.mshr_histogram;
-        let total: u64 = h.iter().sum::<u64>().max(1);
+    for (v, h) in variants.iter().zip(handles) {
+        let rep = &res[h];
+        let hist = &rep.mshr_histogram;
+        let total: u64 = hist.iter().sum::<u64>().max(1);
         let seg = |lo: usize, hi: usize| {
-            let s: u64 = h.iter().enumerate().filter(|(k, _)| *k >= lo && *k <= hi).map(|(_, v)| *v).sum();
+            let s: u64 = hist.iter().enumerate().filter(|(k, _)| *k >= lo && *k <= hi).map(|(_, v)| *v).sum();
             format!("{:.1}%", 100.0 * s as f64 / total as f64)
         };
-        let mean: f64 = h.iter().enumerate().map(|(k, v)| k as f64 * *v as f64).sum::<f64>() / total as f64;
+        let mean: f64 = hist.iter().enumerate().map(|(k, v)| k as f64 * *v as f64).sum::<f64>() / total as f64;
         a.row(vec![v.to_string(), seg(0, 0), seg(1, 10), seg(11, 21), seg(22, 32), format!("{mean:.2}")]);
 
         let by = rep.stats.mispredictions_by_level();
@@ -66,37 +84,59 @@ pub fn fig25() -> String {
 }
 
 /// Fig. 26: DFD-only, CFD-only, and CFD+DFD together.
-pub fn fig26() -> String {
+pub fn fig26(engine: &Engine) -> String {
     let scale = default_scale();
-    let mut t = TextTable::new(vec!["app", "DFD only", "CFD only", "CFD+DFD"]);
+    let cfg = CoreConfig::default();
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for name in DFD_APPS {
         let entry = by_name(name).expect("in catalog");
-        let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
-        let dfd = runner::run_variant(&entry, Variant::Dfd, scale, &CoreConfig::default());
-        let cfd = runner::run_variant(&entry, Variant::Cfd, scale, &CoreConfig::default());
-        let both = runner::run_variant(&entry, Variant::CfdDfd, scale, &CoreConfig::default());
+        rows.push((
+            name,
+            batch.sim_variant(&entry, Variant::Base, scale, &cfg),
+            batch.sim_variant(&entry, Variant::Dfd, scale, &cfg),
+            batch.sim_variant(&entry, Variant::Cfd, scale, &cfg),
+            batch.sim_variant(&entry, Variant::CfdDfd, scale, &cfg),
+        ));
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["app", "DFD only", "CFD only", "CFD+DFD"]);
+    for (name, hb, hd, hc, hboth) in rows {
+        let base = &res[hb];
         t.row(vec![
             name.to_string(),
-            ratio(dfd.speedup_over(&base)),
-            ratio(cfd.speedup_over(&base)),
-            ratio(both.speedup_over(&base)),
+            ratio(res[hd].speedup_over(base)),
+            ratio(res[hc].speedup_over(base)),
+            ratio(res[hboth].speedup_over(base)),
         ]);
     }
     format!("Fig. 26 — applying CFD and DFD simultaneously\n\n{}", t.render())
 }
 
 /// Fig. 27: CFD(TQ) on the separable loop-branch kernels.
-pub fn fig27() -> String {
+pub fn fig27(engine: &Engine) -> String {
     let scale = default_scale();
-    let mut t = TextTable::new(vec!["app", "CFD(TQ) speedup", "CFD(TQ) energy", "mispred. removed"]);
+    let cfg = CoreConfig::default();
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
     for name in ["astar_tq_like", "bzip2_tq_like"] {
         let entry = by_name(name).expect("in catalog");
-        let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
-        let tq = runner::run_variant(&entry, Variant::CfdTq, scale, &CoreConfig::default());
+        rows.push((
+            name,
+            batch.sim_variant(&entry, Variant::Base, scale, &cfg),
+            batch.sim_variant(&entry, Variant::CfdTq, scale, &cfg),
+        ));
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec!["app", "CFD(TQ) speedup", "CFD(TQ) energy", "mispred. removed"]);
+    for (name, hb, ht) in rows {
+        let (base, tq) = (&res[hb], &res[ht]);
         t.row(vec![
             name.to_string(),
-            ratio(tq.speedup_over(&base)),
-            pct(runner::relative_energy(&tq, &base) - 1.0),
+            ratio(tq.speedup_over(base)),
+            pct(relative_energy(tq, base) - 1.0),
             format!(
                 "{:.0}%",
                 100.0 * (1.0 - tq.stats.mispredictions as f64 / base.stats.mispredictions.max(1) as f64)
@@ -108,10 +148,17 @@ pub fn fig27() -> String {
 
 /// Fig. 28: BQ-only, TQ-only, and combined decoupling of the astar
 /// loop-branch kernel (the paper finds super-additive gains).
-pub fn fig28() -> String {
+pub fn fig28(engine: &Engine) -> String {
     let scale = default_scale();
     let entry = by_name("astar_tq_like").expect("in catalog");
-    let base = runner::run_variant(&entry, Variant::Base, scale, &CoreConfig::default());
+    let cfg = CoreConfig::default();
+    let variants = [Variant::CfdBq, Variant::CfdTq, Variant::CfdBqTq];
+    let mut batch = Batch::new(engine);
+    let hbase = batch.sim_variant(&entry, Variant::Base, scale, &cfg);
+    let handles: Vec<_> = variants.iter().map(|&v| batch.sim_variant(&entry, v, scale, &cfg)).collect();
+    let res = batch.run();
+
+    let base = &res[hbase];
     let mut t = TextTable::new(vec!["variant", "speedup", "energy", "MPKI"]);
     t.row(vec![
         "base".to_string(),
@@ -120,14 +167,14 @@ pub fn fig28() -> String {
         format!("{:.2}", base.stats.mpki()),
     ]);
     let mut speedups = Vec::new();
-    for v in [Variant::CfdBq, Variant::CfdTq, Variant::CfdBqTq] {
-        let rep = runner::run_variant(&entry, v, scale, &CoreConfig::default());
-        let s = rep.speedup_over(&base);
+    for (v, h) in variants.iter().zip(handles) {
+        let rep = &res[h];
+        let s = rep.speedup_over(base);
         speedups.push((v, s));
         t.row(vec![
             v.to_string(),
             ratio(s),
-            pct(runner::relative_energy(&rep, &base) - 1.0),
+            pct(relative_energy(rep, base) - 1.0),
             format!("{:.2}", 1000.0 * rep.stats.mispredictions as f64 / base.stats.retired as f64),
         ]);
     }

@@ -6,14 +6,18 @@ mod fig06_tables;
 mod fig18_23;
 mod fig24_28;
 
+use cfd_exec::Engine;
+
 /// An experiment: id, what it reproduces, and its runner.
 pub struct Experiment {
     /// Short id (e.g. `"fig18"`).
     pub id: &'static str,
     /// What in the paper it regenerates.
     pub what: &'static str,
-    /// Runs the experiment, returning its formatted output.
-    pub run: fn() -> String,
+    /// Runs the experiment on the given engine, returning its formatted
+    /// output. The output depends only on the submitted jobs, never on the
+    /// engine's worker count or cache state.
+    pub run: fn(&Engine) -> String,
 }
 
 /// All experiments, in paper order.

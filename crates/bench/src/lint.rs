@@ -8,8 +8,11 @@
 //! hand-written kernels and the `apply_cfd`/`apply_cfd_tq` rewrites all
 //! obey the queue discipline the simulator enforces dynamically.
 
-use cfd_analysis::{apply_cfd, apply_cfd_tq, lint_program, LintConfig, LintReport, Severity};
-use cfd_isa::{Assembler, Program, Reg};
+use cfd_analysis::{
+    apply_cfd, apply_cfd_tq, lint_program, Diagnostic, LintConfig, LintReport, QueueBounds, Rule, Severity,
+};
+use cfd_exec::{CampaignJob, Engine, Fingerprint, Hasher, Json};
+use cfd_isa::{Assembler, Program, QueueKind, Reg};
 use cfd_workloads::{catalog, PaperClass, Scale, Variant};
 
 /// One linted program: where it came from and what the verifier said.
@@ -211,6 +214,224 @@ pub fn lint_all() -> Vec<LintRow> {
     let mut rows = lint_catalog(Scale { n: 400, seed: 9 });
     rows.extend(lint_transforms());
     rows
+}
+
+/// What a [`LintJob`] does to its program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintOp {
+    /// Lint the program as-is.
+    Lint,
+    /// Run `apply_cfd` at `pc` with `chunk`, then report the rewrite's
+    /// lint verdict. Produces no row when the transform rejects.
+    ApplyCfd {
+        /// The branch of interest.
+        pc: u32,
+        /// Strip-mining chunk size.
+        chunk: usize,
+    },
+    /// Run `apply_cfd_tq` at `pc` with trip-count chunk `tq`.
+    ApplyCfdTq {
+        /// The loop-branch of interest.
+        pc: u32,
+        /// Trip-count chunk size.
+        tq: usize,
+    },
+}
+
+/// One unit of lint work for the campaign engine: a program plus what to
+/// do with it. The output is `None` when a transform op rejects the
+/// program (no row is emitted for it).
+#[derive(Debug, Clone)]
+pub struct LintJob {
+    /// Catalog kernel name or transform-validation pseudo-kernel.
+    pub kernel: String,
+    /// Variant label or transform name.
+    pub variant: String,
+    /// The program to lint or rewrite.
+    pub program: Program,
+    /// What to do.
+    pub op: LintOp,
+}
+
+/// Scratch registers the transform jobs hand to the rewrite passes
+/// (matches [`lint_transforms`]).
+fn transform_scratch() -> Vec<Reg> {
+    (28..32).map(Reg::new).collect()
+}
+
+impl CampaignJob for LintJob {
+    type Output = Option<LintReport>;
+
+    fn kind(&self) -> &'static str {
+        "lint"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher::new();
+        h.section("program", &self.program.stable_bytes());
+        h.section("op", format!("{:?}", self.op).as_bytes());
+        h.section("config", format!("{:?}", LintConfig::default()).as_bytes());
+        h.finish()
+    }
+
+    fn describe(&self) -> String {
+        format!("lint {} [{}]", self.kernel, self.variant)
+    }
+
+    fn execute(&self) -> Option<LintReport> {
+        let scratch = transform_scratch();
+        match self.op {
+            LintOp::Lint => Some(lint_program(&self.program, &LintConfig::default())),
+            LintOp::ApplyCfd { pc, chunk } => apply_cfd(&self.program, pc, chunk, &scratch).ok().map(|t| t.lint),
+            LintOp::ApplyCfdTq { pc, tq } => apply_cfd_tq(&self.program, pc, tq, &scratch).ok().map(|t| t.lint),
+        }
+    }
+
+    fn result_to_json(out: &Option<LintReport>) -> String {
+        match out {
+            None => "{\"ok\":false}".to_string(),
+            Some(r) => format!("{{\"ok\":true,\"report\":{}}}", r.to_json()),
+        }
+    }
+
+    fn result_from_json(&self, v: &Json) -> Option<Option<LintReport>> {
+        if !v.get("ok")?.as_bool()? {
+            return Some(None);
+        }
+        Some(Some(report_from_json(v.get("report")?)?))
+    }
+}
+
+/// Reconstructs a [`LintReport`] from the JSON its `to_json` emits.
+fn report_from_json(v: &Json) -> Option<LintReport> {
+    let b = v.get("bounds")?;
+    let bounds = QueueBounds {
+        bq: b.get("bq")?.as_opt_u64()?,
+        vq: b.get("vq")?.as_opt_u64()?,
+        tq: b.get("tq")?.as_opt_u64()?,
+    };
+    let mut diagnostics = Vec::new();
+    for d in v.get("diagnostics")?.as_arr()? {
+        let queue = match d.get("queue")? {
+            Json::Null => None,
+            q => Some(queue_by_name(q.as_str()?)?),
+        };
+        let opt_str = |key: &str| -> Option<Option<String>> {
+            match d.get(key)? {
+                Json::Null => Some(None),
+                s => Some(Some(s.as_str()?.to_string())),
+            }
+        };
+        diagnostics.push(Diagnostic {
+            rule: rule_by_name(d.get("rule")?.as_str()?)?,
+            severity: severity_by_name(d.get("severity")?.as_str()?)?,
+            queue,
+            pc: d.get("pc")?.as_opt_u64()?.map(|pc| pc as u32),
+            label: opt_str("label")?,
+            annotation: opt_str("annotation")?,
+            message: d.get("message")?.as_str()?.to_string(),
+        });
+    }
+    Some(LintReport { diagnostics, bounds })
+}
+
+fn rule_by_name(name: &str) -> Option<Rule> {
+    [
+        Rule::Overflow,
+        Rule::UnboundedOccupancy,
+        Rule::Underflow,
+        Rule::UnbalancedAtExit,
+        Rule::ForwardWithoutMark,
+        Rule::BranchTcrWithoutTrip,
+        Rule::PushTqInTcrLoop,
+        Rule::RestoreWithoutSave,
+        Rule::IrreducibleCfg,
+        Rule::UnreachableCode,
+        Rule::AnalysisDegraded,
+    ]
+    .into_iter()
+    .find(|r| r.name() == name)
+}
+
+fn severity_by_name(name: &str) -> Option<Severity> {
+    [Severity::Info, Severity::Warning, Severity::Error].into_iter().find(|s| s.name() == name)
+}
+
+fn queue_by_name(name: &str) -> Option<QueueKind> {
+    [QueueKind::Bq, QueueKind::Vq, QueueKind::Tq].into_iter().find(|q| q.name() == name)
+}
+
+/// Enumerates the full lint sweep — catalog then transforms, in exactly
+/// the order [`lint_all`] visits them — as engine jobs.
+pub fn lint_jobs() -> Vec<LintJob> {
+    let scale = Scale { n: 400, seed: 9 };
+    let mut jobs = Vec::new();
+    for entry in catalog() {
+        for &variant in entry.variants {
+            let w = entry.build(variant, scale);
+            jobs.push(LintJob {
+                kernel: entry.name.to_string(),
+                variant: variant.label().to_string(),
+                program: w.program,
+                op: LintOp::Lint,
+            });
+        }
+    }
+    let (program, bpc) = canonical_separable_kernel();
+    for chunk in [8usize, 128] {
+        jobs.push(LintJob {
+            kernel: "canonical_separable".to_string(),
+            variant: format!("apply_cfd/{chunk}"),
+            program: program.clone(),
+            op: LintOp::ApplyCfd { pc: bpc, chunk },
+        });
+    }
+    let (program, bpc) = canonical_loop_branch_kernel();
+    for tq in [64usize, 256] {
+        jobs.push(LintJob {
+            kernel: "canonical_loop_branch".to_string(),
+            variant: format!("apply_cfd_tq/{tq}"),
+            program: program.clone(),
+            op: LintOp::ApplyCfdTq { pc: bpc, tq },
+        });
+    }
+    for entry in catalog() {
+        let w = entry.build(Variant::Base, scale);
+        for ib in &w.interest {
+            let op = match ib.class {
+                PaperClass::SeparableTotal | PaperClass::SeparablePartial => {
+                    LintOp::ApplyCfd { pc: ib.pc, chunk: 128 }
+                }
+                PaperClass::SeparableLoopBranch => LintOp::ApplyCfdTq { pc: ib.pc, tq: 256 },
+                _ => continue,
+            };
+            jobs.push(LintJob {
+                kernel: entry.name.to_string(),
+                variant: format!("auto@pc{}", ib.pc),
+                program: w.program.clone(),
+                op,
+            });
+        }
+    }
+    jobs
+}
+
+/// Runs the full lint sweep through the campaign engine. Produces the
+/// exact rows [`lint_all`] produces, in the same order, at any worker
+/// count; transform jobs whose rewrite rejects contribute no row.
+pub fn lint_all_on(engine: &Engine) -> Vec<LintRow> {
+    let jobs = lint_jobs();
+    let results = engine.run_all(&jobs);
+    jobs.iter()
+        .zip(results)
+        .filter_map(|(job, res)| {
+            let report = match res {
+                Ok(out) => out?,
+                Err(e) => panic!("{} failed: {e}", job.describe()),
+            };
+            Some(LintRow { kernel: job.kernel.clone(), variant: job.variant.clone(), report })
+        })
+        .collect()
 }
 
 /// The variants the catalog exercises, for reference in reports.

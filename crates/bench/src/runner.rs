@@ -1,7 +1,14 @@
 //! Shared experiment plumbing: timing runs, speedups, table formatting.
+//!
+//! Since the `cfd-exec` port, every figure runs in two phases: enumerate
+//! the simulations into a [`Batch`], run them all at once on the engine
+//! (parallel, content-cached), then format results looked up by
+//! [`Handle`]. Results always come back in submission order, so the
+//! rendered tables are byte-identical at any `--jobs` count.
 
 use cfd_core::{Core, CoreConfig, RunReport};
 use cfd_energy::EnergyModel;
+use cfd_exec::{CampaignJob, Engine, FuncJob, ProfileJob, SimJob};
 use cfd_workloads::{CatalogEntry, Scale, Variant, Workload};
 use std::fmt::Write as _;
 
@@ -34,6 +41,94 @@ pub fn run(workload: &Workload, cfg: &CoreConfig) -> RunReport {
 pub fn run_variant(entry: &CatalogEntry, variant: Variant, scale: Scale, cfg: &CoreConfig) -> RunReport {
     let w = entry.build(variant, scale);
     run(&w, cfg)
+}
+
+/// A ticket for one job submitted to a [`Batch`]; redeem it against the
+/// [`Results`] the batch returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle(usize);
+
+/// A batch of campaign jobs headed for the engine.
+///
+/// Figures enumerate their whole sweep into a batch, call
+/// [`run`](Batch::run) once, and then format — the two-phase structure
+/// that lets the engine parallelize and cache the simulations.
+pub struct Batch<'e, J: CampaignJob> {
+    engine: &'e Engine,
+    jobs: Vec<J>,
+}
+
+impl<'e, J: CampaignJob> Batch<'e, J> {
+    /// An empty batch bound to `engine`.
+    pub fn new(engine: &'e Engine) -> Batch<'e, J> {
+        Batch { engine, jobs: Vec::new() }
+    }
+
+    /// Submits a job, returning its handle.
+    pub fn push(&mut self, job: J) -> Handle {
+        self.jobs.push(job);
+        Handle(self.jobs.len() - 1)
+    }
+
+    /// Runs every submitted job.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the failing job's message if any job failed —
+    /// experiments treat simulator errors as fatal, exactly as the serial
+    /// runner always has.
+    pub fn run(self) -> Results<J::Output> {
+        let results = self
+            .engine
+            .run_all(&self.jobs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect();
+        Results(results)
+    }
+}
+
+impl Batch<'_, SimJob> {
+    /// Submits a timing run of `workload` on `cfg` (standard cycle
+    /// budget).
+    pub fn sim(&mut self, workload: &Workload, cfg: &CoreConfig) -> Handle {
+        self.push(SimJob { workload: workload.clone(), cfg: cfg.clone(), cycle_limit: CYCLE_LIMIT })
+    }
+
+    /// Builds a catalog entry variant and submits its timing run.
+    pub fn sim_variant(&mut self, entry: &CatalogEntry, variant: Variant, scale: Scale, cfg: &CoreConfig) -> Handle {
+        let w = entry.build(variant, scale);
+        self.sim(&w, cfg)
+    }
+}
+
+impl Batch<'_, ProfileJob> {
+    /// Submits a branch-profiling run of `workload`.
+    pub fn profile(&mut self, workload: &Workload, predictor: &str, instruction_limit: u64) -> Handle {
+        self.push(ProfileJob {
+            workload: workload.clone(),
+            predictor: predictor.to_string(),
+            instruction_limit,
+        })
+    }
+}
+
+impl Batch<'_, FuncJob> {
+    /// Submits a functional instruction-count run of `workload`.
+    pub fn func(&mut self, workload: &Workload) -> Handle {
+        self.push(FuncJob { workload: workload.clone() })
+    }
+}
+
+/// Results of a [`Batch`], indexed by [`Handle`].
+pub struct Results<T>(Vec<T>);
+
+impl<T> std::ops::Index<Handle> for Results<T> {
+    type Output = T;
+
+    fn index(&self, h: Handle) -> &T {
+        &self.0[h.0]
+    }
 }
 
 /// Relative energy of `report` versus `baseline` under the default model.

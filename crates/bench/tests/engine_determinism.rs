@@ -1,0 +1,49 @@
+//! The determinism and caching contracts of the lint sweep when it runs
+//! through the campaign engine: worker count never changes a byte of
+//! output, and a warm cache replays the sweep without executing anything.
+
+use cfd_bench::lint::{lint_all, lint_all_on, table, to_json};
+use cfd_exec::{Engine, ExecConfig};
+use std::path::PathBuf;
+
+fn engine(jobs: usize, cache_dir: Option<PathBuf>) -> Engine {
+    match cache_dir {
+        Some(dir) => Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir }),
+        None => Engine::new(ExecConfig { jobs, use_cache: false, cache_dir: PathBuf::new() }),
+    }
+}
+
+/// The engine path at any worker count reproduces the serial sweep
+/// byte-for-byte — table and JSON both.
+#[test]
+fn lint_sweep_is_worker_count_invariant() {
+    let serial_rows = lint_all();
+    let one = lint_all_on(&engine(1, None));
+    let four = lint_all_on(&engine(4, None));
+    assert_eq!(table(&serial_rows), table(&one));
+    assert_eq!(to_json(&serial_rows), to_json(&one));
+    assert_eq!(table(&one), table(&four));
+    assert_eq!(to_json(&one), to_json(&four));
+}
+
+/// A second sweep against a warm cache performs zero lint executions and
+/// still emits identical bytes.
+#[test]
+fn warm_cache_lint_sweep_executes_nothing() {
+    let dir = std::env::temp_dir().join(format!("cfd-bench-lint-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = engine(2, Some(dir.clone()));
+    let cold_rows = lint_all_on(&cold);
+    assert!(cold.stats().executed > 0);
+    assert_eq!(cold.stats().cache_hits, 0);
+
+    let warm = engine(2, Some(dir.clone()));
+    let warm_rows = lint_all_on(&warm);
+    assert_eq!(warm.stats().executed, 0, "warm cache must re-run nothing");
+    assert_eq!(warm.stats().cache_hits, cold.stats().executed);
+    assert_eq!(to_json(&cold_rows), to_json(&warm_rows));
+    assert_eq!(table(&cold_rows), table(&warm_rows));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

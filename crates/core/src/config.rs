@@ -164,6 +164,20 @@ impl CoreConfig {
     pub fn fetch_to_execute(&self) -> u32 {
         self.front_depth + 2
     }
+
+    /// A stable, content-complete textual serialization of the
+    /// configuration, for content-addressed result fingerprinting
+    /// (`cfd-exec`).
+    ///
+    /// Uses the derived `Debug` form: every field (and every field of the
+    /// nested [`HierarchyConfig`] and [`PerfectMode`]) is plain scalar or
+    /// ordered-collection data, so the rendering is deterministic, and a
+    /// newly added field automatically changes the representation —
+    /// which conservatively invalidates any cached simulation results
+    /// keyed on it.
+    pub fn stable_repr(&self) -> String {
+        format!("{self:?}")
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +199,19 @@ mod tests {
         assert_eq!(c.rob_size, 512);
         assert!(c.iq_size > 100);
         assert!(c.prf_size > 512);
+    }
+
+    #[test]
+    fn stable_repr_distinguishes_configs() {
+        let a = CoreConfig::default();
+        assert_eq!(a.stable_repr(), CoreConfig::default().stable_repr());
+        let b = CoreConfig { bq_size: 64, ..Default::default() };
+        assert_ne!(a.stable_repr(), b.stable_repr());
+        let mut c = CoreConfig::default();
+        c.hierarchy.stride_prefetch = true;
+        assert_ne!(a.stable_repr(), c.stable_repr());
+        // Field names are present, so the repr is self-describing.
+        assert!(a.stable_repr().contains("bq_size"));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Entries live at `<dir>/<fingerprint>.json`; the fingerprint covers the
+//! full job content (program bytes, memory image, core configuration,
+//! limits), so a cache file never has to be invalidated by hand — any
+//! input change produces a different file name, and stale entries are
+//! simply never read again. Each entry wraps the job's result JSON with a
+//! version and the job kind:
+//!
+//! ```json
+//! {"cache_version": 1, "kind": "sim", "job": "soplex_like [base]", "result": {...}}
+//! ```
+//!
+//! All cache IO is best-effort: a missing, unreadable, or malformed entry
+//! is a miss (the job re-executes), and a failed store is ignored. The
+//! cache can therefore never make a sweep fail — only make it faster.
+
+use crate::fingerprint::Fingerprint;
+use crate::json::{write_str, Json};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Entry-format version; bump when a result codec changes shape so stale
+/// entries from older builds read as misses instead of mis-decoding.
+pub const CACHE_VERSION: u64 = 1;
+
+/// Handle to a cache directory.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache at `dir`. Creation failures
+    /// are deferred: the handle still works, and stores become no-ops.
+    pub fn new(dir: &Path) -> DiskCache {
+        let _ = fs::create_dir_all(dir);
+        DiskCache { dir: dir.to_path_buf() }
+    }
+
+    /// The directory entries are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}.json", fp.hex()))
+    }
+
+    /// Looks up the result for `fp`, returning the parsed `result` field
+    /// of the entry. `None` on any kind of miss: absent file, parse
+    /// failure, version or kind mismatch.
+    pub fn load(&self, kind: &str, fp: Fingerprint) -> Option<Json> {
+        let text = fs::read_to_string(self.entry_path(fp)).ok()?;
+        let entry = Json::parse(&text).ok()?;
+        if entry.get("cache_version")?.as_u64()? != CACHE_VERSION {
+            return None;
+        }
+        if entry.get("kind")?.as_str()? != kind {
+            return None;
+        }
+        entry.get("result").cloned()
+    }
+
+    /// Stores `result_json` (a complete JSON document) for `fp`.
+    /// Best-effort and atomic: the entry is written to a temp file and
+    /// renamed into place, so concurrent writers of the same entry (two
+    /// sweeps racing) leave a complete entry, never a torn one.
+    pub fn store(&self, kind: &str, fp: Fingerprint, describe: &str, result_json: &str) {
+        let mut entry = String::with_capacity(result_json.len() + 128);
+        entry.push_str("{\"cache_version\":");
+        entry.push_str(&CACHE_VERSION.to_string());
+        entry.push_str(",\"kind\":");
+        write_str(&mut entry, kind);
+        entry.push_str(",\"job\":");
+        write_str(&mut entry, describe);
+        entry.push_str(",\"result\":");
+        entry.push_str(result_json);
+        entry.push_str("}\n");
+
+        let path = self.entry_path(fp);
+        let tmp = self.dir.join(format!("{}.json.tmp.{}", fp.hex(), std::process::id()));
+        if fs::write(&tmp, entry).is_ok() && fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cfd-exec-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = temp_dir("roundtrip");
+        let cache = DiskCache::new(&dir);
+        let fp = Fingerprint(1, 2);
+        cache.store("sim", fp, "kernel [base]", r#"{"cycles":42}"#);
+        let got = cache.load("sim", fp).expect("entry present");
+        assert_eq!(got.get("cycles").unwrap().as_u64(), Some(42));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_miss() {
+        let dir = temp_dir("kind");
+        let cache = DiskCache::new(&dir);
+        let fp = Fingerprint(3, 4);
+        cache.store("sim", fp, "j", "{}");
+        assert!(cache.load("profile", fp).is_none());
+        assert!(cache.load("sim", fp).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absent_and_corrupt_entries_are_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = DiskCache::new(&dir);
+        let fp = Fingerprint(5, 6);
+        assert!(cache.load("sim", fp).is_none());
+        fs::write(dir.join(format!("{}.json", fp.hex())), "not json").unwrap();
+        assert!(cache.load("sim", fp).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let dir = temp_dir("version");
+        let cache = DiskCache::new(&dir);
+        let fp = Fingerprint(7, 8);
+        fs::write(
+            dir.join(format!("{}.json", fp.hex())),
+            r#"{"cache_version":999,"kind":"sim","job":"j","result":{}}"#,
+        )
+        .unwrap();
+        assert!(cache.load("sim", fp).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_fingerprints_do_not_collide() {
+        let dir = temp_dir("distinct");
+        let cache = DiskCache::new(&dir);
+        cache.store("sim", Fingerprint(1, 1), "a", r#"{"v":1}"#);
+        cache.store("sim", Fingerprint(1, 2), "b", r#"{"v":2}"#);
+        assert_eq!(cache.load("sim", Fingerprint(1, 1)).unwrap().get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.load("sim", Fingerprint(1, 2)).unwrap().get("v").unwrap().as_u64(), Some(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,384 @@
+//! The campaign engine: fingerprint, dedup, cache-probe, execute in
+//! parallel, merge in input order.
+
+use crate::cache::DiskCache;
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+use crate::pool;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// A unit of work a campaign submits to the [`Engine`].
+///
+/// Implementors live in the crates that own the domain types: the bench
+/// crate defines lint jobs, the harden crate defines fault-trial jobs,
+/// and this crate ships the common simulation/profiling jobs
+/// ([`SimJob`](crate::SimJob), [`ProfileJob`](crate::ProfileJob),
+/// [`FuncJob`](crate::FuncJob)).
+///
+/// The contract that makes parallel sweeps deterministic and cacheable:
+///
+/// * [`execute`](CampaignJob::execute) must be a pure function of the
+///   job's content — no ambient state, no randomness beyond seeds carried
+///   in the job itself;
+/// * [`fingerprint`](CampaignJob::fingerprint) must cover everything
+///   `execute` reads (two jobs with equal fingerprints are required to
+///   produce identical outputs, because the engine deduplicates them);
+/// * the JSON codec must round-trip exactly:
+///   `result_from_json(parse(result_to_json(out)))` reproduces `out`.
+///   All repo results are integer counters, so exact round-tripping is a
+///   matter of not inventing floats.
+pub trait CampaignJob: Send + Sync {
+    /// What the job produces.
+    type Output: Clone + Send;
+
+    /// Cache namespace (e.g. `"sim"`), checked on cache load so two job
+    /// types can never mis-decode each other's entries.
+    fn kind(&self) -> &'static str;
+
+    /// Content fingerprint covering every input `execute` depends on.
+    fn fingerprint(&self) -> Fingerprint;
+
+    /// Human-readable label, stored in cache entries for debuggability.
+    fn describe(&self) -> String;
+
+    /// Runs the job. May panic; the engine isolates panics into
+    /// [`JobError::Panicked`] without killing the sweep.
+    fn execute(&self) -> Self::Output;
+
+    /// Serializes a result as a complete JSON document.
+    fn result_to_json(out: &Self::Output) -> String;
+
+    /// Rebuilds a result from a parsed cache entry. Takes `&self` so
+    /// fields that cannot live in the cache (e.g. `&'static str` names)
+    /// are reconstructed from the job itself. `None` rejects the entry
+    /// (treated as a cache miss).
+    fn result_from_json(&self, v: &Json) -> Option<Self::Output>;
+}
+
+/// Why a job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload is the panic message. The sweep
+    /// continues — a poisoned simulation is a failed row, not a dead
+    /// campaign.
+    Panicked(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads (1 = serial).
+    pub jobs: usize,
+    /// Whether to consult/populate the on-disk result cache.
+    pub use_cache: bool,
+    /// Cache directory.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { jobs: 1, use_cache: true, cache_dir: PathBuf::from("target/cfd-cache") }
+    }
+}
+
+impl ExecConfig {
+    /// Default config overridden by the environment: `CFD_JOBS` sets the
+    /// worker count, `CFD_CACHE_DIR` relocates the cache. Malformed
+    /// values are ignored.
+    pub fn from_env() -> ExecConfig {
+        let mut cfg = ExecConfig::default();
+        if let Ok(v) = std::env::var("CFD_JOBS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    cfg.jobs = n;
+                }
+            }
+        }
+        if let Ok(dir) = std::env::var("CFD_CACHE_DIR") {
+            if !dir.trim().is_empty() {
+                cfg.cache_dir = PathBuf::from(dir);
+            }
+        }
+        cfg
+    }
+}
+
+/// Counters the engine accumulates across [`Engine::run_all`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Results served from the disk cache.
+    pub cache_hits: u64,
+    /// Jobs actually simulated.
+    pub executed: u64,
+    /// Jobs that panicked.
+    pub failed: u64,
+    /// Duplicate submissions folded onto another job's result.
+    pub deduped: u64,
+}
+
+impl ExecStats {
+    fn add(&mut self, other: &ExecStats) {
+        self.submitted += other.submitted;
+        self.cache_hits += other.cache_hits;
+        self.executed += other.executed;
+        self.failed += other.failed;
+        self.deduped += other.deduped;
+    }
+}
+
+/// The campaign engine. One engine is shared per sweep; its stats
+/// accumulate over every `run_all` call so the driver can print a single
+/// summary line at exit.
+pub struct Engine {
+    cfg: ExecConfig,
+    cache: Option<DiskCache>,
+    stats: Mutex<ExecStats>,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(cfg: ExecConfig) -> Engine {
+        let cache = if cfg.use_cache { Some(DiskCache::new(&cfg.cache_dir)) } else { None };
+        Engine { cfg, cache, stats: Mutex::new(ExecStats::default()) }
+    }
+
+    /// A single-threaded, cache-less engine: the reference behaviour.
+    /// Library entry points that predate the engine delegate here, so
+    /// their results are identical to what they always produced.
+    pub fn serial() -> Engine {
+        Engine::new(ExecConfig { jobs: 1, use_cache: false, ..ExecConfig::default() })
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.cfg.jobs
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn stats(&self) -> ExecStats {
+        *self.stats.lock().expect("stats lock poisoned")
+    }
+
+    /// The machine-greppable summary line the drivers print to stderr:
+    /// `[cfd-exec] jobs=4 submitted=86 cache_hits=80 executed=6 failed=0 deduped=0`.
+    pub fn stats_line(&self) -> String {
+        let s = self.stats();
+        format!(
+            "[cfd-exec] jobs={} submitted={} cache_hits={} executed={} failed={} deduped={}",
+            self.cfg.jobs, s.submitted, s.cache_hits, s.executed, s.failed, s.deduped
+        )
+    }
+
+    /// Runs one job through the same fingerprint/cache/isolate path as a
+    /// batch of one.
+    pub fn run_one<J: CampaignJob>(&self, job: &J) -> Result<J::Output, JobError> {
+        self.run_all(std::slice::from_ref(job)).pop().expect("one job in, one result out")
+    }
+
+    /// Runs a batch: results come back in submission order, one per job,
+    /// regardless of worker count, cache state, or duplicate folding.
+    ///
+    /// Pipeline per unique fingerprint: probe the cache (when enabled);
+    /// on a miss, execute under `catch_unwind` on the worker pool and
+    /// store the result. Duplicates within the batch clone the first
+    /// submission's result. Because each slot is filled purely by its
+    /// input index, an N-thread run is byte-identical to a 1-thread run —
+    /// the determinism contract the report formats rely on.
+    pub fn run_all<J: CampaignJob>(&self, jobs: &[J]) -> Vec<Result<J::Output, JobError>> {
+        let n = jobs.len();
+        let mut batch = ExecStats { submitted: n as u64, ..ExecStats::default() };
+
+        let fps: Vec<Fingerprint> = jobs.iter().map(|j| j.fingerprint()).collect();
+
+        // First submission of each fingerprint owns the execution;
+        // later duplicates fold onto it.
+        let mut owner: HashMap<Fingerprint, usize> = HashMap::new();
+        for (i, &fp) in fps.iter().enumerate() {
+            match owner.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(_) => batch.deduped += 1,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+
+        let mut results: Vec<Option<Result<J::Output, JobError>>> = (0..n).map(|_| None).collect();
+
+        // Cache probe (owners only), serial: entry IO is trivial next to
+        // simulation time and keeps hit accounting deterministic.
+        let mut to_run: Vec<usize> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if owner.get(&fps[i]) != Some(&i) {
+                continue;
+            }
+            let hit = self
+                .cache
+                .as_ref()
+                .and_then(|c| c.load(job.kind(), fps[i]))
+                .and_then(|v| job.result_from_json(&v));
+            match hit {
+                Some(out) => {
+                    batch.cache_hits += 1;
+                    results[i] = Some(Ok(out));
+                }
+                None => to_run.push(i),
+            }
+        }
+
+        // Execute the misses on the pool; each worker writes only its own
+        // index, so placement is independent of completion order.
+        let outcomes = pool::run_indexed(self.cfg.jobs, to_run.len(), |k| {
+            let i = to_run[k];
+            catch_unwind(AssertUnwindSafe(|| jobs[i].execute())).map_err(|payload| panic_message(payload.as_ref()))
+        });
+        for (k, outcome) in outcomes.into_iter().enumerate() {
+            let i = to_run[k];
+            match outcome {
+                Ok(out) => {
+                    batch.executed += 1;
+                    if let Some(c) = &self.cache {
+                        // Panicked jobs are never cached: a panic is a bug
+                        // signal, and bugs should reproduce on re-run.
+                        c.store(jobs[i].kind(), fps[i], &jobs[i].describe(), &J::result_to_json(&out));
+                    }
+                    results[i] = Some(Ok(out));
+                }
+                Err(msg) => {
+                    batch.failed += 1;
+                    results[i] = Some(Err(JobError::Panicked(msg)));
+                }
+            }
+        }
+
+        // Fold duplicates onto their owner's result.
+        for i in 0..n {
+            if results[i].is_none() {
+                let o = owner[&fps[i]];
+                results[i] = results[o].clone();
+            }
+        }
+
+        self.stats.lock().expect("stats lock poisoned").add(&batch);
+        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hasher;
+
+    /// A toy job for engine unit tests: squares a number, panics on a
+    /// poison value.
+    struct SquareJob {
+        x: u64,
+        salt: u64,
+    }
+
+    impl CampaignJob for SquareJob {
+        type Output = u64;
+
+        fn kind(&self) -> &'static str {
+            "test-square"
+        }
+
+        fn fingerprint(&self) -> Fingerprint {
+            let mut h = Hasher::new();
+            h.section("x", &self.x.to_le_bytes());
+            h.section("salt", &self.salt.to_le_bytes());
+            h.finish()
+        }
+
+        fn describe(&self) -> String {
+            format!("square {}", self.x)
+        }
+
+        fn execute(&self) -> u64 {
+            assert!(self.x != 13, "poison value 13");
+            self.x * self.x
+        }
+
+        fn result_to_json(out: &u64) -> String {
+            format!("{{\"v\":{out}}}")
+        }
+
+        fn result_from_json(&self, v: &Json) -> Option<u64> {
+            v.get("v")?.as_u64()
+        }
+    }
+
+    fn squares(xs: &[u64], salt: u64) -> Vec<SquareJob> {
+        xs.iter().map(|&x| SquareJob { x, salt }).collect()
+    }
+
+    #[test]
+    fn serial_engine_runs_in_order() {
+        let eng = Engine::serial();
+        let got = eng.run_all(&squares(&[1, 2, 3], 0));
+        assert_eq!(got, vec![Ok(1), Ok(4), Ok(9)]);
+        let s = eng.stats();
+        assert_eq!((s.submitted, s.executed, s.cache_hits), (3, 3, 0));
+    }
+
+    #[test]
+    fn panic_is_isolated_to_its_job() {
+        let eng = Engine::serial();
+        let got = eng.run_all(&squares(&[2, 13, 4], 0));
+        assert_eq!(got[0], Ok(4));
+        match &got[1] { Err(JobError::Panicked(m)) => assert!(m.contains("poison value 13"), "actual message: {m:?}"), other => panic!("expected panic error, got {other:?}") }
+        assert_eq!(got[2], Ok(16));
+        assert_eq!(eng.stats().failed, 1);
+    }
+
+    #[test]
+    fn duplicates_fold_within_a_batch() {
+        let eng = Engine::serial();
+        let got = eng.run_all(&squares(&[5, 5, 5, 6], 0));
+        assert_eq!(got, vec![Ok(25), Ok(25), Ok(25), Ok(36)]);
+        let s = eng.stats();
+        assert_eq!((s.submitted, s.executed, s.deduped), (4, 2, 2));
+    }
+
+    #[test]
+    fn stats_line_shape() {
+        let eng = Engine::serial();
+        let _ = eng.run_all(&squares(&[1], 0));
+        assert_eq!(eng.stats_line(), "[cfd-exec] jobs=1 submitted=1 cache_hits=0 executed=1 failed=0 deduped=0");
+    }
+
+    #[test]
+    fn from_env_defaults_without_vars() {
+        // Can't mutate the environment safely in a threaded test binary;
+        // just check the default shape.
+        let cfg = ExecConfig::default();
+        assert_eq!(cfg.jobs, 1);
+        assert!(cfg.use_cache);
+    }
+}

@@ -1,0 +1,201 @@
+//! Sharded worker pool: scoped `std::thread` workers fed by a bounded
+//! queue of job indices.
+//!
+//! The pool is deliberately minimal — the engine hands it a closed set of
+//! indices and a function, and gets back one result per index, in index
+//! order. All ordering decisions (cache probing, dedup, merge) stay in the
+//! engine, which is what makes the N-thread output byte-identical to the
+//! 1-thread output: the pool only affects *when* a job runs, never where
+//! its result lands.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded multi-consumer queue (indices in, workers out).
+///
+/// The producer blocks when the queue is full, workers block when it is
+/// empty, and [`close`](BoundedQueue::close) wakes everyone for shutdown.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (minimum 1).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`close`](BoundedQueue::close).
+    pub fn push(&self, item: T) {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        while s.items.len() >= self.cap && !s.closed {
+            s = self.not_full.wait(s).expect("queue lock poisoned");
+        }
+        assert!(!s.closed, "push after close");
+        s.items.push_back(item);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeues an item, blocking while the queue is empty; `None` once
+    /// the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: producers may push no more, and workers drain
+    /// what remains then see `None`.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        s.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Runs `f(0..n_tasks)` on up to `n_workers` threads and returns the
+/// results in task-index order.
+///
+/// With one worker (or one task) everything runs on the calling thread —
+/// the serial path and the parallel path share `f`, so `--jobs 1` is the
+/// reference behaviour, not a separate code path.
+pub fn run_indexed<T, F>(n_workers: usize, n_tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n_workers = n_workers.max(1).min(n_tasks.max(1));
+    if n_workers <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+
+    let queue: BoundedQueue<usize> = BoundedQueue::new(2 * n_workers);
+    let out: Mutex<Vec<Option<T>>> = Mutex::new((0..n_tasks).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| {
+                while let Some(i) = queue.pop() {
+                    let r = f(i);
+                    out.lock().expect("result lock poisoned")[i] = Some(r);
+                }
+            });
+        }
+        for i in 0..n_tasks {
+            queue.push(i);
+        }
+        queue.close();
+    });
+
+    out.into_inner()
+        .expect("result lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("worker completed every queued task"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_path_preserves_order() {
+        let got = run_indexed(1, 5, |i| i * 10);
+        assert_eq!(got, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn parallel_results_land_in_index_order() {
+        // Uneven work so completion order scrambles; results must not.
+        let got = run_indexed(4, 64, |i| {
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            i * i
+        });
+        let want: Vec<usize> = (0..64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_tasks() {
+        // 16 workers for 2 tasks must not hang or drop work.
+        let got = run_indexed(16, 2, |i| i + 1);
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let got: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let got = run_indexed(8, 100, |_| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(got.len(), 100);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_close_wakes_blocked_workers() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(2);
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| q.pop());
+            q.close();
+            assert_eq!(h.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // Capacity-1 queue: the producer can only advance as the consumer
+        // drains, yet all items arrive in order.
+        let q: BoundedQueue<usize> = BoundedQueue::new(1);
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| {
+                let mut seen = Vec::new();
+                while let Some(v) = q.pop() {
+                    seen.push(v);
+                }
+                seen
+            });
+            for i in 0..50 {
+                q.push(i);
+            }
+            q.close();
+            assert_eq!(consumer.join().unwrap(), (0..50).collect::<Vec<_>>());
+        });
+    }
+}

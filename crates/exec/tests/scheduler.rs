@@ -1,0 +1,251 @@
+//! Integration tests for the campaign engine's three contracts:
+//! determinism (worker count never changes results), content-addressed
+//! caching (fingerprints track inputs; warm runs execute nothing), and
+//! panic isolation (one poisoned job cannot kill the batch).
+
+use cfd_exec::{CampaignJob, DiskCache, Engine, ExecConfig, Fingerprint, Hasher, JobError, Json, SimJob};
+use cfd_core::CoreConfig;
+use cfd_workloads::{by_name, Scale, Variant};
+use std::path::PathBuf;
+
+/// A fresh cache directory under the target dir, unique per test.
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfd-exec-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine(jobs: usize, cache_dir: Option<PathBuf>) -> Engine {
+    match cache_dir {
+        Some(dir) => Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir }),
+        None => Engine::new(ExecConfig { jobs, use_cache: false, cache_dir: PathBuf::new() }),
+    }
+}
+
+fn sim_jobs(scale: Scale) -> Vec<SimJob> {
+    let cfg = CoreConfig::default();
+    let mut jobs = Vec::new();
+    for name in ["soplex_ref_like", "astar_r1_like", "bzip2_like"] {
+        let entry = by_name(name).expect("in catalog");
+        for v in [Variant::Base, Variant::Cfd] {
+            jobs.push(SimJob { workload: entry.build(v, scale), cfg: cfg.clone(), cycle_limit: 4_000_000 });
+        }
+    }
+    jobs
+}
+
+fn small_scale() -> Scale {
+    Scale { n: 60, ..Scale::small() }
+}
+
+/// Serializes every result of a batch, preserving order — the byte
+/// string the determinism contract quantifies over.
+fn transcript(engine: &Engine, jobs: &[SimJob]) -> String {
+    engine
+        .run_all(jobs)
+        .into_iter()
+        .map(|r| SimJob::result_to_json(&r.expect("catalog sims succeed")))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn four_workers_match_one_worker_byte_for_byte() {
+    let jobs = sim_jobs(small_scale());
+    let serial = transcript(&engine(1, None), &jobs);
+    let parallel = transcript(&engine(4, None), &jobs);
+    assert_eq!(serial, parallel);
+    assert!(serial.contains("\"cycles\":"));
+}
+
+#[test]
+fn fingerprint_tracks_config_and_scale() {
+    let entry = by_name("soplex_ref_like").expect("in catalog");
+    let base = SimJob {
+        workload: entry.build(Variant::Base, small_scale()),
+        cfg: CoreConfig::default(),
+        cycle_limit: 4_000_000,
+    };
+    let fp = base.fingerprint();
+
+    // Identical inputs — identical fingerprint.
+    let again = SimJob {
+        workload: entry.build(Variant::Base, small_scale()),
+        cfg: CoreConfig::default(),
+        cycle_limit: 4_000_000,
+    };
+    assert_eq!(fp, again.fingerprint());
+
+    // A different core configuration changes it.
+    let other_cfg = SimJob {
+        cfg: CoreConfig { bq_size: 32, ..CoreConfig::default() },
+        workload: entry.build(Variant::Base, small_scale()),
+        cycle_limit: 4_000_000,
+    };
+    assert_ne!(fp, other_cfg.fingerprint());
+
+    // A different scale changes the program, so it changes too.
+    let other_scale = SimJob {
+        workload: entry.build(Variant::Base, Scale { n: 61, ..Scale::small() }),
+        cfg: CoreConfig::default(),
+        cycle_limit: 4_000_000,
+    };
+    assert_ne!(fp, other_scale.fingerprint());
+
+    // So does the cycle limit.
+    let other_limit = SimJob {
+        workload: entry.build(Variant::Base, small_scale()),
+        cfg: CoreConfig::default(),
+        cycle_limit: 8_000_000,
+    };
+    assert_ne!(fp, other_limit.fingerprint());
+}
+
+#[test]
+fn warm_cache_executes_nothing_and_is_byte_identical() {
+    let dir = temp_cache("warm");
+    let jobs = sim_jobs(small_scale());
+
+    let cold_engine = engine(2, Some(dir.clone()));
+    let cold = transcript(&cold_engine, &jobs);
+    let cold_stats = cold_engine.stats();
+    assert_eq!(cold_stats.cache_hits, 0);
+    assert_eq!(cold_stats.executed, jobs.len() as u64);
+
+    let warm_engine = engine(2, Some(dir.clone()));
+    let warm = transcript(&warm_engine, &jobs);
+    let warm_stats = warm_engine.stats();
+    assert_eq!(warm_stats.executed, 0, "warm cache must run zero simulations");
+    assert_eq!(warm_stats.cache_hits, jobs.len() as u64);
+    assert_eq!(cold, warm, "cached results must round-trip byte-identically");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_degrade_to_misses() {
+    let dir = temp_cache("corrupt");
+    let jobs = sim_jobs(Scale { n: 40, ..Scale::small() });
+
+    let first = engine(1, Some(dir.clone()));
+    let expected = transcript(&first, &jobs);
+
+    // Truncate every cached file; the engine must silently re-execute.
+    for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
+        std::fs::write(entry.expect("dir entry").path(), "{\"cache_version\":1,").unwrap();
+    }
+    let second = engine(1, Some(dir.clone()));
+    let again = transcript(&second, &jobs);
+    assert_eq!(expected, again);
+    assert_eq!(second.stats().cache_hits, 0);
+    assert_eq!(second.stats().executed, jobs.len() as u64);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A job that panics on demand, to prove isolation.
+struct Poisoned {
+    id: u64,
+    poison: bool,
+}
+
+impl CampaignJob for Poisoned {
+    type Output = u64;
+
+    fn kind(&self) -> &'static str {
+        "poison-test"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher::new();
+        h.section("id", &self.id.to_le_bytes());
+        h.finish()
+    }
+
+    fn describe(&self) -> String {
+        format!("poison-test {}", self.id)
+    }
+
+    fn execute(&self) -> u64 {
+        assert!(!self.poison, "poisoned job {} exploded", self.id);
+        self.id * 10
+    }
+
+    fn result_to_json(out: &u64) -> String {
+        format!("{{\"value\":{out}}}")
+    }
+
+    fn result_from_json(&self, v: &Json) -> Option<u64> {
+        v.get("value")?.as_u64()
+    }
+}
+
+#[test]
+fn one_poisoned_job_does_not_kill_the_pool() {
+    let jobs: Vec<Poisoned> = (0..8).map(|id| Poisoned { id, poison: id == 3 }).collect();
+    let results = engine(4, None).run_all(&jobs);
+    for (id, r) in results.iter().enumerate() {
+        if id == 3 {
+            match r {
+                Err(JobError::Panicked(m)) => assert!(m.contains("poisoned job 3 exploded"), "got {m:?}"),
+                other => panic!("expected a panic verdict, got {other:?}"),
+            }
+        } else {
+            assert_eq!(*r, Ok(id as u64 * 10));
+        }
+    }
+}
+
+#[test]
+fn panicked_jobs_are_never_cached() {
+    let dir = temp_cache("no-cache-panic");
+    let jobs = vec![Poisoned { id: 7, poison: true }];
+    let e = engine(1, Some(dir.clone()));
+    assert!(e.run_all(&jobs)[0].is_err());
+    // The failure left nothing behind: a retry still executes (and fails).
+    let e2 = engine(1, Some(dir.clone()));
+    assert!(e2.run_all(&jobs)[0].is_err());
+    assert_eq!(e2.stats().cache_hits, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_jobs_within_a_batch_run_once() {
+    let dir = temp_cache("dedup");
+    let entry = by_name("bzip2_like").expect("in catalog");
+    let job = || SimJob {
+        workload: entry.build(Variant::Base, Scale { n: 40, ..Scale::small() }),
+        cfg: CoreConfig::default(),
+        cycle_limit: 4_000_000,
+    };
+    let jobs = vec![job(), job(), job()];
+    let e = engine(2, Some(dir.clone()));
+    let results = e.run_all(&jobs);
+    let a = SimJob::result_to_json(results[0].as_ref().expect("runs"));
+    let b = SimJob::result_to_json(results[2].as_ref().expect("runs"));
+    assert_eq!(a, b);
+    assert_eq!(e.stats().executed, 1);
+    assert_eq!(e.stats().deduped, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_files_live_under_the_fingerprint_name() {
+    let dir = temp_cache("layout");
+    let entry = by_name("bzip2_like").expect("in catalog");
+    let job = SimJob {
+        workload: entry.build(Variant::Base, Scale { n: 40, ..Scale::small() }),
+        cfg: CoreConfig::default(),
+        cycle_limit: 4_000_000,
+    };
+    let e = engine(1, Some(dir.clone()));
+    e.run_all(std::slice::from_ref(&job))[0].as_ref().expect("runs");
+    let path = dir.join(format!("{}.json", job.fingerprint().hex()));
+    assert!(path.is_file(), "missing {}", path.display());
+
+    // And the entry is loadable through the public cache API.
+    let cache = DiskCache::new(&dir);
+    assert!(cache.load("sim", job.fingerprint()).is_some());
+    assert!(cache.load("other-kind", job.fingerprint()).is_none(), "kind mismatch must miss");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -38,6 +38,7 @@
 
 use cfd_analysis::{lint_program, LintConfig};
 use cfd_core::{Core, CoreConfig, CoreError, FaultKind, FaultSpec};
+use cfd_exec::{CampaignJob, Engine, Fingerprint, Hasher, Json};
 use cfd_isa::check::Rng;
 use cfd_workloads::{by_name, catalog, CatalogEntry, Scale, Variant, Workload};
 use std::fmt;
@@ -439,17 +440,125 @@ pub fn run_trial(
     }
 }
 
-/// Runs a full campaign: every configured fault class against every
-/// configured workload, `trials_per_pair` times at seeded `nth` offsets.
+/// One fault-injection trial as a campaign-engine job: the built
+/// workload, the fault to inject, and the run limits.
+#[derive(Debug, Clone)]
+pub struct TrialJob {
+    /// The built workload the trial runs.
+    pub workload: Workload,
+    /// Fault class to inject.
+    pub fault: FaultKind,
+    /// Fire the fault at the site's `nth` visit.
+    pub nth: u64,
+    /// Cycle limit for the trial.
+    pub cycle_limit: u64,
+    /// Deadlock watchdog interval.
+    pub watchdog_cycles: u64,
+}
+
+impl TrialJob {
+    fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            cycle_limit: self.cycle_limit,
+            watchdog_cycles: self.watchdog_cycles,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn verdict_from(&self, label: &str, class: Option<&str>) -> Option<Verdict> {
+        Some(match label {
+            "masked" => Verdict::Masked,
+            "detected" => Verdict::Detected(class?.to_string()),
+            "hang" => Verdict::Hang,
+            "silent_divergence" => Verdict::SilentDivergence,
+            "not_reached" => Verdict::NotReached,
+            _ => return None,
+        })
+    }
+}
+
+impl CampaignJob for TrialJob {
+    type Output = TrialOutcome;
+
+    fn kind(&self) -> &'static str {
+        "trial"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher::new();
+        h.section("workload", &self.workload.fingerprint_bytes());
+        h.section("fault", format!("{:?} nth={}", self.fault, self.nth).as_bytes());
+        let core_cfg = CoreConfig {
+            watchdog_cycles: self.watchdog_cycles,
+            post_mortem_depth: 0,
+            ..Default::default()
+        };
+        h.section("config", core_cfg.stable_repr().as_bytes());
+        h.section("limits", format!("cycle_limit={}", self.cycle_limit).as_bytes());
+        h.finish()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "trial {} [{}] {} nth={}",
+            self.workload.name,
+            self.workload.variant.label(),
+            self.fault.name(),
+            self.nth
+        )
+    }
+
+    fn execute(&self) -> TrialOutcome {
+        run_trial(&self.workload, self.fault, self.nth, &self.campaign_config())
+    }
+
+    fn result_to_json(out: &TrialOutcome) -> String {
+        let opt = |x: Option<u64>| x.map_or("null".to_string(), |v| v.to_string());
+        let class = match &out.verdict {
+            Verdict::Detected(c) => json_str(c),
+            _ => "null".to_string(),
+        };
+        format!(
+            "{{\"verdict\":{},\"error_class\":{},\"injected_cycle\":{},\"cycles\":{},\"retired\":{},\"detect_latency\":{}}}",
+            json_str(out.verdict.label()),
+            class,
+            opt(out.injected_cycle),
+            out.cycles,
+            out.retired,
+            opt(out.detect_latency)
+        )
+    }
+
+    fn result_from_json(&self, v: &Json) -> Option<TrialOutcome> {
+        let class = match v.get("error_class")? {
+            Json::Null => None,
+            c => Some(c.as_str()?),
+        };
+        let verdict = self.verdict_from(v.get("verdict")?.as_str()?, class)?;
+        Some(TrialOutcome {
+            workload: self.workload.name,
+            variant: self.workload.variant,
+            fault: self.fault.name(),
+            site: self.fault.site().name(),
+            nth: self.nth,
+            verdict,
+            injected_cycle: v.get("injected_cycle")?.as_opt_u64()?,
+            cycles: v.get("cycles")?.as_u64()?,
+            retired: v.get("retired")?.as_u64()?,
+            detect_latency: v.get("detect_latency")?.as_opt_u64()?,
+        })
+    }
+}
+
+/// Enumerates a campaign's trials — same sweep order and seeded `nth`
+/// sequence as [`run_campaign`] — as engine jobs.
 ///
 /// # Panics
 ///
-/// Panics when a configured workload is not in the catalog, or a catalog
-/// workload fails its fault-free functional run (both are repo bugs, not
-/// campaign outcomes).
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+/// Panics when a configured workload is not in the catalog.
+pub fn campaign_jobs(cfg: &CampaignConfig) -> Vec<TrialJob> {
     let mut rng = Rng::new(cfg.seed);
-    let mut outcomes = Vec::new();
+    let mut jobs = Vec::new();
     for name in &cfg.workloads {
         let entry = by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
         let scale = Scale { n: cfg.scale_n, ..Scale::small() };
@@ -463,11 +572,49 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 // a window the run length comfortably covers (sites are
                 // visited roughly once per outer iteration).
                 let nth = rng.below((cfg.scale_n as u64 / 2).max(8));
-                outcomes.push(run_trial(&wl, fault, nth, cfg));
+                jobs.push(TrialJob {
+                    workload: wl.clone(),
+                    fault,
+                    nth,
+                    cycle_limit: cfg.cycle_limit,
+                    watchdog_cycles: cfg.watchdog_cycles,
+                });
             }
         }
     }
+    jobs
+}
+
+/// Runs a full campaign on the given engine: every configured fault
+/// class against every configured workload, `trials_per_pair` times at
+/// seeded `nth` offsets. The verdict table is byte-identical at any
+/// worker count.
+///
+/// # Panics
+///
+/// Panics when a configured workload is not in the catalog, a catalog
+/// workload fails its fault-free functional run, or a trial panics
+/// (all are repo bugs, not campaign outcomes).
+pub fn run_campaign_on(engine: &Engine, cfg: &CampaignConfig) -> CampaignReport {
+    let jobs = campaign_jobs(cfg);
+    let outcomes = jobs
+        .iter()
+        .zip(engine.run_all(&jobs))
+        .map(|(job, res)| res.unwrap_or_else(|e| panic!("{} failed: {e}", job.describe())))
+        .collect();
     CampaignReport { seed: cfg.seed, outcomes }
+}
+
+/// Runs a full campaign serially (no worker threads, no result cache).
+/// See [`run_campaign_on`] to run on a configured engine.
+///
+/// # Panics
+///
+/// Panics when a configured workload is not in the catalog, or a catalog
+/// workload fails its fault-free functional run (both are repo bugs, not
+/// campaign outcomes).
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_on(&Engine::serial(), cfg)
 }
 
 #[cfg(test)]
@@ -497,6 +644,19 @@ mod tests {
         let a = run_campaign(&smoke_cfg()).to_json();
         let b = run_campaign(&smoke_cfg()).to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_is_worker_count_invariant() {
+        let serial = run_campaign(&smoke_cfg()).to_json();
+        let engine = Engine::new(cfd_exec::ExecConfig {
+            jobs: 4,
+            use_cache: false,
+            cache_dir: std::path::PathBuf::new(),
+        });
+        let parallel = run_campaign_on(&engine, &smoke_cfg()).to_json();
+        assert_eq!(serial, parallel);
+        assert_eq!(engine.stats().executed, engine.stats().submitted - engine.stats().deduped);
     }
 
     #[test]

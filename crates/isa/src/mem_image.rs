@@ -114,6 +114,27 @@ impl MemImage {
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
         (0..len).map(|i| self.read_byte(addr + i as u64)).collect()
     }
+
+    /// A stable, content-complete byte serialization of the image, for
+    /// content-addressed fingerprinting (`cfd-exec`).
+    ///
+    /// Pages are emitted in ascending page-index order (the backing
+    /// `HashMap`'s iteration order never leaks), each as its little-endian
+    /// index followed by its 4 KiB payload. Two images with the same
+    /// mapped content serialize identically regardless of write order;
+    /// note an explicitly written all-zero page *is* content (it differs
+    /// from an unmapped page here even though reads cannot tell them
+    /// apart).
+    pub fn stable_bytes(&self) -> Vec<u8> {
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        let mut out = Vec::with_capacity(indices.len() * (PAGE_SIZE + 8));
+        for idx in indices {
+            out.extend_from_slice(&idx.to_le_bytes());
+            out.extend_from_slice(&self.pages[&idx][..]);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +173,21 @@ mod tests {
         let mut m = MemImage::new();
         m.write_bytes(0x3000, b"hello");
         assert_eq!(m.read_bytes(0x3000, 5), b"hello");
+    }
+
+    #[test]
+    fn stable_bytes_independent_of_write_order() {
+        let mut a = MemImage::new();
+        a.write_u64(0x1000, 7);
+        a.write_u64(0x9000, 9);
+        let mut b = MemImage::new();
+        b.write_u64(0x9000, 9);
+        b.write_u64(0x1000, 7);
+        assert_eq!(a.stable_bytes(), b.stable_bytes());
+        b.write_u64(0x1000, 8);
+        assert_ne!(a.stable_bytes(), b.stable_bytes());
+        // Two pages: 2 * (8-byte index + 4 KiB payload).
+        assert_eq!(a.stable_bytes().len(), 2 * (8 + 4096));
     }
 
     #[test]

@@ -53,6 +53,30 @@ impl Program {
         self.annotations.get(&pc).map(String::as_str)
     }
 
+    /// A stable, content-complete byte serialization of the program, for
+    /// content-addressed fingerprinting (`cfd-exec`).
+    ///
+    /// The encoding covers everything that can influence execution or
+    /// reporting — instructions (via their derived `Debug` form, which is
+    /// injective over operand values), labels, and annotations, all in
+    /// deterministic order. Two programs serialize identically iff they
+    /// are equal; any change to the instruction set's representation
+    /// changes the bytes, which conservatively invalidates cached results.
+    pub fn stable_bytes(&self) -> Vec<u8> {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(self.instrs.len() * 48);
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            let _ = writeln!(s, "I {pc} {instr:?}");
+        }
+        for (name, pc) in &self.labels {
+            let _ = writeln!(s, "L {pc} {name}");
+        }
+        for (pc, text) in &self.annotations {
+            let _ = writeln!(s, "A {pc} {text}");
+        }
+        s.into_bytes()
+    }
+
     /// Disassembles the whole program, one instruction per line, with labels.
     pub fn disassemble(&self) -> String {
         let mut by_pc: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
@@ -560,5 +584,26 @@ mod tests {
         assert_eq!(a.here(), 0);
         a.nop().nop();
         assert_eq!(a.here(), 2);
+    }
+
+    #[test]
+    fn stable_bytes_reflect_content() {
+        let build = |imm: i64, annotate: bool| {
+            let mut a = Assembler::new();
+            a.label("main");
+            a.li(Reg::new(1), imm);
+            if annotate {
+                a.annotate("note");
+            }
+            a.halt();
+            a.finish().unwrap()
+        };
+        // Equal programs serialize identically; any content change differs.
+        assert_eq!(build(5, false).stable_bytes(), build(5, false).stable_bytes());
+        assert_ne!(build(5, false).stable_bytes(), build(6, false).stable_bytes());
+        assert_ne!(build(5, false).stable_bytes(), build(5, true).stable_bytes());
+        // Labels are part of the content.
+        let b = build(5, false).stable_bytes();
+        assert!(String::from_utf8(b).unwrap().contains("L 0 main"));
     }
 }

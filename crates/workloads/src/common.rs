@@ -180,6 +180,31 @@ impl Workload {
         Ok(out)
     }
 
+    /// A stable, content-complete byte serialization of the workload for
+    /// content-addressed result fingerprinting (`cfd-exec`): covers the
+    /// program, the initial memory image, and the observation metadata
+    /// (observable registers and checked ranges), plus the identity
+    /// labels. Two builds of the same catalog entry at the same
+    /// [`Scale`] produce identical bytes; changing the scale, seed,
+    /// variant, or any kernel code changes them.
+    pub fn fingerprint_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut section = |tag: &str, body: &[u8]| {
+            out.extend_from_slice(tag.as_bytes());
+            out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            out.extend_from_slice(body);
+        };
+        section("name", self.name.as_bytes());
+        section("variant", self.variant.label().as_bytes());
+        section("program", &self.program.stable_bytes());
+        section("mem", &self.mem.stable_bytes());
+        let obs: String = self.observable.iter().map(|r| format!("{r:?},")).collect();
+        section("observable", obs.as_bytes());
+        let ranges: String = self.check_ranges.iter().map(|(a, l)| format!("{a}+{l},")).collect();
+        section("check_ranges", ranges.as_bytes());
+        out
+    }
+
     /// Retired instruction count of a functional run (for Table III
     /// overhead factors).
     ///
@@ -308,6 +333,20 @@ mod tests {
         let mut rng = Xorshift::new(7);
         let hits = (0..10_000).filter(|_| rng.chance(30)).count();
         assert!((2500..3500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn fingerprint_bytes_track_build_inputs() {
+        let entry = crate::by_name("soplex_ref_like").expect("in catalog");
+        let scale = Scale { n: 50, seed: 3 };
+        let a = entry.build(Variant::Base, scale).fingerprint_bytes();
+        assert_eq!(a, entry.build(Variant::Base, scale).fingerprint_bytes(), "builds are reproducible");
+        let bigger = entry.build(Variant::Base, Scale { n: 60, seed: 3 }).fingerprint_bytes();
+        let reseeded = entry.build(Variant::Base, Scale { n: 50, seed: 4 }).fingerprint_bytes();
+        let cfd = entry.build(Variant::Cfd, scale).fingerprint_bytes();
+        assert_ne!(a, bigger, "trip count is content");
+        assert_ne!(a, reseeded, "data seed is content");
+        assert_ne!(a, cfd, "variant is content");
     }
 
     #[test]

@@ -19,22 +19,38 @@ cargo test -q --offline --workspace
 echo "== lint gate: cargo clippy --all-targets -- -D warnings"
 cargo clippy -q --offline --all-targets -- -D warnings
 
-echo "== static queue-discipline verification (experiments lint)"
-cargo run -q --release --offline -p cfd-bench --bin experiments -- lint > /dev/null
+cache=$(mktemp -d)
+lint_par=$(mktemp); lint_ser=$(mktemp); stats=$(mktemp)
+out=$(mktemp); out2=$(mktemp)
+trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2"' EXIT
+
+echo "== static queue-discipline verification (experiments lint, --jobs 2)"
+CFD_CACHE_DIR="$cache" cargo run -q --release --offline -p cfd-bench --bin experiments -- \
+    lint --jobs 2 --json "$lint_par" > /dev/null 2> "$stats"
+grep '^\[cfd-exec\]' "$stats"
+
+echo "== lint cross-check: serial, uncached sweep must match byte-for-byte"
+cargo run -q --release --offline -p cfd-bench --bin experiments -- \
+    lint --jobs 1 --no-cache --json "$lint_ser" > /dev/null 2>&1
+cmp "$lint_par" "$lint_ser"
+
+echo "== lint warm-cache re-run must execute nothing"
+CFD_CACHE_DIR="$cache" cargo run -q --release --offline -p cfd-bench --bin experiments -- \
+    lint --jobs 2 --json "$lint_ser" > /dev/null 2> "$stats"
+grep '^\[cfd-exec\]' "$stats"
+grep -q 'executed=0 failed=0' "$stats"
+cmp "$lint_par" "$lint_ser"
 
 if [[ "$QUICK" == "0" ]]; then
     echo "== smoke fault campaign (deterministic seed, contract-checked)"
-    out=$(mktemp)
-    trap 'rm -f "$out"' EXIT
     cargo run -q --release --offline -p cfd-bench --bin experiments -- \
-        faults --smoke --seed 0xcfdfa017 --json "$out"
-    # Same seed must reproduce the same verdict table byte-for-byte.
-    out2=$(mktemp)
-    trap 'rm -f "$out" "$out2"' EXIT
+        faults --smoke --seed 0xcfdfa017 --no-cache --json "$out"
+    # Same seed at a different worker count must reproduce the same
+    # verdict table byte-for-byte.
     cargo run -q --release --offline -p cfd-bench --bin experiments -- \
-        faults --smoke --seed 0xcfdfa017 --json "$out2" > /dev/null
+        faults --smoke --seed 0xcfdfa017 --jobs 4 --no-cache --json "$out2" > /dev/null
     cmp "$out" "$out2"
-    echo "== campaign deterministic: verdict tables identical"
+    echo "== campaign deterministic: serial and --jobs 4 verdict tables identical"
 fi
 
 echo "== verify OK"

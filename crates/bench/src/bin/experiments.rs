@@ -10,11 +10,26 @@
 //!   experiments lint [opts]   statically verify queue discipline of every
 //!                             catalog workload and transform output; exits
 //!                             non-zero on any error finding
+//!   experiments observe <workload> [opts]
+//!                             one telemetry-armed run: CPI stack, ASCII
+//!                             IPC/occupancy timeline, CSV time series and
+//!                             a Perfetto trace (all byte-deterministic)
 //!
 //! Global options (any subcommand):
 //!   --jobs N        worker threads for simulations (default $CFD_JOBS or 1);
 //!                   results are byte-identical at any worker count
 //!   --no-cache      bypass the on-disk result cache (target/cfd-cache)
+//!   --quiet         suppress the [cfd-exec] stats line on stderr
+//!   --trace-out P   write the engine's job trace (Perfetto JSON) to P
+//!
+//! Observe options:
+//!   --variant V     which transform to run (base, cfd, cfd+, ...; default base)
+//!   --interval N    sampling interval in cycles (default 1000)
+//!   --scale N       workload outer trip count (default catalog scale)
+//!   --csv PATH      time-series CSV destination
+//!                   (default artifacts/observe_<workload>_<variant>.csv)
+//!   --trace-out P   pipeline-trace destination
+//!                   (default artifacts/observe_<workload>_<variant>.trace.json)
 //!
 //! Lint options:
 //!   --json PATH     write the JSON lint table to PATH ("-" = stdout)
@@ -31,9 +46,34 @@ use cfd_exec::{Engine, ExecConfig};
 use cfd_harden::{run_campaign_on, CampaignConfig};
 use std::time::Instant;
 
+/// Global flags that outlive subcommand dispatch.
+struct Global {
+    quiet: bool,
+    trace_out: Option<String>,
+}
+
+impl Global {
+    /// End-of-run chores: the stats line (unless `--quiet`) and the
+    /// engine job trace (when `--trace-out` was given).
+    fn finish(&self, engine: &Engine) {
+        if !self.quiet {
+            eprintln!("{}", engine.stats_line());
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, engine.trace_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("engine trace written to {path}");
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let observing = args.first().is_some_and(|a| a == "observe");
     let mut cfg = ExecConfig::from_env();
+    let mut global = Global { quiet: false, trace_out: None };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,6 +94,20 @@ fn main() {
                 args.remove(i);
                 cfg.use_cache = false;
             }
+            "--quiet" => {
+                args.remove(i);
+                global.quiet = true;
+            }
+            // `observe` keeps its own --trace-out (it names the *pipeline*
+            // trace, not the engine's job trace).
+            "--trace-out" if !observing => {
+                args.remove(i);
+                if i >= args.len() {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(1);
+                }
+                global.trace_out = Some(args.remove(i));
+            }
             _ => i += 1,
         }
     }
@@ -67,14 +121,19 @@ fn main() {
         println!("  {:8} run every experiment", "all");
         println!("  {:8} fault-injection campaign (--seed N --trials N --scale N --smoke --json PATH)", "faults");
         println!("  {:8} static queue-discipline verification of catalog + transforms (--json PATH)", "lint");
+        println!("  {:8} telemetry-armed run of one workload (--variant V --interval N --scale N --csv P --trace-out P)", "observe");
         return;
     }
     if args[0] == "faults" {
-        run_fault_campaign(&engine, &args[1..]);
+        run_fault_campaign(&engine, &global, &args[1..]);
         return;
     }
     if args[0] == "lint" {
-        run_lint(&engine, &args[1..]);
+        run_lint(&engine, &global, &args[1..]);
+        return;
+    }
+    if args[0] == "observe" {
+        run_observe(&args[1..]);
         return;
     }
     let write_transcript = args[0] == "all";
@@ -118,10 +177,90 @@ fn main() {
         });
         println!("transcript written to {path}");
     }
-    eprintln!("{}", engine.stats_line());
+    global.finish(&engine);
 }
 
-fn run_lint(engine: &Engine, args: &[String]) {
+fn run_observe(args: &[String]) {
+    use cfd_bench::observe::{observe, parse_variant, variant_slug, ObserveOptions};
+    let mut name: Option<String> = None;
+    let mut opts = ObserveOptions::default();
+    let mut csv_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(1);
+            })
+        };
+        match a.as_str() {
+            "--variant" => {
+                let v = val("--variant");
+                opts.variant = parse_variant(&v).unwrap_or_else(|| {
+                    eprintln!("unknown variant `{v}` (try base, cfd, cfd+, dfd, ...)");
+                    std::process::exit(1);
+                });
+            }
+            "--interval" => {
+                let v = val("--interval");
+                opts.interval = parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --interval: `{v}`");
+                    std::process::exit(1);
+                });
+            }
+            "--scale" => {
+                let v = val("--scale");
+                opts.scale.n = parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --scale: `{v}`");
+                    std::process::exit(1);
+                }) as usize;
+            }
+            "--csv" => csv_path = Some(val("--csv")),
+            "--trace-out" => trace_path = Some(val("--trace-out")),
+            other if other.starts_with("--") => {
+                eprintln!("unknown observe option `{other}`");
+                std::process::exit(1);
+            }
+            other => {
+                if name.replace(other.to_string()).is_some() {
+                    eprintln!("observe takes exactly one workload");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("usage: experiments observe <workload> [--variant V] [--interval N] [--scale N] [--csv P] [--trace-out P]");
+        std::process::exit(1);
+    };
+    let obs = observe(&name, &opts).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let slug = variant_slug(obs.variant);
+    let csv_path = csv_path.unwrap_or_else(|| format!("artifacts/observe_{name}_{slug}.csv"));
+    let trace_path = trace_path.unwrap_or_else(|| format!("artifacts/observe_{name}_{slug}.trace.json"));
+    print!("{}", obs.render());
+    for (path, content) in [(&csv_path, obs.csv()), (&trace_path, obs.trace_json())] {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    std::process::exit(1);
+                });
+            }
+        }
+        std::fs::write(path, content).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    println!("\ntime series written to {csv_path}");
+    println!("pipeline trace written to {trace_path} (load in ui.perfetto.dev)");
+}
+
+fn run_lint(engine: &Engine, global: &Global, args: &[String]) {
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -154,13 +293,13 @@ fn run_lint(engine: &Engine, args: &[String]) {
     }
     let errors = cfd_bench::lint::error_count(&rows);
     println!("[lint completed in {:.1}s: {} programs, {} error finding(s)]", t0.elapsed().as_secs_f64(), rows.len(), errors);
-    eprintln!("{}", engine.stats_line());
+    global.finish(engine);
     if errors > 0 {
         std::process::exit(2);
     }
 }
 
-fn run_fault_campaign(engine: &Engine, args: &[String]) {
+fn run_fault_campaign(engine: &Engine, global: &Global, args: &[String]) {
     let mut cfg = CampaignConfig::default();
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
@@ -209,7 +348,7 @@ fn run_fault_campaign(engine: &Engine, args: &[String]) {
     let silent = report.silent_divergences();
     println!("[faults completed in {:.1}s: {} trials, {} contract violations]",
         t0.elapsed().as_secs_f64(), report.outcomes.len(), silent);
-    eprintln!("{}", engine.stats_line());
+    global.finish(engine);
     if silent > 0 {
         std::process::exit(2);
     }

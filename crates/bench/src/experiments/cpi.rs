@@ -1,0 +1,60 @@
+//! CPI-stack cycle accounting across the catalog: where each variant's
+//! cycles go, and what CFD actually trades misprediction slots for.
+
+use crate::runner::{default_scale, Batch, TextTable};
+use cfd_core::{CoreConfig, CpiComponent};
+use cfd_exec::Engine;
+use cfd_workloads::catalog;
+
+/// One permille share rendered as `12.3%`.
+fn share(pm: u64) -> String {
+    format!("{}.{}%", pm / 10, pm % 10)
+}
+
+/// `cpi`: per workload × variant CPI and component shares. The stack is
+/// verified to sum to exactly `cycles × width` for every row — a failure
+/// here means a pipeline state the accounting taxonomy missed.
+pub fn cpi_stack(engine: &Engine) -> String {
+    let scale = default_scale();
+    let cfg = CoreConfig::default();
+    let width = cfg.width as u64;
+    let mut batch = Batch::new(engine);
+    let mut rows = Vec::new();
+    for entry in catalog() {
+        for &variant in entry.variants {
+            rows.push((entry.name, variant, batch.sim_variant(&entry, variant, scale, &cfg)));
+        }
+    }
+    let res = batch.run();
+
+    let mut t = TextTable::new(vec![
+        "app", "variant", "CPI", "base", "frontend", "mispred", "cfd_stall", "mem", "backend",
+    ]);
+    for (name, variant, h) in rows {
+        let r = &res[h];
+        let stack = r.stats.cpi_stack();
+        stack
+            .check(r.stats.cycles, width)
+            .unwrap_or_else(|e| panic!("{name} [{variant}]: {e}"));
+        let mem_pm = stack.permille(CpiComponent::MemL1)
+            + stack.permille(CpiComponent::MemL2)
+            + stack.permille(CpiComponent::MemL3)
+            + stack.permille(CpiComponent::MemDram);
+        t.row(vec![
+            name.to_string(),
+            variant.label().to_string(),
+            format!("{:.3}", 1.0 / r.ipc().max(f64::MIN_POSITIVE)),
+            share(stack.permille(CpiComponent::Base)),
+            share(stack.permille(CpiComponent::Frontend)),
+            share(stack.permille(CpiComponent::Mispredict)),
+            share(stack.permille(CpiComponent::CfdStall)),
+            share(mem_pm),
+            share(stack.permille(CpiComponent::Backend)),
+        ]);
+    }
+    format!(
+        "CPI-stack cycle accounting — share of all retire slots per component\n\
+         (mem = L1+L2+L3+DRAM; every stack verified to sum to cycles x width exactly)\n\n{}",
+        t.render()
+    )
+}

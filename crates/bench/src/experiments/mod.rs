@@ -1,6 +1,7 @@
 //! The experiment registry: one entry per paper table/figure.
 
 mod ablations;
+mod cpi;
 mod fig01_02;
 mod fig06_tables;
 mod fig18_23;
@@ -57,6 +58,7 @@ pub fn all() -> Vec<Experiment> {
         },
         Experiment { id: "abl-btb", what: "ablation: BTB behaviour of CFD pops", run: ablations::ablation_btb },
         Experiment { id: "energy", what: "per-component energy breakdown, base vs CFD", run: ablations::energy_detail },
+        Experiment { id: "cpi", what: "CPI-stack cycle accounting per workload/variant", run: cpi::cpi_stack },
     ]
 }
 

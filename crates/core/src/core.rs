@@ -31,7 +31,8 @@ use crate::stats::{level_index, CoreStats, RunReport};
 use crate::trace::{CycleSnap, PipeEvent, PipeTrace, SnapRing};
 use cfd_energy::EventCounts;
 use cfd_isa::{eval_alu, eval_branch, Instr, Machine, MemImage, MemWidth, NullSink, Program, QueueConfig, Src2};
-use cfd_mem::{Cache, CacheConfig, Hierarchy};
+use cfd_mem::{Cache, CacheConfig, Hierarchy, MemLevel};
+use cfd_obs::{CpiComponent, MetricsRegistry, TelemetryConfig, TelemetryReport, TimeSeries, TraceLog};
 use cfd_predictor::{
     predictor_by_name, BranchKind, Btb, BtbEntry, ConfidenceEstimator, DirectionPredictor, PredMeta, Ras, RasSnapshot,
 };
@@ -190,6 +191,62 @@ impl DynInst {
     }
 }
 
+/// Time-series schema: cumulative counters sampled every N cycles.
+/// `cycle` stamps the row; everything else is cumulative-so-far, so rates
+/// (IPC, miss ratios, predictor accuracy) are derived by differencing
+/// adjacent rows.
+const SERIES_COLUMNS: [&str; 27] = [
+    "cycle",
+    "retired",
+    "fetched",
+    "mispredictions",
+    "retired_branches",
+    "rob",
+    "iq",
+    "lsq",
+    "front_q",
+    "bq",
+    "vq",
+    "tq",
+    "l1_accesses",
+    "l1_hits",
+    "l2_accesses",
+    "l2_hits",
+    "l3_accesses",
+    "l3_hits",
+    "cpi_base",
+    "cpi_frontend",
+    "cpi_mispredict",
+    "cpi_cfd_stall",
+    "cpi_mem_l1",
+    "cpi_mem_l2",
+    "cpi_mem_l3",
+    "cpi_mem_dram",
+    "cpi_backend",
+];
+
+/// Live telemetry attached to a run via [`Core::with_telemetry`].
+struct TelemetryState {
+    cfg: TelemetryConfig,
+    registry: MetricsRegistry,
+    series: TimeSeries,
+    trace: TraceLog,
+    /// Next cycle stamp at which to push a series row.
+    next_sample: u64,
+}
+
+impl TelemetryState {
+    fn new(cfg: TelemetryConfig) -> TelemetryState {
+        TelemetryState {
+            registry: MetricsRegistry::enabled(),
+            series: TimeSeries::new(cfg.sample_interval, SERIES_COLUMNS.to_vec()),
+            trace: if cfg.trace { TraceLog::enabled() } else { TraceLog::disabled() },
+            next_sample: if cfg.sample_interval > 0 { cfg.sample_interval } else { u64::MAX },
+            cfg,
+        }
+    }
+}
+
 /// A simulation failure (simulator bug or runaway program).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
@@ -285,6 +342,14 @@ pub struct Core {
     fault: Option<FaultState>,
     /// Post-mortem snapshot ring (empty unless `post_mortem_depth > 0`).
     snap_ring: SnapRing,
+    /// Why fetch most recently failed to supply instructions: CPI-stack
+    /// attribution for empty-ROB cycles outside misprediction refill.
+    front_block: CpiComponent,
+    /// A recovery squashed the ROB and the corrected path has not reached
+    /// dispatch yet: empty-ROB cycles are misprediction penalty.
+    refill_after_recovery: bool,
+    /// Telemetry (registry/series/trace), when armed.
+    telemetry: Option<Box<TelemetryState>>,
 }
 
 impl Core {
@@ -344,6 +409,9 @@ impl Core {
             pipe_trace: None,
             fault: None,
             snap_ring: SnapRing::new(cfg.post_mortem_depth),
+            front_block: CpiComponent::Frontend,
+            refill_after_recovery: false,
+            telemetry: None,
             cfg,
         })
     }
@@ -360,6 +428,17 @@ impl Core {
     #[must_use]
     pub fn with_fault(mut self, spec: FaultSpec) -> Self {
         self.fault = Some(FaultState::new(spec));
+        self
+    }
+
+    /// Arms telemetry: the metrics registry, interval time-series sampling
+    /// and (per `cfg.trace`) the pipeline event trace. The artifacts come
+    /// back in [`RunReport::telemetry`]. Telemetry only observes
+    /// microarchitectural state — it never changes simulated timing, so
+    /// every other report field is byte-identical with or without it.
+    #[must_use]
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(Box::new(TelemetryState::new(cfg)));
         self
     }
 
@@ -394,7 +473,11 @@ impl Core {
                     format!("final state: {}\nlast {} cycles:\n", self.dump_state(), self.snap_ring.snaps().count());
                 post_mortem.push_str(&self.snap_ring.render());
                 let injection = self.fault.as_ref().and_then(|f| f.fired().cloned());
-                Err(Box::new(FailureReport { error, post_mortem, injection }))
+                let telemetry = self
+                    .telemetry
+                    .take()
+                    .map(|t| TelemetryReport { registry: t.registry, series: t.series, trace: t.trace });
+                Err(Box::new(FailureReport { error, post_mortem, injection, telemetry }))
             }
         }
     }
@@ -415,6 +498,7 @@ impl Core {
             if self.cfg.post_mortem_depth > 0 {
                 self.snap_ring.push(self.cycle_snap());
             }
+            let retired_before = self.stats.retired;
             if profile {
                 let t0 = std::time::Instant::now();
                 self.commit()?;
@@ -445,6 +529,7 @@ impl Core {
                 self.dispatch();
                 self.fetch()?;
             }
+            self.account_cycle(retired_before);
             self.now += 1;
         }
         if profile {
@@ -461,12 +546,34 @@ impl Core {
         self.hier.advance(self.now);
         self.stats.cycles = self.now;
         self.events.cycles = self.now;
+        debug_assert!(
+            self.stats.cpi_stack().check(self.stats.cycles, self.cfg.width as u64).is_ok(),
+            "{}",
+            self.stats
+                .cpi_stack()
+                .check(self.stats.cycles, self.cfg.width as u64)
+                .err()
+                .unwrap_or_default()
+        );
+        // Final time-series row at the true end-of-run cycle (captures the
+        // retirements of the halting cycle), unless one landed there.
+        self.final_sample();
         let (l1, l2, l3) = self.hier.cache_stats();
         self.events.l1d_accesses = l1.accesses;
         self.events.l2_accesses = l2.accesses;
         self.events.l3_accesses = l3.accesses;
         self.events.dram_accesses = self.hier.level_counts[3];
         self.events.btb_ops = self.btb.lookups;
+        let telemetry = self.telemetry.take().map(|mut t| {
+            // Mirror the headline aggregates into the registry so its
+            // rendering is self-contained.
+            t.registry.counter_add("core.cycles", self.stats.cycles);
+            t.registry.counter_add("core.retired", self.stats.retired);
+            t.registry.counter_add("core.fetched", self.stats.fetched);
+            t.registry.counter_add("core.mispredictions", self.stats.mispredictions);
+            t.registry.counter_add("core.retired_branches", self.stats.retired_branches);
+            TelemetryReport { registry: t.registry, series: t.series, trace: t.trace }
+        });
         RunReport {
             stats: self.stats,
             events: self.events,
@@ -475,6 +582,126 @@ impl Core {
             level_counts: self.hier.level_counts,
             pipe_trace: self.pipe_trace,
             injection: self.fault.as_ref().and_then(|f| f.fired().cloned()),
+            telemetry,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPI-stack accounting + telemetry sampling
+    // ------------------------------------------------------------------
+
+    /// Attributes this cycle's `width` retire slots: one Base slot per
+    /// instruction retired this cycle, all remaining slots to the single
+    /// blocking cause [`Core::idle_cause`] identifies. Runs at the end of
+    /// every counted cycle (the halting cycle is neither counted in
+    /// `cycles` nor accounted here), so the components sum to exactly
+    /// `cycles × width`.
+    fn account_cycle(&mut self, retired_before: u64) {
+        let width = self.cfg.width as u64;
+        let r = (self.stats.retired - retired_before).min(width);
+        self.stats.cpi_slots[CpiComponent::Base.index()] += r;
+        let idle = width - r;
+        if idle > 0 {
+            let cause = self.idle_cause();
+            self.stats.cpi_slots[cause.index()] += idle;
+        }
+        if self.telemetry.is_some() {
+            self.sample_telemetry(self.now + 1, false);
+        }
+    }
+
+    /// The single component charged for this cycle's idle retire slots,
+    /// classified from the end-of-cycle ROB head (or its absence).
+    fn idle_cause(&self) -> CpiComponent {
+        if let Some(head) = self.rob.front() {
+            // A resolved speculative BQ pop waiting for its late push.
+            if head.done && !head.verified {
+                return CpiComponent::CfdStall;
+            }
+            // A load in (or just out of) flight: charge the furthest
+            // memory level feeding it.
+            if matches!(head.instr, Instr::Load { .. }) && head.issued {
+                match head.taint {
+                    Some(MemLevel::L1) => return CpiComponent::MemL1,
+                    Some(MemLevel::L2) => return CpiComponent::MemL2,
+                    Some(MemLevel::L3) => return CpiComponent::MemL3,
+                    Some(MemLevel::Mem) => return CpiComponent::MemDram,
+                    None => {}
+                }
+            }
+            CpiComponent::Backend
+        } else if self.refill_after_recovery {
+            CpiComponent::Mispredict
+        } else {
+            // Pipeline fill: whatever last blocked fetch (a CFD queue
+            // stall or a plain front-end bubble).
+            self.front_block
+        }
+    }
+
+    /// Pushes one time-series row stamped `cycle` when due (or `force`d).
+    fn sample_telemetry(&mut self, cycle: u64, force: bool) {
+        let due = match &self.telemetry {
+            Some(t) => t.cfg.sample_interval > 0 && (force || cycle >= t.next_sample),
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let (l1, l2, l3) = self.hier.cache_stats();
+        let bq = self.bq.length();
+        let vq = self.vq.length();
+        let tq = self.tq.length();
+        let rob = self.rob.len() as u64;
+        let mut row = vec![
+            cycle,
+            self.stats.retired,
+            self.stats.fetched,
+            self.stats.mispredictions,
+            self.stats.retired_branches,
+            rob,
+            self.iq_count as u64,
+            self.lsq_count as u64,
+            self.front_q.len() as u64,
+            bq,
+            vq,
+            tq,
+            l1.accesses,
+            l1.hits,
+            l2.accesses,
+            l2.hits,
+            l3.accesses,
+            l3.hits,
+        ];
+        row.extend_from_slice(&self.stats.cpi_slots);
+        let t = self.telemetry.as_mut().expect("checked above");
+        t.series.push_row(row);
+        let step = t.cfg.sample_interval.max(1);
+        while t.next_sample <= cycle {
+            t.next_sample += step;
+        }
+        if t.trace.is_enabled() {
+            t.trace.counter(
+                "occupancy",
+                "pipe",
+                cycle,
+                0,
+                vec![("bq", bq.into()), ("vq", vq.into()), ("tq", tq.into()), ("rob", rob.into())],
+            );
+        }
+    }
+
+    /// Final series row at end of run, skipped if sampling already landed
+    /// exactly there.
+    fn final_sample(&mut self) {
+        let need = match &self.telemetry {
+            Some(t) => {
+                t.cfg.sample_interval > 0 && t.series.rows.last().is_none_or(|r| r[0] != self.now)
+            }
+            None => false,
+        };
+        if need {
+            self.sample_telemetry(self.now, true);
         }
     }
 
@@ -500,8 +727,18 @@ impl Core {
     /// it fires at this visit (see [`crate::fault`]).
     fn fault_at(&mut self, site: FaultSite) -> Option<FaultKind> {
         let fired = self.fault.as_mut()?.visit(site, self.now);
-        if fired.is_some() {
+        if let Some(kind) = fired {
             self.stats.faults_injected += 1;
+            if let Some(t) = &mut self.telemetry {
+                t.trace.instant(
+                    "fault",
+                    "fault",
+                    self.now,
+                    0,
+                    0,
+                    vec![("site", format!("{site:?}").into()), ("kind", format!("{kind:?}").into())],
+                );
+            }
         }
         fired
     }
@@ -620,6 +857,14 @@ impl Core {
             self.stats.max_bq_occupancy = self.stats.max_bq_occupancy.max(self.oracle.bq.len() as u64);
             self.stats.max_vq_occupancy = self.stats.max_vq_occupancy.max(self.oracle.vq.len() as u64);
             self.stats.max_tq_occupancy = self.stats.max_tq_occupancy.max(self.oracle.tq.len() as u64);
+            // The registry gauges sample the same committed state at the
+            // same point, so each gauge's high-water mark equals the
+            // `max_*_occupancy` counter above by construction.
+            if let Some(t) = &mut self.telemetry {
+                t.registry.gauge_set("core.bq_occupancy", self.oracle.bq.len() as u64);
+                t.registry.gauge_set("core.vq_occupancy", self.oracle.vq.len() as u64);
+                t.registry.gauge_set("core.tq_occupancy", self.oracle.tq.len() as u64);
+            }
 
             self.stats.retired += 1;
             self.events.rob_ops += 1;
@@ -922,6 +1167,7 @@ impl Core {
     /// Squashes everything younger than ROB index `i` and restores front-end
     /// state from its snapshot; fetch resumes at the corrected target.
     fn recover_at(&mut self, i: usize) {
+        let squashed = (self.rob.len() - (i + 1)) as u64 + self.front_q.len() as u64;
         // Squash the front pipe entirely (younger than everything in ROB),
         // returning any checkpoints its branches hold.
         for e in &self.front_q {
@@ -981,6 +1227,24 @@ impl Core {
         self.fetch_pc = target;
         self.fetch_resume_at = self.now + 1;
         self.fetch_halted = false;
+        self.refill_after_recovery = true;
+        if let Some(t) = &mut self.telemetry {
+            t.registry.counter_add("core.recoveries", 1);
+            t.registry.histogram_record("core.squash_depth", squashed);
+            t.trace.instant(
+                "recovery",
+                "pipe",
+                self.now,
+                0,
+                0,
+                vec![
+                    ("pc", (pc as u64).into()),
+                    ("seq", seq.into()),
+                    ("target", (target as u64).into()),
+                    ("squashed", squashed.into()),
+                ],
+            );
+        }
         if self.trace {
             eprintln!("[{}] RECOVER seq={} pc={} `{}` -> target {} (diverged={:?})", self.now, seq, pc, instr, target, self.diverged_at);
         }
@@ -1426,6 +1690,8 @@ impl Core {
             self.events.rob_ops += 1;
             let spec_pop_unverified = e.spec_pop && !e.verified;
             self.rob.push_back(e);
+            // The corrected path reached the ROB: misprediction refill over.
+            self.refill_after_recovery = false;
             // A late push may have executed while this speculative pop sat
             // in the front pipe; its ROB scan could not find the pop then,
             // so verify against the BQ entry now.
@@ -1492,10 +1758,12 @@ impl Core {
             match instr {
                 Instr::PushBq { .. } if self.bq.push_would_stall() => {
                     self.stats.bq_push_stall_cycles += 1;
+                    self.front_block = CpiComponent::CfdStall;
                     return Ok(());
                 }
                 Instr::PushTq { .. } if self.tq.push_would_stall() => {
                     self.stats.tq_push_stall_cycles += 1;
+                    self.front_block = CpiComponent::CfdStall;
                     return Ok(());
                 }
                 // Context-switch macro-ops drain the pipeline first.
@@ -1506,6 +1774,7 @@ impl Core {
                 | Instr::SaveTq { .. }
                 | Instr::RestoreTq { .. }
                     if (!self.rob.is_empty() || !self.front_q.is_empty()) => {
+                        self.front_block = CpiComponent::Frontend;
                         return Ok(());
                     }
                 _ => {}
@@ -1513,11 +1782,13 @@ impl Core {
             // TQ miss stalls fetch (§IV-C3).
             if matches!(instr, Instr::PopTq | Instr::PopTqBrOvf { .. }) && self.tq.pop_would_miss() {
                 self.stats.tq_miss_stall_cycles += 1;
+                self.front_block = CpiComponent::CfdStall;
                 return Ok(());
             }
             // BQ miss stalls fetch under the stall policy (Fig. 21c).
             if self.bq_stall_precheck(&instr) {
                 self.stats.bq_miss_stall_cycles += 1;
+                self.front_block = CpiComponent::CfdStall;
                 return Ok(());
             }
 
@@ -1526,6 +1797,7 @@ impl Core {
                 self.icache.fill(pc as u64 * 4, false);
                 self.stats.icache_misses += 1;
                 self.fetch_resume_at = self.now + self.cfg.hierarchy.l2_latency as u64;
+                self.front_block = CpiComponent::Frontend;
                 return Ok(());
             }
             let seq = self.next_seq;
@@ -1543,6 +1815,7 @@ impl Core {
                 FetchStop::BundleEnd => break,
                 FetchStop::Bubble => {
                     self.fetch_resume_at = self.now + 2;
+                    self.front_block = CpiComponent::Frontend;
                     break;
                 }
                 FetchStop::Halt => {
@@ -1550,6 +1823,12 @@ impl Core {
                     break;
                 }
             }
+        }
+        if fetched > 0 {
+            // Fetch supplied instructions this cycle: any subsequent
+            // empty-ROB cycles are plain pipeline fill until something
+            // blocks again.
+            self.front_block = CpiComponent::Frontend;
         }
         Ok(())
     }

@@ -185,6 +185,10 @@ pub struct FailureReport {
     pub post_mortem: String,
     /// The injected fault, when one was configured and actually fired.
     pub injection: Option<InjectionRecord>,
+    /// Telemetry captured up to the failure, when the run was armed via
+    /// [`Core::with_telemetry`](crate::Core::with_telemetry) — the trace
+    /// holds the fault instant and the recoveries leading to the failure.
+    pub telemetry: Option<cfd_obs::TelemetryReport>,
 }
 
 impl std::fmt::Display for FailureReport {

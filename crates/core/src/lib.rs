@@ -63,3 +63,7 @@ pub use fault::{FailureReport, FaultKind, FaultSite, FaultSpec, InjectionRecord}
 pub use rename::{join_taint, PhysReg, RenameState, Taint, VqRenamer, VqSnapshot};
 pub use stats::{level_index, BranchStat, CoreStats, RunReport};
 pub use trace::{CycleSnap, PipeEvent, PipeTrace, SnapRing};
+
+// Observability vocabulary, re-exported so downstream crates can arm
+// telemetry and read CPI stacks without depending on cfd-obs directly.
+pub use cfd_obs::{CpiComponent, CpiStack, TelemetryConfig, TelemetryReport, CPI_COMPONENTS};

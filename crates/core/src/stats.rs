@@ -4,6 +4,7 @@ use crate::fault::InjectionRecord;
 use crate::trace::PipeTrace;
 use cfd_energy::{EnergyBreakdown, EnergyModel, EventCounts};
 use cfd_mem::{CacheStats, MemLevel};
+use cfd_obs::{CpiStack, TelemetryReport, CPI_COMPONENTS};
 use std::collections::BTreeMap;
 
 /// Per-static-branch statistics (retired instances only).
@@ -94,6 +95,11 @@ pub struct CoreStats {
     /// (immediate, retire-time or BQ-speculation) observed after the
     /// injection cycle. Bounds the fault's recovery latency in events.
     pub post_fault_recoveries: u64,
+    /// CPI-stack slot attribution, indexed by
+    /// [`cfd_obs::CpiComponent::index`]. Every retire-width slot of every
+    /// counted cycle lands in exactly one component, so the array sums to
+    /// exactly `cycles × width` (see [`CoreStats::cpi_stack`]).
+    pub cpi_slots: [u64; CPI_COMPONENTS],
     /// Per-PC branch statistics.
     pub branches: BTreeMap<u32, BranchStat>,
 }
@@ -115,6 +121,18 @@ impl CoreStats {
         } else {
             1000.0 * self.mispredictions as f64 / self.retired as f64
         }
+    }
+
+    /// The CPI stack over this run's slot attribution.
+    ///
+    /// Invariant (enforced by a `debug_assert` when the report is built
+    /// and by a tier-1 test): `cpi_stack().check(cycles, width)` holds
+    /// with **zero slack**. The core attributes each of the `width` retire
+    /// slots of every counted cycle to exactly one component; the final
+    /// (halting) cycle is excluded from `cycles` and from the attribution
+    /// alike, so the sum is exact.
+    pub fn cpi_stack(&self) -> CpiStack {
+        CpiStack::from_slots(self.cpi_slots)
     }
 
     /// Misprediction breakdown by feeding memory level, summed over all
@@ -149,6 +167,9 @@ pub struct RunReport {
     /// run with a fired injection means the fault was architecturally
     /// masked (the retirement oracle verified every instruction).
     pub injection: Option<InjectionRecord>,
+    /// Telemetry artifacts (registry, time series, trace), when enabled
+    /// via `Core::with_telemetry`.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunReport {
@@ -207,6 +228,16 @@ mod tests {
         s.branches.insert(4, b1);
         s.branches.insert(9, b2);
         assert_eq!(s.mispredictions_by_level(), [1, 1, 2, 0, 4]);
+    }
+
+    #[test]
+    fn cpi_stack_wraps_slot_array() {
+        let mut s = CoreStats::default();
+        s.cpi_slots[0] = 10; // base
+        s.cpi_slots[8] = 2; // backend
+        assert_eq!(s.cpi_stack().total(), 12);
+        assert!(s.cpi_stack().check(3, 4).is_ok());
+        assert!(s.cpi_stack().check(3, 5).is_err());
     }
 
     #[test]

@@ -22,7 +22,8 @@ use std::path::{Path, PathBuf};
 
 /// Entry-format version; bump when a result codec changes shape so stale
 /// entries from older builds read as misses instead of mis-decoding.
-pub const CACHE_VERSION: u64 = 1;
+/// v2: `RunReport` stats gained the `cpi_slots` CPI-stack array.
+pub const CACHE_VERSION: u64 = 2;
 
 /// Handle to a cache directory.
 #[derive(Debug, Clone)]

@@ -5,6 +5,7 @@ use crate::cache::DiskCache;
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::pool;
+use cfd_obs::{ArgValue, MetricsRegistry, TraceLog};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -132,14 +133,36 @@ pub struct ExecStats {
     pub deduped: u64,
 }
 
-impl ExecStats {
-    fn add(&mut self, other: &ExecStats) {
-        self.submitted += other.submitted;
-        self.cache_hits += other.cache_hits;
-        self.executed += other.executed;
-        self.failed += other.failed;
-        self.deduped += other.deduped;
+/// How a job's slot was filled, for the trace.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobOutcome {
+    CacheHit,
+    Executed,
+    Panicked,
+    Deduped,
+}
+
+impl JobOutcome {
+    fn name(self) -> &'static str {
+        match self {
+            JobOutcome::CacheHit => "cache_hit",
+            JobOutcome::Executed => "executed",
+            JobOutcome::Panicked => "panicked",
+            JobOutcome::Deduped => "deduped",
+        }
     }
+}
+
+/// Engine telemetry: the counters behind [`Engine::stats`] and the job
+/// trace, both guarded by one lock so a batch lands atomically.
+struct EngineTelemetry {
+    registry: MetricsRegistry,
+    trace: TraceLog,
+    /// Logical clock for job spans. Trace timestamps must be
+    /// byte-deterministic across worker counts, so they cannot come from
+    /// wall time or completion order: the clock ticks once per job in
+    /// *submission* order during the single-threaded merge phase.
+    clock: u64,
 }
 
 /// The campaign engine. One engine is shared per sweep; its stats
@@ -148,14 +171,22 @@ impl ExecStats {
 pub struct Engine {
     cfg: ExecConfig,
     cache: Option<DiskCache>,
-    stats: Mutex<ExecStats>,
+    telemetry: Mutex<EngineTelemetry>,
 }
 
 impl Engine {
     /// An engine with the given configuration.
     pub fn new(cfg: ExecConfig) -> Engine {
         let cache = if cfg.use_cache { Some(DiskCache::new(&cfg.cache_dir)) } else { None };
-        Engine { cfg, cache, stats: Mutex::new(ExecStats::default()) }
+        Engine {
+            cfg,
+            cache,
+            telemetry: Mutex::new(EngineTelemetry {
+                registry: MetricsRegistry::enabled(),
+                trace: TraceLog::enabled(),
+                clock: 0,
+            }),
+        }
     }
 
     /// A single-threaded, cache-less engine: the reference behaviour.
@@ -170,9 +201,31 @@ impl Engine {
         self.cfg.jobs
     }
 
-    /// Snapshot of the accumulated counters.
+    /// Snapshot of the accumulated counters (read back out of the metrics
+    /// registry, which is their system of record).
     pub fn stats(&self) -> ExecStats {
-        *self.stats.lock().expect("stats lock poisoned")
+        let t = self.telemetry.lock().expect("telemetry lock poisoned");
+        ExecStats {
+            submitted: t.registry.counter("exec.submitted"),
+            cache_hits: t.registry.counter("exec.cache_hits"),
+            executed: t.registry.counter("exec.executed"),
+            failed: t.registry.counter("exec.failed"),
+            deduped: t.registry.counter("exec.deduped"),
+        }
+    }
+
+    /// Deterministic rendering of the full metrics registry (counters in
+    /// name order).
+    pub fn metrics(&self) -> String {
+        self.telemetry.lock().expect("telemetry lock poisoned").registry.render()
+    }
+
+    /// The job trace so far as Perfetto/Chrome trace-event JSON.
+    /// Timestamps are the engine's logical job clock (submission order),
+    /// never wall time: N-worker runs serialize byte-identically to
+    /// 1-worker runs.
+    pub fn trace_json(&self) -> String {
+        self.telemetry.lock().expect("telemetry lock poisoned").trace.to_json()
     }
 
     /// The machine-greppable summary line the drivers print to stderr:
@@ -219,6 +272,7 @@ impl Engine {
         }
 
         let mut results: Vec<Option<Result<J::Output, JobError>>> = (0..n).map(|_| None).collect();
+        let mut slot: Vec<JobOutcome> = vec![JobOutcome::Deduped; n];
 
         // Cache probe (owners only), serial: entry IO is trivial next to
         // simulation time and keeps hit accounting deterministic.
@@ -235,6 +289,7 @@ impl Engine {
             match hit {
                 Some(out) => {
                     batch.cache_hits += 1;
+                    slot[i] = JobOutcome::CacheHit;
                     results[i] = Some(Ok(out));
                 }
                 None => to_run.push(i),
@@ -252,6 +307,7 @@ impl Engine {
             match outcome {
                 Ok(out) => {
                     batch.executed += 1;
+                    slot[i] = JobOutcome::Executed;
                     if let Some(c) = &self.cache {
                         // Panicked jobs are never cached: a panic is a bug
                         // signal, and bugs should reproduce on re-run.
@@ -261,6 +317,7 @@ impl Engine {
                 }
                 Err(msg) => {
                     batch.failed += 1;
+                    slot[i] = JobOutcome::Panicked;
                     results[i] = Some(Err(JobError::Panicked(msg)));
                 }
             }
@@ -274,7 +331,42 @@ impl Engine {
             }
         }
 
-        self.stats.lock().expect("stats lock poisoned").add(&batch);
+        // Land the batch in one locked section: counters first, then one
+        // trace record per job in *submission* order on the logical
+        // clock, so the serialized trace is independent of worker count
+        // and completion order.
+        let mut t = self.telemetry.lock().expect("telemetry lock poisoned");
+        t.registry.counter_add("exec.submitted", batch.submitted);
+        t.registry.counter_add("exec.cache_hits", batch.cache_hits);
+        t.registry.counter_add("exec.executed", batch.executed);
+        t.registry.counter_add("exec.failed", batch.failed);
+        t.registry.counter_add("exec.deduped", batch.deduped);
+        // Fixed lane count for the tid field: a display aid only. It must
+        // NOT derive from cfg.jobs, or the trace bytes would change with
+        // the worker count.
+        const TRACE_LANES: u64 = 4;
+        for (i, job) in jobs.iter().enumerate() {
+            let tid = i as u64 % TRACE_LANES;
+            let args = vec![
+                ("kind", ArgValue::from(job.kind())),
+                ("fingerprint", ArgValue::from(fps[i].hex())),
+                ("outcome", ArgValue::from(slot[i].name())),
+            ];
+            match slot[i] {
+                JobOutcome::Executed | JobOutcome::Panicked => {
+                    let ts = t.clock;
+                    t.trace.span("queue_wait", "exec", ts, 1, 0, tid, vec![("outcome", slot[i].name().into())]);
+                    t.trace.span(job.describe(), "exec", ts + 1, 1, 0, tid, args);
+                    t.clock += 2;
+                }
+                JobOutcome::CacheHit | JobOutcome::Deduped => {
+                    let ts = t.clock;
+                    t.trace.instant(job.describe(), "exec", ts, 0, tid, args);
+                    t.clock += 1;
+                }
+            }
+        }
+        drop(t);
         results.into_iter().map(|r| r.expect("every slot filled")).collect()
     }
 }
@@ -371,6 +463,21 @@ mod tests {
         let eng = Engine::serial();
         let _ = eng.run_all(&squares(&[1], 0));
         assert_eq!(eng.stats_line(), "[cfd-exec] jobs=1 submitted=1 cache_hits=0 executed=1 failed=0 deduped=0");
+    }
+
+    #[test]
+    fn trace_and_metrics_are_byte_identical_across_worker_counts() {
+        let run = |jobs: usize| {
+            let eng = Engine::new(ExecConfig { jobs, use_cache: false, ..ExecConfig::default() });
+            let _ = eng.run_all(&squares(&[1, 2, 3, 3, 4, 5, 6, 7], 99));
+            (eng.trace_json(), eng.metrics())
+        };
+        let (t1, m1) = run(1);
+        let (t4, m4) = run(4);
+        assert_eq!(t1, t4, "trace must not depend on worker count");
+        assert_eq!(m1, m4, "metrics must not depend on worker count");
+        assert!(t1.contains("\"name\":\"queue_wait\""));
+        assert!(t1.contains("\"outcome\":\"deduped\""));
     }
 
     #[test]

@@ -96,6 +96,8 @@ fn take_cache_stats(v: &Json) -> Option<CacheStats> {
 fn put_core_stats(out: &mut String, s: &CoreStats) {
     out.push('{');
     core_stats_u64_fields!(put_u64_fields, out, s);
+    out.push_str(",\"cpi_slots\":");
+    put_u64_array(out, &s.cpi_slots);
     out.push_str(",\"branches\":[");
     for (i, (pc, b)) in s.branches.iter().enumerate() {
         if i > 0 {
@@ -113,6 +115,7 @@ fn put_core_stats(out: &mut String, s: &CoreStats) {
 fn take_core_stats(v: &Json) -> Option<CoreStats> {
     let mut s = CoreStats::default();
     core_stats_u64_fields!(take_u64_fields, v, s);
+    s.cpi_slots = take_u64_array(v.get("cpi_slots")?)?.try_into().ok()?;
     let mut branches = BTreeMap::new();
     for entry in v.get("branches")?.as_arr()? {
         let pair = entry.as_arr()?;
@@ -179,9 +182,11 @@ fn take_injection(v: &Json) -> Option<Option<InjectionRecord>> {
 
 /// Serializes a [`RunReport`] as a compact JSON document.
 ///
-/// The pipeline trace is intentionally not represented: engine jobs never
-/// enable tracing (traces are an interactive debugging aid, not campaign
-/// output), so the field is always `None` on both sides.
+/// The pipeline trace and the telemetry artifacts are intentionally not
+/// represented: engine jobs never enable them (they are interactive
+/// debugging/observability aids, not campaign output — `experiments
+/// observe` runs the core directly), so both fields are always `None` on
+/// both sides.
 pub fn run_report_to_json(r: &RunReport) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"stats\":");
@@ -216,6 +221,7 @@ pub fn run_report_from_json(v: &Json) -> Option<RunReport> {
         level_counts: take_u64_array(v.get("level_counts")?)?.try_into().ok()?,
         pipe_trace: None,
         injection: take_injection(v.get("injection")?)?,
+        telemetry: None,
     })
 }
 
@@ -400,6 +406,7 @@ mod tests {
             retired: 5678,
             mispredictions: 9,
             bq_push_stall_cycles: 17,
+            cpi_slots: [900, 8, 7, 6, 5, 4, 3, 2, 1],
             ..Default::default()
         };
         stats.branches.insert(
@@ -422,6 +429,7 @@ mod tests {
                 cycle: 900,
                 site: FaultKind::MemDelay(25).site().name(),
             }),
+            telemetry: None,
         }
     }
 
@@ -434,6 +442,7 @@ mod tests {
         // the property warm-cache byte-stability rests on.
         assert_eq!(run_report_to_json(&back), json);
         assert_eq!(back.stats.cycles, 1234);
+        assert_eq!(back.stats.cpi_slots, [900, 8, 7, 6, 5, 4, 3, 2, 1]);
         assert_eq!(back.stats.branches[&4].mispredicted_by_level, [1, 2, 3, 0, 3]);
         assert_eq!(back.cache_stats.0.hits, 8);
         assert_eq!(back.level_counts, [7, 2, 1, 1]);

@@ -37,7 +37,7 @@
 #![warn(missing_docs)]
 
 use cfd_analysis::{lint_program, LintConfig};
-use cfd_core::{Core, CoreConfig, CoreError, FaultKind, FaultSpec};
+use cfd_core::{Core, CoreConfig, CoreError, FaultKind, FaultSpec, TelemetryConfig, TelemetryReport};
 use cfd_exec::{CampaignJob, Engine, Fingerprint, Hasher, Json};
 use cfd_isa::check::Rng;
 use cfd_workloads::{by_name, catalog, CatalogEntry, Scale, Variant, Workload};
@@ -381,6 +381,30 @@ pub fn run_trial(
     nth: u64,
     cfg: &CampaignConfig,
 ) -> TrialOutcome {
+    run_trial_inner(wl, fault, nth, cfg, None).0
+}
+
+/// Like [`run_trial`], but with the core's telemetry armed: the returned
+/// [`TelemetryReport`] carries the pipeline trace of the faulted run —
+/// the injection instant, every recovery, and the occupancy counter
+/// tracks — up to completion *or* the detected failure. `None` only when
+/// the core rejected its configuration before running.
+pub fn run_trial_traced(
+    wl: &Workload,
+    fault: FaultKind,
+    nth: u64,
+    cfg: &CampaignConfig,
+) -> (TrialOutcome, Option<TelemetryReport>) {
+    run_trial_inner(wl, fault, nth, cfg, Some(TelemetryConfig::default()))
+}
+
+fn run_trial_inner(
+    wl: &Workload,
+    fault: FaultKind,
+    nth: u64,
+    cfg: &CampaignConfig,
+    telemetry: Option<TelemetryConfig>,
+) -> (TrialOutcome, Option<TelemetryReport>) {
     let reference = wl
         .dynamic_instructions()
         .expect("catalog workloads run clean functionally");
@@ -390,12 +414,17 @@ pub fn run_trial(
         ..Default::default()
     };
     let spec = FaultSpec { kind: fault, nth };
-    let out = Core::new(core_cfg, wl.program.clone(), wl.mem.clone())
+    let mut core = Core::new(core_cfg, wl.program.clone(), wl.mem.clone())
         .expect("default config is valid")
-        .with_fault(spec)
-        .run_diag(cfg.cycle_limit);
+        .with_fault(spec);
+    if let Some(tcfg) = telemetry {
+        core = core.with_telemetry(tcfg);
+    }
+    let out = core.run_diag(cfg.cycle_limit);
+    let captured: Option<TelemetryReport>;
     let (verdict, injected_cycle, cycles, retired, detect_latency) = match out {
-        Ok(rep) => {
+        Ok(mut rep) => {
+            captured = rep.telemetry.take();
             let injected = rep.injection.as_ref().map(|i| i.cycle);
             let verdict = match (&rep.injection, rep.stats.retired == reference) {
                 (None, _) => Verdict::NotReached,
@@ -404,7 +433,8 @@ pub fn run_trial(
             };
             (verdict, injected, rep.stats.cycles, rep.stats.retired, None)
         }
-        Err(fail) => {
+        Err(mut fail) => {
+            captured = fail.telemetry.take();
             let injected = fail.injection.as_ref().map(|i| i.cycle);
             let (at, verdict) = match &fail.error {
                 CoreError::Deadlock { cycle, .. } => {
@@ -426,7 +456,7 @@ pub fn run_trial(
             (verdict, injected, 0, 0, latency)
         }
     };
-    TrialOutcome {
+    let outcome = TrialOutcome {
         workload: wl.name,
         variant: wl.variant,
         fault: fault.name(),
@@ -437,7 +467,8 @@ pub fn run_trial(
         cycles,
         retired,
         detect_latency,
-    }
+    };
+    (outcome, captured)
 }
 
 /// One fault-injection trial as a campaign-engine job: the built
@@ -691,6 +722,24 @@ mod tests {
         assert!(!Verdict::Hang.acceptable());
         assert!(!Verdict::SilentDivergence.acceptable());
         assert_eq!(Verdict::Detected("x".into()).label(), "detected");
+    }
+
+    #[test]
+    fn traced_trial_records_the_fault_instant() {
+        let cfg = smoke_cfg();
+        let entry = by_name("soplex_ref_like").unwrap();
+        let wl = entry.build(Variant::CfdPlus, Scale { n: cfg.scale_n, ..Scale::small() });
+        let (outcome, telemetry) = run_trial_traced(&wl, FaultKind::BqCorrupt, 4, &cfg);
+        let t = telemetry.expect("traced trial always arms telemetry");
+        let injected = outcome.injected_cycle.expect("nth=4 BQ corruption fires");
+        let faults: Vec<_> = t.trace.events().iter().filter(|e| e.name == "fault").collect();
+        assert_eq!(faults.len(), 1, "exactly one injection instant");
+        assert_eq!(faults[0].ts, injected, "instant stamped at the injection cycle");
+        assert!(t.trace.to_json().contains("\"name\":\"fault\""));
+        // The untraced trial classifies identically: telemetry is neutral.
+        let plain = run_trial(&wl, FaultKind::BqCorrupt, 4, &cfg);
+        assert_eq!(plain.verdict, outcome.verdict);
+        assert_eq!(plain.cycles, outcome.cycles);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! CPI-stack cycle accounting: the taxonomy and the arithmetic.
+//!
+//! Per simulated cycle the core owns `retire_width` slots. Slots that
+//! retire an instruction are **Base**; every idle slot is attributed to
+//! exactly one blocking cause. The attribution is the retire-centric
+//! classification the paper's arguments need: *where did the
+//! misprediction penalty go when CFD removed it?*
+//!
+//! Because each of the `cycles × width` slots lands in exactly one
+//! component, the stack sums exactly — no slack term, no "other" bucket
+//! hiding mis-attribution. [`CpiStack::check`] enforces this.
+
+use std::fmt::Write as _;
+
+/// Number of CPI-stack components.
+pub const CPI_COMPONENTS: usize = 9;
+
+/// Where a retire slot went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CpiComponent {
+    /// The slot retired an instruction.
+    Base,
+    /// Front-end supply: BTB misfetch bubbles, I-cache misses, pipeline
+    /// fill at startup — the ROB was empty with no more specific cause.
+    Frontend,
+    /// Branch-misprediction penalty: the ROB drained after a squash and
+    /// is refilling down the corrected path.
+    Mispredict,
+    /// CFD queue discipline: fetch stalled on a BQ/TQ push into a full
+    /// queue or a pop miss, or the ROB head is a speculative BQ pop
+    /// waiting for its late push to verify it.
+    CfdStall,
+    /// ROB head is a load in flight that hit in the L1.
+    MemL1,
+    /// ROB head is a load in flight serviced by the L2.
+    MemL2,
+    /// ROB head is a load in flight serviced by the L3.
+    MemL3,
+    /// ROB head is a load in flight serviced by DRAM.
+    MemDram,
+    /// ROB head is executing or waiting on a backend resource
+    /// (FU/operand/port) — non-memory execution latency.
+    Backend,
+}
+
+impl CpiComponent {
+    /// All components, in stack order (index order).
+    pub const ALL: [CpiComponent; CPI_COMPONENTS] = [
+        CpiComponent::Base,
+        CpiComponent::Frontend,
+        CpiComponent::Mispredict,
+        CpiComponent::CfdStall,
+        CpiComponent::MemL1,
+        CpiComponent::MemL2,
+        CpiComponent::MemL3,
+        CpiComponent::MemDram,
+        CpiComponent::Backend,
+    ];
+
+    /// Dense index of this component (inverse of [`CpiComponent::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable, machine-readable name (CSV column / JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            CpiComponent::Base => "base",
+            CpiComponent::Frontend => "frontend",
+            CpiComponent::Mispredict => "mispredict",
+            CpiComponent::CfdStall => "cfd_stall",
+            CpiComponent::MemL1 => "mem_l1",
+            CpiComponent::MemL2 => "mem_l2",
+            CpiComponent::MemL3 => "mem_l3",
+            CpiComponent::MemDram => "mem_dram",
+            CpiComponent::Backend => "backend",
+        }
+    }
+}
+
+impl std::fmt::Display for CpiComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Slot counts per component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// `slots[c.index()]` = retire slots attributed to component `c`.
+    pub slots: [u64; CPI_COMPONENTS],
+}
+
+impl CpiStack {
+    /// A stack over raw slot counts (e.g. `CoreStats::cpi_slots`).
+    pub fn from_slots(slots: [u64; CPI_COMPONENTS]) -> CpiStack {
+        CpiStack { slots }
+    }
+
+    /// Attributes `n` slots to `c`.
+    #[inline]
+    pub fn add(&mut self, c: CpiComponent, n: u64) {
+        self.slots[c.index()] += n;
+    }
+
+    /// Slots attributed to `c`.
+    pub fn get(&self, c: CpiComponent) -> u64 {
+        self.slots[c.index()]
+    }
+
+    /// Total slots attributed.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// The exactness invariant: the components must sum to
+    /// `cycles × width` — every slot of every counted cycle attributed to
+    /// exactly one component, with zero slack.
+    ///
+    /// # Errors
+    ///
+    /// A description of the discrepancy when the sum is off.
+    pub fn check(&self, cycles: u64, width: u64) -> Result<(), String> {
+        let expect = cycles * width;
+        let got = self.total();
+        if got == expect {
+            Ok(())
+        } else {
+            Err(format!(
+                "CPI stack does not sum: {got} slots attributed, expected {cycles} cycles x {width} width = {expect}"
+            ))
+        }
+    }
+
+    /// Slots attributed to `c` in tenths of a percent of the total
+    /// (integer math, deterministic formatting).
+    pub fn permille(&self, c: CpiComponent) -> u64 {
+        (self.get(c) * 1000).checked_div(self.total()).unwrap_or(0)
+    }
+
+    /// Component CPI contribution in milli-cycles-per-instruction:
+    /// `slots(c) / width / retired`, scaled by 1000 (integer math).
+    pub fn cpi_millis(&self, c: CpiComponent, width: u64, retired: u64) -> u64 {
+        if width == 0 || retired == 0 {
+            0
+        } else {
+            self.get(c) * 1000 / width / retired
+        }
+    }
+
+    /// Renders the stack as a fixed-format table with per-component slot
+    /// counts, share of all slots, and CPI contribution.
+    pub fn table(&self, width: u64, retired: u64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<12} {:>14} {:>7} {:>9}", "component", "slots", "share", "cpi");
+        let _ = writeln!(out, "{}", "-".repeat(12 + 2 + 14 + 2 + 7 + 2 + 9));
+        for c in CpiComponent::ALL {
+            let pm = self.permille(c);
+            let cpi = self.cpi_millis(c, width, retired);
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14} {:>5}.{}% {:>5}.{:03}",
+                c.name(),
+                self.get(c),
+                pm / 10,
+                pm % 10,
+                cpi / 1000,
+                cpi % 1000
+            );
+        }
+        let total_cpi: u64 = CpiComponent::ALL.iter().map(|&c| self.cpi_millis(c, width, retired)).sum();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14} {:>6}% {:>5}.{:03}",
+            "total",
+            self.total(),
+            100,
+            total_cpi / 1000,
+            total_cpi % 1000
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, c) in CpiComponent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(CpiComponent::Base.index(), 0);
+        assert_eq!(CpiComponent::Backend.index(), CPI_COMPONENTS - 1);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::BTreeSet;
+        let names: BTreeSet<&str> = CpiComponent::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), CPI_COMPONENTS);
+    }
+
+    #[test]
+    fn check_accepts_exact_sum_only() {
+        let mut s = CpiStack::default();
+        s.add(CpiComponent::Base, 30);
+        s.add(CpiComponent::Mispredict, 10);
+        assert!(s.check(10, 4).is_ok());
+        assert!(s.check(10, 5).is_err());
+        assert!(s.check(11, 4).is_err());
+    }
+
+    #[test]
+    fn permille_and_cpi_are_integer_exact() {
+        let mut s = CpiStack::default();
+        s.add(CpiComponent::Base, 75);
+        s.add(CpiComponent::Backend, 25);
+        assert_eq!(s.permille(CpiComponent::Base), 750);
+        assert_eq!(s.permille(CpiComponent::Backend), 250);
+        // 25 slots / width 4 / 5 retired = 1.25 CPI -> 1250 milli.
+        assert_eq!(s.cpi_millis(CpiComponent::Backend, 4, 5), 1250);
+        assert_eq!(CpiStack::default().permille(CpiComponent::Base), 0);
+        assert_eq!(s.cpi_millis(CpiComponent::Base, 0, 0), 0);
+    }
+
+    #[test]
+    fn table_is_deterministic_and_complete() {
+        let mut s = CpiStack::default();
+        s.add(CpiComponent::Base, 40);
+        s.add(CpiComponent::MemDram, 360);
+        let t1 = s.table(4, 10);
+        let t2 = s.table(4, 10);
+        assert_eq!(t1, t2);
+        for c in CpiComponent::ALL {
+            assert!(t1.contains(c.name()), "missing {c} in:\n{t1}");
+        }
+        assert!(t1.contains("total"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Interval-sampled time series of cumulative integer counters.
+//!
+//! The core pushes one row every N cycles (plus a final row at run end).
+//! Every cell is a *cumulative* `u64` — rates (IPC, occupancy deltas) are
+//! derived at render time by differencing adjacent rows, so the stored
+//! data and both renderings (CSV, ASCII timeline) are byte-deterministic.
+
+use std::fmt::Write as _;
+
+/// A table of interval samples: fixed columns, one row per sample.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    /// Nominal sampling interval in cycles (informational; rows carry
+    /// their own cycle stamps).
+    pub interval: u64,
+    /// Column names; `columns[0]` is expected to be the cycle stamp.
+    pub columns: Vec<&'static str>,
+    /// Sample rows, each exactly `columns.len()` wide.
+    pub rows: Vec<Vec<u64>>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given schema.
+    pub fn new(interval: u64, columns: Vec<&'static str>) -> TimeSeries {
+        TimeSeries { interval, columns, rows: Vec::new() }
+    }
+
+    /// Appends one sample row.
+    ///
+    /// # Panics
+    ///
+    /// If the row width does not match the column schema.
+    pub fn push_row(&mut self, row: Vec<u64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "time-series row width {} != schema width {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of sample rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of the named column, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|&c| c == name)
+    }
+
+    /// Renders the series as CSV: a header line, then one line per row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let mut first = true;
+            for v in row {
+                if !first {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+                first = false;
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an ASCII timeline: one line per sample interval with an
+    /// IPC bar (milli-IPC derived from the per-interval `retired` delta)
+    /// and the occupancy gauge columns.
+    ///
+    /// `bar_width` is the maximum bar length in characters; the bar is
+    /// scaled so that `ipc == width` (slots fully used) fills it.
+    pub fn ascii_timeline(&self, width: u64, bar_width: usize) -> String {
+        let mut out = String::new();
+        let (Some(ci_cycle), Some(ci_ret)) =
+            (self.column_index("cycle"), self.column_index("retired"))
+        else {
+            return out;
+        };
+        let occ_cols: Vec<(usize, &'static str)> = ["bq", "vq", "tq", "rob"]
+            .iter()
+            .filter_map(|&n| self.column_index(n).map(|i| (i, n)))
+            .collect();
+        let _ = write!(out, "{:>12} {:>6}  {:<bar_width$}", "cycle", "ipc", "|retired/cycle|");
+        for (_, n) in &occ_cols {
+            let _ = write!(out, " {n:>5}");
+        }
+        out.push('\n');
+        let mut prev_cycle = 0u64;
+        let mut prev_ret = 0u64;
+        for row in &self.rows {
+            let cycle = row[ci_cycle];
+            let ret = row[ci_ret];
+            let dc = cycle.saturating_sub(prev_cycle);
+            let dr = ret.saturating_sub(prev_ret);
+            // milli-IPC over the interval; integer math only.
+            let mipc = (dr * 1000).checked_div(dc).unwrap_or(0);
+            let bar_len = if width == 0 {
+                0
+            } else {
+                ((mipc as usize) * bar_width / (width as usize * 1000)).min(bar_width)
+            };
+            let _ = write!(
+                out,
+                "{cycle:>12} {:>3}.{:02}  {:<bar_width$}",
+                mipc / 1000,
+                mipc % 1000 / 10,
+                "#".repeat(bar_len)
+            );
+            for &(i, _) in &occ_cols {
+                let _ = write!(out, " {:>5}", row[i]);
+            }
+            out.push('\n');
+            prev_cycle = cycle;
+            prev_ret = ret;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeSeries {
+        let mut s = TimeSeries::new(100, vec!["cycle", "retired", "bq", "vq", "tq", "rob"]);
+        s.push_row(vec![100, 200, 3, 1, 0, 40]);
+        s.push_row(vec![200, 400, 5, 2, 1, 64]);
+        s.push_row(vec![250, 420, 0, 0, 0, 0]);
+        s
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn push_row_checks_width() {
+        let mut s = TimeSeries::new(10, vec!["cycle", "retired"]);
+        s.push_row(vec![1]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cycle,retired,bq,vq,tq,rob");
+        assert_eq!(lines[1], "100,200,3,1,0,40");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_is_deterministic() {
+        assert_eq!(sample().to_csv(), sample().to_csv());
+    }
+
+    #[test]
+    fn timeline_derives_interval_ipc() {
+        let t = sample().ascii_timeline(4, 20);
+        let lines: Vec<&str> = t.lines().collect();
+        // Interval 1: 200 retired over 100 cycles = 2.00 IPC.
+        assert!(lines[1].contains("2.00"), "{t}");
+        // Interval 2: 200 retired over 100 cycles = 2.00 IPC.
+        assert!(lines[2].contains("2.00"), "{t}");
+        // Interval 3: 20 retired over 50 cycles = 0.40 IPC.
+        assert!(lines[3].contains("0.40"), "{t}");
+        assert_eq!(t, sample().ascii_timeline(4, 20));
+    }
+
+    #[test]
+    fn timeline_bar_scales_to_width() {
+        let mut s = TimeSeries::new(10, vec!["cycle", "retired"]);
+        s.push_row(vec![10, 40]); // 4.0 IPC on a width-4 core: full bar.
+        let t = s.ascii_timeline(4, 10);
+        assert!(t.contains(&"#".repeat(10)), "{t}");
+    }
+}

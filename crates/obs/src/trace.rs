@@ -1,0 +1,286 @@
+//! Structured span/event tracer with Chrome/Perfetto trace-event export.
+//!
+//! Events carry *simulated cycles* (or, for campaign jobs, a logical
+//! clock derived from submission order) as timestamps. The JSON emitted
+//! by [`TraceLog::to_json`] therefore depends only on the simulated
+//! execution, never on wall time, host, or worker count — running the
+//! same workload twice produces identical bytes, which is what lets
+//! `scripts/verify.sh` gate on `cmp`.
+//!
+//! The export is the Chrome trace-event format Perfetto ingests
+//! directly: `{"traceEvents":[...]}` with `ph:"X"` complete spans,
+//! `ph:"i"` instants and `ph:"C"` counter samples.
+
+use std::fmt::Write as _;
+
+/// A value attached to an event's `args` map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An integer argument (rendered bare).
+    Int(i64),
+    /// A string argument (rendered JSON-escaped).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> ArgValue {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// One trace event in Chrome trace-event terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (span or instant label).
+    pub name: String,
+    /// Category string (`cat` field) used for filtering in the UI.
+    pub cat: &'static str,
+    /// Phase: `"X"` complete span, `"i"` instant, `"C"` counter.
+    pub ph: &'static str,
+    /// Timestamp in simulated cycles (trace-event `ts`, microsecond
+    /// units as far as the viewer cares — we treat 1 cycle = 1 us).
+    pub ts: u64,
+    /// Duration in simulated cycles (`X` events only).
+    pub dur: Option<u64>,
+    /// Process id lane.
+    pub pid: u64,
+    /// Thread id lane (e.g. pipeline stage or logical worker).
+    pub tid: u64,
+    /// Ordered key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// An append-only event log, zero-cost when disabled.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// A live log.
+    pub fn enabled() -> TraceLog {
+        TraceLog { enabled: true, events: Vec::new() }
+    }
+
+    /// A disabled log: every recorder is a no-op.
+    pub fn disabled() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Whether recorders append anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events, in append order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records an instant event (`ph:"i"`).
+    pub fn instant(
+        &mut self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts: u64,
+        pid: u64,
+        tid: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent { name: name.into(), cat, ph: "i", ts, dur: None, pid, tid, args });
+    }
+
+    /// Records a complete span (`ph:"X"`) covering `[ts, ts + dur)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts: u64,
+        dur: u64,
+        pid: u64,
+        tid: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent { name: name.into(), cat, ph: "X", ts, dur: Some(dur), pid, tid, args });
+    }
+
+    /// Records a counter sample (`ph:"C"`); each arg becomes one track.
+    pub fn counter(
+        &mut self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts: u64,
+        pid: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent { name: name.into(), cat, ph: "C", ts, dur: None, pid, tid: 0, args });
+    }
+
+    /// Appends every event of `other` (used to merge a core-side log into
+    /// a campaign-side log).
+    pub fn extend(&mut self, other: &TraceLog) {
+        if !self.enabled {
+            return;
+        }
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// Serializes the log as Chrome trace-event JSON
+    /// (`{"traceEvents":[...]}`); byte-deterministic for a given event
+    /// sequence.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n{\"name\":");
+            write_json_string(&mut out, &e.name);
+            let _ = write!(out, ",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{}", e.cat, e.ph, e.ts);
+            if let Some(dur) = e.dur {
+                let _ = write!(out, ",\"dur\":{dur}");
+            }
+            let _ = write!(out, ",\"pid\":{},\"tid\":{}", e.pid, e.tid);
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in e.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{k}\":");
+                    match v {
+                        ArgValue::Int(n) => {
+                            let _ = write!(out, "{n}");
+                        }
+                        ArgValue::Str(s) => write_json_string(&mut out, s),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Writes `s` as a JSON string literal (quotes included) into `out`,
+/// escaping quotes, backslashes and control characters.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut t = TraceLog::disabled();
+        t.instant("squash", "pipe", 10, 0, 0, vec![]);
+        t.span("job", "exec", 0, 5, 1, 0, vec![]);
+        t.counter("occ", "pipe", 3, 0, vec![("bq", 2u64.into())]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_json(), "{\"traceEvents\":[\n]}\n");
+    }
+
+    #[test]
+    fn json_shape_covers_all_phases() {
+        let mut t = TraceLog::enabled();
+        t.instant("fault", "harden", 42, 0, 1, vec![("kind", "bq_pop".into())]);
+        t.span("execute", "exec", 100, 250, 1, 3, vec![("fp", ArgValue::Int(7))]);
+        t.counter("occupancy", "pipe", 200, 0, vec![("bq", 4u64.into()), ("tq", 1u64.into())]);
+        let j = t.to_json();
+        assert!(j.starts_with("{\"traceEvents\":["), "{j}");
+        assert!(j.contains("\"ph\":\"i\""), "{j}");
+        assert!(j.contains("\"ph\":\"X\""), "{j}");
+        assert!(j.contains("\"ph\":\"C\""), "{j}");
+        assert!(j.contains("\"dur\":250"), "{j}");
+        assert!(j.contains("\"kind\":\"bq_pop\""), "{j}");
+        assert!(j.contains("\"bq\":4"), "{j}");
+        assert!(j.trim_end().ends_with("]}"), "{j}");
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let build = || {
+            let mut t = TraceLog::enabled();
+            t.span("a", "x", 1, 2, 0, 0, vec![("n", 9u64.into())]);
+            t.instant("b", "x", 3, 0, 0, vec![]);
+            t.to_json()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn extend_merges_in_order() {
+        let mut a = TraceLog::enabled();
+        a.instant("first", "x", 1, 0, 0, vec![]);
+        let mut b = TraceLog::enabled();
+        b.instant("second", "x", 2, 0, 0, vec![]);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.events()[1].name, "second");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

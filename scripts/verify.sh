@@ -22,7 +22,17 @@ cargo clippy -q --offline --all-targets -- -D warnings
 cache=$(mktemp -d)
 lint_par=$(mktemp); lint_ser=$(mktemp); stats=$(mktemp)
 out=$(mktemp); out2=$(mktemp)
-trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2"' EXIT
+obs=$(mktemp -d)
+trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2" "$obs"' EXIT
+
+echo "== observe determinism: two telemetry runs must be byte-identical"
+cargo run -q --release --offline -p cfd-bench --bin experiments -- \
+    observe soplex_ref_like --csv "$obs/a.csv" --trace-out "$obs/a.json" > "$obs/a.txt"
+cargo run -q --release --offline -p cfd-bench --bin experiments -- \
+    observe soplex_ref_like --csv "$obs/b.csv" --trace-out "$obs/b.json" > "$obs/b.txt"
+cmp "$obs/a.csv" "$obs/b.csv"
+cmp "$obs/a.json" "$obs/b.json"
+grep -q '"traceEvents"' "$obs/a.json"
 
 echo "== static queue-discipline verification (experiments lint, --jobs 2)"
 CFD_CACHE_DIR="$cache" cargo run -q --release --offline -p cfd-bench --bin experiments -- \

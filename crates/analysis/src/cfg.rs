@@ -62,10 +62,9 @@ impl Cfg {
             if let Some(t) = instr.direct_target() {
                 leaders.insert(t);
             }
-            if (instr.is_control() || matches!(instr, Instr::Halt))
-                && pc + 1 < n {
-                    leaders.insert(pc + 1);
-                }
+            if (instr.is_control() || matches!(instr, Instr::Halt)) && pc + 1 < n {
+                leaders.insert(pc + 1);
+            }
         }
         let bounds: Vec<u32> = leaders.into_iter().filter(|&l| l < n).collect();
         let mut blocks: Vec<BasicBlock> = Vec::with_capacity(bounds.len() + 1);

@@ -129,7 +129,13 @@ fn classify_branch(
 ) -> BranchReport {
     let block = cfg.block_of(pc);
     let Some(lp) = innermost_loop(loops, block) else {
-        return BranchReport { pc, class: BranchClass::NotAnalyzed, cd_region_instrs: 0, slice_instrs: 0, overlap_instrs: 0 };
+        return BranchReport {
+            pc,
+            class: BranchClass::NotAnalyzed,
+            cd_region_instrs: 0,
+            slice_instrs: 0,
+            overlap_instrs: 0,
+        };
     };
 
     // Is this the controlling branch of `lp` (one successor continues the
@@ -146,12 +152,8 @@ fn classify_branch(
             // loop; induction self-recurrences are allowed, anything else
             // defined inside the inner loop entangles the trip count.
             let slice = backward_slice(program, cfg, lp, pc);
-            let body_pcs: BTreeSet<u32> = lp
-                .blocks
-                .iter()
-                .filter(|&&b| b < cfg.len() - 1)
-                .flat_map(|&b| cfg.blocks[b].pcs())
-                .collect();
+            let body_pcs: BTreeSet<u32> =
+                lp.blocks.iter().filter(|&&b| b < cfg.len() - 1).flat_map(|&b| cfg.blocks[b].pcs()).collect();
             let entangled = slice
                 .pcs
                 .iter()
@@ -177,12 +179,19 @@ fn classify_branch(
     if is_loop_controlling {
         // The exit branch of a non-nested loop: a trip-count predictor /
         // plain predictor concern, outside the paper's taxonomy.
-        return BranchReport { pc, class: BranchClass::NotAnalyzed, cd_region_instrs: 0, slice_instrs: 0, overlap_instrs: 0 };
+        return BranchReport {
+            pc,
+            class: BranchClass::NotAnalyzed,
+            cd_region_instrs: 0,
+            slice_instrs: 0,
+            overlap_instrs: 0,
+        };
     }
 
     // Regular branch: measure the CD region within the loop and the
     // slice/region overlap.
-    let region_blocks: Vec<usize> = cd.dependents(block).iter().copied().filter(|b| lp.contains(*b) && *b != block).collect();
+    let region_blocks: Vec<usize> =
+        cd.dependents(block).iter().copied().filter(|b| lp.contains(*b) && *b != block).collect();
     let cd_region_instrs: usize = region_blocks.iter().map(|&b| cfg.blocks[b].len()).sum();
     let slice = backward_slice(program, cfg, lp, pc);
     let region_pcs: BTreeSet<u32> = region_blocks.iter().flat_map(|&b| cfg.blocks[b].pcs()).collect();

@@ -212,12 +212,7 @@ impl LintReport {
         s.push_str(if self.clean() { "true" } else { "false" });
         s.push_str(",\"bounds\":{");
         let b = |x: Option<u64>| x.map_or("null".to_string(), |v| v.to_string());
-        s.push_str(&format!(
-            "\"bq\":{},\"vq\":{},\"tq\":{}",
-            b(self.bounds.bq),
-            b(self.bounds.vq),
-            b(self.bounds.tq)
-        ));
+        s.push_str(&format!("\"bq\":{},\"vq\":{},\"tq\":{}", b(self.bounds.bq), b(self.bounds.vq), b(self.bounds.tq)));
         s.push_str("},\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -296,10 +291,7 @@ mod tests {
             "needs \"quotes\"\nand newline".into(),
             &p,
         );
-        let r = LintReport {
-            diagnostics: vec![d],
-            bounds: QueueBounds { bq: Some(64), vq: Some(0), tq: None },
-        };
+        let r = LintReport { diagnostics: vec![d], bounds: QueueBounds { bq: Some(64), vq: Some(0), tq: None } };
         let j = r.to_json();
         assert_eq!(j, r.to_json());
         assert!(j.contains("\"bq\":64"));

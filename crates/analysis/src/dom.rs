@@ -61,11 +61,7 @@ impl DomTree {
                 let mut new_idom = UNDEF;
                 for &p in preds[b] {
                     if idom[p] != UNDEF {
-                        new_idom = if new_idom == UNDEF {
-                            p
-                        } else {
-                            Self::intersect(&idom, &rpo_num, p, new_idom)
-                        };
+                        new_idom = if new_idom == UNDEF { p } else { Self::intersect(&idom, &rpo_num, p, new_idom) };
                     }
                 }
                 if new_idom != UNDEF && idom[b] != new_idom {

@@ -42,8 +42,6 @@
 //! # Ok::<(), cfd_isa::AsmError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod cfg;
 mod classify;
 mod control_dep;

@@ -191,10 +191,9 @@ pub fn apply_cfd(
         // all-ones only when the predicate is exactly 0 or 1: the final
         // definition of `pred` in the slice must be a set-style compare.
         let pred_is_boolean = slice.iter().rev().find_map(|i| match *i {
-            Instr::Alu { op, rd, .. } if rd == pred => Some(matches!(
-                op,
-                AluOp::Slt | AluOp::Sltu | AluOp::Seq | AluOp::Sne | AluOp::Sge
-            )),
+            Instr::Alu { op, rd, .. } if rd == pred => {
+                Some(matches!(op, AluOp::Slt | AluOp::Sltu | AluOp::Seq | AluOp::Sne | AluOp::Sge))
+            }
             Instr::Li { rd, imm } if rd == pred => Some(imm == 0 || imm == 1),
             _ if i.dest() == Some(pred) => Some(false),
             _ => None,
@@ -365,10 +364,7 @@ pub fn apply_cfd(
     }
     let new_program = a.finish()?;
     let static_instrs = (program.len(), new_program.len());
-    let lint = crate::lint_program(
-        &new_program,
-        &crate::LintConfig { bq_size: chunk, ..crate::LintConfig::default() },
-    );
+    let lint = crate::lint_program(&new_program, &crate::LintConfig { bq_size: chunk, ..crate::LintConfig::default() });
     Ok(TransformReport { program: new_program, chunk, static_instrs, lint })
 }
 
@@ -481,11 +477,7 @@ mod tests {
         let rep = apply_cfd(&program, bpc, 128, &[r(20), r(21), r(22), r(23)]).unwrap();
         // Run on a machine whose BQ is exactly the chunk size: strip mining
         // must keep occupancy within bounds, or the run errors.
-        let mut m = Machine::with_queues(
-            rep.program,
-            mem,
-            cfd_isa::QueueConfig { bq_size: 128, ..Default::default() },
-        );
+        let mut m = Machine::with_queues(rep.program, mem, cfd_isa::QueueConfig { bq_size: 128, ..Default::default() });
         m.run_to_halt().unwrap();
         assert!(m.bq.is_empty(), "all predicates popped");
     }
@@ -572,8 +564,7 @@ mod tests {
         a.addi(i, i, 1);
         a.blt(i, nn, "top");
         a.halt();
-        let err =
-            apply_cfd(&a.finish().unwrap(), bpc, 128, &[r(20), r(21), r(22), r(23), r(24), r(25)]).unwrap_err();
+        let err = apply_cfd(&a.finish().unwrap(), bpc, 128, &[r(20), r(21), r(22), r(23), r(24), r(25)]).unwrap_err();
         assert!(matches!(err, TransformError::NonCanonicalLoop(_)), "got {err:?}");
     }
 
@@ -630,8 +621,7 @@ mod tests {
         a.addi(i, i, 1);
         a.blt(i, nn, "top");
         a.halt();
-        let err =
-            apply_cfd(&a.finish().unwrap(), bpc, 128, &[r(20), r(21), r(22), r(23), r(24), r(25)]).unwrap_err();
+        let err = apply_cfd(&a.finish().unwrap(), bpc, 128, &[r(20), r(21), r(22), r(23), r(24), r(25)]).unwrap_err();
         assert_eq!(
             err,
             TransformError::NonCanonicalLoop("if-converted feedback needs a 0/1 predicate (set-op as the final def)")

@@ -97,9 +97,10 @@ pub fn apply_cfd_tq(
     // Regions: trip slice [outer_start .. preheader), preheader = the
     // `li j,0; j inner_test` pair, inner body [inner_start .. branch region),
     // outer latch (inner_end .. outer_back_pc).
-    let preheader_start = inner_start.checked_sub(2).filter(|&p| p >= outer_start).ok_or(
-        TransformError::NonCanonicalLoop("expected `li j, 0; j inner_test` before the inner body"),
-    )?;
+    let preheader_start = inner_start
+        .checked_sub(2)
+        .filter(|&p| p >= outer_start)
+        .ok_or(TransformError::NonCanonicalLoop("expected `li j, 0; j inner_test` before the inner body"))?;
     match (program.fetch(preheader_start), program.fetch(preheader_start + 1)) {
         (Some(Instr::Li { rd, imm: 0 }), Some(Instr::Jump { .. })) if rd == j_reg => {}
         _ => return Err(TransformError::NonCanonicalLoop("expected `li j, 0; j inner_test` before the inner body")),
@@ -124,7 +125,8 @@ pub fn apply_cfd_tq(
         }
     }
 
-    let trip_slice: Vec<Instr> = (outer_start..preheader_start).map(|pc| program.fetch(pc).expect("in range")).collect();
+    let trip_slice: Vec<Instr> =
+        (outer_start..preheader_start).map(|pc| program.fetch(pc).expect("in range")).collect();
     // The outer latch is re-emitted in both outer loops; only `ind` is
     // saved/restored around the second, so nothing else may change in it.
     for pc in inner_end..outer_back_pc {
@@ -139,8 +141,7 @@ pub fn apply_cfd_tq(
     // read a register the slice defines (the trip count itself flows through
     // the TCR). A body-local redefinition before the read is fine.
     {
-        let mut live_slice_defs: std::collections::BTreeSet<Reg> =
-            trip_slice.iter().filter_map(|i| i.dest()).collect();
+        let mut live_slice_defs: std::collections::BTreeSet<Reg> = trip_slice.iter().filter_map(|i| i.dest()).collect();
         live_slice_defs.insert(m_reg);
         live_slice_defs.remove(&j_reg); // reset by the re-emitted `li j, 0`
         for pc in inner_start..branch_pc {
@@ -160,8 +161,7 @@ pub fn apply_cfd_tq(
     // drives the loop-branch, but `j` may still feed addressing inside the
     // body, so its update is preserved.
     let inner_body: Vec<Instr> = (inner_start..branch_pc).map(|pc| program.fetch(pc).expect("in range")).collect();
-    let outer_latch: Vec<Instr> =
-        (inner_end..outer_back_pc).map(|pc| program.fetch(pc).expect("in range")).collect();
+    let outer_latch: Vec<Instr> = (inner_end..outer_back_pc).map(|pc| program.fetch(pc).expect("in range")).collect();
     let _ = inner_end;
 
     // Rebuild.
@@ -238,10 +238,7 @@ pub fn apply_cfd_tq(
     }
     let new_program = a.finish()?;
     let static_instrs = (program.len(), new_program.len());
-    let lint = crate::lint_program(
-        &new_program,
-        &crate::LintConfig { tq_size, ..crate::LintConfig::default() },
-    );
+    let lint = crate::lint_program(&new_program, &crate::LintConfig { tq_size, ..crate::LintConfig::default() });
     Ok(TransformReport { program: new_program, chunk: tq_size, static_instrs, lint })
 }
 
@@ -324,11 +321,8 @@ mod tests {
         assert!(t.lint.clean(), "{}", t.lint.table());
         assert_eq!(t.lint.bounds.tq, Some(8));
         // Run on a machine with a matching TQ size: strip mining must fit.
-        let mut m = Machine::with_queues(
-            t.program,
-            mem.clone(),
-            cfd_isa::QueueConfig { tq_size: 8, ..Default::default() },
-        );
+        let mut m =
+            Machine::with_queues(t.program, mem.clone(), cfd_isa::QueueConfig { tq_size: 8, ..Default::default() });
         m.run_to_halt().unwrap();
         assert_eq!(m.regs.read(r(7)), observe(program, mem));
     }

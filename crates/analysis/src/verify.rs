@@ -161,10 +161,7 @@ impl Lin {
         if f == 0 {
             return Lin::konst(0);
         }
-        Lin {
-            k: self.k.saturating_mul(f),
-            terms: self.terms.iter().map(|&(v, c)| (v, c.saturating_mul(f))).collect(),
-        }
+        Lin { k: self.k.saturating_mul(f), terms: self.terms.iter().map(|&(v, c)| (v, c.saturating_mul(f))).collect() }
     }
 }
 
@@ -428,7 +425,6 @@ impl AbsState {
         }
         self.facts.retain(|f| f.expr.as_const().is_none());
     }
-
 }
 
 // ---------------------------------------------------------------------------
@@ -533,10 +529,7 @@ struct Lint<'a> {
 pub fn lint_program(program: &Program, config: &LintConfig) -> LintReport {
     let cfg = Cfg::build(program);
     if program.instrs().is_empty() {
-        return LintReport {
-            diagnostics: Vec::new(),
-            bounds: QueueBounds { bq: Some(0), vq: Some(0), tq: Some(0) },
-        };
+        return LintReport { diagnostics: Vec::new(), bounds: QueueBounds { bq: Some(0), vq: Some(0), tq: Some(0) } };
     }
 
     let rpo = cfg.reverse_postorder();
@@ -559,7 +552,10 @@ pub fn lint_program(program: &Program, config: &LintConfig) -> LintReport {
                     Severity::Error,
                     None,
                     Some(blk.end - 1),
-                    format!("irreducible cycle through the edge to pc {}: the verifier cannot summarize it", cfg.blocks[s].start),
+                    format!(
+                        "irreducible cycle through the edge to pc {}: the verifier cannot summarize it",
+                        cfg.blocks[s].start
+                    ),
                     program,
                 );
                 return LintReport { diagnostics: vec![d], bounds: QueueBounds::default() };
@@ -666,10 +662,7 @@ impl<'a> Lint<'a> {
                 Some(self.max_occ[i].max(0) as u64)
             }
         };
-        LintReport {
-            diagnostics: self.diags,
-            bounds: QueueBounds { bq: b(QBQ), vq: b(QVQ), tq: b(QTQ) },
-        }
+        LintReport { diagnostics: self.diags, bounds: QueueBounds { bq: b(QBQ), vq: b(QVQ), tq: b(QTQ) } }
     }
 
     // -- diagnostics --------------------------------------------------------
@@ -918,9 +911,8 @@ impl<'a> Lint<'a> {
     }
 
     fn join2(&mut self, a: &AbsState, b: &AbsState) -> AbsState {
-        let regs = (0..a.regs.len())
-            .map(|r| self.join_exprs(&a.regs[r], &a.facts, &b.regs[r], &b.facts, false))
-            .collect();
+        let regs =
+            (0..a.regs.len()).map(|r| self.join_exprs(&a.regs[r], &a.facts, &b.regs[r], &b.facts, false)).collect();
         let mut q = [QState::empty(), QState::empty(), QState::empty()];
         for (i, slot) in q.iter_mut().enumerate() {
             let (qa, qb) = (&a.q[i], &b.q[i]);
@@ -1386,11 +1378,8 @@ impl<'a> Lint<'a> {
         if qi == QTQ {
             // A provably empty queue forgets earlier pushes: a new fill
             // starts a fresh uniform run.
-            let base = if self.ub(&st.q[qi].occupancy(), &st.facts) == Some(0) {
-                Content::Empty
-            } else {
-                st.q[qi].content
-            };
+            let base =
+                if self.ub(&st.q[qi].occupancy(), &st.facts) == Some(0) { Content::Empty } else { st.q[qi].content };
             st.q[qi].content = base.push(class);
         }
         let one = Expr::konst(1);
@@ -1445,7 +1434,8 @@ impl<'a> Lint<'a> {
                 } else {
                     "cannot prove the queue is non-empty at this pop".to_string()
                 };
-                let d = Diagnostic::new(Rule::Underflow, Severity::Error, Some(QKINDS[qi]), Some(pc), msg, self.program);
+                let d =
+                    Diagnostic::new(Rule::Underflow, Severity::Error, Some(QKINDS[qi]), Some(pc), msg, self.program);
                 if self.pending_depth > 0 {
                     let dup = |x: &Diagnostic| x.rule == d.rule && x.pc == d.pc && x.queue == d.queue;
                     if !self.pending.iter().any(|(_, x)| dup(x)) && !self.diags.iter().any(dup) {

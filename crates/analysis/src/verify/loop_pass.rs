@@ -129,10 +129,7 @@ impl<'a> Lint<'a> {
                     (Some(a), Some(s)) => QShape::Const(a, s),
                     _ => {
                         let docc = da.add(&ds);
-                        QShape::Fuzzy {
-                            per_lo: self.lo(&docc, &latch_a.facts),
-                            per_hi: self.ub(&docc, &latch_a.facts),
-                        }
+                        QShape::Fuzzy { per_lo: self.lo(&docc, &latch_a.facts), per_hi: self.ub(&docc, &latch_a.facts) }
                     }
                 }
             })
@@ -143,12 +140,7 @@ impl<'a> Lint<'a> {
 
         // ---- Checking pass: entry parameterized by iteration ι. ----
         let ub_t = self.ub(&trips, &entry.facts);
-        let iota = self.fresh(
-            Some(0),
-            ub_t.map(|t| (t - 1).max(0)),
-            None,
-            Some(trips.sub(&Expr::konst(1))),
-        );
+        let iota = self.fresh(Some(0), ub_t.map(|t| (t - 1).max(0)), None, Some(trips.sub(&Expr::konst(1))));
         let iv = Expr::var(iota);
         let mut b_entry = AbsState::initial();
         for (r, delta) in deltas.iter().enumerate().skip(1) {
@@ -261,9 +253,7 @@ impl<'a> Lint<'a> {
             let span = ub_t;
             let tot_lo = per_lo.and_then(|l| if l >= 0 { Some(0) } else { span.map(|s| l.saturating_mul(s)) });
             let tot_hi = per_hi.and_then(|h| if h <= 0 { Some(0) } else { span.map(|s| h.saturating_mul(s)) });
-            let delta_b = latch_b
-                .as_ref()
-                .map(|lb| lb.q[qi].occupancy().sub(&b_entry.q[qi].occupancy()));
+            let delta_b = latch_b.as_ref().map(|lb| lb.q[qi].occupancy().sub(&b_entry.q[qi].occupancy()));
             let cls = delta_b.as_ref().and_then(|d| self.delta_class(d));
             effects[qi] = Some(match cls {
                 Some((k, 1)) if all_canon => {
@@ -271,12 +261,7 @@ impl<'a> Lint<'a> {
                     ctx.segs[qi].push(ProdSeg { trips: trips.clone(), class: k, sigma });
                     Expr::var(sigma)
                 }
-                Some((k, -1))
-                    if all_canon
-                        && ctx.segs[qi]
-                            .last()
-                            .is_some_and(|s| s.class == k && s.trips == trips) =>
-                {
+                Some((k, -1)) if all_canon && ctx.segs[qi].last().is_some_and(|s| s.class == k && s.trips == trips) => {
                     let seg = ctx.segs[qi].pop().expect("checked above");
                     matched[qi] = true;
                     Expr::var(seg.sigma).neg()
@@ -427,9 +412,7 @@ impl<'a> Lint<'a> {
             let facts = entry.facts.clone();
             self.max_e(Expr::konst(min_iters), d, &facts)
         } else {
-            let hi = self
-                .ub(&d, &entry.facts)
-                .map(|u| ((u.max(0)).saturating_add(step - 1) / step).max(min_iters));
+            let hi = self.ub(&d, &entry.facts).map(|u| ((u.max(0)).saturating_add(step - 1) / step).max(min_iters));
             Expr::var(self.fresh(Some(min_iters), hi, None, None))
         }
     }
@@ -685,9 +668,10 @@ impl<'a> Lint<'a> {
                         ahead: Expr::var(self.fresh(Some(0), None, None, None)),
                         since: Expr::var(self.fresh(Some(0), None, None, None)),
                         marked: Tri::Maybe,
-                        saved: entry.q[qi].saved.as_ref().map(|(_, c)| {
-                            (Expr::var(self.fresh(Some(0), None, None, None)), *c)
-                        }),
+                        saved: entry.q[qi]
+                            .saved
+                            .as_ref()
+                            .map(|(_, c)| (Expr::var(self.fresh(Some(0), None, None, None)), *c)),
                         content: Content::Mixed,
                     };
                 }

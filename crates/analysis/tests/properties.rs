@@ -3,8 +3,8 @@
 //! Cases come from the in-repo seeded harness (`cfd_isa::prop_check`).
 
 use cfd_analysis::{
-    backward_slice, classify_program, find_loops, lint_program, Cfg, ClassifyConfig, DomTree,
-    LintConfig, Rule, Severity,
+    backward_slice, classify_program, find_loops, lint_program, Cfg, ClassifyConfig, DomTree, LintConfig, Rule,
+    Severity,
 };
 use cfd_isa::check::Rng;
 use cfd_isa::{prop_check, Assembler, Program, Reg};
@@ -210,9 +210,7 @@ fn lint_checks_fallthrough_into_exit() {
     let rep = lint_program(&a.finish().unwrap(), &LintConfig::default());
     assert!(!rep.clean(), "missed the unbalanced fallthrough exit");
     assert!(
-        rep.diagnostics
-            .iter()
-            .any(|d| d.rule == Rule::UnbalancedAtExit && d.severity == Severity::Error),
+        rep.diagnostics.iter().any(|d| d.rule == Rule::UnbalancedAtExit && d.severity == Severity::Error),
         "wrong finding:\n{}",
         rep.table()
     );
@@ -235,9 +233,7 @@ fn lint_flags_irreducible_loop() {
     let rep = lint_program(&a.finish().unwrap(), &LintConfig::default());
     assert!(!rep.clean());
     assert!(
-        rep.diagnostics
-            .iter()
-            .any(|d| d.rule == Rule::IrreducibleCfg && d.severity == Severity::Error),
+        rep.diagnostics.iter().any(|d| d.rule == Rule::IrreducibleCfg && d.severity == Severity::Error),
         "irreducible cycle not flagged:\n{}",
         rep.table()
     );

@@ -14,6 +14,11 @@
 //!                             one telemetry-armed run: CPI stack, ASCII
 //!                             IPC/occupancy timeline, CSV time series and
 //!                             a Perfetto trace (all byte-deterministic)
+//!   experiments simperf [opts]
+//!                             host-side simulator throughput: time one
+//!                             telemetry-free run of every catalog workload
+//!                             and report KIPS (timings are host-dependent;
+//!                             the simulated columns stay deterministic)
 //!
 //! Global options (any subcommand):
 //!   --jobs N        worker threads for simulations (default $CFD_JOBS or 1);
@@ -40,6 +45,11 @@
 //!   --scale N       workload outer trip count (default 120)
 //!   --smoke         small fast sweep (scale 40)
 //!   --json PATH     write the JSON verdict table to PATH ("-" = stdout)
+//!
+//! Simperf options:
+//!   --scale N       workload outer trip count (default catalog scale)
+//!   --json PATH     timing-table destination ("-" = stdout;
+//!                   default artifacts/BENCH_simperf.json)
 
 use cfd_bench::experiments;
 use cfd_exec::{Engine, ExecConfig};
@@ -121,11 +131,19 @@ fn main() {
         println!("  {:8} run every experiment", "all");
         println!("  {:8} fault-injection campaign (--seed N --trials N --scale N --smoke --json PATH)", "faults");
         println!("  {:8} static queue-discipline verification of catalog + transforms (--json PATH)", "lint");
-        println!("  {:8} telemetry-armed run of one workload (--variant V --interval N --scale N --csv P --trace-out P)", "observe");
+        println!(
+            "  {:8} telemetry-armed run of one workload (--variant V --interval N --scale N --csv P --trace-out P)",
+            "observe"
+        );
+        println!("  {:8} host-side simulator throughput over the catalog (--scale N --json PATH)", "simperf");
         return;
     }
     if args[0] == "faults" {
         run_fault_campaign(&engine, &global, &args[1..]);
+        return;
+    }
+    if args[0] == "simperf" {
+        run_simperf(&args[1..]);
         return;
     }
     if args[0] == "lint" {
@@ -137,11 +155,8 @@ fn main() {
         return;
     }
     let write_transcript = args[0] == "all";
-    let ids: Vec<String> = if args[0] == "all" {
-        experiments::all().iter().map(|e| e.id.to_string()).collect()
-    } else {
-        args
-    };
+    let ids: Vec<String> =
+        if args[0] == "all" { experiments::all().iter().map(|e| e.id.to_string()).collect() } else { args };
     let mut transcript = String::new();
     for id in ids {
         let Some(e) = experiments::by_id(&id) else {
@@ -231,7 +246,9 @@ fn run_observe(args: &[String]) {
         }
     }
     let Some(name) = name else {
-        eprintln!("usage: experiments observe <workload> [--variant V] [--interval N] [--scale N] [--csv P] [--trace-out P]");
+        eprintln!(
+            "usage: experiments observe <workload> [--variant V] [--interval N] [--scale N] [--csv P] [--trace-out P]"
+        );
         std::process::exit(1);
     };
     let obs = observe(&name, &opts).unwrap_or_else(|e| {
@@ -258,6 +275,58 @@ fn run_observe(args: &[String]) {
     }
     println!("\ntime series written to {csv_path}");
     println!("pipeline trace written to {trace_path} (load in ui.perfetto.dev)");
+}
+
+fn run_simperf(args: &[String]) {
+    use cfd_bench::simperf;
+    use cfd_workloads::Scale;
+    let mut scale = Scale::default();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(1);
+            })
+        };
+        match a.as_str() {
+            "--scale" => {
+                let v = val("--scale");
+                scale.n = parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --scale: `{v}`");
+                    std::process::exit(1);
+                }) as usize;
+            }
+            "--json" => json_path = Some(val("--json")),
+            other => {
+                eprintln!("unknown simperf option `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let rows = simperf::run_catalog(scale);
+    print!("{}", simperf::table(&rows));
+    let json_path = json_path.unwrap_or_else(|| "artifacts/BENCH_simperf.json".to_string());
+    if json_path == "-" {
+        println!("{}", simperf::to_json(&rows));
+    } else {
+        if let Some(dir) = std::path::Path::new(&json_path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    std::process::exit(1);
+                });
+            }
+        }
+        std::fs::write(&json_path, simperf::to_json(&rows)).unwrap_or_else(|e| {
+            eprintln!("cannot write {json_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("timing table written to {json_path}");
+    }
+    println!("[simperf completed in {:.1}s: {} workloads]", t0.elapsed().as_secs_f64(), rows.len());
 }
 
 fn run_lint(engine: &Engine, global: &Global, args: &[String]) {
@@ -292,7 +361,12 @@ fn run_lint(engine: &Engine, global: &Global, args: &[String]) {
         None => {}
     }
     let errors = cfd_bench::lint::error_count(&rows);
-    println!("[lint completed in {:.1}s: {} programs, {} error finding(s)]", t0.elapsed().as_secs_f64(), rows.len(), errors);
+    println!(
+        "[lint completed in {:.1}s: {} programs, {} error finding(s)]",
+        t0.elapsed().as_secs_f64(),
+        rows.len(),
+        errors
+    );
     global.finish(engine);
     if errors > 0 {
         std::process::exit(2);
@@ -319,10 +393,12 @@ fn run_fault_campaign(engine: &Engine, global: &Global, args: &[String]) {
             "--trials" => cfg.trials_per_pair = num("--trials") as usize,
             "--scale" => cfg.scale_n = num("--scale") as usize,
             "--smoke" => cfg.scale_n = 40,
-            "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| {
-                eprintln!("--json needs a path");
-                std::process::exit(1);
-            })),
+            "--json" => {
+                json_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(1);
+                }))
+            }
             other => {
                 eprintln!("unknown campaign option `{other}`");
                 std::process::exit(1);
@@ -330,8 +406,14 @@ fn run_fault_campaign(engine: &Engine, global: &Global, args: &[String]) {
         }
     }
     let t0 = Instant::now();
-    println!("fault campaign: seed {:#x}, {} workloads x {} fault classes, {} trial(s)/pair, scale {}",
-        cfg.seed, cfg.workloads.len(), cfg.faults.len(), cfg.trials_per_pair, cfg.scale_n);
+    println!(
+        "fault campaign: seed {:#x}, {} workloads x {} fault classes, {} trial(s)/pair, scale {}",
+        cfg.seed,
+        cfg.workloads.len(),
+        cfg.faults.len(),
+        cfg.trials_per_pair,
+        cfg.scale_n
+    );
     let report = run_campaign_on(engine, &cfg);
     println!("{}", report.table());
     match json_path.as_deref() {
@@ -346,8 +428,12 @@ fn run_fault_campaign(engine: &Engine, global: &Global, args: &[String]) {
         None => {}
     }
     let silent = report.silent_divergences();
-    println!("[faults completed in {:.1}s: {} trials, {} contract violations]",
-        t0.elapsed().as_secs_f64(), report.outcomes.len(), silent);
+    println!(
+        "[faults completed in {:.1}s: {} trials, {} contract violations]",
+        t0.elapsed().as_secs_f64(),
+        report.outcomes.len(),
+        silent
+    );
     global.finish(engine);
     if silent > 0 {
         std::process::exit(2);

@@ -111,8 +111,7 @@ fn main() {
             .build(Variant::Base, Scale { n: 200, seed: 1 });
         move || {
             let mut m = Machine::new(w.program.clone(), w.mem.clone());
-            m.run(10_000_000, &mut NullSink)
-                .unwrap_or_else(|e| panic!("gromacs_like [base] failed: {e}"));
+            m.run(10_000_000, &mut NullSink).unwrap_or_else(|e| panic!("gromacs_like [base] failed: {e}"));
             black_box(m.retired());
         }
     });

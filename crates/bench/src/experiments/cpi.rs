@@ -27,15 +27,12 @@ pub fn cpi_stack(engine: &Engine) -> String {
     }
     let res = batch.run();
 
-    let mut t = TextTable::new(vec![
-        "app", "variant", "CPI", "base", "frontend", "mispred", "cfd_stall", "mem", "backend",
-    ]);
+    let mut t =
+        TextTable::new(vec!["app", "variant", "CPI", "base", "frontend", "mispred", "cfd_stall", "mem", "backend"]);
     for (name, variant, h) in rows {
         let r = &res[h];
         let stack = r.stats.cpi_stack();
-        stack
-            .check(r.stats.cycles, width)
-            .unwrap_or_else(|e| panic!("{name} [{variant}]: {e}"));
+        stack.check(r.stats.cycles, width).unwrap_or_else(|e| panic!("{name} [{variant}]: {e}"));
         let mem_pm = stack.permille(CpiComponent::MemL1)
             + stack.permille(CpiComponent::MemL2)
             + stack.permille(CpiComponent::MemL3)

@@ -33,10 +33,8 @@ pub fn fig18(engine: &Engine) -> String {
     for entry in catalog().iter().filter(|e| CFD_APPS.contains(&e.name)) {
         let base = batch.sim_variant(entry, Variant::Base, scale, &cfg);
         let cfd = batch.sim_variant(entry, Variant::Cfd, scale, &cfg);
-        let plus = entry
-            .variants
-            .contains(&Variant::CfdPlus)
-            .then(|| batch.sim_variant(entry, Variant::CfdPlus, scale, &cfg));
+        let plus =
+            entry.variants.contains(&Variant::CfdPlus).then(|| batch.sim_variant(entry, Variant::CfdPlus, scale, &cfg));
         rows.push((entry.name, base, cfd, plus));
     }
     let res = batch.run();
@@ -56,13 +54,7 @@ pub fn fig18(engine: &Engine) -> String {
         let s = cfd.speedup_over(base);
         geo_cfd *= s;
         count += 1;
-        t.row(vec![
-            name.to_string(),
-            ratio(s),
-            pct(relative_energy(cfd, base) - 1.0),
-            plus_speed,
-            plus_energy,
-        ]);
+        t.row(vec![name.to_string(), ratio(s), pct(relative_energy(cfd, base) - 1.0), plus_speed, plus_energy]);
     }
     let geomean = geo_cfd.powf(1.0 / count as f64);
     format!(
@@ -84,7 +76,10 @@ pub fn fig19(engine: &Engine) -> String {
         let base = batch.sim(&w_base, &CoreConfig::default());
         let cfd = batch.sim_variant(entry, Variant::Cfd, scale, &CoreConfig::default());
         // Base + PerfectCFD: only the targeted separable branches perfect.
-        let pcfg = CoreConfig { perfect: PerfectMode::Pcs(w_base.interest.iter().map(|b| b.pc).collect()), ..Default::default() };
+        let pcfg = CoreConfig {
+            perfect: PerfectMode::Pcs(w_base.interest.iter().map(|b| b.pc).collect()),
+            ..Default::default()
+        };
         let perfect_cfd = batch.sim(&w_base, &pcfg);
         let acfg = CoreConfig { perfect: PerfectMode::All, ..Default::default() };
         let perfect = batch.sim(&w_base, &acfg);

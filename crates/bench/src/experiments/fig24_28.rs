@@ -137,10 +137,7 @@ pub fn fig27(engine: &Engine) -> String {
             name.to_string(),
             ratio(tq.speedup_over(base)),
             pct(relative_energy(tq, base) - 1.0),
-            format!(
-                "{:.0}%",
-                100.0 * (1.0 - tq.stats.mispredictions as f64 / base.stats.mispredictions.max(1) as f64)
-            ),
+            format!("{:.0}%", 100.0 * (1.0 - tq.stats.mispredictions as f64 / base.stats.mispredictions.max(1) as f64)),
         ]);
     }
     format!("Fig. 27 — CFD(TQ) on separable loop-branches (paper: up to +5%, -6% energy)\n\n{}", t.render())
@@ -160,12 +157,7 @@ pub fn fig28(engine: &Engine) -> String {
 
     let base = &res[hbase];
     let mut t = TextTable::new(vec!["variant", "speedup", "energy", "MPKI"]);
-    t.row(vec![
-        "base".to_string(),
-        "1.00x".to_string(),
-        "+0.0%".to_string(),
-        format!("{:.2}", base.stats.mpki()),
-    ]);
+    t.row(vec!["base".to_string(), "1.00x".to_string(), "+0.0%".to_string(), format!("{:.2}", base.stats.mpki())]);
     let mut speedups = Vec::new();
     for (v, h) in variants.iter().zip(handles) {
         let rep = &res[h];

@@ -28,7 +28,11 @@ pub fn all() -> Vec<Experiment> {
         Experiment { id: "fig2", what: "misprediction memory-level breakdown; window scaling", run: fig01_02::fig02 },
         Experiment { id: "table1", what: "MPKI per kernel + suite shares (Fig. 6a)", run: fig06_tables::table1_fig6a },
         Experiment { id: "fig6c", what: "targeted mispredictions by control-flow class", run: fig06_tables::fig6c },
-        Experiment { id: "table2", what: "pipeline depths; baseline config; CFD storage (Fig. 17)", run: fig06_tables::table2_fig17 },
+        Experiment {
+            id: "table2",
+            what: "pipeline depths; baseline config; CFD storage (Fig. 17)",
+            run: fig06_tables::table2_fig17,
+        },
         Experiment { id: "table3", what: "instruction overhead factors (Tables III/IV)", run: fig06_tables::table3_4 },
         Experiment { id: "table5", what: "modified-region branch metadata (Tables V/VI)", run: fig06_tables::table5_6 },
         Experiment { id: "fig18", what: "CFD/CFD+ speedup and energy", run: fig18_23::fig18 },
@@ -89,8 +93,8 @@ mod tests {
     fn every_paper_figure_and_table_is_covered() {
         // The evaluation's tables/figures (DESIGN.md §4) must all resolve.
         for id in [
-            "fig1", "fig2", "table1", "fig6c", "table2", "table3", "table5", "fig18", "fig19", "fig20",
-            "fig21", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
+            "fig1", "fig2", "table1", "fig6c", "table2", "table3", "table5", "fig18", "fig19", "fig20", "fig21",
+            "fig23", "fig24", "fig25", "fig26", "fig27", "fig28",
         ] {
             assert!(by_id(id).is_some(), "missing experiment `{id}`");
         }

@@ -16,11 +16,10 @@
 //! Criterion microbenchmarks of the simulator's own structures live in
 //! `benches/microbench.rs` (`cargo bench -p cfd-bench`).
 
-#![warn(missing_docs)]
-
 pub mod experiments;
 pub mod lint;
 pub mod observe;
 pub mod runner;
+pub mod simperf;
 
 pub use experiments::{all, by_id, Experiment};

@@ -305,11 +305,8 @@ impl CampaignJob for LintJob {
 /// Reconstructs a [`LintReport`] from the JSON its `to_json` emits.
 fn report_from_json(v: &Json) -> Option<LintReport> {
     let b = v.get("bounds")?;
-    let bounds = QueueBounds {
-        bq: b.get("bq")?.as_opt_u64()?,
-        vq: b.get("vq")?.as_opt_u64()?,
-        tq: b.get("tq")?.as_opt_u64()?,
-    };
+    let bounds =
+        QueueBounds { bq: b.get("bq")?.as_opt_u64()?, vq: b.get("vq")?.as_opt_u64()?, tq: b.get("tq")?.as_opt_u64()? };
     let mut diagnostics = Vec::new();
     for d in v.get("diagnostics")?.as_arr()? {
         let queue = match d.get("queue")? {
@@ -399,9 +396,7 @@ pub fn lint_jobs() -> Vec<LintJob> {
         let w = entry.build(Variant::Base, scale);
         for ib in &w.interest {
             let op = match ib.class {
-                PaperClass::SeparableTotal | PaperClass::SeparablePartial => {
-                    LintOp::ApplyCfd { pc: ib.pc, chunk: 128 }
-                }
+                PaperClass::SeparableTotal | PaperClass::SeparablePartial => LintOp::ApplyCfd { pc: ib.pc, chunk: 128 },
                 PaperClass::SeparableLoopBranch => LintOp::ApplyCfdTq { pc: ib.pc, tq: 256 },
                 _ => continue,
             };

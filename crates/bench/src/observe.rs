@@ -137,6 +137,19 @@ impl Observation {
         out.push_str(&stack.table(self.width, s.retired));
         out.push_str("\ntimeline (interval IPC + queue occupancies at each sample):\n");
         out.push_str(&self.telemetry().series.ascii_timeline(self.width, 32));
+        let reg = &self.telemetry().registry;
+        let (checks, wakeups, poll) =
+            (reg.counter("sched.ready_checks"), reg.counter("sched.wakeup_events"), reg.counter("sched.poll_equiv"));
+        let per_cycle = |n: u64| n as f64 / s.cycles.max(1) as f64;
+        out.push_str(&format!(
+            "\nscheduler (event-driven wakeup vs per-cycle IQ polling):\n  \
+             ready checks      {checks:>12}  ({:.3}/cycle)\n  \
+             wakeup events     {wakeups:>12}  ({:.3}/cycle)\n  \
+             polling would scan{poll:>12}  ({:.3}/cycle)\n",
+            per_cycle(checks),
+            per_cycle(wakeups),
+            per_cycle(poll),
+        ));
         out
     }
 }

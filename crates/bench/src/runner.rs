@@ -32,7 +32,8 @@ pub fn sweep_scale() -> Scale {
 /// Panics when the simulation fails — experiments treat simulator errors
 /// as fatal.
 pub fn run(workload: &Workload, cfg: &CoreConfig) -> RunReport {
-    Core::new(cfg.clone(), workload.program.clone(), workload.mem.clone()).unwrap()
+    Core::new(cfg.clone(), workload.program.clone(), workload.mem.clone())
+        .unwrap()
         .run(CYCLE_LIMIT)
         .unwrap_or_else(|e| panic!("{} [{}] failed: {e}", workload.name, workload.variant))
 }
@@ -78,12 +79,8 @@ impl<'e, J: CampaignJob> Batch<'e, J> {
     /// experiments treat simulator errors as fatal, exactly as the serial
     /// runner always has.
     pub fn run(self) -> Results<J::Output> {
-        let results = self
-            .engine
-            .run_all(&self.jobs)
-            .into_iter()
-            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
-            .collect();
+        let results =
+            self.engine.run_all(&self.jobs).into_iter().map(|r| r.unwrap_or_else(|e| panic!("{e}"))).collect();
         Results(results)
     }
 }
@@ -105,11 +102,7 @@ impl Batch<'_, SimJob> {
 impl Batch<'_, ProfileJob> {
     /// Submits a branch-profiling run of `workload`.
     pub fn profile(&mut self, workload: &Workload, predictor: &str, instruction_limit: u64) -> Handle {
-        self.push(ProfileJob {
-            workload: workload.clone(),
-            predictor: predictor.to_string(),
-            instruction_limit,
-        })
+        self.push(ProfileJob { workload: workload.clone(), predictor: predictor.to_string(), instruction_limit })
     }
 }
 

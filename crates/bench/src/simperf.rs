@@ -1,0 +1,147 @@
+//! `experiments simperf`: host-side simulator throughput over the catalog.
+//!
+//! Times one telemetry-free run of every catalog workload and reports
+//! simulation speed in KIPS (thousands of retired instructions per
+//! wall-clock second) and KCPS (thousands of simulated cycles per second).
+//! Wall-clock time is deliberately *outside* the deterministic surface:
+//! the simulated results (retired, cycles) are byte-stable run to run, the
+//! timings are whatever the host delivers, and nothing here is cached —
+//! a cached timing would measure the cache, not the simulator. This is the
+//! regression harness for scheduler-efficiency work (e.g. the event-driven
+//! wakeup rework): compare `kips` columns across commits on the same host.
+
+use crate::runner::CYCLE_LIMIT;
+use cfd_core::{Core, CoreConfig};
+use cfd_workloads::{catalog, Scale, Variant};
+use std::time::Instant;
+
+/// One timed workload run.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Variant run (the kernel's preferred CFD form when available).
+    pub variant: Variant,
+    /// Instructions retired (simulated, deterministic).
+    pub retired: u64,
+    /// Cycles simulated (deterministic).
+    pub cycles: u64,
+    /// Host wall-clock for the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Thousands of retired instructions simulated per wall second.
+    pub kips: f64,
+    /// Thousands of cycles simulated per wall second.
+    pub kcps: f64,
+}
+
+/// Times one run of every catalog workload at `scale`.
+///
+/// Each entry runs its base variant when supported (the heaviest IQ
+/// pressure, hence the most scheduler work), else its first listed
+/// variant. Simulation failures panic: every catalog workload is expected
+/// to complete (the same contract as the figure experiments).
+pub fn run_catalog(scale: Scale) -> Vec<PerfRow> {
+    catalog()
+        .iter()
+        .map(|entry| {
+            let variant = if entry.variants.contains(&Variant::Base) { Variant::Base } else { entry.variants[0] };
+            let wl = entry.build(variant, scale);
+            let t0 = Instant::now();
+            let report = Core::new(CoreConfig::default(), wl.program, wl.mem)
+                .unwrap_or_else(|e| panic!("{} [{variant}]: {e}", entry.name))
+                .run(CYCLE_LIMIT)
+                .unwrap_or_else(|e| panic!("{} [{variant}]: {e}", entry.name));
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            PerfRow {
+                name: entry.name,
+                variant,
+                retired: report.stats.retired,
+                cycles: report.stats.cycles,
+                wall_ms: secs * 1e3,
+                kips: report.stats.retired as f64 / 1e3 / secs,
+                kcps: report.stats.cycles as f64 / 1e3 / secs,
+            }
+        })
+        .collect()
+}
+
+/// Plain-text table of the timed runs plus a totals row.
+pub fn table(rows: &[PerfRow]) -> String {
+    let mut out = format!(
+        "{:<22} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9}\n",
+        "workload", "variant", "retired", "cycles", "ms", "KIPS", "KCPS"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>12} {:>12} {:>9.1} {:>9.0} {:>9.0}\n",
+            r.name,
+            r.variant.label(),
+            r.retired,
+            r.cycles,
+            r.wall_ms,
+            r.kips,
+            r.kcps
+        ));
+    }
+    let (retired, cycles): (u64, u64) = rows.iter().fold((0, 0), |(a, b), r| (a + r.retired, b + r.cycles));
+    let ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>12} {:>12} {:>9.1} {:>9.0} {:>9.0}\n",
+        "TOTAL",
+        "",
+        retired,
+        cycles,
+        ms,
+        retired as f64 / ms.max(1e-9),
+        cycles as f64 / ms.max(1e-9)
+    ));
+    out
+}
+
+/// JSON rendering (one object per row; timings are host-dependent).
+pub fn to_json(rows: &[PerfRow]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"workload\":\"{}\",\"variant\":\"{}\",\"retired\":{},\"cycles\":{},\"wall_ms\":{:.3},\"kips\":{:.1},\"kcps\":{:.1}}}",
+            r.name,
+            r.variant.label(),
+            r.retired,
+            r.cycles,
+            r.wall_ms,
+            r.kips,
+            r.kcps
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_columns_are_deterministic() {
+        let scale = Scale { n: 60, ..Scale::default() };
+        let a = run_catalog(scale);
+        let b = run_catalog(scale);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.name, x.retired, x.cycles), (y.name, y.retired, y.cycles));
+            assert!(x.kips > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_has_one_object_per_row() {
+        let rows = run_catalog(Scale { n: 40, ..Scale::default() });
+        let json = to_json(&rows);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"workload\"").count(), rows.len());
+    }
+}

@@ -14,13 +14,7 @@ fn catalog_sweep_is_error_free() {
     let rows = lint_all();
     assert!(rows.len() >= 80, "sweep shrank to {} rows", rows.len());
     for r in &rows {
-        assert!(
-            r.report.clean(),
-            "{} / {} regressed:\n{}",
-            r.kernel,
-            r.variant,
-            r.report.table()
-        );
+        assert!(r.report.clean(), "{} / {} regressed:\n{}", r.kernel, r.variant, r.report.table());
     }
     assert_eq!(error_count(&rows), 0);
 }
@@ -37,9 +31,7 @@ fn degraded_rows_claim_no_bounds() {
         if r.report.diagnostics.iter().any(|d| d.rule.name() == "analysis-degraded") {
             degraded += 1;
             assert!(
-                r.report.bounds.bq.is_none()
-                    && r.report.bounds.vq.is_none()
-                    && r.report.bounds.tq.is_none(),
+                r.report.bounds.bq.is_none() && r.report.bounds.vq.is_none() && r.report.bounds.tq.is_none(),
                 "{} / {} degraded but claims bounds: {}",
                 r.kernel,
                 r.variant,

@@ -1,21 +1,45 @@
 use cfd_core::{Core, CoreConfig};
 use cfd_isa::{Assembler, MemImage, Reg};
 use std::time::Instant;
-fn r(i: usize) -> Reg { Reg::new(i) }
+fn r(i: usize) -> Reg {
+    Reg::new(i)
+}
 fn main() {
     let n = 200_000i64;
     let (i, nn, base, x, eps, p, tmp, cnt) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
     let mut a = Assembler::new();
-    a.li(nn, n); a.li(base, 0x100000); a.li(eps, 50);
+    a.li(nn, n);
+    a.li(base, 0x100000);
+    a.li(eps, 50);
     a.label("top");
-    a.sll(tmp, i, 3i64); a.add(tmp, tmp, base); a.ld(x, 0, tmp); a.slt(p, x, eps);
-    a.beqz(p, "skip"); a.addi(cnt, cnt, 1); a.add(r(9), r(9), x);
-    a.label("skip"); a.addi(i, i, 1); a.blt(i, nn, "top"); a.halt();
+    a.sll(tmp, i, 3i64);
+    a.add(tmp, tmp, base);
+    a.ld(x, 0, tmp);
+    a.slt(p, x, eps);
+    a.beqz(p, "skip");
+    a.addi(cnt, cnt, 1);
+    a.add(r(9), r(9), x);
+    a.label("skip");
+    a.addi(i, i, 1);
+    a.blt(i, nn, "top");
+    a.halt();
     let mut mem = MemImage::new();
     let mut s = 99u64;
-    for k in 0..n as u64 { s^=s<<13; s^=s>>7; s^=s<<17; mem.write_u64(0x100000+8*k, s%100); }
+    for k in 0..n as u64 {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        mem.write_u64(0x100000 + 8 * k, s % 100);
+    }
     let t0 = Instant::now();
     let rep = Core::new(CoreConfig::default(), a.finish().unwrap(), mem).unwrap().run(100_000_000).unwrap();
     let dt = t0.elapsed().as_secs_f64();
-    println!("retired={} cycles={} ipc={:.2} | {:.2} M instr/s, {:.2} M cyc/s", rep.stats.retired, rep.stats.cycles, rep.ipc(), rep.stats.retired as f64/dt/1e6, rep.stats.cycles as f64/dt/1e6);
+    println!(
+        "retired={} cycles={} ipc={:.2} | {:.2} M instr/s, {:.2} M cyc/s",
+        rep.stats.retired,
+        rep.stats.cycles,
+        rep.ipc(),
+        rep.stats.retired as f64 / dt / 1e6,
+        rep.stats.cycles as f64 / dt / 1e6
+    );
 }

@@ -558,7 +558,7 @@ mod tests {
         bq.execute_push(b, true);
         bq.fetch_mark(); // mark at tail = 2
         bq.fetch_forward(); // head -> 2, both entries skipped
-        // Retire the skipped pushes so new pushes may allocate.
+                            // Retire the skipped pushes so new pushes may allocate.
         bq.retire_push();
         bq.retire_push();
         bq.retire_mark();

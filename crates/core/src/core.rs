@@ -1,20 +1,24 @@
-//! The cycle-level out-of-order core with CFD support.
+//! The public core API and the per-cycle conductor.
 //!
 //! A faithful-but-compact execute-at-execute pipeline:
 //!
-//! * **Fetch** — BTB + direction predictor; the BQ, TQ and TCR live here
-//!   and resolve `Branch_on_BQ` / `Branch_on_TCR` non-speculatively when
-//!   their producers have executed (the paper's central mechanism). BQ
-//!   misses either speculate (verified by the late push) or stall.
+//! * **Fetch** ([`crate::frontend`]) — BTB + direction predictor; the BQ,
+//!   TQ and TCR live here and resolve `Branch_on_BQ` / `Branch_on_TCR`
+//!   non-speculatively when their producers have executed (the paper's
+//!   central mechanism). BQ misses either speculate (verified by the late
+//!   push) or stall.
 //! * **Front pipe** — `front_depth` cycles of decode/rename delay, giving
 //!   the configured minimum fetch-to-execute latency.
-//! * **Rename/Dispatch** — RMT + freelist + VQ renamer; ROB/IQ/LSQ
-//!   allocation; branch snapshots and (confidence-guided) checkpoints.
-//! * **Issue/Execute** — oldest-first select over FU classes; values are
-//!   computed at issue and become visible at `ready_at`; loads access the
-//!   cache hierarchy with store-to-load forwarding.
-//! * **Commit** — in-order retirement verified against a functional oracle;
-//!   predictor training; committed CFD-queue state.
+//! * **Rename/Dispatch** ([`crate::dispatch`]) — RMT + freelist + VQ
+//!   renamer; ROB/IQ/LSQ allocation; branch snapshots and
+//!   (confidence-guided) checkpoints.
+//! * **Issue/Execute** ([`crate::scheduler`], [`crate::lsq`]) —
+//!   oldest-first select over FU classes, driven by event-driven wakeup
+//!   (no per-cycle IQ polling); values are computed at issue and become
+//!   visible at `ready_at`; loads access the cache hierarchy with
+//!   store-to-load forwarding.
+//! * **Commit** ([`crate::commit`]) — in-order retirement verified against
+//!   a functional oracle; predictor training; committed CFD-queue state.
 //!
 //! Two functional `Machine`s accompany the pipeline: one steps at *fetch*
 //! (providing perfect predictions where configured and detecting the exact
@@ -22,230 +26,20 @@
 //! *retire* (its memory image is the committed memory the backend loads
 //! from; it also cross-checks the retired stream instruction by
 //! instruction).
+//!
+//! The stage logic lives in the modules above, each an `impl` block on the
+//! shared [`Pipeline`](crate::pipeline::Pipeline) state struct; this module
+//! only owns the public [`Core`] wrapper, the step loop that sequences the
+//! stages (commit → complete → issue → dispatch → fetch), and report
+//! finalization.
 
-use crate::cfd_queues::{BqSnapshot, FetchBq, FetchTq, TqSnapshot};
-use crate::config::{BqMissPolicy, CheckpointPolicy, CoreConfig};
-use crate::fault::{FailureReport, FaultKind, FaultSite, FaultSpec, FaultState};
-use crate::rename::{join_taint, PhysReg, RenameState, Taint, VqRenamer};
-use crate::stats::{level_index, CoreStats, RunReport};
-use crate::trace::{CycleSnap, PipeEvent, PipeTrace, SnapRing};
-use cfd_energy::EventCounts;
-use cfd_isa::{eval_alu, eval_branch, Instr, Machine, MemImage, MemWidth, NullSink, Program, QueueConfig, Src2};
-use cfd_mem::{Cache, CacheConfig, Hierarchy, MemLevel};
-use cfd_obs::{CpiComponent, MetricsRegistry, TelemetryConfig, TelemetryReport, TimeSeries, TraceLog};
-use cfd_predictor::{
-    predictor_by_name, BranchKind, Btb, BtbEntry, ConfidenceEstimator, DirectionPredictor, PredMeta, Ras, RasSnapshot,
-};
-use std::collections::VecDeque;
-
-/// Recovery snapshot attached to instructions that can mispredict.
-/// (The VQ renamer is a rename-stage structure repaired by the squash walk,
-/// so no VQ pointers are snapshotted here.)
-#[derive(Debug, Clone)]
-struct Snapshot {
-    bq: BqSnapshot,
-    tq: TqSnapshot,
-    ras: RasSnapshot,
-}
-
-/// One in-flight instruction.
-#[derive(Debug, Clone)]
-struct DynInst {
-    seq: u64,
-    /// Dense ROB ordinal assigned at dispatch (fetch seqs have gaps when
-    /// the front pipe is squashed; ROB indexing needs contiguity).
-    rob_seq: u64,
-    pc: u32,
-    instr: Instr,
-    /// Cycle at which the instruction may dispatch (front-pipe delay).
-    dispatch_at: u64,
-    /// Fetched while fetch was known to be on the wrong path.
-    on_wrong_path: bool,
-    /// Direction chosen at fetch for conditional control.
-    fetch_taken: Option<bool>,
-    /// Predicted target for indirect jumps.
-    fetch_target: u32,
-    /// Predictor metadata (plain branches and speculative pops).
-    pred_meta: Option<PredMeta>,
-    /// This `Branch_on_BQ` was resolved speculatively (BQ miss).
-    spec_pop: bool,
-    /// Speculative pop verified by its push.
-    verified: bool,
-    /// BQ absolute index (pushes and pops).
-    bq_abs: Option<u64>,
-    /// TQ absolute index (pushes and pops).
-    tq_abs: Option<u64>,
-    /// TCR value loaded by a `Pop_TQ` at fetch.
-    tq_loaded_tcr: u32,
-    /// Recovery snapshot.
-    snapshot: Option<Box<Snapshot>>,
-    has_checkpoint: bool,
-    // Rename results.
-    pdest: Option<PhysReg>,
-    /// Previous mapping of the destination (RMT-updating instructions).
-    prev_phys: Option<PhysReg>,
-    psrc1: Option<PhysReg>,
-    psrc2: Option<PhysReg>,
-    /// The VQ mapping a `Pop_VQ` frees at retirement. Normally equals
-    /// `psrc1`; kept separate so the free list stays consistent when
-    /// fault injection corrupts the operand mapping.
-    vq_free: Option<PhysReg>,
-    /// Occupies an IQ slot until issued.
-    in_iq: bool,
-    in_lsq: bool,
-    dispatched: bool,
-    issued: bool,
-    done: bool,
-    ready_at: u64,
-    // Memory.
-    eff_addr: Option<u64>,
-    // Stage timestamps (pipeline tracing).
-    t_fetch: u64,
-    t_dispatch: u64,
-    t_issue: u64,
-    t_complete: u64,
-    // Resolution.
-    resolved_taken: Option<bool>,
-    mispredict: bool,
-    recover_at_retire: bool,
-    taint: Taint,
-}
-
-impl DynInst {
-    fn new(seq: u64, pc: u32, instr: Instr, dispatch_at: u64, on_wrong_path: bool) -> DynInst {
-        DynInst {
-            seq,
-            rob_seq: 0,
-            pc,
-            instr,
-            dispatch_at,
-            on_wrong_path,
-            fetch_taken: None,
-            fetch_target: 0,
-            pred_meta: None,
-            spec_pop: false,
-            verified: true,
-            bq_abs: None,
-            tq_abs: None,
-            tq_loaded_tcr: 0,
-            snapshot: None,
-            has_checkpoint: false,
-            pdest: None,
-            prev_phys: None,
-            psrc1: None,
-            psrc2: None,
-            vq_free: None,
-            in_iq: false,
-            in_lsq: false,
-            dispatched: false,
-            issued: false,
-            done: false,
-            ready_at: u64::MAX,
-            eff_addr: None,
-            t_fetch: 0,
-            t_dispatch: 0,
-            t_issue: 0,
-            t_complete: 0,
-            resolved_taken: None,
-            mispredict: false,
-            recover_at_retire: false,
-            taint: None,
-        }
-    }
-
-    /// Executes in the backend (needs an IQ slot and a function unit).
-    fn needs_backend(&self) -> bool {
-        match self.instr {
-            Instr::Alu { .. }
-            | Instr::Li { .. }
-            | Instr::Load { .. }
-            | Instr::Store { .. }
-            | Instr::Prefetch { .. }
-            | Instr::Branch { .. }
-            | Instr::Jr { .. }
-            | Instr::PushBq { .. }
-            | Instr::PushVq { .. }
-            | Instr::PopVq { .. }
-            | Instr::PushTq { .. } => true,
-            Instr::Jump { .. }
-            | Instr::Jal { .. }
-            | Instr::BranchOnBq { .. }
-            | Instr::MarkBq
-            | Instr::ForwardBq
-            | Instr::PopTq
-            | Instr::BranchOnTcr { .. }
-            | Instr::PopTqBrOvf { .. }
-            | Instr::Nop
-            | Instr::Halt
-            | Instr::SaveBq { .. }
-            | Instr::RestoreBq { .. }
-            | Instr::SaveVq { .. }
-            | Instr::RestoreVq { .. }
-            | Instr::SaveTq { .. }
-            | Instr::RestoreTq { .. } => false,
-        }
-    }
-
-    fn is_mem_op(&self) -> bool {
-        matches!(self.instr, Instr::Load { .. } | Instr::Store { .. } | Instr::Prefetch { .. })
-    }
-}
-
-/// Time-series schema: cumulative counters sampled every N cycles.
-/// `cycle` stamps the row; everything else is cumulative-so-far, so rates
-/// (IPC, miss ratios, predictor accuracy) are derived by differencing
-/// adjacent rows.
-const SERIES_COLUMNS: [&str; 27] = [
-    "cycle",
-    "retired",
-    "fetched",
-    "mispredictions",
-    "retired_branches",
-    "rob",
-    "iq",
-    "lsq",
-    "front_q",
-    "bq",
-    "vq",
-    "tq",
-    "l1_accesses",
-    "l1_hits",
-    "l2_accesses",
-    "l2_hits",
-    "l3_accesses",
-    "l3_hits",
-    "cpi_base",
-    "cpi_frontend",
-    "cpi_mispredict",
-    "cpi_cfd_stall",
-    "cpi_mem_l1",
-    "cpi_mem_l2",
-    "cpi_mem_l3",
-    "cpi_mem_dram",
-    "cpi_backend",
-];
-
-/// Live telemetry attached to a run via [`Core::with_telemetry`].
-struct TelemetryState {
-    cfg: TelemetryConfig,
-    registry: MetricsRegistry,
-    series: TimeSeries,
-    trace: TraceLog,
-    /// Next cycle stamp at which to push a series row.
-    next_sample: u64,
-}
-
-impl TelemetryState {
-    fn new(cfg: TelemetryConfig) -> TelemetryState {
-        TelemetryState {
-            registry: MetricsRegistry::enabled(),
-            series: TimeSeries::new(cfg.sample_interval, SERIES_COLUMNS.to_vec()),
-            trace: if cfg.trace { TraceLog::enabled() } else { TraceLog::disabled() },
-            next_sample: if cfg.sample_interval > 0 { cfg.sample_interval } else { u64::MAX },
-            cfg,
-        }
-    }
-}
+use crate::config::CoreConfig;
+use crate::fault::{FailureReport, FaultSpec, FaultState};
+use crate::pipeline::{Pipeline, TelemetryState};
+use crate::stats::RunReport;
+use crate::trace::PipeTrace;
+use cfd_isa::{MemImage, Program};
+use cfd_obs::{TelemetryConfig, TelemetryReport};
 
 /// A simulation failure (simulator bug or runaway program).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -292,64 +86,7 @@ impl std::error::Error for CoreError {}
 
 /// The out-of-order core.
 pub struct Core {
-    cfg: CoreConfig,
-    program: Program,
-    /// Retire-side oracle; its memory is the committed data memory.
-    oracle: Machine,
-    /// Fetch-side oracle (perfect prediction + divergence detection).
-    fetch_oracle: Machine,
-    /// Sequence number of the instruction where fetch diverged.
-    diverged_at: Option<u64>,
-    // Front end.
-    fetch_pc: u32,
-    fetch_resume_at: u64,
-    fetch_halted: bool,
-    btb: Btb,
-    ras: Ras,
-    predictor: Box<dyn DirectionPredictor>,
-    confidence: ConfidenceEstimator,
-    bq: FetchBq,
-    tq: FetchTq,
-    vq: VqRenamer,
-    front_q: VecDeque<DynInst>,
-    /// L1 instruction cache (tags only; instruction "addresses" are
-    /// `pc * 4`).
-    icache: Cache,
-    // Back end.
-    rename: RenameState,
-    rob: VecDeque<DynInst>,
-    /// Sequence numbers of dispatched-but-unissued backend instructions,
-    /// in age order (the issue queue's contents).
-    iq_list: Vec<u64>,
-    /// Sequence numbers of issued-but-incomplete instructions.
-    exec_list: Vec<u64>,
-    /// Sequence numbers of in-flight stores, in age order.
-    store_list: VecDeque<u64>,
-    iq_count: usize,
-    lsq_count: usize,
-    checkpoints_free: usize,
-    hier: Hierarchy,
-    now: u64,
-    next_seq: u64,
-    next_rob_seq: u64,
-    /// Event tracing enabled (CFD_TRACE env var, cached).
-    trace: bool,
-    halted: bool,
-    stats: CoreStats,
-    events: EventCounts,
-    pipe_trace: Option<PipeTrace>,
-    /// Armed fault injection, if any (see [`crate::fault`]).
-    fault: Option<FaultState>,
-    /// Post-mortem snapshot ring (empty unless `post_mortem_depth > 0`).
-    snap_ring: SnapRing,
-    /// Why fetch most recently failed to supply instructions: CPI-stack
-    /// attribution for empty-ROB cycles outside misprediction refill.
-    front_block: CpiComponent,
-    /// A recovery squashed the ROB and the corrected path has not reached
-    /// dispatch yet: empty-ROB cycles are misprediction penalty.
-    refill_after_recovery: bool,
-    /// Telemetry (registry/series/trace), when armed.
-    telemetry: Option<Box<TelemetryState>>,
+    p: Pipeline,
 }
 
 impl Core {
@@ -360,74 +97,21 @@ impl Core {
     /// [`CoreError::Config`] if the configured predictor name is unknown
     /// or a structural parameter is out of range.
     pub fn new(cfg: CoreConfig, program: Program, mem: MemImage) -> Result<Core, CoreError> {
-        if cfg.bq_size == 0 || cfg.vq_size == 0 || cfg.tq_size == 0 {
-            return Err(CoreError::Config("queue sizes must be non-zero".into()));
-        }
-        let qc = QueueConfig {
-            bq_size: cfg.bq_size,
-            vq_size: cfg.vq_size,
-            tq_size: cfg.tq_size,
-            tq_trip_bits: cfg.tq_trip_bits,
-        };
-        let oracle = Machine::with_queues(program.clone(), mem, qc);
-        let fetch_oracle = oracle.clone();
-        let predictor = predictor_by_name(&cfg.predictor)
-            .ok_or_else(|| CoreError::Config(format!("unknown predictor `{}`", cfg.predictor)))?;
-        Ok(Core {
-            program,
-            oracle,
-            fetch_oracle,
-            diverged_at: None,
-            fetch_pc: 0,
-            fetch_resume_at: 0,
-            fetch_halted: false,
-            btb: Btb::new(10, 4),
-            ras: Ras::new(16),
-            predictor,
-            confidence: ConfidenceEstimator::new(12, 15),
-            bq: FetchBq::new(cfg.bq_size),
-            tq: FetchTq::new(cfg.tq_size, cfg.tq_trip_bits),
-            vq: VqRenamer::new(cfg.vq_size),
-            front_q: VecDeque::new(),
-            icache: Cache::new(CacheConfig { size_bytes: 32 * 1024, ways: 8, block_bits: 6 }),
-            rename: RenameState::new(cfg.prf_size),
-            rob: VecDeque::new(),
-            iq_list: Vec::new(),
-            exec_list: Vec::new(),
-            store_list: VecDeque::new(),
-            iq_count: 0,
-            lsq_count: 0,
-            checkpoints_free: cfg.n_checkpoints,
-            hier: Hierarchy::new(cfg.hierarchy.clone()),
-            now: 0,
-            next_seq: 0,
-            next_rob_seq: 0,
-            trace: std::env::var_os("CFD_TRACE").is_some(),
-            halted: false,
-            stats: CoreStats::default(),
-            events: EventCounts::default(),
-            pipe_trace: None,
-            fault: None,
-            snap_ring: SnapRing::new(cfg.post_mortem_depth),
-            front_block: CpiComponent::Frontend,
-            refill_after_recovery: false,
-            telemetry: None,
-            cfg,
-        })
+        Ok(Core { p: Pipeline::new(cfg, program, mem)? })
     }
 
     /// Enables pipeline tracing for the first `limit` fetched instructions
     /// (see [`PipeTrace`]); the trace is returned in the [`RunReport`].
     #[must_use]
     pub fn with_pipe_trace(mut self, limit: usize) -> Self {
-        self.pipe_trace = Some(PipeTrace::new(limit));
+        self.p.pipe_trace = Some(PipeTrace::new(limit));
         self
     }
 
     /// Arms one deterministic fault injection (see [`crate::fault`]).
     #[must_use]
     pub fn with_fault(mut self, spec: FaultSpec) -> Self {
-        self.fault = Some(FaultState::new(spec));
+        self.p.fault = Some(FaultState::new(spec));
         self
     }
 
@@ -438,7 +122,7 @@ impl Core {
     /// every other report field is byte-identical with or without it.
     #[must_use]
     pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
-        self.telemetry = Some(Box::new(TelemetryState::new(cfg)));
+        self.p.telemetry = Some(Box::new(TelemetryState::new(cfg)));
         self
     }
 
@@ -469,50 +153,58 @@ impl Core {
         match self.run_inner(cycle_limit) {
             Ok(()) => Ok(self.into_report()),
             Err(error) => {
-                let mut post_mortem =
-                    format!("final state: {}\nlast {} cycles:\n", self.dump_state(), self.snap_ring.snaps().count());
-                post_mortem.push_str(&self.snap_ring.render());
-                let injection = self.fault.as_ref().and_then(|f| f.fired().cloned());
-                let telemetry = self
-                    .telemetry
-                    .take()
-                    .map(|t| TelemetryReport { registry: t.registry, series: t.series, trace: t.trace });
+                let mut post_mortem = format!(
+                    "final state: {}\nlast {} cycles:\n",
+                    self.p.dump_state(),
+                    self.p.snap_ring.snaps().count()
+                );
+                post_mortem.push_str(&self.p.snap_ring.render());
+                let injection = self.p.fault.as_ref().and_then(|f| f.fired().cloned());
+                let telemetry = self.p.telemetry.take().map(|t| TelemetryReport {
+                    registry: t.registry,
+                    series: t.series,
+                    trace: t.trace,
+                });
                 Err(Box::new(FailureReport { error, post_mortem, injection, telemetry }))
             }
         }
     }
 
+    /// The step loop: one iteration per cycle, stages in reverse pipeline
+    /// order so each stage observes the state the younger stages left at
+    /// the end of the previous cycle.
     fn run_inner(&mut self, cycle_limit: u64) -> Result<(), CoreError> {
+        let p = &mut self.p;
         let profile = std::env::var_os("CFD_PROF").is_some();
         let mut prof = [0u64; 5];
         let mut last_retired = (0u64, 0u64); // (cycle, count)
-        while !self.halted {
-            if self.now >= cycle_limit {
+        while !p.halted {
+            if p.now >= cycle_limit {
                 return Err(CoreError::CycleLimit(cycle_limit));
             }
-            if self.stats.retired != last_retired.1 {
-                last_retired = (self.now, self.stats.retired);
-            } else if self.now - last_retired.0 > self.cfg.watchdog_cycles {
-                return Err(CoreError::Deadlock { cycle: self.now, state: self.dump_state() });
+            if p.stats.retired != last_retired.1 {
+                last_retired = (p.now, p.stats.retired);
+            } else if p.now - last_retired.0 > p.cfg.watchdog_cycles {
+                return Err(CoreError::Deadlock { cycle: p.now, state: p.dump_state() });
             }
-            if self.cfg.post_mortem_depth > 0 {
-                self.snap_ring.push(self.cycle_snap());
+            if p.cfg.post_mortem_depth > 0 {
+                p.snap_ring.push(p.cycle_snap());
             }
-            let retired_before = self.stats.retired;
+            let retired_before = p.stats.retired;
             if profile {
                 let t0 = std::time::Instant::now();
-                self.commit()?;
+                p.commit()?;
                 let t1 = std::time::Instant::now();
-                if self.halted {
+                if p.halted {
                     break;
                 }
-                self.complete();
+                p.complete();
                 let t2 = std::time::Instant::now();
-                self.issue();
+                p.issue();
                 let t3 = std::time::Instant::now();
-                self.dispatch();
+                p.dispatch();
                 let t4 = std::time::Instant::now();
-                self.fetch()?;
+                p.fetch()?;
                 let t5 = std::time::Instant::now();
                 prof[0] += (t1 - t0).as_nanos() as u64;
                 prof[1] += (t2 - t1).as_nanos() as u64;
@@ -520,17 +212,17 @@ impl Core {
                 prof[3] += (t4 - t3).as_nanos() as u64;
                 prof[4] += (t5 - t4).as_nanos() as u64;
             } else {
-                self.commit()?;
-                if self.halted {
+                p.commit()?;
+                if p.halted {
                     break;
                 }
-                self.complete();
-                self.issue();
-                self.dispatch();
-                self.fetch()?;
+                p.complete();
+                p.issue();
+                p.dispatch();
+                p.fetch()?;
             }
-            self.account_cycle(retired_before);
-            self.now += 1;
+            p.account_cycle(retired_before);
+            p.now += 1;
         }
         if profile {
             eprintln!(
@@ -542,1685 +234,52 @@ impl Core {
     }
 
     /// Finalizes counters and packages the report (successful runs only).
-    fn into_report(mut self) -> RunReport {
-        self.hier.advance(self.now);
-        self.stats.cycles = self.now;
-        self.events.cycles = self.now;
+    fn into_report(self) -> RunReport {
+        let mut p = self.p;
+        p.hier.advance(p.now);
+        p.stats.cycles = p.now;
+        p.events.cycles = p.now;
         debug_assert!(
-            self.stats.cpi_stack().check(self.stats.cycles, self.cfg.width as u64).is_ok(),
+            p.stats.cpi_stack().check(p.stats.cycles, p.cfg.width as u64).is_ok(),
             "{}",
-            self.stats
-                .cpi_stack()
-                .check(self.stats.cycles, self.cfg.width as u64)
-                .err()
-                .unwrap_or_default()
+            p.stats.cpi_stack().check(p.stats.cycles, p.cfg.width as u64).err().unwrap_or_default()
         );
         // Final time-series row at the true end-of-run cycle (captures the
         // retirements of the halting cycle), unless one landed there.
-        self.final_sample();
-        let (l1, l2, l3) = self.hier.cache_stats();
-        self.events.l1d_accesses = l1.accesses;
-        self.events.l2_accesses = l2.accesses;
-        self.events.l3_accesses = l3.accesses;
-        self.events.dram_accesses = self.hier.level_counts[3];
-        self.events.btb_ops = self.btb.lookups;
-        let telemetry = self.telemetry.take().map(|mut t| {
+        p.final_sample();
+        let (l1, l2, l3) = p.hier.cache_stats();
+        p.events.l1d_accesses = l1.accesses;
+        p.events.l2_accesses = l2.accesses;
+        p.events.l3_accesses = l3.accesses;
+        p.events.dram_accesses = p.hier.level_counts[3];
+        p.events.btb_ops = p.btb.lookups;
+        let telemetry = p.telemetry.take().map(|mut t| {
             // Mirror the headline aggregates into the registry so its
             // rendering is self-contained.
-            t.registry.counter_add("core.cycles", self.stats.cycles);
-            t.registry.counter_add("core.retired", self.stats.retired);
-            t.registry.counter_add("core.fetched", self.stats.fetched);
-            t.registry.counter_add("core.mispredictions", self.stats.mispredictions);
-            t.registry.counter_add("core.retired_branches", self.stats.retired_branches);
+            t.registry.counter_add("core.cycles", p.stats.cycles);
+            t.registry.counter_add("core.retired", p.stats.retired);
+            t.registry.counter_add("core.fetched", p.stats.fetched);
+            t.registry.counter_add("core.mispredictions", p.stats.mispredictions);
+            t.registry.counter_add("core.retired_branches", p.stats.retired_branches);
+            // Scheduler-efficiency counters: readiness checks the
+            // event-driven scheduler actually performed, wakeup events it
+            // processed, and what a per-cycle polling scheduler would have
+            // scanned (`iq_count` summed over cycles). Host-side
+            // observability only — they never feed back into timing.
+            t.registry.counter_add("sched.ready_checks", p.sched_ready_checks);
+            t.registry.counter_add("sched.wakeup_events", p.sched_wakeup_events);
+            t.registry.counter_add("sched.poll_equiv", p.sched_poll_equiv);
             TelemetryReport { registry: t.registry, series: t.series, trace: t.trace }
         });
         RunReport {
-            stats: self.stats,
-            events: self.events,
+            stats: p.stats,
+            events: p.events,
             cache_stats: (l1, l2, l3),
-            mshr_histogram: self.hier.mshr_histogram().to_vec(),
-            level_counts: self.hier.level_counts,
-            pipe_trace: self.pipe_trace,
-            injection: self.fault.as_ref().and_then(|f| f.fired().cloned()),
+            mshr_histogram: p.hier.mshr_histogram().to_vec(),
+            level_counts: p.hier.level_counts,
+            pipe_trace: p.pipe_trace,
+            injection: p.fault.as_ref().and_then(|f| f.fired().cloned()),
             telemetry,
         }
-    }
-
-    // ------------------------------------------------------------------
-    // CPI-stack accounting + telemetry sampling
-    // ------------------------------------------------------------------
-
-    /// Attributes this cycle's `width` retire slots: one Base slot per
-    /// instruction retired this cycle, all remaining slots to the single
-    /// blocking cause [`Core::idle_cause`] identifies. Runs at the end of
-    /// every counted cycle (the halting cycle is neither counted in
-    /// `cycles` nor accounted here), so the components sum to exactly
-    /// `cycles × width`.
-    fn account_cycle(&mut self, retired_before: u64) {
-        let width = self.cfg.width as u64;
-        let r = (self.stats.retired - retired_before).min(width);
-        self.stats.cpi_slots[CpiComponent::Base.index()] += r;
-        let idle = width - r;
-        if idle > 0 {
-            let cause = self.idle_cause();
-            self.stats.cpi_slots[cause.index()] += idle;
-        }
-        if self.telemetry.is_some() {
-            self.sample_telemetry(self.now + 1, false);
-        }
-    }
-
-    /// The single component charged for this cycle's idle retire slots,
-    /// classified from the end-of-cycle ROB head (or its absence).
-    fn idle_cause(&self) -> CpiComponent {
-        if let Some(head) = self.rob.front() {
-            // A resolved speculative BQ pop waiting for its late push.
-            if head.done && !head.verified {
-                return CpiComponent::CfdStall;
-            }
-            // A load in (or just out of) flight: charge the furthest
-            // memory level feeding it.
-            if matches!(head.instr, Instr::Load { .. }) && head.issued {
-                match head.taint {
-                    Some(MemLevel::L1) => return CpiComponent::MemL1,
-                    Some(MemLevel::L2) => return CpiComponent::MemL2,
-                    Some(MemLevel::L3) => return CpiComponent::MemL3,
-                    Some(MemLevel::Mem) => return CpiComponent::MemDram,
-                    None => {}
-                }
-            }
-            CpiComponent::Backend
-        } else if self.refill_after_recovery {
-            CpiComponent::Mispredict
-        } else {
-            // Pipeline fill: whatever last blocked fetch (a CFD queue
-            // stall or a plain front-end bubble).
-            self.front_block
-        }
-    }
-
-    /// Pushes one time-series row stamped `cycle` when due (or `force`d).
-    fn sample_telemetry(&mut self, cycle: u64, force: bool) {
-        let due = match &self.telemetry {
-            Some(t) => t.cfg.sample_interval > 0 && (force || cycle >= t.next_sample),
-            None => false,
-        };
-        if !due {
-            return;
-        }
-        let (l1, l2, l3) = self.hier.cache_stats();
-        let bq = self.bq.length();
-        let vq = self.vq.length();
-        let tq = self.tq.length();
-        let rob = self.rob.len() as u64;
-        let mut row = vec![
-            cycle,
-            self.stats.retired,
-            self.stats.fetched,
-            self.stats.mispredictions,
-            self.stats.retired_branches,
-            rob,
-            self.iq_count as u64,
-            self.lsq_count as u64,
-            self.front_q.len() as u64,
-            bq,
-            vq,
-            tq,
-            l1.accesses,
-            l1.hits,
-            l2.accesses,
-            l2.hits,
-            l3.accesses,
-            l3.hits,
-        ];
-        row.extend_from_slice(&self.stats.cpi_slots);
-        let t = self.telemetry.as_mut().expect("checked above");
-        t.series.push_row(row);
-        let step = t.cfg.sample_interval.max(1);
-        while t.next_sample <= cycle {
-            t.next_sample += step;
-        }
-        if t.trace.is_enabled() {
-            t.trace.counter(
-                "occupancy",
-                "pipe",
-                cycle,
-                0,
-                vec![("bq", bq.into()), ("vq", vq.into()), ("tq", tq.into()), ("rob", rob.into())],
-            );
-        }
-    }
-
-    /// Final series row at end of run, skipped if sampling already landed
-    /// exactly there.
-    fn final_sample(&mut self) {
-        let need = match &self.telemetry {
-            Some(t) => {
-                t.cfg.sample_interval > 0 && t.series.rows.last().is_none_or(|r| r[0] != self.now)
-            }
-            None => false,
-        };
-        if need {
-            self.sample_telemetry(self.now, true);
-        }
-    }
-
-    /// One post-mortem ring entry for the current cycle.
-    fn cycle_snap(&self) -> CycleSnap {
-        CycleSnap {
-            cycle: self.now,
-            fetch_pc: self.fetch_pc,
-            retired: self.stats.retired,
-            rob: self.rob.len(),
-            iq: self.iq_count,
-            lsq: self.lsq_count,
-            front_q: self.front_q.len(),
-            bq_len: self.bq.length(),
-            tq_len: self.tq.length(),
-            tcr: self.tq.tcr,
-            free_regs: self.rename.free_regs(),
-            ckpt_free: self.checkpoints_free,
-        }
-    }
-
-    /// Visits a fault-injection site: returns the armed fault's kind when
-    /// it fires at this visit (see [`crate::fault`]).
-    fn fault_at(&mut self, site: FaultSite) -> Option<FaultKind> {
-        let fired = self.fault.as_mut()?.visit(site, self.now);
-        if let Some(kind) = fired {
-            self.stats.faults_injected += 1;
-            if let Some(t) = &mut self.telemetry {
-                t.trace.instant(
-                    "fault",
-                    "fault",
-                    self.now,
-                    0,
-                    0,
-                    vec![("site", format!("{site:?}").into()), ("kind", format!("{kind:?}").into())],
-                );
-            }
-        }
-        fired
-    }
-
-    /// Whether the armed fault has fired by now (recovery attribution).
-    fn fault_has_fired(&self) -> bool {
-        self.fault.as_ref().is_some_and(|f| f.fired().is_some())
-    }
-
-    /// Branch PC as presented to predictor structures: instruction indices
-    /// are word-granular, but the predictor/confidence hash functions expect
-    /// byte-granular PCs (`pc >> 2` etc.), so scale by 4 to avoid aliasing
-    /// adjacent branches.
-    #[inline]
-    fn bpc(pc: u32) -> u64 {
-        (pc as u64) << 2
-    }
-
-    /// ROB index of the instruction with dense ordinal `rob_seq`.
-    #[inline]
-    fn rob_idx(&self, rob_seq: u64) -> Option<usize> {
-        let front = self.rob.front()?.rob_seq;
-        let idx = rob_seq.checked_sub(front)? as usize;
-        (idx < self.rob.len()).then_some(idx)
-    }
-
-    /// Records a finished (retired or squashed) instruction into the trace.
-    fn trace_record(&mut self, e: &DynInst, retired: Option<u64>) {
-        if let Some(t) = &mut self.pipe_trace {
-            if t.accepting() && e.seq < u64::MAX {
-                t.record(PipeEvent {
-                    seq: e.seq,
-                    pc: e.pc,
-                    disasm: e.instr.to_string(),
-                    fetch: e.t_fetch,
-                    dispatch: e.dispatched.then_some(e.t_dispatch),
-                    issue: e.issued.then_some(e.t_issue),
-                    complete: e.done.then_some(e.t_complete),
-                    retire: retired,
-                    squashed: retired.is_none(),
-                });
-            }
-        }
-    }
-
-    /// One-line pipeline state summary for deadlock diagnostics.
-    fn dump_state(&self) -> String {
-        let head = self.rob.front().map(|e| {
-            format!(
-                "head seq={} pc={} `{}` disp={} issued={} done={} verified={} spec_pop={} bq_abs={:?}",
-                e.seq, e.pc, e.instr, e.dispatched, e.issued, e.done, e.verified, e.spec_pop, e.bq_abs
-            )
-        });
-        format!(
-            "rob={} iq={} lsq={} front_q={} fetch_pc={} fetch_halted={} resume_at={} diverged={:?}              bq[h={} t={} net={} pend={}] tq[h={} t={} tcr={}] vq[h={} t={}] free_regs={} | {:?}",
-            self.rob.len(),
-            self.iq_count,
-            self.lsq_count,
-            self.front_q.len(),
-            self.fetch_pc,
-            self.fetch_halted,
-            self.fetch_resume_at,
-            self.diverged_at,
-            self.bq.head,
-            self.bq.tail,
-            self.bq.net_push_ctr,
-            self.bq.pending_push_ctr,
-            self.tq.head,
-            self.tq.tail,
-            self.tq.tcr,
-            self.vq.head,
-            self.vq.tail,
-            self.rename.free_regs(),
-            head
-        ) + &format!(
-            " | front_head: {:?} vq_net={} vq_pend={} bq_len={} ckpt_free={}",
-            self.front_q.front().map(|e| format!("seq={} pc={} `{}` disp_at={}", e.seq, e.pc, e.instr, e.dispatch_at)),
-            self.vq.net_ctr,
-            self.vq.pending_ctr,
-            self.bq.length(),
-            self.checkpoints_free
-        )
-    }
-
-    // ------------------------------------------------------------------
-    // Commit
-    // ------------------------------------------------------------------
-
-    fn commit(&mut self) -> Result<(), CoreError> {
-        for _ in 0..self.cfg.width {
-            let Some(head) = self.rob.front() else { return Ok(()) };
-            if !head.dispatched || !head.done || !head.verified {
-                return Ok(());
-            }
-            // Deferred (retirement-time) misprediction recovery.
-            if head.mispredict && head.recover_at_retire {
-                self.stats.retire_recoveries += 1;
-                self.recover_at(0);
-            }
-            let mut e = self.rob.pop_front().expect("head exists");
-            self.trace_record(&e, Some(self.now));
-
-            // Oracle cross-check: the retired stream must match functional
-            // execution exactly.
-            if self.cfg.verify_retirement {
-                let opc = self.oracle.pc();
-                if opc != e.pc {
-                    return Err(CoreError::OracleMismatch { seq: e.seq, core_pc: e.pc, oracle_pc: opc });
-                }
-            }
-            self.oracle.step(&mut NullSink).map_err(|err| CoreError::Program(err.to_string()))?;
-
-            // Architectural queue high-water marks, sampled on the committed
-            // (oracle) state so speculation never inflates them. cfd-harden
-            // checks these against the static bounds from cfd-lint.
-            self.stats.max_bq_occupancy = self.stats.max_bq_occupancy.max(self.oracle.bq.len() as u64);
-            self.stats.max_vq_occupancy = self.stats.max_vq_occupancy.max(self.oracle.vq.len() as u64);
-            self.stats.max_tq_occupancy = self.stats.max_tq_occupancy.max(self.oracle.tq.len() as u64);
-            // The registry gauges sample the same committed state at the
-            // same point, so each gauge's high-water mark equals the
-            // `max_*_occupancy` counter above by construction.
-            if let Some(t) = &mut self.telemetry {
-                t.registry.gauge_set("core.bq_occupancy", self.oracle.bq.len() as u64);
-                t.registry.gauge_set("core.vq_occupancy", self.oracle.vq.len() as u64);
-                t.registry.gauge_set("core.tq_occupancy", self.oracle.tq.len() as u64);
-            }
-
-            self.stats.retired += 1;
-            self.events.rob_ops += 1;
-            if e.in_lsq {
-                self.lsq_count -= 1;
-            }
-            if let Some(prev) = e.prev_phys {
-                self.rename.free_phys(prev);
-            }
-            match e.instr {
-                Instr::PushBq { .. } => self.bq.retire_push(),
-                Instr::BranchOnBq { .. } => {
-                    self.bq.retire_pop();
-                    self.events.bq_ops += 1;
-                }
-                Instr::MarkBq => self.bq.retire_mark(),
-                Instr::ForwardBq => self.bq.retire_forward(),
-                Instr::PushVq { .. } => self.vq.retire_push(),
-                Instr::PopVq { .. } => {
-                    self.vq.retire_pop();
-                    // The push's physical register is freed when the pop
-                    // that references it retires (§IV-B).
-                    if let Some(p) = e.vq_free {
-                        self.rename.free_phys(p);
-                    }
-                }
-                Instr::PushTq { .. } => self.tq.retire_push(),
-                Instr::PopTq | Instr::PopTqBrOvf { .. } => self.tq.retire_pop(e.tq_loaded_tcr),
-                Instr::BranchOnTcr { .. } => {
-                    if e.fetch_taken == Some(true) {
-                        self.tq.retire_tcr_decrement();
-                    }
-                    self.events.tq_ops += 1;
-                }
-                Instr::Store { .. } => {
-                    // The oracle step above performed the store on committed
-                    // memory; charge the cache access here (store buffer
-                    // drains at retirement). Under MSHR saturation the fill
-                    // is dropped rather than retried — a deliberate
-                    // store-buffer simplification: correctness lives in the
-                    // oracle memory, and retirement never stalls on stores.
-                    if let Some(addr) = e.eff_addr {
-                        self.hier.access(e.pc as u64 * 4, addr, true, self.now);
-                    }
-                    debug_assert_eq!(self.store_list.front(), Some(&e.rob_seq));
-                    self.store_list.pop_front();
-                }
-                Instr::Halt => {
-                    self.halted = true;
-                }
-                _ => {}
-            }
-
-            // Branch bookkeeping + predictor training.
-            if e.fetch_taken.is_some() || matches!(e.instr, Instr::Jr { .. }) {
-                self.retire_branch(&mut e);
-            }
-            if e.has_checkpoint {
-                self.checkpoints_free += 1;
-            }
-            if self.halted {
-                return Ok(());
-            }
-        }
-        Ok(())
-    }
-
-    fn retire_branch(&mut self, e: &mut DynInst) {
-        let taken = e.resolved_taken.or(e.fetch_taken).unwrap_or(false);
-        if e.instr.is_conditional() {
-            self.stats.retired_branches += 1;
-        }
-        let stat = self.stats.branches.entry(e.pc).or_default();
-        stat.executed += 1;
-        if taken {
-            stat.taken += 1;
-        }
-        if e.mispredict {
-            stat.mispredicted += 1;
-            stat.mispredicted_by_level[level_index(e.taint)] += 1;
-            self.stats.mispredictions += 1;
-        }
-        if let Some(meta) = &e.pred_meta {
-            self.predictor.train(Self::bpc(e.pc), taken, meta);
-            self.events.bpred_ops += 1;
-        }
-        if e.instr.is_plain_conditional() {
-            self.confidence.update(Self::bpc(e.pc), !e.mispredict);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Complete (writeback / resolve)
-    // ------------------------------------------------------------------
-
-    fn complete(&mut self) {
-        // Collect completions oldest-first (recovery squashes younger ones).
-        let mut completions: Vec<u64> = Vec::new();
-        for &seq in &self.exec_list {
-            if let Some(i) = self.rob_idx(seq) {
-                if self.rob[i].ready_at <= self.now {
-                    completions.push(seq);
-                }
-            }
-        }
-        if completions.is_empty() {
-            return;
-        }
-        completions.sort_unstable();
-        // Entries leave exec_list only once actually completed: a recovery
-        // can abort this loop while *older* survivors (e.g. instructions
-        // between a late push and its speculative pop) are still pending —
-        // they must be re-collected next cycle.
-        let mut done_seqs: Vec<u64> = Vec::with_capacity(completions.len());
-        let mut truncated = false;
-        for seq in completions {
-            if truncated {
-                break;
-            }
-            let Some(i) = self.rob_idx(seq) else { continue };
-            if !(self.rob[i].issued && !self.rob[i].done && self.rob[i].ready_at <= self.now) {
-                continue;
-            }
-            self.rob[i].done = true;
-            self.rob[i].t_complete = self.now;
-            done_seqs.push(seq);
-            let instr = self.rob[i].instr;
-            match instr {
-                Instr::Branch { .. } | Instr::Jr { .. }
-                    if self.resolve_branch(i) => {
-                        // Immediate recovery truncated the ROB.
-                        truncated = true;
-                    }
-                Instr::PushBq { .. }
-                    if self.execute_push_bq(i) => {
-                        truncated = true;
-                    }
-                Instr::PushTq { .. } => {
-                    let abs = self.rob[i].tq_abs.expect("tq push has index");
-                    let src = self.rob[i].psrc1.expect("tq push has source");
-                    let mut v = self.rename.read(src);
-                    // Fault injection at the TQ write port: an off-by-one
-                    // trip count makes `Branch_on_TCR` run the loop a wrong
-                    // number of times (oracle mismatch at retire).
-                    if self.fault_at(FaultSite::TqExecutePush) == Some(FaultKind::TqCorrupt) {
-                        v = v.wrapping_add(1);
-                    }
-                    self.tq.execute_push(abs, v);
-                    self.events.tq_ops += 1;
-                }
-                _ => {}
-            }
-        }
-        self.exec_list.retain(|s| !done_seqs.contains(s));
-    }
-
-    /// Resolves a plain branch or indirect jump at ROB index `i`. Returns
-    /// true if an immediate recovery truncated the ROB.
-    fn resolve_branch(&mut self, i: usize) -> bool {
-        let e = &self.rob[i];
-        let (actual_taken, actual_target) = match e.instr {
-            Instr::Branch { cond, target, .. } => {
-                let a = self.rename.read(e.psrc1.expect("branch src1"));
-                let b = self.rename.read(e.psrc2.expect("branch src2"));
-                let t = eval_branch(cond, a, b);
-                (t, if t { target } else { e.pc + 1 })
-            }
-            Instr::Jr { .. } => {
-                let t = self.rename.read(e.psrc1.expect("jr src")) as u32;
-                (true, t)
-            }
-            _ => unreachable!("resolve_branch on non-branch"),
-        };
-        let taint = {
-            let mut t = None;
-            if let Some(p) = e.psrc1 {
-                t = join_taint(t, self.rename.taint(p));
-            }
-            if let Some(p) = e.psrc2 {
-                t = join_taint(t, self.rename.taint(p));
-            }
-            t
-        };
-        let predicted_target = e.fetch_target;
-        let mispredicted = match e.instr {
-            // A branch targeting its own fall-through has a single successor:
-            // a wrong direction cannot take fetch down a wrong path, and the
-            // fetch oracle (which tracks the *path*) never diverges on it.
-            Instr::Branch { target, .. } => e.fetch_taken != Some(actual_taken) && target != e.pc + 1,
-            _ => predicted_target != actual_target,
-        };
-        let idx = i;
-        {
-            let e = &mut self.rob[idx];
-            e.resolved_taken = Some(actual_taken);
-            e.taint = taint;
-        }
-        if mispredicted {
-            self.rob[idx].mispredict = true;
-            let truncated = self.begin_recovery(idx, actual_target, actual_taken);
-            // OoO checkpoint reclamation: the checkpoint was consumed by the
-            // recovery (or was never held); release it now, not at retire.
-            self.release_checkpoint(idx);
-            truncated
-        } else {
-            // Correctly-predicted branch: its checkpoint is no longer needed
-            // (aggressive OoO reclamation, the paper's best policy, §VI).
-            self.release_checkpoint(idx);
-            false
-        }
-    }
-
-    /// Frees the checkpoint held by the ROB entry at `idx`, if any.
-    fn release_checkpoint(&mut self, idx: usize) {
-        if self.rob[idx].has_checkpoint {
-            self.rob[idx].has_checkpoint = false;
-            self.checkpoints_free += 1;
-        }
-    }
-
-    /// Executes a `Push_BQ` at ROB index `i`; handles late-push
-    /// verification. Returns true if recovery truncated the ROB.
-    fn execute_push_bq(&mut self, i: usize) -> bool {
-        let e = &self.rob[i];
-        let abs = e.bq_abs.expect("bq push has index");
-        let src = e.psrc1.expect("bq push has source");
-        let mut predicate = self.rename.read(src) != 0;
-        let taint = self.rename.taint(src);
-        // Fault injection at the BQ write port: a corrupted predicate
-        // steers the pop down the wrong path (oracle mismatch at retire);
-        // a dropped write leaves the pop unverifiable (watchdog trip).
-        match self.fault_at(FaultSite::BqExecutePush) {
-            Some(FaultKind::BqCorrupt) => predicate = !predicate,
-            Some(FaultKind::BqDrop) => return false,
-            _ => {}
-        }
-        self.events.bq_ops += 1;
-        let r = self.bq.execute_push_tainted(abs, predicate, level_index(taint) as u8);
-        if self.trace {
-            eprintln!("[{}] EXEC_PUSH seq={} abs={} pred={} result={:?}", self.now, self.rob[i].seq, abs, predicate, r);
-        }
-        let Some((pop_seq, spec_pred)) = r else {
-            return false;
-        };
-        // Late push: find the speculative pop and verify it.
-        let Some(pop_idx) = self.rob.iter().position(|x| x.seq == pop_seq) else {
-            return false; // the pop was squashed
-        };
-        {
-            let pop = &mut self.rob[pop_idx];
-            pop.verified = true;
-            pop.taint = taint;
-        }
-        if spec_pred == predicate {
-            self.release_checkpoint(pop_idx);
-            return false;
-        }
-        let actual_taken = !predicate;
-        let taken_target = match self.rob[pop_idx].instr {
-            Instr::BranchOnBq { target } => target,
-            _ => unreachable!("spec pop is a Branch_on_BQ"),
-        };
-        // Degenerate pop (taken target == fall-through): the predicate was
-        // wrong but both directions continue at the same PC, so the fetched
-        // path is already correct — no squash, and the fetch oracle (which
-        // never diverged) must not be rewound.
-        if taken_target == self.rob[pop_idx].pc + 1 {
-            self.rob[pop_idx].resolved_taken = Some(actual_taken);
-            self.release_checkpoint(pop_idx);
-            return false;
-        }
-        // Speculation failed: the pop's direction flips (taken = !predicate).
-        self.stats.bq_spec_recoveries += 1;
-        let target = if actual_taken { taken_target } else { self.rob[pop_idx].pc + 1 };
-        self.rob[pop_idx].mispredict = true;
-        self.rob[pop_idx].resolved_taken = Some(actual_taken);
-        let truncated = self.begin_recovery(pop_idx, target, actual_taken);
-        self.release_checkpoint(pop_idx);
-        truncated
-    }
-
-    /// Starts recovery for the mispredicted instruction at ROB index `i`:
-    /// immediately when it holds a checkpoint, else deferred to retirement.
-    /// Returns true when the ROB was truncated now.
-    fn begin_recovery(&mut self, i: usize, _target: u32, _actual_taken: bool) -> bool {
-        if self.fault_has_fired() {
-            self.stats.post_fault_recoveries += 1;
-        }
-        if self.rob[i].has_checkpoint {
-            self.stats.immediate_recoveries += 1;
-            self.events.checkpoint_ops += 1;
-            self.recover_at(i);
-            true
-        } else {
-            self.rob[i].recover_at_retire = true;
-            false
-        }
-    }
-
-    /// Squashes everything younger than ROB index `i` and restores front-end
-    /// state from its snapshot; fetch resumes at the corrected target.
-    fn recover_at(&mut self, i: usize) {
-        let squashed = (self.rob.len() - (i + 1)) as u64 + self.front_q.len() as u64;
-        // Squash the front pipe entirely (younger than everything in ROB),
-        // returning any checkpoints its branches hold.
-        for e in &self.front_q {
-            if e.has_checkpoint {
-                self.checkpoints_free += 1;
-            }
-        }
-        self.front_q.clear();
-        // Walk youngest -> oldest undoing renames.
-        while self.rob.len() > i + 1 {
-            let mut victim = self.rob.pop_back().expect("len > i+1");
-            self.squash_entry(&mut victim);
-        }
-        let max_rob_seq = self.rob.back().expect("recovery target survives").rob_seq;
-        self.next_rob_seq = max_rob_seq + 1;
-        self.iq_list.retain(|&s| s <= max_rob_seq);
-        self.exec_list.retain(|&s| s <= max_rob_seq);
-        self.store_list.retain(|&s| s <= max_rob_seq);
-        let (snap, pc, seq, instr, resolved_taken, psrc1, pred_meta) = {
-            let e = &self.rob[i];
-            (
-                e.snapshot.as_ref().expect("recovering instruction has a snapshot").clone(),
-                e.pc,
-                e.seq,
-                e.instr,
-                e.resolved_taken,
-                e.psrc1,
-                e.pred_meta.clone(),
-            )
-        };
-        if self.trace {
-            eprintln!("[{}] BQ_RECOVER to snap head={} tail={} (was h={} t={})", self.now, snap.bq.head, snap.bq.tail, self.bq.head, self.bq.tail);
-        }
-        self.bq.recover(&snap.bq);
-        self.tq.recover(&snap.tq);
-        // The VQ renamer was already repaired by the squash walk (it is a
-        // rename-stage structure; fetch-time snapshots do not apply).
-        self.ras.restore(&snap.ras);
-
-        // Predictor history rewinds to this branch and learns the outcome.
-        if let Some(meta) = pred_meta {
-            self.predictor.recover(Self::bpc(pc), resolved_taken.unwrap_or(false), &meta);
-        }
-
-        // Correct next PC.
-        let target = match instr {
-            Instr::Branch { target, .. } | Instr::BranchOnBq { target } => {
-                if resolved_taken == Some(true) {
-                    target
-                } else {
-                    pc + 1
-                }
-            }
-            Instr::Jr { .. } => self.rename.read(psrc1.expect("jr src")) as u32,
-            _ => pc + 1,
-        };
-        self.fetch_pc = target;
-        self.fetch_resume_at = self.now + 1;
-        self.fetch_halted = false;
-        self.refill_after_recovery = true;
-        if let Some(t) = &mut self.telemetry {
-            t.registry.counter_add("core.recoveries", 1);
-            t.registry.histogram_record("core.squash_depth", squashed);
-            t.trace.instant(
-                "recovery",
-                "pipe",
-                self.now,
-                0,
-                0,
-                vec![
-                    ("pc", (pc as u64).into()),
-                    ("seq", seq.into()),
-                    ("target", (target as u64).into()),
-                    ("squashed", squashed.into()),
-                ],
-            );
-        }
-        if self.trace {
-            eprintln!("[{}] RECOVER seq={} pc={} `{}` -> target {} (diverged={:?})", self.now, seq, pc, instr, target, self.diverged_at);
-        }
-
-        // Resynchronize the fetch oracle when the diverging instruction
-        // itself recovers.
-        if self.diverged_at == Some(seq) {
-            self.diverged_at = None;
-            debug_assert_eq!(self.fetch_oracle.pc(), target, "fetch oracle resync mismatch");
-        } else if self.diverged_at.is_none() && self.fetch_oracle.pc() != target {
-            // A "recovery" that leaves the oracle's path can only come from
-            // corrupted state (fault injection): an on-path branch resolved
-            // with a wrong value. Mark fetch as diverged so the retirement
-            // oracle reports the mismatch instead of the fetch-side
-            // divergence tracker asserting.
-            debug_assert!(self.fault.is_some(), "off-oracle recovery without fault injection");
-            self.diverged_at = Some(seq);
-        }
-    }
-
-    fn squash_entry(&mut self, victim: &mut DynInst) {
-        self.trace_record(victim, None);
-        if victim.in_iq && !victim.issued {
-            self.iq_count -= 1;
-        }
-        if victim.in_lsq {
-            self.lsq_count -= 1;
-        }
-        if victim.has_checkpoint {
-            self.checkpoints_free += 1;
-        }
-        match victim.instr {
-            Instr::PushVq { .. } => {
-                // No RMT update; roll the VQ renamer tail back and return
-                // the mapping's register.
-                self.vq.unrename_push();
-                if let Some(p) = victim.pdest {
-                    self.rename.free_phys(p);
-                }
-            }
-            Instr::PopVq { .. } => {
-                self.vq.unrename_pop();
-                if let (Some(rd), Some(p), Some(prev)) = (victim.instr.dest(), victim.pdest, victim.prev_phys) {
-                    self.rename.unrename(rd, p, prev);
-                }
-            }
-            _ => {
-                if let (Some(rd), Some(p), Some(prev)) = (victim.instr.dest(), victim.pdest, victim.prev_phys) {
-                    self.rename.unrename(rd, p, prev);
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Issue / execute
-    // ------------------------------------------------------------------
-
-    fn issue(&mut self) {
-        let mut issued = 0usize;
-        let mut alu = 0usize;
-        let mut complex = 0usize;
-        let mut loads = 0usize;
-        let mut stores = 0usize;
-        let mut branches = 0usize;
-        let now = self.now;
-
-        let mut issued_seqs: Vec<u64> = Vec::new();
-        for li in 0..self.iq_list.len() {
-            if issued >= self.cfg.issue_width {
-                break;
-            }
-            let seq = self.iq_list[li];
-            let Some(i) = self.rob_idx(seq) else { continue };
-            let e = &self.rob[i];
-            debug_assert!(e.dispatched && !e.issued && e.needs_backend());
-            // Source readiness. Stores issue on address readiness alone
-            // (split agen/data, like a real LSQ): the data may arrive later
-            // and is checked at forwarding/retire time.
-            let is_store = matches!(e.instr, Instr::Store { .. });
-            let ready = e.psrc1.is_none_or(|p| self.rename.is_ready(p, now))
-                && (is_store || e.psrc2.is_none_or(|p| self.rename.is_ready(p, now)));
-            if !ready {
-                continue;
-            }
-            // FU availability.
-            let fu_ok = match e.instr {
-                Instr::Alu { op, .. } if op.is_complex() => complex < self.cfg.n_complex,
-                Instr::Alu { .. }
-                | Instr::Li { .. }
-                | Instr::PushBq { .. }
-                | Instr::PushVq { .. }
-                | Instr::PopVq { .. }
-                | Instr::PushTq { .. } => alu < self.cfg.n_alu,
-                Instr::Load { .. } | Instr::Prefetch { .. } => loads < self.cfg.n_load_ports,
-                Instr::Store { .. } => stores < self.cfg.n_store_ports,
-                Instr::Branch { .. } | Instr::Jr { .. } => branches < self.cfg.n_branch_units,
-                _ => true,
-            };
-            if !fu_ok {
-                continue;
-            }
-            // Loads: conservative disambiguation (all older stores have
-            // computed addresses; exact-match forwarding; partial overlap
-            // waits for the store to drain).
-            if matches!(e.instr, Instr::Load { .. }) && !self.load_may_issue(i) {
-                continue;
-            }
-
-            // Issue.
-            match self.rob[i].instr {
-                Instr::Alu { op, .. } if op.is_complex() => complex += 1,
-                Instr::Alu { .. }
-                | Instr::Li { .. }
-                | Instr::PushBq { .. }
-                | Instr::PushVq { .. }
-                | Instr::PopVq { .. }
-                | Instr::PushTq { .. } => alu += 1,
-                Instr::Load { .. } | Instr::Prefetch { .. } => loads += 1,
-                Instr::Store { .. } => stores += 1,
-                Instr::Branch { .. } | Instr::Jr { .. } => branches += 1,
-                _ => {}
-            }
-            if !self.execute_at(i) {
-                // Transient structural refusal (e.g. MSHRs full): retry.
-                match self.rob[i].instr {
-                    Instr::Load { .. } | Instr::Prefetch { .. } => loads -= 1,
-                    _ => {}
-                }
-                continue;
-            }
-            issued += 1;
-            self.stats.issued += 1;
-            issued_seqs.push(seq);
-            self.exec_list.push(seq);
-            if self.rob[i].on_wrong_path {
-                self.stats.wrong_path_issued += 1;
-            }
-            self.events.iq_wakeups += 1;
-            if self.rob[i].in_iq {
-                self.rob[i].in_iq = false;
-                self.iq_count -= 1;
-            }
-        }
-        if !issued_seqs.is_empty() {
-            self.iq_list.retain(|s| !issued_seqs.contains(s));
-        }
-    }
-
-    /// Computes the instruction at ROB index `i` and schedules its
-    /// completion. Returns false when a structural resource (MSHR) refused
-    /// it this cycle.
-    fn execute_at(&mut self, i: usize) -> bool {
-        let now = self.now;
-        let (instr, pc, psrc1, psrc2) = {
-            let e = &self.rob[i];
-            (e.instr, e.pc, e.psrc1, e.psrc2)
-        };
-        let v1 = psrc1.map(|p| self.rename.read(p)).unwrap_or(0);
-        let v2 = psrc2.map(|p| self.rename.read(p)).unwrap_or(0);
-        let t1 = psrc1.and_then(|p| self.rename.taint(p));
-        let t2 = psrc2.and_then(|p| self.rename.taint(p));
-        let in_taint = join_taint(t1, t2);
-        self.events.regfile_reads += psrc1.is_some() as u64 + psrc2.is_some() as u64;
-
-        let mut value = 0i64;
-        let mut out_taint = in_taint;
-        let latency: u64;
-        match instr {
-            Instr::Alu { op, src2, .. } => {
-                let b = match src2 {
-                    Src2::Reg(_) => v2,
-                    Src2::Imm(imm) => imm,
-                };
-                value = eval_alu(op, v1, b);
-                latency = if op.is_complex() {
-                    self.events.alu_complex += 1;
-                    if matches!(op, cfd_isa::AluOp::Div | cfd_isa::AluOp::Rem) {
-                        20
-                    } else {
-                        3
-                    }
-                } else {
-                    self.events.alu_simple += 1;
-                    1
-                };
-            }
-            Instr::Li { imm, .. } => {
-                value = imm;
-                out_taint = None;
-                latency = 1;
-                self.events.alu_simple += 1;
-            }
-            Instr::Load { offset, width, signed, .. } => {
-                let addr = (v1 as u64).wrapping_add(offset as u64);
-                self.events.lsq_ops += 1;
-                // Store-to-load forwarding.
-                match self.forwarding_source(i, addr, width) {
-                    ForwardState::Forward { data, taint } => {
-                        self.stats.lsq_forwards += 1;
-                        value = extract(data, width, signed);
-                        // The forwarded value carries the store data's taint.
-                        out_taint = join_taint(in_taint, taint);
-                        latency = 2;
-                    }
-                    ForwardState::Memory => {
-                        let res = self.hier.access(pc as u64 * 4, addr, false, now);
-                        if res.mshr_full {
-                            return false;
-                        }
-                        value = self.oracle.mem.read(addr, width, signed);
-                        out_taint = join_taint(in_taint, Some(res.level));
-                        // Fault injection: a delayed memory response is a
-                        // timing-only perturbation and must be masked.
-                        let extra = match self.fault_at(FaultSite::LoadAccess) {
-                            Some(FaultKind::MemDelay(n)) => n,
-                            _ => 0,
-                        };
-                        latency = res.latency as u64 + extra;
-                    }
-                    ForwardState::MustWait => unreachable!("checked by load_may_issue"),
-                }
-                self.rob[i].eff_addr = Some(addr);
-            }
-            Instr::Prefetch { offset, .. } => {
-                let addr = (v1 as u64).wrapping_add(offset as u64);
-                let res = self.hier.access(pc as u64 * 4, addr, false, now);
-                if res.mshr_full {
-                    return false;
-                }
-                self.rob[i].eff_addr = Some(addr);
-                latency = 1; // non-binding: completes immediately
-                self.events.lsq_ops += 1;
-            }
-            Instr::Store { offset, .. } => {
-                // Address generation only; data is read from the PRF when a
-                // load forwards from this store (or implicitly at retire via
-                // the oracle).
-                let addr = (v1 as u64).wrapping_add(offset as u64);
-                self.rob[i].eff_addr = Some(addr);
-                latency = 1;
-                self.events.lsq_ops += 1;
-            }
-            Instr::Branch { .. } | Instr::Jr { .. } => {
-                latency = 1;
-                self.events.alu_simple += 1;
-            }
-            Instr::PushBq { .. } | Instr::PushTq { .. } => {
-                latency = 1;
-                self.events.alu_simple += 1;
-            }
-            Instr::PushVq { .. } => {
-                value = v1;
-                latency = 1;
-                self.events.alu_simple += 1;
-                self.events.vq_ops += 1;
-            }
-            Instr::PopVq { .. } => {
-                value = v1;
-                latency = 1;
-                self.events.alu_simple += 1;
-                self.events.vq_ops += 1;
-            }
-            _ => unreachable!("execute_at on a fetch-resolved instruction"),
-        }
-
-        let e = &mut self.rob[i];
-        e.issued = true;
-        e.t_issue = now;
-        e.ready_at = now + latency;
-        e.taint = out_taint;
-        if let Some(p) = e.pdest {
-            self.rename.write(p, value, e.ready_at, out_taint);
-            self.events.regfile_writes += 1;
-        }
-        true
-    }
-
-    /// Whether the load at ROB index `i` may issue under conservative
-    /// disambiguation.
-    fn load_may_issue(&self, i: usize) -> bool {
-        let Instr::Load { offset, width, .. } = self.rob[i].instr else { return true };
-        let base = self.rob[i].psrc1.expect("load base renamed");
-        if !self.rename.is_ready(base, self.now) {
-            return false;
-        }
-        let addr = (self.rename.read(base) as u64).wrapping_add(offset as u64);
-        !matches!(self.forwarding_probe(i, addr, width), ForwardState::MustWait)
-    }
-
-    fn forwarding_probe(&self, load_idx: usize, addr: u64, width: MemWidth) -> ForwardState {
-        let lw = width.bytes();
-        let mut result = ForwardState::Memory;
-        let load_seq = self.rob[load_idx].rob_seq;
-        for &sseq in &self.store_list {
-            if sseq >= load_seq {
-                break;
-            }
-            let Some(j) = self.rob_idx(sseq) else { continue };
-            let s = &self.rob[j];
-            if !s.issued {
-                return ForwardState::MustWait; // unknown address
-            }
-            let saddr = s.eff_addr.expect("issued store has address");
-            let sw = match s.instr {
-                Instr::Store { width, .. } => width.bytes(),
-                _ => unreachable!(),
-            };
-            // Overlap test.
-            if saddr < addr.wrapping_add(lw) && addr < saddr.wrapping_add(sw) {
-                if saddr == addr && lw <= sw {
-                    // Forward only once the store's data is available.
-                    let data_src = s.psrc2.expect("store has a data source");
-                    if self.rename.is_ready(data_src, self.now) {
-                        result = ForwardState::Forward {
-                            data: self.rename.read(data_src),
-                            taint: self.rename.taint(data_src),
-                        };
-                    } else {
-                        return ForwardState::MustWait; // data not produced yet
-                    }
-                } else {
-                    return ForwardState::MustWait; // partial overlap
-                }
-            }
-        }
-        result
-    }
-
-    fn forwarding_source(&self, load_idx: usize, addr: u64, width: MemWidth) -> ForwardState {
-        self.forwarding_probe(load_idx, addr, width)
-    }
-
-    // ------------------------------------------------------------------
-    // Dispatch (rename)
-    // ------------------------------------------------------------------
-
-    fn dispatch(&mut self) {
-        for _ in 0..self.cfg.width {
-            let Some(front) = self.front_q.front() else { return };
-            if front.dispatch_at > self.now {
-                return;
-            }
-            if self.rob.len() >= self.cfg.rob_size {
-                return;
-            }
-            let needs_backend = front.needs_backend();
-            if needs_backend && self.iq_count >= self.cfg.iq_size {
-                return;
-            }
-            let is_mem = front.is_mem_op();
-            if is_mem && self.lsq_count >= self.cfg.lsq_size {
-                return;
-            }
-            // VQ renamer hazards.
-            match front.instr {
-                Instr::PushVq { .. } if self.vq.push_would_stall() => return,
-                Instr::PopVq { .. } if self.vq.pop_would_underflow() => return,
-                _ => {}
-            }
-            // Register renaming: guarantee a free physical register up
-            // front so no rename below can fail after mutating queue state.
-            if self.rename.free_regs() < 1 {
-                return;
-            }
-            let mut e = self.front_q.pop_front().expect("checked");
-            let instr = e.instr;
-            let (s1, s2) = instr.sources();
-            e.psrc1 = s1.map(|r| self.rename.map(r));
-            e.psrc2 = s2.map(|r| self.rename.map(r));
-            match instr {
-                Instr::PushVq { .. } => {
-                    let Some(p) = self.rename.alloc_phys() else { return };
-                    e.pdest = Some(p);
-                    self.vq.rename_push(p);
-                    self.events.vq_ops += 1;
-                }
-                Instr::PopVq { .. } => {
-                    // Source comes from the VQ renamer head (the push's
-                    // physical register); the destination renames normally.
-                    // `pop_vq r0` is ISA-legal (consume and discard): it
-                    // still pops the mapping but writes no register.
-                    let mut vq_src = self.vq.rename_pop();
-                    e.vq_free = Some(vq_src);
-                    // Fault injection at the VQ rename map: the pop latches
-                    // a different physical register than its push wrote.
-                    // The wrong value either reaches control flow (oracle
-                    // mismatch), wedges on a never-ready register
-                    // (watchdog), or is overwritten downstream (masked —
-                    // committed memory comes from the retire oracle). The
-                    // free at retirement uses the true mapping (`vq_free`)
-                    // either way.
-                    if self.fault_at(FaultSite::VqRenamePop) == Some(FaultKind::VqRemapCorrupt) {
-                        vq_src = (vq_src ^ 1) % self.cfg.prf_size as PhysReg;
-                    }
-                    e.psrc1 = Some(vq_src);
-                    self.events.vq_ops += 1;
-                    if let Some(rd) = instr.dest() {
-                        let Some((p, prev)) = self.rename.rename_dest(rd) else { return };
-                        e.pdest = Some(p);
-                        e.prev_phys = Some(prev);
-                    }
-                }
-                _ => {
-                    if let Some(rd) = instr.dest() {
-                        let Some((p, prev)) = self.rename.rename_dest(rd) else { return };
-                        e.pdest = Some(p);
-                        e.prev_phys = Some(prev);
-                    }
-                }
-            }
-            e.dispatched = true;
-            e.t_dispatch = self.now;
-            e.rob_seq = self.next_rob_seq;
-            self.next_rob_seq += 1;
-            self.events.decoded += 1;
-            self.events.renamed += 1;
-            if needs_backend {
-                e.in_iq = true;
-                self.iq_count += 1;
-                self.iq_list.push(e.rob_seq);
-                self.events.iq_writes += 1;
-            } else {
-                // Fetch-resolved instructions complete at dispatch.
-                e.done = true;
-                e.ready_at = self.now;
-                e.t_complete = self.now;
-                if let Instr::Jal { .. } = instr {
-                    // Link value is known statically.
-                    if let Some(p) = e.pdest {
-                        self.rename.write(p, (e.pc + 1) as i64, self.now, None);
-                        self.events.regfile_writes += 1;
-                    }
-                }
-            }
-            if is_mem {
-                e.in_lsq = true;
-                self.lsq_count += 1;
-                if matches!(instr, Instr::Store { .. }) {
-                    self.store_list.push_back(e.rob_seq);
-                }
-            }
-            self.events.rob_ops += 1;
-            let spec_pop_unverified = e.spec_pop && !e.verified;
-            self.rob.push_back(e);
-            // The corrected path reached the ROB: misprediction refill over.
-            self.refill_after_recovery = false;
-            // A late push may have executed while this speculative pop sat
-            // in the front pipe; its ROB scan could not find the pop then,
-            // so verify against the BQ entry now.
-            if spec_pop_unverified {
-                let idx = self.rob.len() - 1;
-                if self.verify_spec_pop_at_dispatch(idx) {
-                    return; // recovery truncated the ROB
-                }
-            }
-        }
-    }
-
-    /// Re-checks a just-dispatched speculative pop against its BQ entry.
-    /// Returns true when a failed verification triggered immediate recovery.
-    fn verify_spec_pop_at_dispatch(&mut self, idx: usize) -> bool {
-        let abs = self.rob[idx].bq_abs.expect("spec pop has a BQ index");
-        let Some((predicate, taint_code)) = self.bq.peek_entry_tainted(abs) else { return false };
-        self.rob[idx].verified = true;
-        self.rob[idx].taint = taint_from_index(taint_code);
-        let spec_taken = self.rob[idx].fetch_taken.expect("spec pop chose a direction");
-        let actual_taken = !predicate;
-        if spec_taken == actual_taken {
-            self.release_checkpoint(idx);
-            return false;
-        }
-        // Degenerate pop: both directions continue at the same PC (see
-        // `execute_push_bq`) — the fetched path is already correct.
-        if let Instr::BranchOnBq { target } = self.rob[idx].instr {
-            if target == self.rob[idx].pc + 1 {
-                self.rob[idx].resolved_taken = Some(actual_taken);
-                self.release_checkpoint(idx);
-                return false;
-            }
-        }
-        self.stats.bq_spec_recoveries += 1;
-        self.rob[idx].mispredict = true;
-        self.rob[idx].resolved_taken = Some(actual_taken);
-        let truncated = self.begin_recovery(idx, 0, actual_taken);
-        self.release_checkpoint(if truncated { self.rob.len() - 1 } else { idx });
-        truncated
-    }
-
-    // ------------------------------------------------------------------
-    // Fetch
-    // ------------------------------------------------------------------
-
-    fn front_cap(&self) -> usize {
-        (self.cfg.front_depth as usize + 2) * self.cfg.width
-    }
-
-    fn fetch(&mut self) -> Result<(), CoreError> {
-        if self.fetch_halted || self.now < self.fetch_resume_at {
-            return Ok(());
-        }
-        let mut fetched = 0;
-        while fetched < self.cfg.width && self.front_q.len() < self.front_cap() {
-            let pc = self.fetch_pc;
-            let Some(instr) = self.program.fetch(pc) else {
-                // Wrong-path fetch ran off the program: wait for recovery.
-                return Ok(());
-            };
-
-            // Queue-full stalls (§III-C3).
-            match instr {
-                Instr::PushBq { .. } if self.bq.push_would_stall() => {
-                    self.stats.bq_push_stall_cycles += 1;
-                    self.front_block = CpiComponent::CfdStall;
-                    return Ok(());
-                }
-                Instr::PushTq { .. } if self.tq.push_would_stall() => {
-                    self.stats.tq_push_stall_cycles += 1;
-                    self.front_block = CpiComponent::CfdStall;
-                    return Ok(());
-                }
-                // Context-switch macro-ops drain the pipeline first.
-                Instr::SaveBq { .. }
-                | Instr::RestoreBq { .. }
-                | Instr::SaveVq { .. }
-                | Instr::RestoreVq { .. }
-                | Instr::SaveTq { .. }
-                | Instr::RestoreTq { .. }
-                    if (!self.rob.is_empty() || !self.front_q.is_empty()) => {
-                        self.front_block = CpiComponent::Frontend;
-                        return Ok(());
-                    }
-                _ => {}
-            }
-            // TQ miss stalls fetch (§IV-C3).
-            if matches!(instr, Instr::PopTq | Instr::PopTqBrOvf { .. }) && self.tq.pop_would_miss() {
-                self.stats.tq_miss_stall_cycles += 1;
-                self.front_block = CpiComponent::CfdStall;
-                return Ok(());
-            }
-            // BQ miss stalls fetch under the stall policy (Fig. 21c).
-            if self.bq_stall_precheck(&instr) {
-                self.stats.bq_miss_stall_cycles += 1;
-                self.front_block = CpiComponent::CfdStall;
-                return Ok(());
-            }
-
-            // L1I probe: a miss bubbles fetch for the L2 latency.
-            if self.cfg.model_icache && !self.icache.access(pc as u64 * 4, false) {
-                self.icache.fill(pc as u64 * 4, false);
-                self.stats.icache_misses += 1;
-                self.fetch_resume_at = self.now + self.cfg.hierarchy.l2_latency as u64;
-                self.front_block = CpiComponent::Frontend;
-                return Ok(());
-            }
-            let seq = self.next_seq;
-            let was_diverged = self.diverged_at.is_some();
-            let stop = self.fetch_instr(seq, pc, instr)?;
-            self.next_seq += 1;
-            fetched += 1;
-            self.stats.fetched += 1;
-            self.events.fetched += 1;
-            if was_diverged {
-                self.stats.wrong_path_fetched += 1;
-            }
-            match stop {
-                FetchStop::Continue => {}
-                FetchStop::BundleEnd => break,
-                FetchStop::Bubble => {
-                    self.fetch_resume_at = self.now + 2;
-                    self.front_block = CpiComponent::Frontend;
-                    break;
-                }
-                FetchStop::Halt => {
-                    self.fetch_halted = true;
-                    break;
-                }
-            }
-        }
-        if fetched > 0 {
-            // Fetch supplied instructions this cycle: any subsequent
-            // empty-ROB cycles are plain pipeline fill until something
-            // blocks again.
-            self.front_block = CpiComponent::Frontend;
-        }
-        Ok(())
-    }
-
-    /// Fetches one instruction: resolves/predicts control, steps the fetch
-    /// oracle, and enqueues the `DynInst`.
-    fn fetch_instr(&mut self, seq: u64, pc: u32, instr: Instr) -> Result<FetchStop, CoreError> {
-        let on_wrong_path = self.diverged_at.is_some();
-        let mut e = DynInst::new(seq, pc, instr, self.now + self.cfg.front_depth as u64, on_wrong_path);
-        e.t_fetch = self.now;
-        let mut next_pc = pc + 1;
-        let mut stop = FetchStop::Continue;
-        let mut is_taken_control = false;
-
-        // Step the fetch oracle along the correct path.
-        let oracle_ev = if self.diverged_at.is_none() {
-            debug_assert_eq!(self.fetch_oracle.pc(), pc, "fetch oracle out of sync");
-            let mut ev = None;
-            let mut sink = |r: &cfd_isa::RetireEvent| ev = Some(*r);
-            self.fetch_oracle.step(&mut sink).map_err(|err| CoreError::Program(err.to_string()))?;
-            ev
-        } else {
-            None
-        };
-
-        match instr {
-            Instr::Branch { target, .. } => {
-                let dir = if self.cfg.perfect.covers(pc) {
-                    if let Some(ev) = &oracle_ev {
-                        ev.taken.expect("branch has outcome")
-                    } else {
-                        // Wrong path: the oracle cannot help; fall back.
-                        let (d, meta) = self.predictor.predict(Self::bpc(pc));
-                        e.pred_meta = Some(meta);
-                        d
-                    }
-                } else {
-                    let (d, meta) = self.predictor.predict(Self::bpc(pc));
-                    e.pred_meta = Some(meta);
-                    d
-                };
-                // Fault injection: an inverted prediction must be masked by
-                // the normal misprediction-recovery machinery.
-                let dir = dir ^ (self.fault_at(FaultSite::PredictorPredict) == Some(FaultKind::PredictorFlip));
-                self.events.bpred_ops += 1;
-                e.fetch_taken = Some(dir);
-                e.fetch_target = target;
-                e.snapshot = Some(Box::new(self.take_snapshot()));
-                self.maybe_checkpoint(&mut e, pc);
-                if dir {
-                    next_pc = target;
-                    is_taken_control = true;
-                }
-            }
-            Instr::Jump { target } | Instr::Jal { target, .. } => {
-                if let Instr::Jal { .. } = instr {
-                    self.ras.push(pc + 1);
-                }
-                next_pc = target;
-                is_taken_control = true;
-            }
-            Instr::Jr { .. } => {
-                let predicted = self.ras.pop();
-                e.fetch_target = predicted;
-                e.snapshot = Some(Box::new(self.take_snapshot()));
-                self.maybe_checkpoint(&mut e, pc);
-                next_pc = predicted;
-                is_taken_control = true;
-            }
-            Instr::PushBq { .. } => {
-                e.bq_abs = Some(self.bq.fetch_push());
-                if self.trace {
-                    eprintln!("[{}] FETCH_PUSH seq={} abs={:?}", self.now, seq, e.bq_abs);
-                }
-                self.events.bq_ops += 1;
-            }
-            Instr::BranchOnBq { target } => {
-                self.events.bq_ops += 1;
-                let (abs, pred) = self.bq.fetch_pop();
-                e.bq_abs = Some(abs);
-                let dir = match pred {
-                    Some(p) => {
-                        // Early push: timely, non-speculative branching.
-                        self.stats.bq_hits += 1;
-                        !p
-                    }
-                    None => {
-                        // BQ miss.
-                        self.stats.bq_misses += 1;
-                        match self.cfg.bq_miss_policy {
-                            BqMissPolicy::Stall => {
-                                // Pre-checked in fetch(); a miss never
-                                // reaches this point under the stall policy.
-                                unreachable!("BQ stall is pre-checked in fetch()")
-                            }
-                            BqMissPolicy::Speculate => {
-                                let predicted_pred = if let (true, Some(ev)) =
-                                    (self.cfg.perfect.covers(pc), oracle_ev.as_ref())
-                                {
-                                    // ev.taken is the pop direction (= !predicate)
-                                    !ev.taken.expect("pop outcome")
-                                } else {
-                                    // The predictor predicts the pop's *taken
-                                    // direction*; the predicate is its
-                                    // complement (taken = !predicate under the
-                                    // skip-if-false idiom). Training and
-                                    // recovery also use the taken domain.
-                                    let (d, meta) = self.predictor.predict(Self::bpc(pc));
-                                    e.pred_meta = Some(meta);
-                                    self.events.bpred_ops += 1;
-                                    !d
-                                };
-                                // Fault injection: a flipped speculative-pop
-                                // prediction must be caught by late-push
-                                // verification.
-                                let predicted_pred = predicted_pred
-                                    ^ (self.fault_at(FaultSite::PredictorPredict)
-                                        == Some(FaultKind::PredictorFlip));
-                                if self.trace {
-                                    eprintln!("[{}] SPEC_POP seq={} abs={} pred={}", self.now, seq, abs, predicted_pred);
-                                }
-                                e.spec_pop = true;
-                                if abs < self.bq.tail {
-                                    // A push owns this entry: link for late-push
-                                    // verification.
-                                    self.bq.record_spec_pop(abs, predicted_pred, seq);
-                                    e.verified = false;
-                                } else {
-                                    // No push was ever fetched for this pop, so
-                                    // the ISA ordering rules place it on the
-                                    // wrong path: speculate without recording
-                                    // (recording would clobber a live slot).
-                                    // It retires only if the program is buggy,
-                                    // which the retirement oracle flags.
-                                }
-                                e.snapshot = Some(Box::new(self.take_snapshot()));
-                                self.maybe_checkpoint(&mut e, pc);
-                                !predicted_pred
-                            }
-                        }
-                    }
-                };
-                e.fetch_taken = Some(dir);
-                e.fetch_target = target;
-                if dir {
-                    next_pc = target;
-                    is_taken_control = true;
-                }
-            }
-            Instr::MarkBq => {
-                self.bq.fetch_mark();
-                self.events.bq_ops += 1;
-            }
-            Instr::ForwardBq => {
-                self.bq.fetch_forward();
-                self.events.bq_ops += 1;
-            }
-            Instr::PushTq { .. } => {
-                e.tq_abs = Some(self.tq.fetch_push());
-                self.events.tq_ops += 1;
-            }
-            Instr::PopTq => {
-                let (abs, ovf) = self.tq.fetch_pop();
-                debug_assert!(ovf.is_some(), "TQ miss pre-checked in fetch()");
-                e.tq_abs = Some(abs);
-                e.tq_loaded_tcr = self.tq.tcr;
-                self.stats.tq_hits += 1;
-                self.events.tq_ops += 1;
-            }
-            Instr::PopTqBrOvf { target } => {
-                let (abs, ovf) = self.tq.fetch_pop();
-                let overflow = ovf.expect("TQ miss pre-checked in fetch()");
-                e.tq_abs = Some(abs);
-                e.tq_loaded_tcr = self.tq.tcr;
-                e.fetch_taken = Some(overflow);
-                e.fetch_target = target;
-                self.stats.tq_hits += 1;
-                self.events.tq_ops += 1;
-                if overflow {
-                    next_pc = target;
-                    is_taken_control = true;
-                }
-            }
-            Instr::BranchOnTcr { target } => {
-                let cont = self.tq.fetch_branch_on_tcr();
-                e.fetch_taken = Some(cont);
-                e.fetch_target = target;
-                self.events.tq_ops += 1;
-                if cont {
-                    next_pc = target;
-                    is_taken_control = true;
-                }
-            }
-            Instr::Halt => {
-                stop = FetchStop::Halt;
-            }
-            Instr::SaveBq { .. }
-            | Instr::RestoreBq { .. }
-            | Instr::SaveVq { .. }
-            | Instr::RestoreVq { .. }
-            | Instr::SaveTq { .. }
-            | Instr::RestoreTq { .. } => {
-                self.macro_queue_op(&mut e, &oracle_ev);
-            }
-            _ => {}
-        }
-
-        // Divergence detection against the fetch oracle.
-        if let Some(ev) = &oracle_ev {
-            let actually_next = ev.next_pc;
-            if next_pc != actually_next && self.diverged_at.is_none() {
-                self.diverged_at = Some(seq);
-                if self.trace {
-                    eprintln!(
-                        "[{}] DIVERGE seq={} pc={} `{}` chose next={} oracle next={}",
-                        self.now, seq, pc, instr, next_pc, actually_next
-                    );
-                }
-            }
-        }
-
-        // BTB modeling: taken control instructions missing from the BTB pay
-        // a one-cycle misfetch bubble.
-        if instr.is_control() {
-            let hit = self.btb.lookup(pc as u64).is_some();
-            if !hit {
-                self.btb.insert(
-                    pc as u64,
-                    BtbEntry {
-                        target: instr.direct_target().unwrap_or(e.fetch_target),
-                        kind: match instr {
-                            Instr::Branch { .. } => BranchKind::Conditional,
-                            Instr::BranchOnBq { .. } => BranchKind::CfdPop,
-                            Instr::BranchOnTcr { .. } | Instr::PopTqBrOvf { .. } => BranchKind::CfdTcr,
-                            Instr::Jr { .. } => BranchKind::Indirect,
-                            _ => BranchKind::Unconditional,
-                        },
-                    },
-                );
-                if is_taken_control {
-                    self.stats.btb_misfetches += 1;
-                    stop = FetchStop::Bubble;
-                }
-            }
-        }
-
-        self.fetch_pc = next_pc;
-        if is_taken_control && stop == FetchStop::Continue {
-            stop = FetchStop::BundleEnd;
-        }
-        self.front_q.push_back(e);
-        Ok(stop)
-    }
-
-    /// Pre-checks whether fetching `instr` would stall this cycle under the
-    /// BQ-miss stall policy (the oracle must not step for a stalled fetch).
-    fn bq_stall_precheck(&self, instr: &Instr) -> bool {
-        matches!(instr, Instr::BranchOnBq { .. })
-            && self.cfg.bq_miss_policy == BqMissPolicy::Stall
-            && self.bq.pop_would_miss()
-    }
-
-    fn take_snapshot(&self) -> Snapshot {
-        Snapshot { bq: self.bq.snapshot(), tq: self.tq.snapshot(), ras: self.ras.snapshot() }
-    }
-
-    fn maybe_checkpoint(&mut self, e: &mut DynInst, pc: u32) {
-        let want = match self.cfg.checkpoint_policy {
-            CheckpointPolicy::AllBranches => true,
-            CheckpointPolicy::ConfidenceGuided => !self.confidence.is_confident(Self::bpc(pc)),
-            CheckpointPolicy::None => false,
-        };
-        if want && self.checkpoints_free > 0 {
-            self.checkpoints_free -= 1;
-            e.has_checkpoint = true;
-            self.stats.checkpoints_allocated += 1;
-            self.events.checkpoint_ops += 1;
-        } else if want {
-            self.stats.checkpoints_denied += 1;
-        } else {
-            self.stats.checkpoints_unwanted += 1;
-        }
-    }
-
-    /// Context-switch macro-ops (`Save_*`/`Restore_*`): the pipeline is
-    /// drained (enforced by the caller); execute the operation through the
-    /// fetch oracle and resynchronize the fetch-side queue structures.
-    fn macro_queue_op(&mut self, e: &mut DynInst, oracle_ev: &Option<cfd_isa::RetireEvent>) {
-        e.done = true;
-        e.dispatched = true;
-        e.ready_at = self.now;
-        if oracle_ev.is_none() {
-            // Wrong path: will be squashed; do nothing microarchitectural.
-            return;
-        }
-        match e.instr {
-            Instr::RestoreBq { .. } => {
-                let contents = self.fetch_oracle.bq.contents();
-                self.bq = FetchBq::new(self.cfg.bq_size);
-                for (k, p) in contents.iter().enumerate() {
-                    let abs = self.bq.fetch_push();
-                    debug_assert_eq!(abs, k as u64);
-                    self.bq.execute_push(abs, *p);
-                    self.bq.retire_push();
-                }
-            }
-            Instr::RestoreTq { .. } => {
-                let contents = self.fetch_oracle.tq.contents();
-                let tcr = self.fetch_oracle.tq.tcr();
-                self.tq = FetchTq::new(self.cfg.tq_size, self.cfg.tq_trip_bits);
-                for entry in contents {
-                    let abs = self.tq.fetch_push();
-                    let v = if entry.overflow { (self.tq.size() as i64) << 33 } else { entry.trip_count as i64 };
-                    self.tq.execute_push(abs, v);
-                    self.tq.retire_push();
-                }
-                self.tq.tcr = tcr;
-                self.tq.committed_tcr = tcr;
-            }
-            Instr::RestoreVq { .. } => {
-                // Free the physical registers still held by the old VQ's
-                // live mappings (they are normally freed when their pops
-                // retire, which will now never happen).
-                while !self.vq.pop_would_underflow() {
-                    let p = self.vq.rename_pop();
-                    self.rename.free_phys(p);
-                }
-                let contents = self.fetch_oracle.vq.contents();
-                self.vq = VqRenamer::new(self.cfg.vq_size);
-                for v in contents {
-                    // The pipeline is drained here, so at most vq_size live
-                    // registers are needed; the PRF is sized well above that.
-                    let p = self
-                        .rename
-                        .alloc_phys()
-                        .expect("PRF exhausted during Restore_VQ; prf_size must exceed 32 + vq_size");
-                    self.rename.write(p, v, self.now, None);
-                    self.vq.rename_push(p);
-                    self.vq.retire_push();
-                }
-            }
-            _ => {}
-        }
-        // Timing: drained + serialized; charge a latency proportional to
-        // the queue length by delaying fetch.
-        self.fetch_resume_at = self.now + 4;
-    }
-}
-
-/// Result of fetching one instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FetchStop {
-    Continue,
-    BundleEnd,
-    Bubble,
-    Halt,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ForwardState {
-    /// Load can read committed memory.
-    Memory,
-    /// Load forwards this in-flight store's value (with its data taint).
-    Forward {
-        data: i64,
-        taint: Taint,
-    },
-    /// Load must wait (unknown or partially overlapping older store).
-    MustWait,
-}
-
-/// Inverse of [`level_index`]: reconstructs a taint from its code.
-fn taint_from_index(code: u8) -> Taint {
-    use cfd_mem::MemLevel;
-    match code {
-        1 => Some(MemLevel::L1),
-        2 => Some(MemLevel::L2),
-        3 => Some(MemLevel::L3),
-        4 => Some(MemLevel::Mem),
-        _ => None,
-    }
-}
-
-fn extract(stored: i64, width: MemWidth, signed: bool) -> i64 {
-    let n = width.bytes() as u32;
-    if n == 8 {
-        return stored;
-    }
-    let shift = 64 - 8 * n;
-    if signed {
-        (stored << shift) >> shift
-    } else {
-        ((stored as u64) << shift >> shift) as i64
     }
 }

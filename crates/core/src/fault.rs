@@ -50,17 +50,23 @@ pub enum FaultKind {
 }
 
 /// A pipeline location where faults can be injected.
+///
+/// Each site is threaded through exactly one stage module (DESIGN.md
+/// §12), so a fault's blast radius is bounded by that stage's writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSite {
-    /// Direction-predictor lookup at fetch.
+    /// Direction-predictor lookup at fetch (`frontend.rs`).
     PredictorPredict,
-    /// `Push_BQ` writing its predicate at execute.
+    /// `Push_BQ` writing its predicate at execute (`commit.rs`,
+    /// `execute_push_bq` — BQ pushes resolve on the retire/verify side).
     BqExecutePush,
-    /// `Push_TQ` writing its trip count at execute.
+    /// `Push_TQ` writing its trip count at execute (`scheduler.rs`,
+    /// `execute_at`).
     TqExecutePush,
-    /// `Pop_VQ` reading the renamer mapping at dispatch.
+    /// `Pop_VQ` reading the renamer mapping at dispatch (`dispatch.rs`).
     VqRenamePop,
-    /// Load accessing the data-cache hierarchy at execute.
+    /// Load accessing the data-cache hierarchy at execute
+    /// (`scheduler.rs`, `execute_at`).
     LoadAccess,
 }
 

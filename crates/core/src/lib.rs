@@ -45,14 +45,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod cfd_queues;
+mod commit;
 mod config;
 #[allow(clippy::module_inception)]
 mod core;
+mod dispatch;
 pub mod fault;
+mod frontend;
+mod lsq;
+mod pipeline;
 mod rename;
+mod scheduler;
 mod stats;
 mod trace;
 

@@ -1,0 +1,655 @@
+//! Shared pipeline state and cross-stage plumbing.
+//!
+//! [`Pipeline`] owns every piece of simulated state — front end, rename,
+//! ROB, scheduler wheels, hierarchy, statistics, telemetry — and each stage
+//! module ([`frontend`](crate::frontend), [`dispatch`](crate::dispatch),
+//! [`scheduler`](crate::scheduler), [`lsq`](crate::lsq),
+//! [`commit`](crate::commit)) contributes an `impl Pipeline` block with its
+//! stage function plus that stage's private helpers. `core.rs` wraps the
+//! struct in the public [`Core`](crate::Core) API and owns only the
+//! cycle-step conductor.
+//!
+//! What lives *here* is the state struct itself and everything more than
+//! one stage touches: the `DynInst` in-flight record, ROB indexing, the
+//! PRF-write wakeup hook, fault-site visiting, CPI-stack accounting and
+//! telemetry sampling, and the post-mortem renderers.
+
+use crate::cfd_queues::{BqSnapshot, FetchBq, FetchTq, TqSnapshot};
+use crate::config::CoreConfig;
+use crate::core::CoreError;
+use crate::fault::{FaultKind, FaultSite, FaultState};
+use crate::rename::{PhysReg, RenameState, Taint, VqRenamer};
+use crate::stats::CoreStats;
+use crate::trace::{CycleSnap, PipeEvent, PipeTrace, SnapRing};
+use cfd_energy::EventCounts;
+use cfd_isa::{Instr, Machine, MemImage, MemWidth, Program, QueueConfig};
+use cfd_mem::{Cache, CacheConfig, Hierarchy, MemLevel};
+use cfd_obs::{CpiComponent, MetricsRegistry, TelemetryConfig, TimeSeries, TraceLog};
+use cfd_predictor::{predictor_by_name, Btb, ConfidenceEstimator, DirectionPredictor, PredMeta, Ras, RasSnapshot};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Recovery snapshot attached to instructions that can mispredict.
+/// (The VQ renamer is a rename-stage structure repaired by the squash walk,
+/// so no VQ pointers are snapshotted here.)
+#[derive(Debug, Clone)]
+pub(crate) struct Snapshot {
+    pub(crate) bq: BqSnapshot,
+    pub(crate) tq: TqSnapshot,
+    pub(crate) ras: RasSnapshot,
+}
+
+/// One in-flight instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct DynInst {
+    pub(crate) seq: u64,
+    /// Dense ROB ordinal assigned at dispatch (fetch seqs have gaps when
+    /// the front pipe is squashed; ROB indexing needs contiguity).
+    pub(crate) rob_seq: u64,
+    pub(crate) pc: u32,
+    pub(crate) instr: Instr,
+    /// Cycle at which the instruction may dispatch (front-pipe delay).
+    pub(crate) dispatch_at: u64,
+    /// Fetched while fetch was known to be on the wrong path.
+    pub(crate) on_wrong_path: bool,
+    /// Direction chosen at fetch for conditional control.
+    pub(crate) fetch_taken: Option<bool>,
+    /// Predicted target for indirect jumps.
+    pub(crate) fetch_target: u32,
+    /// Predictor metadata (plain branches and speculative pops).
+    pub(crate) pred_meta: Option<PredMeta>,
+    /// This `Branch_on_BQ` was resolved speculatively (BQ miss).
+    pub(crate) spec_pop: bool,
+    /// Speculative pop verified by its push.
+    pub(crate) verified: bool,
+    /// BQ absolute index (pushes and pops).
+    pub(crate) bq_abs: Option<u64>,
+    /// TQ absolute index (pushes and pops).
+    pub(crate) tq_abs: Option<u64>,
+    /// TCR value loaded by a `Pop_TQ` at fetch.
+    pub(crate) tq_loaded_tcr: u32,
+    /// Recovery snapshot.
+    pub(crate) snapshot: Option<Box<Snapshot>>,
+    pub(crate) has_checkpoint: bool,
+    // Rename results.
+    pub(crate) pdest: Option<PhysReg>,
+    /// Previous mapping of the destination (RMT-updating instructions).
+    pub(crate) prev_phys: Option<PhysReg>,
+    pub(crate) psrc1: Option<PhysReg>,
+    pub(crate) psrc2: Option<PhysReg>,
+    /// The VQ mapping a `Pop_VQ` frees at retirement. Normally equals
+    /// `psrc1`; kept separate so the free list stays consistent when
+    /// fault injection corrupts the operand mapping.
+    pub(crate) vq_free: Option<PhysReg>,
+    /// Occupies an IQ slot until issued.
+    pub(crate) in_iq: bool,
+    pub(crate) in_lsq: bool,
+    pub(crate) dispatched: bool,
+    pub(crate) issued: bool,
+    pub(crate) done: bool,
+    pub(crate) ready_at: u64,
+    // Memory.
+    pub(crate) eff_addr: Option<u64>,
+    // Stage timestamps (pipeline tracing).
+    pub(crate) t_fetch: u64,
+    pub(crate) t_dispatch: u64,
+    pub(crate) t_issue: u64,
+    pub(crate) t_complete: u64,
+    // Resolution.
+    pub(crate) resolved_taken: Option<bool>,
+    pub(crate) mispredict: bool,
+    pub(crate) recover_at_retire: bool,
+    pub(crate) taint: Taint,
+}
+
+impl DynInst {
+    pub(crate) fn new(seq: u64, pc: u32, instr: Instr, dispatch_at: u64, on_wrong_path: bool) -> DynInst {
+        DynInst {
+            seq,
+            rob_seq: 0,
+            pc,
+            instr,
+            dispatch_at,
+            on_wrong_path,
+            fetch_taken: None,
+            fetch_target: 0,
+            pred_meta: None,
+            spec_pop: false,
+            verified: true,
+            bq_abs: None,
+            tq_abs: None,
+            tq_loaded_tcr: 0,
+            snapshot: None,
+            has_checkpoint: false,
+            pdest: None,
+            prev_phys: None,
+            psrc1: None,
+            psrc2: None,
+            vq_free: None,
+            in_iq: false,
+            in_lsq: false,
+            dispatched: false,
+            issued: false,
+            done: false,
+            ready_at: u64::MAX,
+            eff_addr: None,
+            t_fetch: 0,
+            t_dispatch: 0,
+            t_issue: 0,
+            t_complete: 0,
+            resolved_taken: None,
+            mispredict: false,
+            recover_at_retire: false,
+            taint: None,
+        }
+    }
+
+    /// Executes in the backend (needs an IQ slot and a function unit).
+    pub(crate) fn needs_backend(&self) -> bool {
+        match self.instr {
+            Instr::Alu { .. }
+            | Instr::Li { .. }
+            | Instr::Load { .. }
+            | Instr::Store { .. }
+            | Instr::Prefetch { .. }
+            | Instr::Branch { .. }
+            | Instr::Jr { .. }
+            | Instr::PushBq { .. }
+            | Instr::PushVq { .. }
+            | Instr::PopVq { .. }
+            | Instr::PushTq { .. } => true,
+            Instr::Jump { .. }
+            | Instr::Jal { .. }
+            | Instr::BranchOnBq { .. }
+            | Instr::MarkBq
+            | Instr::ForwardBq
+            | Instr::PopTq
+            | Instr::BranchOnTcr { .. }
+            | Instr::PopTqBrOvf { .. }
+            | Instr::Nop
+            | Instr::Halt
+            | Instr::SaveBq { .. }
+            | Instr::RestoreBq { .. }
+            | Instr::SaveVq { .. }
+            | Instr::RestoreVq { .. }
+            | Instr::SaveTq { .. }
+            | Instr::RestoreTq { .. } => false,
+        }
+    }
+
+    pub(crate) fn is_mem_op(&self) -> bool {
+        matches!(self.instr, Instr::Load { .. } | Instr::Store { .. } | Instr::Prefetch { .. })
+    }
+}
+
+/// Time-series schema: cumulative counters sampled every N cycles.
+/// `cycle` stamps the row; everything else is cumulative-so-far, so rates
+/// (IPC, miss ratios, predictor accuracy) are derived by differencing
+/// adjacent rows.
+pub(crate) const SERIES_COLUMNS: [&str; 27] = [
+    "cycle",
+    "retired",
+    "fetched",
+    "mispredictions",
+    "retired_branches",
+    "rob",
+    "iq",
+    "lsq",
+    "front_q",
+    "bq",
+    "vq",
+    "tq",
+    "l1_accesses",
+    "l1_hits",
+    "l2_accesses",
+    "l2_hits",
+    "l3_accesses",
+    "l3_hits",
+    "cpi_base",
+    "cpi_frontend",
+    "cpi_mispredict",
+    "cpi_cfd_stall",
+    "cpi_mem_l1",
+    "cpi_mem_l2",
+    "cpi_mem_l3",
+    "cpi_mem_dram",
+    "cpi_backend",
+];
+
+/// Live telemetry attached to a run via
+/// [`Core::with_telemetry`](crate::Core::with_telemetry).
+pub(crate) struct TelemetryState {
+    pub(crate) cfg: TelemetryConfig,
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) series: TimeSeries,
+    pub(crate) trace: TraceLog,
+    /// Next cycle stamp at which to push a series row.
+    pub(crate) next_sample: u64,
+}
+
+impl TelemetryState {
+    pub(crate) fn new(cfg: TelemetryConfig) -> TelemetryState {
+        TelemetryState {
+            registry: MetricsRegistry::enabled(),
+            series: TimeSeries::new(cfg.sample_interval, SERIES_COLUMNS.to_vec()),
+            trace: if cfg.trace { TraceLog::enabled() } else { TraceLog::disabled() },
+            next_sample: if cfg.sample_interval > 0 { cfg.sample_interval } else { u64::MAX },
+            cfg,
+        }
+    }
+}
+
+/// All simulated state, shared by the stage modules.
+pub(crate) struct Pipeline {
+    pub(crate) cfg: CoreConfig,
+    pub(crate) program: Program,
+    /// Retire-side oracle; its memory is the committed data memory.
+    pub(crate) oracle: Machine,
+    /// Fetch-side oracle (perfect prediction + divergence detection).
+    pub(crate) fetch_oracle: Machine,
+    /// Sequence number of the instruction where fetch diverged.
+    pub(crate) diverged_at: Option<u64>,
+    // Front end.
+    pub(crate) fetch_pc: u32,
+    pub(crate) fetch_resume_at: u64,
+    pub(crate) fetch_halted: bool,
+    pub(crate) btb: Btb,
+    pub(crate) ras: Ras,
+    pub(crate) predictor: Box<dyn DirectionPredictor>,
+    pub(crate) confidence: ConfidenceEstimator,
+    pub(crate) bq: FetchBq,
+    pub(crate) tq: FetchTq,
+    pub(crate) vq: VqRenamer,
+    pub(crate) front_q: VecDeque<DynInst>,
+    /// L1 instruction cache (tags only; instruction "addresses" are
+    /// `pc * 4`).
+    pub(crate) icache: Cache,
+    // Back end.
+    pub(crate) rename: RenameState,
+    pub(crate) rob: VecDeque<DynInst>,
+    /// ROB ordinals of dispatched instructions whose sources are all
+    /// computed, in age order (the scheduler's ready queue). Entries are
+    /// re-validated at issue; stale ordinals (squashed or re-blocked by a
+    /// corrupted remap) are dropped or re-registered there.
+    pub(crate) ready_list: BTreeSet<u64>,
+    /// Wakeup wheel: cycle -> ROB ordinals whose blocking source becomes
+    /// ready that cycle. Drained into `ready_list` at the head of `issue`.
+    pub(crate) wakeup_wheel: BTreeMap<u64, Vec<u64>>,
+    /// Completion wheel: cycle -> ROB ordinals of issued instructions whose
+    /// `ready_at` lands there. Replaces an every-cycle `exec_list` rescan.
+    pub(crate) completion_wheel: BTreeMap<u64, Vec<u64>>,
+    /// Sequence numbers of in-flight stores, in age order.
+    pub(crate) store_list: VecDeque<u64>,
+    pub(crate) iq_count: usize,
+    pub(crate) lsq_count: usize,
+    pub(crate) checkpoints_free: usize,
+    pub(crate) hier: Hierarchy,
+    pub(crate) now: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) next_rob_seq: u64,
+    /// Event tracing enabled (CFD_TRACE env var, cached).
+    pub(crate) trace: bool,
+    pub(crate) halted: bool,
+    pub(crate) stats: CoreStats,
+    pub(crate) events: EventCounts,
+    pub(crate) pipe_trace: Option<PipeTrace>,
+    /// Armed fault injection, if any (see [`crate::fault`]).
+    pub(crate) fault: Option<FaultState>,
+    /// Post-mortem snapshot ring (empty unless `post_mortem_depth > 0`).
+    pub(crate) snap_ring: SnapRing,
+    /// Why fetch most recently failed to supply instructions: CPI-stack
+    /// attribution for empty-ROB cycles outside misprediction refill.
+    pub(crate) front_block: CpiComponent,
+    /// A recovery squashed the ROB and the corrected path has not reached
+    /// dispatch yet: empty-ROB cycles are misprediction penalty.
+    pub(crate) refill_after_recovery: bool,
+    /// Telemetry (registry/series/trace), when armed.
+    pub(crate) telemetry: Option<Box<TelemetryState>>,
+    // Host-side scheduler-efficiency counters (never affect simulation).
+    /// Ready-queue entries examined by `issue` across the run.
+    pub(crate) sched_ready_checks: u64,
+    /// Wakeup-wheel events processed across the run.
+    pub(crate) sched_wakeup_events: u64,
+    /// IQ entries a per-cycle polling scheduler would have scanned
+    /// (`iq_count` summed over cycles): the baseline the event-driven
+    /// counters are compared against.
+    pub(crate) sched_poll_equiv: u64,
+}
+
+impl Pipeline {
+    pub(crate) fn new(cfg: CoreConfig, program: Program, mem: MemImage) -> Result<Pipeline, CoreError> {
+        if cfg.bq_size == 0 || cfg.vq_size == 0 || cfg.tq_size == 0 {
+            return Err(CoreError::Config("queue sizes must be non-zero".into()));
+        }
+        let qc = QueueConfig {
+            bq_size: cfg.bq_size,
+            vq_size: cfg.vq_size,
+            tq_size: cfg.tq_size,
+            tq_trip_bits: cfg.tq_trip_bits,
+        };
+        let oracle = Machine::with_queues(program.clone(), mem, qc);
+        let fetch_oracle = oracle.clone();
+        let predictor = predictor_by_name(&cfg.predictor)
+            .ok_or_else(|| CoreError::Config(format!("unknown predictor `{}`", cfg.predictor)))?;
+        Ok(Pipeline {
+            program,
+            oracle,
+            fetch_oracle,
+            diverged_at: None,
+            fetch_pc: 0,
+            fetch_resume_at: 0,
+            fetch_halted: false,
+            btb: Btb::new(10, 4),
+            ras: Ras::new(16),
+            predictor,
+            confidence: ConfidenceEstimator::new(12, 15),
+            bq: FetchBq::new(cfg.bq_size),
+            tq: FetchTq::new(cfg.tq_size, cfg.tq_trip_bits),
+            vq: VqRenamer::new(cfg.vq_size),
+            front_q: VecDeque::new(),
+            icache: Cache::new(CacheConfig { size_bytes: 32 * 1024, ways: 8, block_bits: 6 }),
+            rename: RenameState::new(cfg.prf_size),
+            rob: VecDeque::new(),
+            ready_list: BTreeSet::new(),
+            wakeup_wheel: BTreeMap::new(),
+            completion_wheel: BTreeMap::new(),
+            store_list: VecDeque::new(),
+            iq_count: 0,
+            lsq_count: 0,
+            checkpoints_free: cfg.n_checkpoints,
+            hier: Hierarchy::new(cfg.hierarchy.clone()),
+            now: 0,
+            next_seq: 0,
+            next_rob_seq: 0,
+            trace: std::env::var_os("CFD_TRACE").is_some(),
+            halted: false,
+            stats: CoreStats::default(),
+            events: EventCounts::default(),
+            pipe_trace: None,
+            fault: None,
+            snap_ring: SnapRing::new(cfg.post_mortem_depth),
+            front_block: CpiComponent::Frontend,
+            refill_after_recovery: false,
+            telemetry: None,
+            sched_ready_checks: 0,
+            sched_wakeup_events: 0,
+            sched_poll_equiv: 0,
+            cfg,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // CPI-stack accounting + telemetry sampling
+    // ------------------------------------------------------------------
+
+    /// Attributes this cycle's `width` retire slots: one Base slot per
+    /// instruction retired this cycle, all remaining slots to the single
+    /// blocking cause [`Pipeline::idle_cause`] identifies. Runs at the end
+    /// of every counted cycle (the halting cycle is neither counted in
+    /// `cycles` nor accounted here), so the components sum to exactly
+    /// `cycles × width`.
+    pub(crate) fn account_cycle(&mut self, retired_before: u64) {
+        let width = self.cfg.width as u64;
+        let r = (self.stats.retired - retired_before).min(width);
+        self.stats.cpi_slots[CpiComponent::Base.index()] += r;
+        let idle = width - r;
+        if idle > 0 {
+            let cause = self.idle_cause();
+            self.stats.cpi_slots[cause.index()] += idle;
+        }
+        if self.telemetry.is_some() {
+            self.sample_telemetry(self.now + 1, false);
+        }
+    }
+
+    /// The single component charged for this cycle's idle retire slots,
+    /// classified from the end-of-cycle ROB head (or its absence).
+    fn idle_cause(&self) -> CpiComponent {
+        if let Some(head) = self.rob.front() {
+            // A resolved speculative BQ pop waiting for its late push.
+            if head.done && !head.verified {
+                return CpiComponent::CfdStall;
+            }
+            // A load in (or just out of) flight: charge the furthest
+            // memory level feeding it.
+            if matches!(head.instr, Instr::Load { .. }) && head.issued {
+                match head.taint {
+                    Some(MemLevel::L1) => return CpiComponent::MemL1,
+                    Some(MemLevel::L2) => return CpiComponent::MemL2,
+                    Some(MemLevel::L3) => return CpiComponent::MemL3,
+                    Some(MemLevel::Mem) => return CpiComponent::MemDram,
+                    None => {}
+                }
+            }
+            CpiComponent::Backend
+        } else if self.refill_after_recovery {
+            CpiComponent::Mispredict
+        } else {
+            // Pipeline fill: whatever last blocked fetch (a CFD queue
+            // stall or a plain front-end bubble).
+            self.front_block
+        }
+    }
+
+    /// Pushes one time-series row stamped `cycle` when due (or `force`d).
+    pub(crate) fn sample_telemetry(&mut self, cycle: u64, force: bool) {
+        let due = match &self.telemetry {
+            Some(t) => t.cfg.sample_interval > 0 && (force || cycle >= t.next_sample),
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let (l1, l2, l3) = self.hier.cache_stats();
+        let bq = self.bq.length();
+        let vq = self.vq.length();
+        let tq = self.tq.length();
+        let rob = self.rob.len() as u64;
+        let mut row = vec![
+            cycle,
+            self.stats.retired,
+            self.stats.fetched,
+            self.stats.mispredictions,
+            self.stats.retired_branches,
+            rob,
+            self.iq_count as u64,
+            self.lsq_count as u64,
+            self.front_q.len() as u64,
+            bq,
+            vq,
+            tq,
+            l1.accesses,
+            l1.hits,
+            l2.accesses,
+            l2.hits,
+            l3.accesses,
+            l3.hits,
+        ];
+        row.extend_from_slice(&self.stats.cpi_slots);
+        let t = self.telemetry.as_mut().expect("checked above");
+        t.series.push_row(row);
+        let step = t.cfg.sample_interval.max(1);
+        while t.next_sample <= cycle {
+            t.next_sample += step;
+        }
+        if t.trace.is_enabled() {
+            t.trace.counter(
+                "occupancy",
+                "pipe",
+                cycle,
+                0,
+                vec![("bq", bq.into()), ("vq", vq.into()), ("tq", tq.into()), ("rob", rob.into())],
+            );
+        }
+    }
+
+    /// Final series row at end of run, skipped if sampling already landed
+    /// exactly there.
+    pub(crate) fn final_sample(&mut self) {
+        let need = match &self.telemetry {
+            Some(t) => t.cfg.sample_interval > 0 && t.series.rows.last().is_none_or(|r| r[0] != self.now),
+            None => false,
+        };
+        if need {
+            self.sample_telemetry(self.now, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared plumbing
+    // ------------------------------------------------------------------
+
+    /// One post-mortem ring entry for the current cycle.
+    pub(crate) fn cycle_snap(&self) -> CycleSnap {
+        CycleSnap {
+            cycle: self.now,
+            fetch_pc: self.fetch_pc,
+            retired: self.stats.retired,
+            rob: self.rob.len(),
+            iq: self.iq_count,
+            lsq: self.lsq_count,
+            front_q: self.front_q.len(),
+            bq_len: self.bq.length(),
+            tq_len: self.tq.length(),
+            tcr: self.tq.tcr,
+            free_regs: self.rename.free_regs(),
+            ckpt_free: self.checkpoints_free,
+        }
+    }
+
+    /// Visits a fault-injection site: returns the armed fault's kind when
+    /// it fires at this visit (see [`crate::fault`]).
+    pub(crate) fn fault_at(&mut self, site: FaultSite) -> Option<FaultKind> {
+        let fired = self.fault.as_mut()?.visit(site, self.now);
+        if let Some(kind) = fired {
+            self.stats.faults_injected += 1;
+            if let Some(t) = &mut self.telemetry {
+                t.trace.instant(
+                    "fault",
+                    "fault",
+                    self.now,
+                    0,
+                    0,
+                    vec![("site", format!("{site:?}").into()), ("kind", format!("{kind:?}").into())],
+                );
+            }
+        }
+        fired
+    }
+
+    /// Whether the armed fault has fired by now (recovery attribution).
+    pub(crate) fn fault_has_fired(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.fired().is_some())
+    }
+
+    /// Branch PC as presented to predictor structures: instruction indices
+    /// are word-granular, but the predictor/confidence hash functions expect
+    /// byte-granular PCs (`pc >> 2` etc.), so scale by 4 to avoid aliasing
+    /// adjacent branches.
+    #[inline]
+    pub(crate) fn bpc(pc: u32) -> u64 {
+        (pc as u64) << 2
+    }
+
+    /// ROB index of the instruction with dense ordinal `rob_seq`.
+    #[inline]
+    pub(crate) fn rob_idx(&self, rob_seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.rob_seq;
+        let idx = rob_seq.checked_sub(front)? as usize;
+        (idx < self.rob.len()).then_some(idx)
+    }
+
+    /// Writes a physical register and moves its waiters to the wakeup
+    /// wheel at the value's ready cycle. Every producer-side PRF write goes
+    /// through here so no registered consumer can miss its wakeup.
+    pub(crate) fn prf_write(&mut self, p: PhysReg, value: i64, ready_at: u64, taint: Taint) {
+        self.rename.write(p, value, ready_at, taint);
+        let waiters = self.rename.take_waiters(p);
+        if !waiters.is_empty() {
+            self.wakeup_wheel.entry(ready_at).or_default().extend(waiters);
+        }
+    }
+
+    /// Records a finished (retired or squashed) instruction into the trace.
+    pub(crate) fn trace_record(&mut self, e: &DynInst, retired: Option<u64>) {
+        if let Some(t) = &mut self.pipe_trace {
+            if t.accepting() && e.seq < u64::MAX {
+                t.record(PipeEvent {
+                    seq: e.seq,
+                    pc: e.pc,
+                    disasm: e.instr.to_string(),
+                    fetch: e.t_fetch,
+                    dispatch: e.dispatched.then_some(e.t_dispatch),
+                    issue: e.issued.then_some(e.t_issue),
+                    complete: e.done.then_some(e.t_complete),
+                    retire: retired,
+                    squashed: retired.is_none(),
+                });
+            }
+        }
+    }
+
+    /// One-line pipeline state summary for deadlock diagnostics.
+    pub(crate) fn dump_state(&self) -> String {
+        let head = self.rob.front().map(|e| {
+            format!(
+                "head seq={} pc={} `{}` disp={} issued={} done={} verified={} spec_pop={} bq_abs={:?}",
+                e.seq, e.pc, e.instr, e.dispatched, e.issued, e.done, e.verified, e.spec_pop, e.bq_abs
+            )
+        });
+        format!(
+            "rob={} iq={} lsq={} front_q={} fetch_pc={} fetch_halted={} resume_at={} diverged={:?}              bq[h={} t={} net={} pend={}] tq[h={} t={} tcr={}] vq[h={} t={}] free_regs={} | {:?}",
+            self.rob.len(),
+            self.iq_count,
+            self.lsq_count,
+            self.front_q.len(),
+            self.fetch_pc,
+            self.fetch_halted,
+            self.fetch_resume_at,
+            self.diverged_at,
+            self.bq.head,
+            self.bq.tail,
+            self.bq.net_push_ctr,
+            self.bq.pending_push_ctr,
+            self.tq.head,
+            self.tq.tail,
+            self.tq.tcr,
+            self.vq.head,
+            self.vq.tail,
+            self.rename.free_regs(),
+            head
+        ) + &format!(
+            " | front_head: {:?} vq_net={} vq_pend={} bq_len={} ckpt_free={}",
+            self.front_q.front().map(|e| format!("seq={} pc={} `{}` disp_at={}", e.seq, e.pc, e.instr, e.dispatch_at)),
+            self.vq.net_ctr,
+            self.vq.pending_ctr,
+            self.bq.length(),
+            self.checkpoints_free
+        )
+    }
+}
+
+/// Inverse of [`level_index`](crate::stats::level_index): reconstructs a
+/// taint from its code.
+pub(crate) fn taint_from_index(code: u8) -> Taint {
+    match code {
+        1 => Some(MemLevel::L1),
+        2 => Some(MemLevel::L2),
+        3 => Some(MemLevel::L3),
+        4 => Some(MemLevel::Mem),
+        _ => None,
+    }
+}
+
+/// Narrows a stored 64-bit value to `width` with sign/zero extension.
+pub(crate) fn extract(stored: i64, width: MemWidth, signed: bool) -> i64 {
+    let n = width.bytes() as u32;
+    if n == 8 {
+        return stored;
+    }
+    let shift = 64 - 8 * n;
+    if signed {
+        (stored << shift) >> shift
+    } else {
+        ((stored as u64) << shift >> shift) as i64
+    }
+}

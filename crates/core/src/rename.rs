@@ -35,11 +35,18 @@ struct PhysEntry {
 }
 
 /// The physical register file + freelist + rename map table.
+///
+/// Each physical register also carries a *waiter list*: the ROB ordinals of
+/// dispatched instructions blocked on it. The scheduler registers a consumer
+/// on its first not-yet-computed source and the producer's write drains the
+/// list into the wakeup wheel, so per-cycle scheduling work is proportional
+/// to wakeup events rather than IQ occupancy.
 #[derive(Debug, Clone)]
 pub struct RenameState {
     prf: Vec<PhysEntry>,
     rmt: [PhysReg; NUM_REGS],
     freelist: VecDeque<PhysReg>,
+    waiters: Vec<Vec<u64>>,
 }
 
 impl RenameState {
@@ -53,7 +60,8 @@ impl RenameState {
             *m = i as PhysReg;
         }
         let freelist = (NUM_REGS as PhysReg..prf_size as PhysReg).collect();
-        RenameState { prf, rmt, freelist }
+        let waiters = vec![Vec::new(); prf_size];
+        RenameState { prf, rmt, freelist, waiters }
     }
 
     /// Free physical registers remaining.
@@ -123,6 +131,23 @@ impl RenameState {
     /// Writes a value that becomes visible at `ready_at`.
     pub fn write(&mut self, p: PhysReg, value: i64, ready_at: u64, taint: Taint) {
         self.prf[p as usize] = PhysEntry { value, ready_at, taint };
+    }
+
+    /// Registers the instruction with ROB ordinal `seq` as blocked on `p`
+    /// (whose value has not been computed yet).
+    pub fn add_waiter(&mut self, p: PhysReg, seq: u64) {
+        self.waiters[p as usize].push(seq);
+    }
+
+    /// Drains and returns the waiter list of `p` (called by the producer's
+    /// write so the scheduler can move the consumers to its wakeup wheel).
+    pub fn take_waiters(&mut self, p: PhysReg) -> Vec<u64> {
+        std::mem::take(&mut self.waiters[p as usize])
+    }
+
+    /// Total instructions parked on waiter lists (diagnostics only).
+    pub fn waiting(&self) -> usize {
+        self.waiters.iter().map(Vec::len).sum()
     }
 }
 

@@ -77,13 +77,9 @@ impl PipeTrace {
             return "(empty trace)\n".to_string();
         };
         let t0 = first.fetch;
-        let t_end = self
-            .events
-            .iter()
-            .map(|e| e.retire.or(e.complete).or(e.dispatch).unwrap_or(e.fetch))
-            .max()
-            .unwrap_or(t0)
-            + 2; // room for retire plus a squash marker
+        let t_end =
+            self.events.iter().map(|e| e.retire.or(e.complete).or(e.dispatch).unwrap_or(e.fetch)).max().unwrap_or(t0)
+                + 2; // room for retire plus a squash marker
         let width = ((t_end - t0) as usize).min(160);
         let mut out = String::new();
         let _ = writeln!(out, "cycles {t0}..{}  (one column per cycle)", t0 + width as u64);
@@ -228,8 +224,18 @@ impl SnapRing {
             let _ = writeln!(
                 out,
                 "{:>10} {:>8} {:>10} {:>5} {:>4} {:>4} {:>7} {:>5} {:>5} {:>6} {:>5} {:>5}",
-                s.cycle, s.fetch_pc, s.retired, s.rob, s.iq, s.lsq, s.front_q, s.bq_len, s.tq_len,
-                s.tcr, s.free_regs, s.ckpt_free
+                s.cycle,
+                s.fetch_pc,
+                s.retired,
+                s.rob,
+                s.iq,
+                s.lsq,
+                s.front_q,
+                s.bq_len,
+                s.tq_len,
+                s.tcr,
+                s.free_regs,
+                s.ckpt_free
             );
         }
         if self.buf.is_empty() {

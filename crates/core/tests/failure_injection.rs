@@ -43,10 +43,7 @@ fn push_overflow_is_detected() {
     // The fetch unit stalls the push (its architectural pops never come),
     // while the functional oracle faults at the 129th push — either a
     // deadlock report or an oracle fault is an acceptable *detection*.
-    assert!(
-        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }), "got {err}");
 }
 
 #[test]
@@ -66,10 +63,7 @@ fn vq_pop_without_push_is_detected() {
     let err = run(a).unwrap_err();
     // The VQ renamer refuses to rename the pop (dispatch stalls) and the
     // deadlock detector reports it, or the oracle faults first.
-    assert!(
-        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }), "got {err}");
 }
 
 #[test]
@@ -79,10 +73,7 @@ fn tq_pop_without_push_is_detected() {
     a.halt();
     let err = run(a).unwrap_err();
     // TQ misses stall fetch forever when no push exists.
-    assert!(
-        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }), "got {err}");
 }
 
 #[test]
@@ -90,9 +81,7 @@ fn runaway_program_hits_cycle_limit() {
     let mut a = Assembler::new();
     a.label("spin");
     a.j("spin");
-    let err = Core::new(CoreConfig::default(), a.finish().unwrap(), MemImage::new()).unwrap()
-        .run(10_000)
-        .unwrap_err();
+    let err = Core::new(CoreConfig::default(), a.finish().unwrap(), MemImage::new()).unwrap().run(10_000).unwrap_err();
     assert!(matches!(err, CoreError::CycleLimit(10_000)), "got {err}");
 }
 
@@ -102,10 +91,7 @@ fn pc_off_the_end_is_detected() {
     let mut a = Assembler::new();
     a.addi(r(1), r(1), 1);
     let err = run(a).unwrap_err();
-    assert!(
-        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }), "got {err}");
 }
 
 #[test]
@@ -148,10 +134,7 @@ fn bq_overflow_inside_mark_forward_region_is_detected() {
     a.forward_bq();
     a.halt();
     let err = run(a).unwrap_err();
-    assert!(
-        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }), "got {err}");
 }
 
 #[test]
@@ -168,10 +151,7 @@ fn vq_push_with_full_queue_at_rename_is_detected() {
     a.blt(i, n, "top");
     a.halt();
     let err = run(a).unwrap_err();
-    assert!(
-        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }), "got {err}");
 }
 
 #[test]
@@ -227,10 +207,7 @@ fn mismatched_push_pop_counts_are_detected() {
     }
     a.halt();
     let err = run(a).unwrap_err();
-    assert!(
-        matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::Program(_) | CoreError::Deadlock { .. }), "got {err}");
 }
 
 // ---------------------------------------------------------------------
@@ -283,15 +260,8 @@ fn run_faulted(fault: FaultKind, nth: u64) -> Result<cfd_core::RunReport, CoreEr
     let mut m = Machine::new(program.clone(), mem.clone());
     m.run_to_halt().unwrap();
     let want_retired = m.retired();
-    let cfg = CoreConfig {
-        watchdog_cycles: 20_000,
-        post_mortem_depth: 32,
-        ..Default::default()
-    };
-    let out = Core::new(cfg, program, mem)
-        .unwrap()
-        .with_fault(FaultSpec { kind: fault, nth })
-        .run_diag(2_000_000);
+    let cfg = CoreConfig { watchdog_cycles: 20_000, post_mortem_depth: 32, ..Default::default() };
+    let out = Core::new(cfg, program, mem).unwrap().with_fault(FaultSpec { kind: fault, nth }).run_diag(2_000_000);
     match out {
         Ok(rep) => {
             // Completed runs must be architecturally identical to the
@@ -340,10 +310,7 @@ fn bq_drop_fault_trips_the_watchdog() {
     // A dropped BQ entry never verifies its pop: commit stalls and the
     // bounded-latency watchdog must convert the hang into a report.
     let err = run_faulted(FaultKind::BqDrop, 7).expect_err("must be detected");
-    assert!(
-        matches!(err, CoreError::Deadlock { .. } | CoreError::OracleMismatch { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::Deadlock { .. } | CoreError::OracleMismatch { .. }), "got {err}");
 }
 
 #[test]
@@ -351,10 +318,7 @@ fn tq_corrupt_fault_is_detected() {
     // A corrupted trip count makes Branch_on_TCR run the loop a wrong
     // number of times — an architectural divergence the oracle sees.
     let err = run_faulted(FaultKind::TqCorrupt, 0).expect_err("must be detected");
-    assert!(
-        matches!(err, CoreError::OracleMismatch { .. } | CoreError::Deadlock { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, CoreError::OracleMismatch { .. } | CoreError::Deadlock { .. }), "got {err}");
 }
 
 #[test]
@@ -365,10 +329,7 @@ fn vq_remap_corrupt_fault_never_diverges_silently() {
     // identical, so silence is impossible either way.
     match run_faulted(FaultKind::VqRemapCorrupt, 3) {
         Ok(rep) => assert!(rep.injection.is_some()),
-        Err(err) => assert!(
-            matches!(err, CoreError::OracleMismatch { .. } | CoreError::Deadlock { .. }),
-            "got {err}"
-        ),
+        Err(err) => assert!(matches!(err, CoreError::OracleMismatch { .. } | CoreError::Deadlock { .. }), "got {err}"),
     }
 }
 

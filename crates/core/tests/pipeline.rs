@@ -390,11 +390,7 @@ fn icache_misses_are_cold_only() {
     let (program, _, mem) = separable_kernel(2_000, 50);
     let rep = run(CoreConfig::default(), program.clone(), mem.clone());
     assert!(rep.stats.icache_misses > 0, "cold I-misses expected");
-    assert!(
-        rep.stats.icache_misses < 16,
-        "the kernel fits in a few I-blocks; got {}",
-        rep.stats.icache_misses
-    );
+    assert!(rep.stats.icache_misses < 16, "the kernel fits in a few I-blocks; got {}", rep.stats.icache_misses);
     let cfg = CoreConfig { model_icache: false, ..Default::default() };
     let no_ic = run(cfg, program, mem);
     assert_eq!(no_ic.stats.icache_misses, 0);

@@ -27,8 +27,6 @@
 //! assert!(model.total_pj(&better) < model.total_pj(&base));
 //! ```
 
-#![warn(missing_docs)]
-
 use std::fmt;
 
 /// Microarchitectural event counters accumulated by the timing core.

@@ -281,11 +281,8 @@ impl Engine {
             if owner.get(&fps[i]) != Some(&i) {
                 continue;
             }
-            let hit = self
-                .cache
-                .as_ref()
-                .and_then(|c| c.load(job.kind(), fps[i]))
-                .and_then(|v| job.result_from_json(&v));
+            let hit =
+                self.cache.as_ref().and_then(|c| c.load(job.kind(), fps[i])).and_then(|v| job.result_from_json(&v));
             match hit {
                 Some(out) => {
                     batch.cache_hits += 1;
@@ -444,7 +441,10 @@ mod tests {
         let eng = Engine::serial();
         let got = eng.run_all(&squares(&[2, 13, 4], 0));
         assert_eq!(got[0], Ok(4));
-        match &got[1] { Err(JobError::Panicked(m)) => assert!(m.contains("poison value 13"), "actual message: {m:?}"), other => panic!("expected panic error, got {other:?}") }
+        match &got[1] {
+            Err(JobError::Panicked(m)) => assert!(m.contains("poison value 13"), "actual message: {m:?}"),
+            other => panic!("expected panic error, got {other:?}"),
+        }
         assert_eq!(got[2], Ok(16));
         assert_eq!(eng.stats().failed, 1);
     }

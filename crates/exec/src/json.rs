@@ -204,13 +204,10 @@ impl<'a> Parser<'a> {
                             }
                             let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
                                 .map_err(|_| self.err("bad unicode escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad unicode escape"))?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad unicode escape"))?;
                             // Cached strings only escape control chars, so
                             // surrogate pairs never appear.
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| self.err("bad unicode escape"))?,
-                            );
+                            out.push(char::from_u32(code).ok_or_else(|| self.err("bad unicode escape"))?);
                             self.i += 4;
                         }
                         _ => return Err(self.err("bad escape")),
@@ -220,8 +217,7 @@ impl<'a> Parser<'a> {
                 _ => {
                     // Consume one UTF-8 scalar (multi-byte sequences pass
                     // through unchanged).
-                    let rest = std::str::from_utf8(&self.b[self.i..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|_| self.err("invalid utf-8"))?;
                     let c = rest.chars().next().expect("non-empty");
                     out.push(c);
                     self.i += c.len_utf8();

@@ -44,12 +44,36 @@ macro_rules! take_u64_fields {
 macro_rules! core_stats_u64_fields {
     ($m:ident, $a:ident, $b:expr) => {
         $m!(
-            $a, $b, cycles, retired, fetched, wrong_path_fetched, issued, wrong_path_issued,
-            retired_branches, mispredictions, bq_hits, bq_misses, bq_spec_recoveries,
-            bq_push_stall_cycles, bq_miss_stall_cycles, tq_hits, tq_miss_stall_cycles,
-            tq_push_stall_cycles, immediate_recoveries, retire_recoveries, checkpoints_allocated,
-            checkpoints_denied, checkpoints_unwanted, btb_misfetches, icache_misses, lsq_forwards,
-            max_bq_occupancy, max_vq_occupancy, max_tq_occupancy, faults_injected,
+            $a,
+            $b,
+            cycles,
+            retired,
+            fetched,
+            wrong_path_fetched,
+            issued,
+            wrong_path_issued,
+            retired_branches,
+            mispredictions,
+            bq_hits,
+            bq_misses,
+            bq_spec_recoveries,
+            bq_push_stall_cycles,
+            bq_miss_stall_cycles,
+            tq_hits,
+            tq_miss_stall_cycles,
+            tq_push_stall_cycles,
+            immediate_recoveries,
+            retire_recoveries,
+            checkpoints_allocated,
+            checkpoints_denied,
+            checkpoints_unwanted,
+            btb_misfetches,
+            icache_misses,
+            lsq_forwards,
+            max_bq_occupancy,
+            max_vq_occupancy,
+            max_tq_occupancy,
+            faults_injected,
             post_fault_recoveries,
         )
     };
@@ -58,10 +82,30 @@ macro_rules! core_stats_u64_fields {
 macro_rules! event_counts_u64_fields {
     ($m:ident, $a:ident, $b:expr) => {
         $m!(
-            $a, $b, cycles, fetched, decoded, renamed, iq_writes, iq_wakeups, regfile_reads,
-            regfile_writes, alu_simple, alu_complex, lsq_ops, l1d_accesses, l2_accesses,
-            l3_accesses, dram_accesses, bpred_ops, btb_ops, rob_ops, checkpoint_ops, bq_ops,
-            vq_ops, tq_ops,
+            $a,
+            $b,
+            cycles,
+            fetched,
+            decoded,
+            renamed,
+            iq_writes,
+            iq_wakeups,
+            regfile_reads,
+            regfile_writes,
+            alu_simple,
+            alu_complex,
+            lsq_ops,
+            l1d_accesses,
+            l2_accesses,
+            l3_accesses,
+            dram_accesses,
+            bpred_ops,
+            btb_ops,
+            rob_ops,
+            checkpoint_ops,
+            bq_ops,
+            vq_ops,
+            tq_ops,
         )
     };
 }
@@ -262,7 +306,9 @@ impl CampaignJob for SimJob {
 
     fn execute(&self) -> RunReport {
         Core::new(self.cfg.clone(), self.workload.program.clone(), self.workload.mem.clone())
-            .unwrap_or_else(|e| panic!("{} [{}] core construction failed: {e}", self.workload.name, self.workload.variant))
+            .unwrap_or_else(|e| {
+                panic!("{} [{}] core construction failed: {e}", self.workload.name, self.workload.variant)
+            })
             .run(self.cycle_limit)
             .unwrap_or_else(|e| panic!("{} [{}] failed: {e}", self.workload.name, self.workload.variant))
     }

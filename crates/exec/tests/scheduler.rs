@@ -3,8 +3,8 @@
 //! caching (fingerprints track inputs; warm runs execute nothing), and
 //! panic isolation (one poisoned job cannot kill the batch).
 
-use cfd_exec::{CampaignJob, DiskCache, Engine, ExecConfig, Fingerprint, Hasher, JobError, Json, SimJob};
 use cfd_core::CoreConfig;
+use cfd_exec::{CampaignJob, DiskCache, Engine, ExecConfig, Fingerprint, Hasher, JobError, Json, SimJob};
 use cfd_workloads::{by_name, Scale, Variant};
 use std::path::PathBuf;
 

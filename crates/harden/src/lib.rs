@@ -34,8 +34,6 @@
 //! assert_eq!(report.silent_divergences(), 0);
 //! ```
 
-#![warn(missing_docs)]
-
 use cfd_analysis::{lint_program, LintConfig};
 use cfd_core::{Core, CoreConfig, CoreError, FaultKind, FaultSpec, TelemetryConfig, TelemetryReport};
 use cfd_exec::{CampaignJob, Engine, Fingerprint, Hasher, Json};
@@ -136,13 +134,7 @@ impl Default for CampaignConfig {
     fn default() -> CampaignConfig {
         CampaignConfig {
             seed: 0xcfdf_a017,
-            workloads: vec![
-                "soplex_ref_like",
-                "astar_r1_like",
-                "bzip2_like",
-                "gromacs_like",
-                "bzip2_tq_like",
-            ],
+            workloads: vec!["soplex_ref_like", "astar_r1_like", "bzip2_like", "gromacs_like", "bzip2_tq_like"],
             faults: vec![
                 FaultKind::PredictorFlip,
                 FaultKind::BqCorrupt,
@@ -178,9 +170,7 @@ impl CampaignReport {
     pub fn tally(&self) -> Vec<(&'static str, usize)> {
         ["masked", "detected", "hang", "silent_divergence", "not_reached"]
             .iter()
-            .map(|&label| {
-                (label, self.outcomes.iter().filter(|o| o.verdict.label() == label).count())
-            })
+            .map(|&label| (label, self.outcomes.iter().filter(|o| o.verdict.label() == label).count()))
             .collect()
     }
 
@@ -194,8 +184,7 @@ impl CampaignReport {
             "workload", "variant", "fault", "site", "nth", "verdict", "cycles", "latency"
         );
         for o in &self.outcomes {
-            let lat =
-                o.detect_latency.map_or_else(|| "-".to_string(), |l| l.to_string());
+            let lat = o.detect_latency.map_or_else(|| "-".to_string(), |l| l.to_string());
             let _ = writeln!(
                 out,
                 "{:<18} {:<8} {:<16} {:<18} {:>5} {:<22} {:>9} {:>9}",
@@ -307,11 +296,7 @@ impl CrosscheckRow {
             return true;
         }
         self.run_error.is_none()
-            && self
-                .static_bounds
-                .iter()
-                .zip(self.observed)
-                .all(|(b, seen)| b.is_none_or(|b| b >= seen))
+            && self.static_bounds.iter().zip(self.observed).all(|(b, seen)| b.is_none_or(|b| b >= seen))
     }
 }
 
@@ -337,14 +322,7 @@ pub fn run_crosscheck(n: usize, cycle_limit: u64) -> Vec<CrosscheckRow> {
                 .expect("default config is valid")
                 .run(cycle_limit);
             let (run_error, observed) = match out {
-                Ok(r) => (
-                    None,
-                    [
-                        r.stats.max_bq_occupancy,
-                        r.stats.max_vq_occupancy,
-                        r.stats.max_tq_occupancy,
-                    ],
-                ),
+                Ok(r) => (None, [r.stats.max_bq_occupancy, r.stats.max_vq_occupancy, r.stats.max_tq_occupancy]),
                 Err(e) => (Some(e.to_string()), [0; 3]),
             };
             rows.push(CrosscheckRow {
@@ -375,12 +353,7 @@ fn variant_for(workload: &CatalogEntry, fault: FaultKind) -> Option<Variant> {
 }
 
 /// Runs one trial and classifies it.
-pub fn run_trial(
-    wl: &Workload,
-    fault: FaultKind,
-    nth: u64,
-    cfg: &CampaignConfig,
-) -> TrialOutcome {
+pub fn run_trial(wl: &Workload, fault: FaultKind, nth: u64, cfg: &CampaignConfig) -> TrialOutcome {
     run_trial_inner(wl, fault, nth, cfg, None).0
 }
 
@@ -405,18 +378,11 @@ fn run_trial_inner(
     cfg: &CampaignConfig,
     telemetry: Option<TelemetryConfig>,
 ) -> (TrialOutcome, Option<TelemetryReport>) {
-    let reference = wl
-        .dynamic_instructions()
-        .expect("catalog workloads run clean functionally");
-    let core_cfg = CoreConfig {
-        watchdog_cycles: cfg.watchdog_cycles,
-        post_mortem_depth: 0,
-        ..Default::default()
-    };
+    let reference = wl.dynamic_instructions().expect("catalog workloads run clean functionally");
+    let core_cfg = CoreConfig { watchdog_cycles: cfg.watchdog_cycles, post_mortem_depth: 0, ..Default::default() };
     let spec = FaultSpec { kind: fault, nth };
-    let mut core = Core::new(core_cfg, wl.program.clone(), wl.mem.clone())
-        .expect("default config is valid")
-        .with_fault(spec);
+    let mut core =
+        Core::new(core_cfg, wl.program.clone(), wl.mem.clone()).expect("default config is valid").with_fault(spec);
     if let Some(tcfg) = telemetry {
         core = core.with_telemetry(tcfg);
     }
@@ -437,15 +403,9 @@ fn run_trial_inner(
             captured = fail.telemetry.take();
             let injected = fail.injection.as_ref().map(|i| i.cycle);
             let (at, verdict) = match &fail.error {
-                CoreError::Deadlock { cycle, .. } => {
-                    (Some(*cycle), Verdict::Detected("deadlock".to_string()))
-                }
-                CoreError::OracleMismatch { .. } => {
-                    (None, Verdict::Detected("oracle_mismatch".to_string()))
-                }
-                CoreError::Program(_) => {
-                    (None, Verdict::Detected("queue_protocol".to_string()))
-                }
+                CoreError::Deadlock { cycle, .. } => (Some(*cycle), Verdict::Detected("deadlock".to_string())),
+                CoreError::OracleMismatch { .. } => (None, Verdict::Detected("oracle_mismatch".to_string())),
+                CoreError::Program(_) => (None, Verdict::Detected("queue_protocol".to_string())),
                 CoreError::CycleLimit(n) => (Some(*n), Verdict::Hang),
                 CoreError::Config(_) => (None, Verdict::Detected("config".to_string())),
             };
@@ -519,11 +479,7 @@ impl CampaignJob for TrialJob {
         let mut h = Hasher::new();
         h.section("workload", &self.workload.fingerprint_bytes());
         h.section("fault", format!("{:?} nth={}", self.fault, self.nth).as_bytes());
-        let core_cfg = CoreConfig {
-            watchdog_cycles: self.watchdog_cycles,
-            post_mortem_depth: 0,
-            ..Default::default()
-        };
+        let core_cfg = CoreConfig { watchdog_cycles: self.watchdog_cycles, post_mortem_depth: 0, ..Default::default() };
         h.section("config", core_cfg.stable_repr().as_bytes());
         h.section("limits", format!("cycle_limit={}", self.cycle_limit).as_bytes());
         h.finish()
@@ -680,11 +636,8 @@ mod tests {
     #[test]
     fn campaign_is_worker_count_invariant() {
         let serial = run_campaign(&smoke_cfg()).to_json();
-        let engine = Engine::new(cfd_exec::ExecConfig {
-            jobs: 4,
-            use_cache: false,
-            cache_dir: std::path::PathBuf::new(),
-        });
+        let engine =
+            Engine::new(cfd_exec::ExecConfig { jobs: 4, use_cache: false, cache_dir: std::path::PathBuf::new() });
         let parallel = run_campaign_on(&engine, &smoke_cfg()).to_json();
         assert_eq!(serial, parallel);
         assert_eq!(engine.stats().executed, engine.stats().submitted - engine.stats().deduped);

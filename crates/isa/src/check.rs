@@ -155,11 +155,7 @@ pub fn run_cases(name: &str, cases: u64, property: impl Fn(&mut Rng)) {
 #[macro_export]
 macro_rules! prop_check {
     ($cases:expr, |$rng:ident| $body:block) => {
-        $crate::check::run_cases(
-            concat!(module_path!(), ":", line!()),
-            $cases,
-            |$rng: &mut $crate::check::Rng| $body,
-        )
+        $crate::check::run_cases(concat!(module_path!(), ":", line!()), $cases, |$rng: &mut $crate::check::Rng| $body)
     };
 }
 

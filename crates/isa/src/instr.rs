@@ -403,9 +403,11 @@ impl Instr {
     /// The destination architectural register written by this instruction.
     pub fn dest(&self) -> Option<Reg> {
         match *self {
-            Instr::Alu { rd, .. } | Instr::Li { rd, .. } | Instr::Load { rd, .. } | Instr::Jal { rd, .. } | Instr::PopVq { rd } => {
-                (!rd.is_zero()).then_some(rd)
-            }
+            Instr::Alu { rd, .. }
+            | Instr::Li { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::PopVq { rd } => (!rd.is_zero()).then_some(rd),
             _ => None,
         }
     }
@@ -580,7 +582,9 @@ mod tests {
         let push = Instr::PushBq { rs: Reg::new(4) };
         assert!(!push.is_control() && push.is_cfd());
 
-        assert!(Instr::Load { rd: Reg::new(1), base: Reg::new(2), offset: 0, width: MemWidth::B8, signed: false }.is_mem());
+        assert!(
+            Instr::Load { rd: Reg::new(1), base: Reg::new(2), offset: 0, width: MemWidth::B8, signed: false }.is_mem()
+        );
         assert!(Instr::SaveBq { base: Reg::new(2), offset: 0 }.is_mem());
     }
 

@@ -56,8 +56,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod check;
 mod instr;
 mod mem_image;
@@ -68,6 +66,7 @@ mod reg;
 mod semantics;
 mod sim;
 
+pub use check::Rng;
 pub use instr::{AluOp, BranchCond, Instr, MemWidth, QueueKind, QueueOp, QueueOpKind, Src2};
 pub use mem_image::MemImage;
 pub use parse::{parse_program, ParseError};
@@ -75,5 +74,4 @@ pub use program::{AsmError, Assembler, Program};
 pub use queues::{ArchBq, ArchTq, ArchVq, QueueError, TqEntry};
 pub use reg::{Reg, RegFile, NUM_REGS};
 pub use semantics::{eval_alu, eval_branch};
-pub use check::Rng;
 pub use sim::{run_and_read, Machine, MemAccess, NullSink, QueueConfig, RetireEvent, RunStats, SimError, TraceSink};

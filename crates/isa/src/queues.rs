@@ -469,7 +469,7 @@ mod tests {
             bq.push(true).unwrap();
         }
         bq.mark(); // marks the tail after 5 pushes
-        // Consumer pops only 2, then forwards.
+                   // Consumer pops only 2, then forwards.
         bq.pop().unwrap();
         bq.pop().unwrap();
         assert_eq!(bq.forward(), Ok(3));
@@ -555,7 +555,7 @@ mod tests {
         bq.push(false).unwrap();
         bq.pop().unwrap();
         bq.pop().unwrap(); // head (2) passes the mark (1)
-        // Forward must not move the head backwards.
+                           // Forward must not move the head backwards.
         assert_eq!(bq.forward(), Ok(0));
     }
 }

@@ -322,7 +322,8 @@ impl Machine {
             Instr::RestoreVq { base, offset } => {
                 let addr = (self.regs.read(base) as u64).wrapping_add(offset as u64);
                 let len = (self.mem.read_u64(addr) as usize).min(self.vq.capacity());
-                let vals: Vec<i64> = (0..len).map(|i| self.mem.read(addr + 8 + 8 * i as u64, MemWidth::B8, false)).collect();
+                let vals: Vec<i64> =
+                    (0..len).map(|i| self.mem.read(addr + 8 + 8 * i as u64, MemWidth::B8, false)).collect();
                 self.vq.restore(&vals);
                 mem_access = Some(MemAccess { addr, width: MemWidth::B8, is_store: false });
             }

@@ -20,8 +20,6 @@
 //! assert_eq!(warm.level, MemLevel::L1);
 //! ```
 
-#![warn(missing_docs)]
-
 mod cache;
 mod hierarchy;
 mod mshr;

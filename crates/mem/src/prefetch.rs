@@ -83,9 +83,7 @@ impl StridePrefetcher {
             let stride = e.stride;
             let degree = self.degree;
             self.issued += degree as u64;
-            (1..=degree)
-                .map(|k| PrefetchRequest { addr: addr.wrapping_add((stride * k as i64) as u64) })
-                .collect()
+            (1..=degree).map(|k| PrefetchRequest { addr: addr.wrapping_add((stride * k as i64) as u64) }).collect()
         } else {
             Vec::new()
         }

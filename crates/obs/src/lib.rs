@@ -25,8 +25,6 @@
 //! Everything in this crate is plain `std` and every stored quantity is
 //! an integer: serializing any artifact twice yields identical bytes.
 
-#![warn(missing_docs)]
-
 mod cpi;
 mod registry;
 mod series;

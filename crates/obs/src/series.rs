@@ -83,15 +83,11 @@ impl TimeSeries {
     /// scaled so that `ipc == width` (slots fully used) fills it.
     pub fn ascii_timeline(&self, width: u64, bar_width: usize) -> String {
         let mut out = String::new();
-        let (Some(ci_cycle), Some(ci_ret)) =
-            (self.column_index("cycle"), self.column_index("retired"))
-        else {
+        let (Some(ci_cycle), Some(ci_ret)) = (self.column_index("cycle"), self.column_index("retired")) else {
             return out;
         };
-        let occ_cols: Vec<(usize, &'static str)> = ["bq", "vq", "tq", "rob"]
-            .iter()
-            .filter_map(|&n| self.column_index(n).map(|i| (i, n)))
-            .collect();
+        let occ_cols: Vec<(usize, &'static str)> =
+            ["bq", "vq", "tq", "rob"].iter().filter_map(|&n| self.column_index(n).map(|i| (i, n))).collect();
         let _ = write!(out, "{:>12} {:>6}  {:<bar_width$}", "cycle", "ipc", "|retired/cycle|");
         for (_, n) in &occ_cols {
             let _ = write!(out, " {n:>5}");
@@ -106,11 +102,8 @@ impl TimeSeries {
             let dr = ret.saturating_sub(prev_ret);
             // milli-IPC over the interval; integer math only.
             let mipc = (dr * 1000).checked_div(dc).unwrap_or(0);
-            let bar_len = if width == 0 {
-                0
-            } else {
-                ((mipc as usize) * bar_width / (width as usize * 1000)).min(bar_width)
-            };
+            let bar_len =
+                if width == 0 { 0 } else { ((mipc as usize) * bar_width / (width as usize * 1000)).min(bar_width) };
             let _ = write!(
                 out,
                 "{cycle:>12} {:>3}.{:02}  {:<bar_width$}",

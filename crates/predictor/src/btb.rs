@@ -54,12 +54,7 @@ impl Btb {
     /// (default Sandy-Bridge-class: 1024 sets × 4 ways ≈ 4K entries).
     pub fn new(set_bits: u32, ways: usize) -> Btb {
         assert!(ways > 0);
-        let dummy = Way {
-            tag: 0,
-            entry: BtbEntry { target: 0, kind: BranchKind::Conditional },
-            lru: 0,
-            valid: false,
-        };
+        let dummy = Way { tag: 0, entry: BtbEntry { target: 0, kind: BranchKind::Conditional }, lru: 0, valid: false };
         Btb { sets: vec![vec![dummy; ways]; 1 << set_bits], set_bits, lookups: 0, hits: 0 }
     }
 

@@ -29,8 +29,6 @@
 //! assert!(miss < 100); // alternation is easy
 //! ```
 
-#![warn(missing_docs)]
-
 mod btb;
 mod conf;
 mod corrector;

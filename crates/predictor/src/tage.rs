@@ -13,7 +13,6 @@
 
 use crate::history::{GlobalHistory, HistorySnapshot};
 
-
 /// Configuration of a [`Tage`] predictor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TageConfig {

@@ -23,8 +23,6 @@
 //! assert!(rep.mpki() > 10.0, "a hard separable branch dominates");
 //! ```
 
-#![warn(missing_docs)]
-
 use cfd_analysis::{classify_program, BranchClass, ClassifyConfig};
 use cfd_isa::{Instr, Machine, RetireEvent, SimError, TraceSink};
 use cfd_predictor::{predictor_by_name, DirectionPredictor};
@@ -104,7 +102,12 @@ impl fmt::Display for ProfileReport {
         writeln!(
             f,
             "{}: {} instrs, {} branches, {} mispredicts, MPKI {:.2} ({}):",
-            self.name, self.instructions, self.branches, self.mispredictions, self.mpki(), self.predictor
+            self.name,
+            self.instructions,
+            self.branches,
+            self.mispredictions,
+            self.mpki(),
+            self.predictor
         )?;
         for (pc, b) in self.top_branches(5) {
             writeln!(f, "  pc {pc:5}  exec {:9}  miss {:8}  rate {:.3}", b.executed, b.mispredicted, b.miss_rate())?;

@@ -137,7 +137,7 @@ fn build_base(scale: Scale, limit: i64, dfd: bool) -> (Program, Vec<InterestBran
     let inner_pc = a.here();
     a.annotate("inner: num matches");
     a.bnez(t1, "stamp"); // inner branch: match when num == 0
-    // Record the match.
+                         // Record the match.
     a.sll(t1, cnt, 3i64);
     a.add(t1, t1, regs::base_c());
     a.srl(p, t0, 4i64);
@@ -219,7 +219,7 @@ fn build_cfd(scale: Scale, limit: i64, dfd: bool) -> (Program, Vec<InterestBranc
     a.blt(i, lim, "mid");
     a.label("mid_done");
     a.forward_bq(); // bulk-pop unconsumed outer predicates (§IV-A)
-    // ---- Loop 3: consumer, guarded by the combined predicate ----
+                    // ---- Loop 3: consumer, guarded by the combined predicate ----
     a.mv(i, cs);
     a.add(procd, cs, procd); // end bound for loop 3
     a.label("use");

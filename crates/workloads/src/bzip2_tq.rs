@@ -119,11 +119,7 @@ fn build_kernel(scale: Scale, use_tq: bool) -> (Program, Vec<InterestBranch>) {
         a.blt(j, m, "inner_body");
         a.addi(i, i, 1);
         a.blt(i, n, "outer");
-        branches.push(InterestBranch {
-            pc: bpc,
-            what: "run-length copy loop",
-            class: PaperClass::SeparableLoopBranch,
-        });
+        branches.push(InterestBranch { pc: bpc, what: "run-length copy loop", class: PaperClass::SeparableLoopBranch });
     }
     a.halt();
     (a.finish().expect("bzip2_tq assembles"), branches)

@@ -9,8 +9,8 @@ use crate::astar_r1;
 use crate::astar_tq;
 use crate::bzip2_tq;
 use crate::classes;
-use crate::ctxswitch;
 use crate::common::{Scale, Suite, Variant, Workload};
+use crate::ctxswitch;
 use crate::patterns::{AddressPattern, CdRegion, Predicate, ScanKernel};
 use crate::tiff2bw;
 
@@ -71,7 +71,13 @@ impl CatalogEntry {
 }
 
 fn scan(k: ScanKernel, paper: &'static str) -> CatalogEntry {
-    CatalogEntry { name: k.name, paper_benchmark: paper, suite: k.suite, variants: k.variants(), builder: Builder::Scan(k) }
+    CatalogEntry {
+        name: k.name,
+        paper_benchmark: paper,
+        suite: k.suite,
+        variants: k.variants(),
+        builder: Builder::Scan(k),
+    }
 }
 
 /// The full catalog, in the paper's Table V/VI order.

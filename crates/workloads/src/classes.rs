@@ -132,7 +132,11 @@ pub fn build_inseparable(variant: Variant, scale: Scale) -> Workload {
         mem: gen_mem(scale, 0x1458),
         observable: accs.to_vec(),
         check_ranges: Vec::new(),
-        interest: vec![InterestBranch { pc: bpc, what: "inseparable: state-fed branch", class: PaperClass::Inseparable }],
+        interest: vec![InterestBranch {
+            pc: bpc,
+            what: "inseparable: state-fed branch",
+            class: PaperClass::Inseparable,
+        }],
     }
 }
 

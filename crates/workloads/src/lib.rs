@@ -25,8 +25,6 @@
 //! # Ok::<(), cfd_isa::SimError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod astar_r1;
 mod astar_tq;
 mod bzip2_tq;

@@ -110,8 +110,7 @@ fn build_kernel(scale: Scale, hoist_cfd: bool) -> (Program, Vec<InterestBranch>)
     a.blt(i, n, "top");
     a.halt();
     let program = a.finish().expect("tiff2bw assembles");
-    let branches =
-        vec![InterestBranch { pc: bpc, what: "pixel below threshold", class: PaperClass::SeparableTotal }];
+    let branches = vec![InterestBranch { pc: bpc, what: "pixel below threshold", class: PaperClass::SeparableTotal }];
     (program, branches)
 }
 

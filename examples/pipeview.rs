@@ -16,7 +16,8 @@ fn main() {
 
     for variant in [Variant::Base, Variant::Cfd] {
         let w = entry.build(variant, scale);
-        let rep = Core::new(CoreConfig::default(), w.program.clone(), w.mem.clone()).unwrap()
+        let rep = Core::new(CoreConfig::default(), w.program.clone(), w.mem.clone())
+            .unwrap()
             .with_pipe_trace(4000)
             .run(50_000_000)
             .expect("run completes");

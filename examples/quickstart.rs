@@ -23,9 +23,8 @@ fn main() {
     assert_eq!(base_w.observe().unwrap(), cfd_w.observe().unwrap());
 
     let cfg = CoreConfig::default();
-    let base = Core::new(cfg.clone(), base_w.program.clone(), base_w.mem.clone()).unwrap()
-        .run(200_000_000)
-        .expect("base run");
+    let base =
+        Core::new(cfg.clone(), base_w.program.clone(), base_w.mem.clone()).unwrap().run(200_000_000).expect("base run");
     let cfd = Core::new(cfg, cfd_w.program.clone(), cfd_w.mem.clone()).unwrap().run(200_000_000).expect("cfd run");
 
     let model = EnergyModel::default();
@@ -35,11 +34,7 @@ fn main() {
     println!("IPC           {:>13.3} {:>12.3}", base.ipc(), cfd.ipc());
     println!("mispredicts   {:>13} {:>12}", base.stats.mispredictions, cfd.stats.mispredictions);
     println!("wrong-path    {:>13} {:>12}", base.stats.wrong_path_fetched, cfd.stats.wrong_path_fetched);
-    println!(
-        "energy (uJ)   {:>13.1} {:>12.1}",
-        base.energy(&model).total_pj / 1e6,
-        cfd.energy(&model).total_pj / 1e6
-    );
+    println!("energy (uJ)   {:>13.1} {:>12.1}", base.energy(&model).total_pj / 1e6, cfd.energy(&model).total_pj / 1e6);
     println!();
     println!(
         "CFD: {} BQ pops resolved at fetch, {} BQ misses, speedup {:.2}x, energy {:+.1}%",

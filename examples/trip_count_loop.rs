@@ -14,7 +14,8 @@ fn main() {
     let scale = Scale { n: 8_000, seed: 0xbeef };
 
     let base_w = entry.build(Variant::Base, scale);
-    let base = Core::new(CoreConfig::default(), base_w.program.clone(), base_w.mem.clone()).unwrap()
+    let base = Core::new(CoreConfig::default(), base_w.program.clone(), base_w.mem.clone())
+        .unwrap()
         .run(200_000_000)
         .expect("base run");
     println!(
@@ -26,7 +27,8 @@ fn main() {
     for v in [Variant::CfdTq, Variant::CfdBq, Variant::CfdBqTq] {
         let w = entry.build(v, scale);
         assert_eq!(w.observe().unwrap(), base_w.observe().unwrap(), "variants agree");
-        let rep = Core::new(CoreConfig::default(), w.program.clone(), w.mem.clone()).unwrap()
+        let rep = Core::new(CoreConfig::default(), w.program.clone(), w.mem.clone())
+            .unwrap()
             .run(200_000_000)
             .expect("variant run");
         let s = rep.speedup_over(&base);

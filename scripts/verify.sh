@@ -19,6 +19,9 @@ cargo test -q --offline --workspace
 echo "== lint gate: cargo clippy --all-targets -- -D warnings"
 cargo clippy -q --offline --all-targets -- -D warnings
 
+echo "== format gate: cargo fmt --check"
+cargo fmt --check
+
 cache=$(mktemp -d)
 lint_par=$(mktemp); lint_ser=$(mktemp); stats=$(mktemp)
 out=$(mktemp); out2=$(mktemp)
@@ -52,6 +55,14 @@ grep -q 'executed=0 failed=0' "$stats"
 cmp "$lint_par" "$lint_ser"
 
 if [[ "$QUICK" == "0" ]]; then
+    echo "== golden equivalence: full experiments transcript vs checked-in fixture"
+    # The staged-pipeline / event-driven-wakeup refactor is contractually
+    # invisible: the complete experiments transcript must stay byte-identical
+    # to the pre-refactor fixture. Any simulator behavior change shows here.
+    cargo run -q --release --offline -p cfd-bench --bin experiments -- \
+        all --no-cache > /dev/null
+    cmp artifacts/experiments_output.txt crates/bench/tests/fixtures/experiments_golden.txt
+
     echo "== smoke fault campaign (deterministic seed, contract-checked)"
     cargo run -q --release --offline -p cfd-bench --bin experiments -- \
         faults --smoke --seed 0xcfdfa017 --no-cache --json "$out"

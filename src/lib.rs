@@ -42,8 +42,6 @@
 //! # Ok::<(), cfd::core::CoreError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub use cfd_analysis as analysis;
 pub use cfd_core as core;
 pub use cfd_energy as energy;

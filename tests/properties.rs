@@ -154,17 +154,23 @@ fn fetch_tq_matches_arch_tq() {
 fn functional_sim_matches_reference_interpreter() {
     prop_check!(64, |rng| {
         let alu_ops = [
-            AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Div, AluOp::Rem, AluOp::And, AluOp::Or,
-            AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Slt, AluOp::Seq, AluOp::Max,
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Rem,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Slt,
+            AluOp::Seq,
+            AluOp::Max,
         ];
         let ops = rng.vec(1, 60, |r| {
-            (
-                r.range_usize(0, 14),
-                r.range_usize(1, 8),
-                r.range_usize(1, 8),
-                r.range_usize(1, 8),
-                r.range_i64(-50, 50),
-            )
+            (r.range_usize(0, 14), r.range_usize(1, 8), r.range_usize(1, 8), r.range_usize(1, 8), r.range_i64(-50, 50))
         });
         let mut a = Assembler::new();
         let mut ref_regs = [0i64; 8];

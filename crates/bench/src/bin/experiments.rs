@@ -19,11 +19,26 @@
 //!                             telemetry-free run of every catalog workload
 //!                             and report KIPS (timings are host-dependent;
 //!                             the simulated columns stay deterministic)
+//!   experiments chaos [opts]  IO-fault chaos sweep over the campaign
+//!                             engine's durability machinery (torn cache
+//!                             writes, corrupt cache bytes, truncated
+//!                             journals, mid-run kills); exits non-zero if
+//!                             any injected fault silently diverges
 //!
 //! Global options (any subcommand):
 //!   --jobs N        worker threads for simulations (default $CFD_JOBS or 1);
 //!                   results are byte-identical at any worker count
 //!   --no-cache      bypass the on-disk result cache (target/cfd-cache)
+//!   --resume        resume an interrupted campaign from its job journal:
+//!                   replay completed work from the cache and re-execute
+//!                   only jobs that never finished
+//!   --retries N     re-run failed jobs up to N extra times in
+//!                   deterministic fingerprint order; jobs that exhaust
+//!                   their retries are quarantined in the journal ledger
+//!   --timeout-cycles N
+//!                   cancel any simulation that exceeds N simulated cycles
+//!                   and record it as a timeout failure (deterministic:
+//!                   the budget is checked on the simulated clock)
 //!   --quiet         suppress the [cfd-exec] stats line on stderr
 //!   --trace-out P   write the engine's job trace (Perfetto JSON) to P
 //!
@@ -50,10 +65,15 @@
 //!   --scale N       workload outer trip count (default catalog scale)
 //!   --json PATH     timing-table destination ("-" = stdout;
 //!                   default artifacts/BENCH_simperf.json)
+//!
+//! Chaos options:
+//!   --seed N        fault-shim seed (default 0xcfdc4a05)
+//!   --scale N       probe workload outer trip count (default 40)
+//!   --json PATH     write the JSON verdict table to PATH ("-" = stdout)
 
 use cfd_bench::experiments;
-use cfd_exec::{Engine, ExecConfig};
-use cfd_harden::{run_campaign_on, CampaignConfig};
+use cfd_exec::{Engine, ExecConfig, RetryPolicy};
+use cfd_harden::{run_campaign_on, run_exec_chaos, CampaignConfig, ChaosConfig};
 use std::time::Instant;
 
 /// Global flags that outlive subcommand dispatch.
@@ -84,6 +104,8 @@ fn main() {
     let observing = args.first().is_some_and(|a| a == "observe");
     let mut cfg = ExecConfig::from_env();
     let mut global = Global { quiet: false, trace_out: None };
+    let mut retries = 0u64;
+    let mut timeout_cycles = 0u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -104,6 +126,26 @@ fn main() {
                 args.remove(i);
                 cfg.use_cache = false;
             }
+            "--resume" => {
+                args.remove(i);
+                cfg.resume = true;
+            }
+            "--retries" => {
+                args.remove(i);
+                let v = take_value(&mut args, i, "--retries");
+                retries = parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --retries: `{v}`");
+                    std::process::exit(1);
+                });
+            }
+            "--timeout-cycles" => {
+                args.remove(i);
+                let v = take_value(&mut args, i, "--timeout-cycles");
+                timeout_cycles = parse_u64(&v).filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("bad value for --timeout-cycles: `{v}`");
+                    std::process::exit(1);
+                });
+            }
             "--quiet" => {
                 args.remove(i);
                 global.quiet = true;
@@ -121,6 +163,9 @@ fn main() {
             _ => i += 1,
         }
     }
+    if retries > 0 || timeout_cycles > 0 {
+        cfg.policy = RetryPolicy::bounded(retries, timeout_cycles);
+    }
     let engine = Engine::new(cfg);
 
     if args.is_empty() || args[0] == "list" {
@@ -136,10 +181,18 @@ fn main() {
             "observe"
         );
         println!("  {:8} host-side simulator throughput over the catalog (--scale N --json PATH)", "simperf");
+        println!(
+            "  {:8} IO-fault chaos sweep over cache + journal durability (--seed N --scale N --json PATH)",
+            "chaos"
+        );
         return;
     }
     if args[0] == "faults" {
         run_fault_campaign(&engine, &global, &args[1..]);
+        return;
+    }
+    if args[0] == "chaos" {
+        run_chaos(&args[1..]);
         return;
     }
     if args[0] == "simperf" {
@@ -373,6 +426,63 @@ fn run_lint(engine: &Engine, global: &Global, args: &[String]) {
     }
 }
 
+fn run_chaos(args: &[String]) {
+    let mut cfg = ChaosConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(1);
+            });
+            parse_u64(v).unwrap_or_else(|| {
+                eprintln!("bad value for {what}: `{v}`");
+                std::process::exit(1);
+            })
+        };
+        match a.as_str() {
+            "--seed" => cfg.seed = num("--seed"),
+            "--scale" => cfg.scale_n = num("--scale") as usize,
+            "--json" => {
+                json_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(1);
+                }))
+            }
+            other => {
+                eprintln!("unknown chaos option `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    println!("exec chaos sweep: seed {:#x}, scale {}, cache root {}", cfg.seed, cfg.scale_n, cfg.cache_root.display());
+    let report = run_exec_chaos(&cfg);
+    println!("{}", report.table());
+    match json_path.as_deref() {
+        Some("-") => println!("{}", report.to_json()),
+        Some(path) => {
+            std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("verdict table written to {path}");
+        }
+        None => {}
+    }
+    let silent = report.silent_divergences();
+    println!(
+        "[chaos completed in {:.1}s: {} scenarios, {} contract violations]",
+        t0.elapsed().as_secs_f64(),
+        report.outcomes.len(),
+        silent
+    );
+    if silent > 0 {
+        std::process::exit(2);
+    }
+}
+
 fn run_fault_campaign(engine: &Engine, global: &Global, args: &[String]) {
     let mut cfg = CampaignConfig::default();
     let mut json_path: Option<String> = None;
@@ -437,6 +547,17 @@ fn run_fault_campaign(engine: &Engine, global: &Global, args: &[String]) {
     global.finish(engine);
     if silent > 0 {
         std::process::exit(2);
+    }
+}
+
+/// Pops the value following a global flag out of the arg vector (the
+/// flag itself has already been removed at index `i`).
+fn take_value(args: &mut Vec<String>, i: usize, flag: &str) -> String {
+    if i < args.len() {
+        args.remove(i)
+    } else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(1);
     }
 }
 

@@ -8,8 +8,8 @@ use std::path::PathBuf;
 
 fn engine(jobs: usize, cache_dir: Option<PathBuf>) -> Engine {
     match cache_dir {
-        Some(dir) => Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir }),
-        None => Engine::new(ExecConfig { jobs, use_cache: false, cache_dir: PathBuf::new() }),
+        Some(dir) => Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir, ..ExecConfig::default() }),
+        None => Engine::new(ExecConfig { jobs, use_cache: false, ..ExecConfig::default() }),
     }
 }
 

@@ -1,3 +1,6 @@
+//! Host-side simulator speed probe: times one hot loop and reports
+//! simulated-cycles-per-host-second. Timings are host-dependent.
+
 use cfd_core::{Core, CoreConfig};
 use cfd_isa::{Assembler, MemImage, Reg};
 use std::time::Instant;

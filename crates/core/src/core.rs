@@ -40,6 +40,85 @@ use crate::stats::RunReport;
 use crate::trace::PipeTrace;
 use cfd_isa::{MemImage, Program};
 use cfd_obs::{TelemetryConfig, TelemetryReport};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cooperative cancellation handle for a running simulation.
+///
+/// A campaign supervisor holds one clone of the token while the
+/// simulation thread holds another; the step loop checks it every cycle,
+/// so even a pathological simulation that never retires (or a buggy stage
+/// that stops making architectural progress) can be stopped without
+/// killing the host thread. Two trip conditions:
+///
+/// * a **cycle budget** ([`CancelToken::with_budget`]) — deterministic:
+///   the run fails with [`CoreError::Cancelled`] at exactly the first
+///   cycle `>= budget`, independent of host timing or worker count;
+/// * an **external cancel** ([`CancelToken::cancel`]) — a wall-clock
+///   watchdog's last resort for a truly hung job; inherently
+///   host-timing-dependent, so campaign verdicts must not depend on the
+///   cycle it fires at.
+///
+/// The sim loop also publishes its current cycle through the token
+/// ([`CancelToken::progress`]), which is what lets a supervisor
+/// distinguish "slow but advancing" from "hung".
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelShared>,
+}
+
+#[derive(Debug, Default)]
+struct CancelShared {
+    cancelled: AtomicBool,
+    /// Cycle budget; 0 means unlimited.
+    budget: AtomicU64,
+    /// Last cycle the sim loop reported.
+    progress: AtomicU64,
+}
+
+impl CancelToken {
+    /// A token with no budget: only [`CancelToken::cancel`] can trip it.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that deterministically cancels the run at the first cycle
+    /// `>= budget` (0 means unlimited).
+    pub fn with_budget(budget: u64) -> CancelToken {
+        let t = CancelToken::default();
+        t.inner.budget.store(budget, Ordering::Relaxed);
+        t
+    }
+
+    /// Requests cancellation; the sim loop honours it within a bounded
+    /// number of cycles.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The configured cycle budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        match self.inner.budget.load(Ordering::Relaxed) {
+            0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// The simulated cycle the sim loop most recently reported — the
+    /// heartbeat a wall-clock watchdog monitors for forward progress.
+    pub fn progress(&self) -> u64 {
+        self.inner.progress.load(Ordering::Relaxed)
+    }
+
+    fn note(&self, cycle: u64) {
+        self.inner.progress.store(cycle, Ordering::Relaxed);
+    }
+}
 
 /// A simulation failure (simulator bug or runaway program).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +127,15 @@ pub enum CoreError {
     Config(String),
     /// The cycle limit was reached before `Halt` retired.
     CycleLimit(u64),
+    /// The run was stopped through a [`CancelToken`]: deterministically
+    /// by its cycle budget (`budget` is `Some`), or cooperatively by an
+    /// external [`CancelToken::cancel`] call (`budget` is `None`).
+    Cancelled {
+        /// Cycle at which the cancellation was honoured.
+        cycle: u64,
+        /// The exhausted cycle budget, when the budget tripped it.
+        budget: Option<u64>,
+    },
     /// The retired stream diverged from the functional oracle.
     OracleMismatch {
         /// Retired sequence number.
@@ -73,6 +161,10 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::Config(e) => write!(f, "invalid core configuration: {e}"),
             CoreError::CycleLimit(n) => write!(f, "cycle limit {n} reached before halt"),
+            CoreError::Cancelled { cycle, budget: Some(b) } => {
+                write!(f, "cycle budget {b} exhausted at cycle {cycle}")
+            }
+            CoreError::Cancelled { cycle, budget: None } => write!(f, "cancelled externally at cycle {cycle}"),
             CoreError::OracleMismatch { seq, core_pc, oracle_pc } => {
                 write!(f, "retired pc {core_pc} at seq {seq}, oracle expected {oracle_pc}")
             }
@@ -112,6 +204,16 @@ impl Core {
     #[must_use]
     pub fn with_fault(mut self, spec: FaultSpec) -> Self {
         self.p.fault = Some(FaultState::new(spec));
+        self
+    }
+
+    /// Arms cooperative cancellation: the step loop checks `token` every
+    /// cycle and fails with [`CoreError::Cancelled`] when its budget is
+    /// exhausted or [`CancelToken::cancel`] was called. With no token (the
+    /// default) the loop pays nothing.
+    #[must_use]
+    pub fn with_cancellation(mut self, token: CancelToken) -> Self {
+        self.p.cancel = Some(token);
         self
     }
 
@@ -181,6 +283,19 @@ impl Core {
         while !p.halted {
             if p.now >= cycle_limit {
                 return Err(CoreError::CycleLimit(cycle_limit));
+            }
+            if let Some(tok) = &p.cancel {
+                // Publish progress before checking: a supervisor that sees
+                // a stale heartbeat knows the loop itself stopped turning.
+                tok.note(p.now);
+                if let Some(b) = tok.budget() {
+                    if p.now >= b {
+                        return Err(CoreError::Cancelled { cycle: p.now, budget: Some(b) });
+                    }
+                }
+                if tok.is_cancelled() {
+                    return Err(CoreError::Cancelled { cycle: p.now, budget: None });
+                }
             }
             if p.stats.retired != last_retired.1 {
                 last_retired = (p.now, p.stats.retired);

@@ -60,7 +60,7 @@ mod scheduler;
 mod stats;
 mod trace;
 
-pub use crate::core::{Core, CoreError};
+pub use crate::core::{CancelToken, Core, CoreError};
 pub use cfd_queues::{BqSnapshot, FetchBq, FetchTq, TqSnapshot};
 pub use config::{BqMissPolicy, CheckpointPolicy, CoreConfig, PerfectMode};
 pub use fault::{FailureReport, FaultKind, FaultSite, FaultSpec, InjectionRecord};

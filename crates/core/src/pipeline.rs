@@ -294,6 +294,9 @@ pub(crate) struct Pipeline {
     pub(crate) pipe_trace: Option<PipeTrace>,
     /// Armed fault injection, if any (see [`crate::fault`]).
     pub(crate) fault: Option<FaultState>,
+    /// Cooperative cancellation token, when armed; checked once per cycle
+    /// by the step loop.
+    pub(crate) cancel: Option<crate::core::CancelToken>,
     /// Post-mortem snapshot ring (empty unless `post_mortem_depth > 0`).
     pub(crate) snap_ring: SnapRing,
     /// Why fetch most recently failed to supply instructions: CPI-stack
@@ -366,6 +369,7 @@ impl Pipeline {
             events: EventCounts::default(),
             pipe_trace: None,
             fault: None,
+            cancel: None,
             snap_ring: SnapRing::new(cfg.post_mortem_depth),
             front_block: CpiComponent::Frontend,
             refill_after_recovery: false,

@@ -1,0 +1,75 @@
+//! Cooperative cancellation contract: a cycle budget kills a run at
+//! exactly the budget cycle (deterministically), an unarmed or oversized
+//! token never perturbs a run, and an externally-cancelled token stops
+//! the loop before it turns.
+
+use cfd_core::{CancelToken, Core, CoreConfig, CoreError};
+use cfd_isa::{Assembler, MemImage, Program, Reg};
+
+fn r(i: usize) -> Reg {
+    Reg::new(i)
+}
+
+/// A long-enough busy loop: `n` iterations of a handful of ALU ops.
+fn busy_kernel(n: i64) -> (Program, MemImage) {
+    let (i, nn, acc, tmp) = (r(1), r(2), r(3), r(4));
+    let mut a = Assembler::new();
+    a.li(nn, n);
+    a.label("top");
+    a.add(acc, acc, i);
+    a.xor(tmp, acc, i);
+    a.add(acc, acc, tmp);
+    a.addi(i, i, 1);
+    a.blt(i, nn, "top");
+    a.halt();
+    (a.finish().unwrap(), MemImage::new())
+}
+
+fn core(token: Option<CancelToken>) -> Core {
+    let (program, mem) = busy_kernel(20_000);
+    let c = Core::new(CoreConfig::default(), program, mem).unwrap();
+    match token {
+        Some(t) => c.with_cancellation(t),
+        None => c,
+    }
+}
+
+#[test]
+fn budget_cancels_at_exactly_the_budget_cycle() {
+    for budget in [500u64, 1_234, 7_000] {
+        let err = core(Some(CancelToken::with_budget(budget))).run(50_000_000).unwrap_err();
+        assert_eq!(err, CoreError::Cancelled { cycle: budget, budget: Some(budget) });
+    }
+}
+
+#[test]
+fn unarmed_token_does_not_perturb_the_run() {
+    let baseline = core(None).run(50_000_000).expect("completes");
+    let with_token = core(Some(CancelToken::new())).run(50_000_000).expect("completes");
+    assert_eq!(baseline.stats.cycles, with_token.stats.cycles);
+    assert_eq!(baseline.stats.retired, with_token.stats.retired);
+}
+
+#[test]
+fn oversized_budget_is_harmless() {
+    let baseline = core(None).run(50_000_000).expect("completes");
+    let roomy = core(Some(CancelToken::with_budget(50_000_000))).run(50_000_000).expect("completes");
+    assert_eq!(baseline.stats.cycles, roomy.stats.cycles);
+}
+
+#[test]
+fn external_cancel_stops_before_the_loop_turns() {
+    let token = CancelToken::new();
+    token.cancel();
+    let err = core(Some(token.clone())).run(50_000_000).unwrap_err();
+    assert_eq!(err, CoreError::Cancelled { cycle: 0, budget: None });
+    // The loop published its heartbeat before honouring the cancel.
+    assert_eq!(token.progress(), 0);
+}
+
+#[test]
+fn budget_token_reports_progress_heartbeat() {
+    let token = CancelToken::with_budget(2_000);
+    let _ = core(Some(token.clone())).run(50_000_000);
+    assert_eq!(token.progress(), 2_000, "last published heartbeat is the kill cycle");
+}

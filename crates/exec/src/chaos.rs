@@ -1,0 +1,185 @@
+//! Seeded IO-fault injection for the persistence layer.
+//!
+//! PR 1 established the repo's fault-injection discipline for the
+//! *simulated* machine: every fault is seeded, every outcome is classified
+//! against a detection contract. This module turns the same discipline on
+//! the campaign engine's own storage — the content-addressed result cache
+//! and the write-ahead job journal. An [`IoFaultShim`] sits between those
+//! writers and the filesystem and, driven by the repo's deterministic
+//! xorshift RNG, tears or corrupts a seeded subset of writes:
+//!
+//! * [`IoFaultKind::TornWrite`] — the buffer is truncated at a seeded
+//!   offset before it reaches the disk, modelling a crash (or a
+//!   non-atomic filesystem) mid-write;
+//! * [`IoFaultKind::BitFlip`] — one seeded bit is flipped, modelling
+//!   silent media corruption.
+//!
+//! The shim records every fault it injects, so a chaos harness
+//! (`cfd_harden::run_exec_chaos`) can demand an accounting: each injected
+//! fault must end up *masked* (e.g. a torn temp file whose rename never
+//! happened) or *detected* (checksum/parse failure, quarantined entry,
+//! torn journal tail) — never a silent divergence of campaign results.
+//!
+//! Production engines never construct a shim; the hook is a cold
+//! `Option` that costs one branch per store.
+
+use cfd_isa::check::Rng;
+use std::sync::{Arc, Mutex};
+
+/// What the shim does to an intercepted write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// Truncate the buffer at a seeded offset (a torn write).
+    TornWrite,
+    /// Flip one seeded bit (silent media corruption).
+    BitFlip,
+}
+
+impl IoFaultKind {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFaultKind::TornWrite => "torn_write",
+            IoFaultKind::BitFlip => "bit_flip",
+        }
+    }
+}
+
+/// One injected fault, for the harness's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct InjectedIoFault {
+    /// Which writer was hit (`"cache.store"`, `"journal.append"`).
+    pub site: &'static str,
+    /// What was done to the buffer.
+    pub kind: IoFaultKind,
+    /// Byte offset the fault landed at (truncation point or flipped byte).
+    pub offset: usize,
+    /// Length of the buffer before mangling.
+    pub original_len: usize,
+}
+
+#[derive(Debug)]
+struct ShimState {
+    kind: IoFaultKind,
+    /// Inject roughly once per `period` eligible writes (1 = every write).
+    period: u64,
+    rng_and_log: Mutex<(Rng, Vec<InjectedIoFault>)>,
+}
+
+/// A seeded IO-fault injector shared (via [`Clone`]) by the cache and the
+/// journal of one engine. All decisions come from the embedded
+/// deterministic RNG: the same seed over the same write sequence injects
+/// the same faults.
+#[derive(Debug, Clone)]
+pub struct IoFaultShim {
+    inner: Arc<ShimState>,
+}
+
+impl IoFaultShim {
+    /// A shim injecting `kind` roughly once per `period` writes (minimum
+    /// 1, i.e. every write), drawing decisions from `seed`.
+    pub fn new(seed: u64, kind: IoFaultKind, period: u64) -> IoFaultShim {
+        IoFaultShim {
+            inner: Arc::new(ShimState {
+                kind,
+                period: period.max(1),
+                rng_and_log: Mutex::new((Rng::new(seed), Vec::new())),
+            }),
+        }
+    }
+
+    /// Possibly corrupts `bytes` in place; returns whether a fault was
+    /// injected. Empty buffers are never touched.
+    pub fn mangle(&self, site: &'static str, bytes: &mut Vec<u8>) -> bool {
+        if bytes.is_empty() {
+            return false;
+        }
+        let mut g = self.inner.rng_and_log.lock().expect("io-fault shim lock poisoned");
+        let (rng, log) = &mut *g;
+        if self.inner.period > 1 && rng.below(self.inner.period) != 0 {
+            return false;
+        }
+        let original_len = bytes.len();
+        let offset = match self.inner.kind {
+            IoFaultKind::TornWrite => {
+                // Keep a strict prefix so the write is genuinely torn.
+                let keep = rng.below(original_len as u64) as usize;
+                bytes.truncate(keep);
+                keep
+            }
+            IoFaultKind::BitFlip => {
+                let off = rng.below(original_len as u64) as usize;
+                let bit = rng.below(8) as u8;
+                bytes[off] ^= 1 << bit;
+                off
+            }
+        };
+        log.push(InjectedIoFault { site, kind: self.inner.kind, offset, original_len });
+        true
+    }
+
+    /// Every fault injected so far, in injection order.
+    pub fn injected(&self) -> Vec<InjectedIoFault> {
+        self.inner.rng_and_log.lock().expect("io-fault shim lock poisoned").1.clone()
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected_count(&self) -> usize {
+        self.inner.rng_and_log.lock().expect("io-fault shim lock poisoned").1.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_write_truncates_to_a_strict_prefix() {
+        let shim = IoFaultShim::new(7, IoFaultKind::TornWrite, 1);
+        let original: Vec<u8> = (0..100).collect();
+        let mut buf = original.clone();
+        assert!(shim.mangle("cache.store", &mut buf));
+        assert!(buf.len() < original.len());
+        assert_eq!(buf[..], original[..buf.len()]);
+        let log = shim.injected();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].original_len, 100);
+        assert_eq!(log[0].offset, buf.len());
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let shim = IoFaultShim::new(11, IoFaultKind::BitFlip, 1);
+        let original: Vec<u8> = vec![0xAA; 64];
+        let mut buf = original.clone();
+        assert!(shim.mangle("journal.append", &mut buf));
+        assert_eq!(buf.len(), original.len());
+        let diff_bits: u32 = buf.iter().zip(&original).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff_bits, 1);
+    }
+
+    #[test]
+    fn same_seed_injects_identically() {
+        let run = || {
+            let shim = IoFaultShim::new(42, IoFaultKind::TornWrite, 3);
+            let mut lens = Vec::new();
+            for i in 0..20u8 {
+                let mut buf = vec![i; 50];
+                shim.mangle("cache.store", &mut buf);
+                lens.push(buf.len());
+            }
+            (lens, shim.injected_count())
+        };
+        assert_eq!(run(), run());
+        let (_, n) = run();
+        assert!(n >= 1, "period 3 over 20 writes should inject at least once");
+    }
+
+    #[test]
+    fn empty_buffers_are_never_touched() {
+        let shim = IoFaultShim::new(1, IoFaultKind::BitFlip, 1);
+        let mut buf: Vec<u8> = Vec::new();
+        assert!(!shim.mangle("cache.store", &mut buf));
+        assert_eq!(shim.injected_count(), 0);
+    }
+}

@@ -1,10 +1,15 @@
 //! The campaign engine: fingerprint, dedup, cache-probe, execute in
-//! parallel, merge in input order.
+//! parallel, merge in input order — with crash-safe journaling and a
+//! retry/timeout/quarantine failure policy.
 
-use crate::cache::DiskCache;
-use crate::fingerprint::Fingerprint;
+use crate::cache::{CacheError, CacheLoad, DiskCache};
+use crate::chaos::IoFaultShim;
+use crate::fingerprint::{Fingerprint, Hasher};
+use crate::journal::{Journal, JournalRecord, Replay};
 use crate::json::Json;
+use crate::policy::{parse_timeout_panic, RetryPolicy};
 use crate::pool;
+use cfd_core::CancelToken;
 use cfd_obs::{ArgValue, MetricsRegistry, TraceLog};
 use std::collections::HashMap;
 use std::fmt;
@@ -50,6 +55,17 @@ pub trait CampaignJob: Send + Sync {
     /// [`JobError::Panicked`] without killing the sweep.
     fn execute(&self) -> Self::Output;
 
+    /// Runs the job under a cancellation token carrying the campaign's
+    /// deterministic cycle budget. Jobs that drive a simulated core
+    /// should thread `cancel` into the sim loop and raise
+    /// [`timeout_panic`](crate::policy::timeout_panic) on budget
+    /// exhaustion; the default ignores the token (jobs with no cycle
+    /// notion cannot time out).
+    fn execute_cancellable(&self, cancel: &CancelToken) -> Self::Output {
+        let _ = cancel;
+        self.execute()
+    }
+
     /// Serializes a result as a complete JSON document.
     fn result_to_json(out: &Self::Output) -> String;
 
@@ -67,12 +83,30 @@ pub enum JobError {
     /// continues — a poisoned simulation is a failed row, not a dead
     /// campaign.
     Panicked(String),
+    /// The job exhausted its deterministic cycle budget and was killed
+    /// cooperatively by the sim loop.
+    Timeout {
+        /// The budget that was exceeded, in simulated cycles.
+        budget_cycles: u64,
+    },
+    /// The job is in the poisoned-job ledger (it failed every attempt of
+    /// an earlier session) and was skipped instead of re-executed.
+    Quarantined {
+        /// Failed attempts on record when it was poisoned.
+        strikes: u64,
+    },
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Timeout { budget_cycles } => {
+                write!(f, "job exceeded its cycle budget of {budget_cycles}")
+            }
+            JobError::Quarantined { strikes } => {
+                write!(f, "job quarantined after {strikes} failed attempts")
+            }
         }
     }
 }
@@ -88,11 +122,31 @@ pub struct ExecConfig {
     pub use_cache: bool,
     /// Cache directory.
     pub cache_dir: PathBuf,
+    /// Retry/timeout/quarantine policy (default: everything off).
+    pub policy: RetryPolicy,
+    /// Resume an interrupted campaign: replay the journal instead of
+    /// truncating it, honour its quarantine ledger, and re-execute only
+    /// jobs whose results are not already durable in the cache.
+    pub resume: bool,
+    /// Whether to keep the write-ahead job journal (requires the cache;
+    /// `--resume` needs a journal from the interrupted run).
+    pub journal: bool,
+    /// Chaos-harness hook: routes cache and journal writes through a
+    /// seeded fault injector. Production configs leave this `None`.
+    pub io_faults: Option<IoFaultShim>,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { jobs: 1, use_cache: true, cache_dir: PathBuf::from("target/cfd-cache") }
+        ExecConfig {
+            jobs: 1,
+            use_cache: true,
+            cache_dir: PathBuf::from("target/cfd-cache"),
+            policy: RetryPolicy::default(),
+            resume: false,
+            journal: true,
+            io_faults: None,
+        }
     }
 }
 
@@ -125,12 +179,21 @@ pub struct ExecStats {
     pub submitted: u64,
     /// Results served from the disk cache.
     pub cache_hits: u64,
-    /// Jobs actually simulated.
+    /// Successful executions (any attempt).
     pub executed: u64,
-    /// Jobs that panicked.
+    /// Jobs whose final attempt failed (panic or timeout).
     pub failed: u64,
     /// Duplicate submissions folded onto another job's result.
     pub deduped: u64,
+    /// Corrupt cache entries detected, quarantined, and re-executed.
+    pub corrupt: u64,
+    /// Retry attempts (executions beyond each job's first attempt).
+    pub retried: u64,
+    /// Attempts killed by the deterministic cycle budget.
+    pub timeout: u64,
+    /// Jobs skipped via the poisoned-job ledger plus jobs newly poisoned
+    /// this run.
+    pub quarantined: u64,
 }
 
 /// How a job's slot was filled, for the trace.
@@ -139,6 +202,8 @@ enum JobOutcome {
     CacheHit,
     Executed,
     Panicked,
+    Timeout,
+    Quarantined,
     Deduped,
 }
 
@@ -148,6 +213,8 @@ impl JobOutcome {
             JobOutcome::CacheHit => "cache_hit",
             JobOutcome::Executed => "executed",
             JobOutcome::Panicked => "panicked",
+            JobOutcome::Timeout => "timeout",
+            JobOutcome::Quarantined => "quarantined",
             JobOutcome::Deduped => "deduped",
         }
     }
@@ -177,7 +244,15 @@ pub struct Engine {
 impl Engine {
     /// An engine with the given configuration.
     pub fn new(cfg: ExecConfig) -> Engine {
-        let cache = if cfg.use_cache { Some(DiskCache::new(&cfg.cache_dir)) } else { None };
+        let cache = if cfg.use_cache {
+            let cache = DiskCache::new(&cfg.cache_dir);
+            Some(match &cfg.io_faults {
+                Some(shim) => cache.with_io_faults(shim.clone()),
+                None => cache,
+            })
+        } else {
+            None
+        };
         Engine {
             cfg,
             cache,
@@ -211,6 +286,10 @@ impl Engine {
             executed: t.registry.counter("exec.executed"),
             failed: t.registry.counter("exec.failed"),
             deduped: t.registry.counter("exec.deduped"),
+            corrupt: t.registry.counter("exec.corrupt"),
+            retried: t.registry.counter("exec.retried"),
+            timeout: t.registry.counter("exec.timeout"),
+            quarantined: t.registry.counter("exec.quarantined"),
         }
     }
 
@@ -229,12 +308,23 @@ impl Engine {
     }
 
     /// The machine-greppable summary line the drivers print to stderr:
-    /// `[cfd-exec] jobs=4 submitted=86 cache_hits=80 executed=6 failed=0 deduped=0`.
+    /// `[cfd-exec] jobs=4 submitted=86 cache_hits=80 executed=6 failed=0
+    /// deduped=0 corrupt=0 retried=0 timeout=0 quarantined=0`.
+    /// Byte-deterministic across worker counts.
     pub fn stats_line(&self) -> String {
         let s = self.stats();
         format!(
-            "[cfd-exec] jobs={} submitted={} cache_hits={} executed={} failed={} deduped={}",
-            self.cfg.jobs, s.submitted, s.cache_hits, s.executed, s.failed, s.deduped
+            "[cfd-exec] jobs={} submitted={} cache_hits={} executed={} failed={} deduped={} corrupt={} retried={} timeout={} quarantined={}",
+            self.cfg.jobs,
+            s.submitted,
+            s.cache_hits,
+            s.executed,
+            s.failed,
+            s.deduped,
+            s.corrupt,
+            s.retried,
+            s.timeout,
+            s.quarantined
         )
     }
 
@@ -244,20 +334,62 @@ impl Engine {
         self.run_all(std::slice::from_ref(job)).pop().expect("one job in, one result out")
     }
 
+    /// Opens (or resumes) the campaign's write-ahead journal. The file
+    /// lives under `<cache>/journal/` and is named by the campaign
+    /// fingerprint — a fold over every submitted job fingerprint — so a
+    /// resumed invocation with identical inputs finds its own journal and
+    /// a changed campaign never replays a stale one. Journal IO is
+    /// best-effort: failure to open degrades to journal-less execution.
+    fn open_journal(&self, fps: &[Fingerprint]) -> (Option<Journal>, Replay) {
+        let Some(cache) = &self.cache else { return (None, Replay::default()) };
+        if !self.cfg.journal {
+            return (None, Replay::default());
+        }
+        let mut h = Hasher::new();
+        for fp in fps {
+            h.update(&fp.0.to_le_bytes());
+            h.update(&fp.1.to_le_bytes());
+        }
+        let campaign = h.finish().hex();
+        let path = cache.dir().join("journal").join(format!("{campaign}.wal"));
+        let opened = if self.cfg.resume {
+            Journal::open_resume(&path)
+        } else {
+            Journal::create(&path).map(|j| (j, Replay::default()))
+        };
+        let Ok((journal, replay)) = opened else { return (None, Replay::default()) };
+        let journal = match &self.cfg.io_faults {
+            Some(shim) => journal.with_io_faults(shim.clone()),
+            None => journal,
+        };
+        if replay.campaign.is_none() {
+            let _ = journal.append(&JournalRecord::Campaign { fingerprint: campaign, jobs: fps.len() as u64 });
+        }
+        (Some(journal), replay)
+    }
+
     /// Runs a batch: results come back in submission order, one per job,
-    /// regardless of worker count, cache state, or duplicate folding.
+    /// regardless of worker count, cache state, retries, or duplicate
+    /// folding.
     ///
-    /// Pipeline per unique fingerprint: probe the cache (when enabled);
-    /// on a miss, execute under `catch_unwind` on the worker pool and
-    /// store the result. Duplicates within the batch clone the first
-    /// submission's result. Because each slot is filled purely by its
-    /// input index, an N-thread run is byte-identical to a 1-thread run —
-    /// the determinism contract the report formats rely on.
+    /// Pipeline per unique fingerprint: consult the poisoned-job ledger
+    /// (resume only), probe the cache — quarantining corrupt entries for
+    /// re-execution — then execute the misses under `catch_unwind` on the
+    /// worker pool. Completion is made durable *inside the worker* (cache
+    /// store, then journal `done`/`failed` record), so a process killed
+    /// mid-batch keeps every finished job. Failed jobs re-run in retry
+    /// waves ordered by fingerprint (never by completion time); jobs that
+    /// fail every attempt can be promoted into the quarantine ledger.
+    /// Because each slot is filled purely by its input index, an N-thread
+    /// run is byte-identical to a 1-thread run — the determinism contract
+    /// the report formats rely on.
     pub fn run_all<J: CampaignJob>(&self, jobs: &[J]) -> Vec<Result<J::Output, JobError>> {
         let n = jobs.len();
+        let policy = self.cfg.policy;
         let mut batch = ExecStats { submitted: n as u64, ..ExecStats::default() };
 
         let fps: Vec<Fingerprint> = jobs.iter().map(|j| j.fingerprint()).collect();
+        let (journal, replay) = self.open_journal(&fps);
 
         // First submission of each fingerprint owns the execution;
         // later duplicates fold onto it.
@@ -273,16 +405,34 @@ impl Engine {
 
         let mut results: Vec<Option<Result<J::Output, JobError>>> = (0..n).map(|_| None).collect();
         let mut slot: Vec<JobOutcome> = vec![JobOutcome::Deduped; n];
+        let mut attempts: Vec<u64> = vec![0; n];
 
-        // Cache probe (owners only), serial: entry IO is trivial next to
-        // simulation time and keeps hit accounting deterministic.
+        // Poisoned-job ledger and cache probe (owners only), serial:
+        // entry IO is trivial next to simulation time and keeps the
+        // accounting deterministic.
         let mut to_run: Vec<usize> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
             if owner.get(&fps[i]) != Some(&i) {
                 continue;
             }
-            let hit =
-                self.cache.as_ref().and_then(|c| c.load(job.kind(), fps[i])).and_then(|v| job.result_from_json(&v));
+            if let Some(&strikes) = replay.quarantined.get(&fps[i].hex()) {
+                batch.quarantined += 1;
+                slot[i] = JobOutcome::Quarantined;
+                results[i] = Some(Err(JobError::Quarantined { strikes }));
+                continue;
+            }
+            let probe = match &self.cache {
+                Some(c) => c.load_checked(job.kind(), fps[i]),
+                None => CacheLoad::Miss,
+            };
+            let hit = match probe {
+                CacheLoad::Hit(v) => job.result_from_json(&v),
+                CacheLoad::Miss => None,
+                CacheLoad::Corrupt(_) => {
+                    batch.corrupt += 1;
+                    None
+                }
+            };
             match hit {
                 Some(out) => {
                     batch.cache_hits += 1;
@@ -293,31 +443,128 @@ impl Engine {
             }
         }
 
-        // Execute the misses on the pool; each worker writes only its own
-        // index, so placement is independent of completion order.
-        let outcomes = pool::run_indexed(self.cfg.jobs, to_run.len(), |k| {
-            let i = to_run[k];
-            catch_unwind(AssertUnwindSafe(|| jobs[i].execute())).map_err(|payload| panic_message(payload.as_ref()))
-        });
-        for (k, outcome) in outcomes.into_iter().enumerate() {
-            let i = to_run[k];
-            match outcome {
-                Ok(out) => {
-                    batch.executed += 1;
-                    slot[i] = JobOutcome::Executed;
-                    if let Some(c) = &self.cache {
-                        // Panicked jobs are never cached: a panic is a bug
-                        // signal, and bugs should reproduce on re-run.
-                        c.store(jobs[i].kind(), fps[i], &jobs[i].describe(), &J::result_to_json(&out));
-                    }
-                    results[i] = Some(Ok(out));
+        if let Some(j) = &journal {
+            for &i in &to_run {
+                let _ = j.append(&JournalRecord::Submitted { index: i as u64, fp: fps[i].hex() });
+            }
+        }
+
+        // Strike counts carry over from resumed sessions, so a job that
+        // crashed the previous run and crashes again accumulates toward
+        // the quarantine threshold.
+        let mut strikes: HashMap<usize, u64> =
+            to_run.iter().map(|&i| (i, replay.strikes.get(&fps[i].hex()).copied().unwrap_or(0))).collect();
+
+        // Execute the misses on the pool, then retry failures in waves
+        // ordered by fingerprint. Each worker writes only its own index,
+        // so placement is independent of completion order; durability
+        // (cache store + journal record) happens in the worker so a
+        // mid-batch kill keeps every completed job.
+        let store_error: Mutex<Option<CacheError>> = Mutex::new(None);
+        let mut wave: Vec<usize> = to_run.clone();
+        let mut wave_no: u64 = 0;
+        let final_failed: Vec<usize> = loop {
+            let attempt = wave_no + 1;
+            let outcomes = pool::run_indexed(self.cfg.jobs, wave.len(), |k| {
+                let i = wave[k];
+                if let Some(j) = &journal {
+                    let _ = j.append(&JournalRecord::Started { index: i as u64 });
                 }
-                Err(msg) => {
-                    batch.failed += 1;
-                    slot[i] = JobOutcome::Panicked;
-                    results[i] = Some(Err(JobError::Panicked(msg)));
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let cancel = match policy.timeout_cycles {
+                        0 => CancelToken::new(),
+                        budget => CancelToken::with_budget(budget),
+                    };
+                    jobs[i].execute_cancellable(&cancel)
+                }))
+                .map_err(|payload| panic_message(payload.as_ref()));
+                match run {
+                    Ok(out) => {
+                        if let Some(c) = &self.cache {
+                            // Panicked jobs are never cached: a panic is a
+                            // bug signal, and bugs should reproduce on
+                            // re-run.
+                            if let Err(e) =
+                                c.store(jobs[i].kind(), fps[i], &jobs[i].describe(), &J::result_to_json(&out))
+                            {
+                                let mut first = store_error.lock().expect("store-error lock poisoned");
+                                first.get_or_insert(e);
+                            }
+                        }
+                        if let Some(j) = &journal {
+                            let _ = j.append(&JournalRecord::Done { index: i as u64, fp: fps[i].hex() });
+                        }
+                        Ok(out)
+                    }
+                    Err(msg) => {
+                        if let Some(j) = &journal {
+                            let class = if parse_timeout_panic(&msg).is_some() { "timeout" } else { "panic" };
+                            let _ =
+                                j.append(&JournalRecord::Failed { index: i as u64, class: class.to_string(), attempt });
+                        }
+                        Err(msg)
+                    }
+                }
+            });
+
+            let mut failed_wave: Vec<usize> = Vec::new();
+            for (k, outcome) in outcomes.into_iter().enumerate() {
+                let i = wave[k];
+                attempts[i] += 1;
+                if wave_no > 0 {
+                    batch.retried += 1;
+                }
+                match outcome {
+                    Ok(out) => {
+                        batch.executed += 1;
+                        slot[i] = JobOutcome::Executed;
+                        results[i] = Some(Ok(out));
+                    }
+                    Err(msg) => {
+                        *strikes.entry(i).or_insert(0) += 1;
+                        match parse_timeout_panic(&msg) {
+                            Some(budget_cycles) => {
+                                batch.timeout += 1;
+                                slot[i] = JobOutcome::Timeout;
+                                results[i] = Some(Err(JobError::Timeout { budget_cycles }));
+                            }
+                            None => {
+                                slot[i] = JobOutcome::Panicked;
+                                results[i] = Some(Err(JobError::Panicked(msg)));
+                            }
+                        }
+                        failed_wave.push(i);
+                    }
                 }
             }
+            if failed_wave.is_empty() {
+                break Vec::new();
+            }
+            if wave_no >= policy.max_retries {
+                break failed_wave;
+            }
+            // Deterministic backoff: the next wave's order comes from the
+            // job fingerprints, never from completion timing.
+            failed_wave.sort_by_key(|&i| fps[i].hex());
+            wave = failed_wave;
+            wave_no += 1;
+        };
+
+        for &i in &final_failed {
+            batch.failed += 1;
+            let total_strikes = strikes.get(&i).copied().unwrap_or(0);
+            if policy.quarantine_after > 0 && total_strikes >= policy.quarantine_after {
+                batch.quarantined += 1;
+                if let Some(j) = &journal {
+                    let _ = j.append(&JournalRecord::Quarantined { fp: fps[i].hex(), strikes: total_strikes });
+                }
+            }
+        }
+
+        // A failing store disabled the cache for the rest of the run;
+        // say so once, with the cause, and keep going.
+        if let Some(e) = store_error.lock().expect("store-error lock poisoned").take() {
+            eprintln!("[cfd-exec] warning: result cache disabled: {e}");
         }
 
         // Fold duplicates onto their owner's result.
@@ -338,25 +585,32 @@ impl Engine {
         t.registry.counter_add("exec.executed", batch.executed);
         t.registry.counter_add("exec.failed", batch.failed);
         t.registry.counter_add("exec.deduped", batch.deduped);
+        t.registry.counter_add("exec.corrupt", batch.corrupt);
+        t.registry.counter_add("exec.retried", batch.retried);
+        t.registry.counter_add("exec.timeout", batch.timeout);
+        t.registry.counter_add("exec.quarantined", batch.quarantined);
         // Fixed lane count for the tid field: a display aid only. It must
         // NOT derive from cfg.jobs, or the trace bytes would change with
         // the worker count.
         const TRACE_LANES: u64 = 4;
         for (i, job) in jobs.iter().enumerate() {
             let tid = i as u64 % TRACE_LANES;
-            let args = vec![
+            let mut args = vec![
                 ("kind", ArgValue::from(job.kind())),
                 ("fingerprint", ArgValue::from(fps[i].hex())),
                 ("outcome", ArgValue::from(slot[i].name())),
             ];
+            if attempts[i] > 1 {
+                args.push(("attempts", ArgValue::from(attempts[i])));
+            }
             match slot[i] {
-                JobOutcome::Executed | JobOutcome::Panicked => {
+                JobOutcome::Executed | JobOutcome::Panicked | JobOutcome::Timeout => {
                     let ts = t.clock;
                     t.trace.span("queue_wait", "exec", ts, 1, 0, tid, vec![("outcome", slot[i].name().into())]);
                     t.trace.span(job.describe(), "exec", ts + 1, 1, 0, tid, args);
                     t.clock += 2;
                 }
-                JobOutcome::CacheHit | JobOutcome::Deduped => {
+                JobOutcome::CacheHit | JobOutcome::Deduped | JobOutcome::Quarantined => {
                     let ts = t.clock;
                     t.trace.instant(job.describe(), "exec", ts, 0, tid, args);
                     t.clock += 1;
@@ -462,7 +716,27 @@ mod tests {
     fn stats_line_shape() {
         let eng = Engine::serial();
         let _ = eng.run_all(&squares(&[1], 0));
-        assert_eq!(eng.stats_line(), "[cfd-exec] jobs=1 submitted=1 cache_hits=0 executed=1 failed=0 deduped=0");
+        assert_eq!(
+            eng.stats_line(),
+            "[cfd-exec] jobs=1 submitted=1 cache_hits=0 executed=1 failed=0 deduped=0 corrupt=0 retried=0 timeout=0 quarantined=0"
+        );
+    }
+
+    #[test]
+    fn retries_rerun_failures_and_are_counted() {
+        let eng = Engine::new(ExecConfig {
+            use_cache: false,
+            policy: RetryPolicy { max_retries: 2, timeout_cycles: 0, quarantine_after: 0 },
+            ..ExecConfig::default()
+        });
+        // The poison job fails deterministically every attempt; the rest
+        // succeed on the first.
+        let got = eng.run_all(&squares(&[2, 13, 4], 0));
+        assert!(matches!(&got[1], Err(JobError::Panicked(_))));
+        let s = eng.stats();
+        assert_eq!(s.executed, 2, "successes execute once each");
+        assert_eq!(s.retried, 2, "the failing job burns both retries");
+        assert_eq!(s.failed, 1, "failed counts jobs, not attempts");
     }
 
     #[test]
@@ -487,5 +761,8 @@ mod tests {
         let cfg = ExecConfig::default();
         assert_eq!(cfg.jobs, 1);
         assert!(cfg.use_cache);
+        assert!(cfg.journal);
+        assert!(!cfg.resume);
+        assert_eq!(cfg.policy, RetryPolicy::default());
     }
 }

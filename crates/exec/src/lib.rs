@@ -33,15 +33,25 @@
 //! plain files): the repo builds offline by design.
 
 mod cache;
+pub mod chaos;
 mod engine;
 mod fingerprint;
+pub mod journal;
 pub mod json;
+pub mod policy;
 mod pool;
 mod sim;
 
-pub use cache::{DiskCache, CACHE_VERSION};
+pub use cache::{CacheError, CacheLoad, DiskCache, CACHE_VERSION};
+pub use chaos::{InjectedIoFault, IoFaultKind, IoFaultShim};
 pub use engine::{CampaignJob, Engine, ExecConfig, ExecStats, JobError};
 pub use fingerprint::{Fingerprint, Hasher};
+pub use journal::{Journal, JournalRecord, Replay};
 pub use json::Json;
+pub use policy::RetryPolicy;
 pub use pool::{run_indexed, BoundedQueue};
 pub use sim::{fault_kind_by_name, run_report_from_json, run_report_to_json, FuncJob, ProfileJob, SimJob};
+
+// The cancellation token jobs thread into the sim loop, re-exported so
+// drivers can build budgets without depending on cfd-core directly.
+pub use cfd_core::CancelToken;

@@ -1,0 +1,107 @@
+//! Per-job robustness policy: retries, cycle-budget timeouts, quarantine.
+//!
+//! The engine's failure model distinguishes three escalating responses to
+//! a misbehaving job, all configured through [`RetryPolicy`]:
+//!
+//! * **Timeout** — a job carries a deterministic *cycle budget*. The
+//!   budget rides a [`CancelToken`](cfd_core::CancelToken) into the sim
+//!   loop, which checks it once per simulated cycle; a runaway simulation
+//!   is killed cooperatively at exactly the first cycle past the budget,
+//!   so a timeout is the same event at `--jobs 1` and `--jobs 32`, on a
+//!   fast machine or a slow one. No wall clock is ever consulted.
+//! * **Retry** — failed jobs (panic or timeout) get up to
+//!   [`max_retries`](RetryPolicy::max_retries) further attempts. Retries
+//!   run in *waves* after the main pass, ordered by job fingerprint —
+//!   never by completion time — so the retry schedule, and therefore
+//!   every downstream byte, is independent of thread interleaving.
+//! * **Quarantine** — a job whose total strike count (failed attempts,
+//!   accumulated across resumed sessions via the journal) reaches
+//!   [`quarantine_after`](RetryPolicy::quarantine_after) is poisoned: it
+//!   is recorded in the journal's quarantine ledger and skipped on
+//!   subsequent resumes instead of wasting budget re-crashing.
+//!
+//! Everything defaults *off* ([`RetryPolicy::default`]), preserving the
+//! engine's original semantics: panics fail their row once, nothing
+//! retries, nothing is poisoned.
+//!
+//! # Timeout signalling
+//!
+//! [`CampaignJob::execute`](crate::CampaignJob::execute) returns the
+//! output directly and uses panics for failure isolation, so a
+//! cancellation has to travel the same channel: a job that observes
+//! budget exhaustion panics with a marker payload built by
+//! [`timeout_panic`], and the engine's panic handler recognises the
+//! marker ([`parse_timeout_panic`]) and classifies the attempt as
+//! [`JobError::Timeout`](crate::JobError::Timeout) rather than
+//! [`JobError::Panicked`](crate::JobError::Panicked).
+
+/// Prefix of the panic payload a cancelled job raises; the remainder of
+/// the payload is the decimal cycle budget.
+const TIMEOUT_PANIC_MARKER: &str = "__cfd_exec_timeout__:";
+
+/// Panics with the marker payload the engine classifies as a timeout.
+/// Jobs call this when their [`CancelToken`](cfd_core::CancelToken)
+/// budget expires.
+pub fn timeout_panic(budget_cycles: u64) -> ! {
+    panic!("{TIMEOUT_PANIC_MARKER}{budget_cycles}")
+}
+
+/// Recognises a [`timeout_panic`] payload, returning the cycle budget.
+pub fn parse_timeout_panic(msg: &str) -> Option<u64> {
+    msg.strip_prefix(TIMEOUT_PANIC_MARKER)?.trim().parse().ok()
+}
+
+/// Retry/timeout/quarantine policy for one campaign. The default is
+/// everything off — identical to the engine's historical behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = fail fast).
+    pub max_retries: u64,
+    /// Deterministic per-job cycle budget (0 = unlimited). Enforced by
+    /// the sim loop through a cancellation token, so jobs that do not
+    /// simulate a core simply ignore it.
+    pub timeout_cycles: u64,
+    /// Total strikes (across resumed sessions) before a job is poisoned
+    /// and skipped on resume (0 = never quarantine).
+    pub quarantine_after: u64,
+}
+
+impl RetryPolicy {
+    /// The policy the `--retries N` / `--timeout-cycles C` CLI flags
+    /// build: N extra attempts, quarantine once every attempt of a run
+    /// has failed (N + 1 strikes), and an optional cycle budget.
+    pub fn bounded(max_retries: u64, timeout_cycles: u64) -> RetryPolicy {
+        RetryPolicy { max_retries, timeout_cycles, quarantine_after: max_retries + 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_marker_roundtrips() {
+        let caught = std::panic::catch_unwind(|| timeout_panic(123_456)).unwrap_err();
+        let msg = caught.downcast_ref::<String>().expect("string payload");
+        assert_eq!(parse_timeout_panic(msg), Some(123_456));
+    }
+
+    #[test]
+    fn ordinary_panics_are_not_timeouts() {
+        assert_eq!(parse_timeout_panic("index out of bounds"), None);
+        assert_eq!(parse_timeout_panic(""), None);
+    }
+
+    #[test]
+    fn default_policy_is_fully_off() {
+        let p = RetryPolicy::default();
+        assert_eq!((p.max_retries, p.timeout_cycles, p.quarantine_after), (0, 0, 0));
+    }
+
+    #[test]
+    fn bounded_policy_quarantines_after_all_attempts() {
+        let p = RetryPolicy::bounded(2, 1_000);
+        assert_eq!(p.quarantine_after, 3);
+        assert_eq!(p.timeout_cycles, 1_000);
+    }
+}

@@ -10,7 +10,10 @@
 use crate::engine::CampaignJob;
 use crate::fingerprint::{Fingerprint, Hasher};
 use crate::json::Json;
-use cfd_core::{BranchStat, Core, CoreConfig, CoreStats, FaultKind, InjectionRecord, RunReport};
+use crate::policy::timeout_panic;
+use cfd_core::{
+    BranchStat, CancelToken, Core, CoreConfig, CoreError, CoreStats, FaultKind, InjectionRecord, RunReport,
+};
 use cfd_energy::EventCounts;
 use cfd_mem::CacheStats;
 use cfd_predictor::predictor_by_name;
@@ -305,12 +308,24 @@ impl CampaignJob for SimJob {
     }
 
     fn execute(&self) -> RunReport {
+        self.execute_cancellable(&CancelToken::new())
+    }
+
+    /// Threads the engine's cancellation token into the sim loop, which
+    /// checks it once per simulated cycle: a run past its cycle budget is
+    /// killed cooperatively at exactly the first over-budget cycle and
+    /// classified as a timeout, identically at any worker count.
+    fn execute_cancellable(&self, cancel: &CancelToken) -> RunReport {
         Core::new(self.cfg.clone(), self.workload.program.clone(), self.workload.mem.clone())
             .unwrap_or_else(|e| {
                 panic!("{} [{}] core construction failed: {e}", self.workload.name, self.workload.variant)
             })
+            .with_cancellation(cancel.clone())
             .run(self.cycle_limit)
-            .unwrap_or_else(|e| panic!("{} [{}] failed: {e}", self.workload.name, self.workload.variant))
+            .unwrap_or_else(|e| match e {
+                CoreError::Cancelled { budget: Some(b), .. } => timeout_panic(b),
+                e => panic!("{} [{}] failed: {e}", self.workload.name, self.workload.variant),
+            })
     }
 
     fn result_to_json(out: &RunReport) -> String {

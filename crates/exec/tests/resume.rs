@@ -1,0 +1,176 @@
+//! Crash-safety contracts of the journalled engine: a resumed campaign
+//! replays durable results instead of re-executing, resuming twice is
+//! idempotent, a partially-complete cache heals by re-running only the
+//! missing jobs (byte-identically, at any worker count), and the
+//! quarantine ledger keeps poisoning jobs out of resumed campaigns.
+
+use cfd_core::CoreConfig;
+use cfd_exec::{CampaignJob, Engine, ExecConfig, Fingerprint, Hasher, JobError, Json, RetryPolicy, SimJob};
+use cfd_workloads::{by_name, Scale, Variant};
+use std::path::PathBuf;
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfd-resume-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine(jobs: usize, dir: &PathBuf, resume: bool) -> Engine {
+    Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir.clone(), resume, ..ExecConfig::default() })
+}
+
+fn sim_jobs() -> Vec<SimJob> {
+    let cfg = CoreConfig::default();
+    let mut jobs = Vec::new();
+    for name in ["soplex_ref_like", "astar_r1_like", "bzip2_like"] {
+        let entry = by_name(name).expect("in catalog");
+        for v in [Variant::Base, Variant::Cfd] {
+            jobs.push(SimJob {
+                workload: entry.build(v, Scale { n: 40, ..Scale::small() }),
+                cfg: cfg.clone(),
+                cycle_limit: 4_000_000,
+            });
+        }
+    }
+    jobs
+}
+
+fn transcript(engine: &Engine, jobs: &[SimJob]) -> String {
+    engine
+        .run_all(jobs)
+        .into_iter()
+        .map(|r| SimJob::result_to_json(&r.expect("catalog sims succeed")))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn resuming_a_complete_campaign_executes_nothing_twice() {
+    let dir = temp_cache("idempotent");
+    let jobs = sim_jobs();
+    let first = engine(1, &dir, false);
+    let expected = transcript(&first, &jobs);
+    assert_eq!(first.stats().executed, jobs.len() as u64);
+
+    // First resume: everything is durable, nothing runs.
+    let resumed = engine(1, &dir, true);
+    assert_eq!(transcript(&resumed, &jobs), expected);
+    assert_eq!(resumed.stats().executed, 0, "resume must replay, not re-run");
+    assert_eq!(resumed.stats().cache_hits, jobs.len() as u64);
+
+    // Second resume: idempotent — still nothing to do.
+    let again = engine(1, &dir, true);
+    assert_eq!(transcript(&again, &jobs), expected);
+    assert_eq!(again.stats().executed, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_campaign_resumes_byte_identically_across_worker_counts() {
+    let jobs = sim_jobs();
+
+    // The uninterrupted serial reference.
+    let ref_dir = temp_cache("uninterrupted");
+    let expected = transcript(&engine(1, &ref_dir, false), &jobs);
+
+    // "Crash" after the first half: only those results are durable.
+    let dir = temp_cache("interrupted");
+    let half = jobs.len() / 2;
+    let killed = engine(1, &dir, false);
+    let _ = killed.run_all(&jobs[..half]);
+    assert_eq!(killed.stats().executed, half as u64);
+
+    // Resume the full campaign on four workers: the durable half replays
+    // from the cache, the rest executes, and the bytes match the serial
+    // uninterrupted run exactly.
+    let resumed = engine(4, &dir, true);
+    assert_eq!(transcript(&resumed, &jobs), expected);
+    assert_eq!(resumed.stats().cache_hits, half as u64);
+    assert_eq!(resumed.stats().executed, (jobs.len() - half) as u64);
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_lives_under_the_cache_journal_dir() {
+    let dir = temp_cache("wal-layout");
+    let jobs = sim_jobs();
+    let e = engine(1, &dir, false);
+    let _ = e.run_all(&jobs);
+    let wals: Vec<_> = std::fs::read_dir(dir.join("journal"))
+        .expect("journal dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("wal"))
+        .collect();
+    assert_eq!(wals.len(), 1, "one campaign, one WAL: {wals:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A job that always panics, to exercise strikes and quarantine.
+struct AlwaysPanics {
+    id: u64,
+}
+
+impl CampaignJob for AlwaysPanics {
+    type Output = u64;
+
+    fn kind(&self) -> &'static str {
+        "always-panics"
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher::new();
+        h.section("id", &self.id.to_le_bytes());
+        h.finish()
+    }
+
+    fn describe(&self) -> String {
+        format!("always-panics {}", self.id)
+    }
+
+    fn execute(&self) -> u64 {
+        panic!("job {} always explodes", self.id)
+    }
+
+    fn result_to_json(out: &u64) -> String {
+        format!("{{\"value\":{out}}}")
+    }
+
+    fn result_from_json(&self, v: &Json) -> Option<u64> {
+        v.get("value")?.as_u64()
+    }
+}
+
+#[test]
+fn quarantine_ledger_skips_poisoned_jobs_on_resume() {
+    let dir = temp_cache("quarantine");
+    let jobs = vec![AlwaysPanics { id: 9 }];
+    let policy = RetryPolicy::bounded(1, 0);
+
+    // First run: initial attempt + one retry both fail, which promotes
+    // the job into the journal's quarantine ledger.
+    let first = Engine::new(ExecConfig { use_cache: true, cache_dir: dir.clone(), policy, ..ExecConfig::default() });
+    assert!(matches!(first.run_all(&jobs)[0], Err(JobError::Panicked(_))));
+    assert_eq!(first.stats().retried, 1);
+    assert_eq!(first.stats().failed, 1);
+
+    // Resume: the ledger is consulted and the job never runs again.
+    let resumed = Engine::new(ExecConfig {
+        use_cache: true,
+        cache_dir: dir.clone(),
+        policy,
+        resume: true,
+        ..ExecConfig::default()
+    });
+    match &resumed.run_all(&jobs)[0] {
+        Err(JobError::Quarantined { strikes }) => assert!(*strikes >= 2, "got {strikes} strikes"),
+        other => panic!("expected a quarantine verdict, got {other:?}"),
+    }
+    assert_eq!(resumed.stats().executed, 0, "quarantined jobs must not execute");
+    assert_eq!(resumed.stats().quarantined, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,7 +4,7 @@
 //! panic isolation (one poisoned job cannot kill the batch).
 
 use cfd_core::CoreConfig;
-use cfd_exec::{CampaignJob, DiskCache, Engine, ExecConfig, Fingerprint, Hasher, JobError, Json, SimJob};
+use cfd_exec::{CampaignJob, DiskCache, Engine, ExecConfig, Fingerprint, Hasher, JobError, Json, RetryPolicy, SimJob};
 use cfd_workloads::{by_name, Scale, Variant};
 use std::path::PathBuf;
 
@@ -17,8 +17,8 @@ fn temp_cache(tag: &str) -> PathBuf {
 
 fn engine(jobs: usize, cache_dir: Option<PathBuf>) -> Engine {
     match cache_dir {
-        Some(dir) => Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir }),
-        None => Engine::new(ExecConfig { jobs, use_cache: false, cache_dir: PathBuf::new() }),
+        Some(dir) => Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir, ..ExecConfig::default() }),
+        None => Engine::new(ExecConfig { jobs, use_cache: false, ..ExecConfig::default() }),
     }
 }
 
@@ -130,9 +130,13 @@ fn corrupt_cache_entries_degrade_to_misses() {
     let first = engine(1, Some(dir.clone()));
     let expected = transcript(&first, &jobs);
 
-    // Truncate every cached file; the engine must silently re-execute.
+    // Truncate every cached entry (skipping the journal/quarantine
+    // subdirectories); the engine must silently re-execute.
     for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
-        std::fs::write(entry.expect("dir entry").path(), "{\"cache_version\":1,").unwrap();
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            std::fs::write(path, "{\"cache_version\":1,").unwrap();
+        }
     }
     let second = engine(1, Some(dir.clone()));
     let again = transcript(&second, &jobs);
@@ -227,6 +231,33 @@ fn duplicate_jobs_within_a_batch_run_once() {
     assert_eq!(e.stats().executed, 1);
     assert_eq!(e.stats().deduped, 2);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cycle_budget_times_out_simulations_deterministically() {
+    let jobs = sim_jobs(small_scale());
+    let e = Engine::new(ExecConfig {
+        use_cache: false,
+        policy: RetryPolicy { timeout_cycles: 100, ..RetryPolicy::default() },
+        ..ExecConfig::default()
+    });
+    for r in e.run_all(&jobs) {
+        match r {
+            Err(JobError::Timeout { budget_cycles }) => assert_eq!(budget_cycles, 100),
+            other => panic!("expected a timeout verdict, got {other:?}"),
+        }
+    }
+    assert_eq!(e.stats().timeout, jobs.len() as u64);
+    assert_eq!(e.stats().failed, jobs.len() as u64);
+
+    // A roomy budget changes nothing: results match the unbudgeted run.
+    let roomy = Engine::new(ExecConfig {
+        use_cache: false,
+        policy: RetryPolicy { timeout_cycles: 100_000_000, ..RetryPolicy::default() },
+        ..ExecConfig::default()
+    });
+    let unbudgeted = engine(1, None);
+    assert_eq!(transcript(&roomy, &jobs), transcript(&unbudgeted, &jobs));
 }
 
 #[test]

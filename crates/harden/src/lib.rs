@@ -34,6 +34,10 @@
 //! assert_eq!(report.silent_divergences(), 0);
 //! ```
 
+mod chaos;
+
+pub use chaos::{run_exec_chaos, ChaosConfig, ChaosOutcome, ChaosReport};
+
 use cfd_analysis::{lint_program, LintConfig};
 use cfd_core::{Core, CoreConfig, CoreError, FaultKind, FaultSpec, TelemetryConfig, TelemetryReport};
 use cfd_exec::{CampaignJob, Engine, Fingerprint, Hasher, Json};
@@ -407,6 +411,9 @@ fn run_trial_inner(
                 CoreError::OracleMismatch { .. } => (None, Verdict::Detected("oracle_mismatch".to_string())),
                 CoreError::Program(_) => (None, Verdict::Detected("queue_protocol".to_string())),
                 CoreError::CycleLimit(n) => (Some(*n), Verdict::Hang),
+                // Trials never arm a CancelToken; if one ever trips it is
+                // a supervisor intervention, which counts as detected.
+                CoreError::Cancelled { cycle, .. } => (Some(*cycle), Verdict::Detected("cancelled".to_string())),
                 CoreError::Config(_) => (None, Verdict::Detected("config".to_string())),
             };
             let latency = match (at, injected) {
@@ -636,8 +643,7 @@ mod tests {
     #[test]
     fn campaign_is_worker_count_invariant() {
         let serial = run_campaign(&smoke_cfg()).to_json();
-        let engine =
-            Engine::new(cfd_exec::ExecConfig { jobs: 4, use_cache: false, cache_dir: std::path::PathBuf::new() });
+        let engine = Engine::new(cfd_exec::ExecConfig { jobs: 4, use_cache: false, ..cfd_exec::ExecConfig::default() });
         let parallel = run_campaign_on(&engine, &smoke_cfg()).to_json();
         assert_eq!(serial, parallel);
         assert_eq!(engine.stats().executed, engine.stats().submitted - engine.stats().deduped);

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a smoke fault-injection campaign, fully offline.
+# Tier-1 verification plus smoke fault-injection, crash-resume, and
+# IO-chaos gates, fully offline.
 #
 # Usage: scripts/verify.sh [--quick]
 #   --quick   skip the release rebuild of the campaign runner when it is
@@ -26,7 +27,8 @@ cache=$(mktemp -d)
 lint_par=$(mktemp); lint_ser=$(mktemp); stats=$(mktemp)
 out=$(mktemp); out2=$(mktemp)
 obs=$(mktemp -d)
-trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2" "$obs"' EXIT
+crash=$(mktemp -d); resumed=$(mktemp)
+trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2" "$obs" "$crash" "$resumed"' EXIT
 
 echo "== observe determinism: two telemetry runs must be byte-identical"
 cargo run -q --release --offline -p cfd-bench --bin experiments -- \
@@ -53,6 +55,30 @@ CFD_CACHE_DIR="$cache" cargo run -q --release --offline -p cfd-bench --bin exper
 grep '^\[cfd-exec\]' "$stats"
 grep -q 'executed=0 failed=0' "$stats"
 cmp "$lint_par" "$lint_ser"
+
+echo "== crash-safety gate: SIGKILL a mid-run campaign, then --resume must heal it"
+# Exec the binary directly (killing a `cargo run` wrapper would orphan the
+# child); the journal + cache must let --resume reproduce the uninterrupted
+# parallel sweep byte-for-byte.
+CFD_CACHE_DIR="$crash" target/release/experiments lint --jobs 4 --json "$resumed" > /dev/null 2>&1 &
+victim=$!
+# Kill as soon as the first result is durable: mid-campaign on any host.
+for _ in $(seq 1 500); do
+    compgen -G "$crash/*.json" > /dev/null && break
+    sleep 0.01
+done
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+CFD_CACHE_DIR="$crash" target/release/experiments lint --jobs 4 --resume --json "$resumed" > /dev/null 2> "$stats"
+grep '^\[cfd-exec\]' "$stats"
+cmp "$resumed" "$lint_par"
+
+echo "== chaos gate: every injected IO fault must be masked or detected"
+# `experiments chaos` exits non-zero on any silent divergence or hang; the
+# greps double-check the tally the JSON table reports.
+target/release/experiments chaos --json "$out" > /dev/null
+grep -q '"silent_divergence": 0' "$out"
+grep -q '"hang": 0' "$out"
 
 if [[ "$QUICK" == "0" ]]; then
     echo "== golden equivalence: full experiments transcript vs checked-in fixture"

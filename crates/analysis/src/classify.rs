@@ -18,7 +18,8 @@ use crate::cfg::Cfg;
 use crate::control_dep::ControlDeps;
 use crate::dom::DomTree;
 use crate::loops::{find_loops, is_nested, NaturalLoop};
-use crate::slice::backward_slice;
+use crate::slice::{backward_slice, backward_slice_with, AliasMode};
+use crate::spec::{speculation_safety, LoadSafety};
 use cfd_isa::{Instr, Program};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -34,6 +35,10 @@ pub enum BranchClass {
     SeparablePartial,
     /// Backward slice entangled with the control-dependent region.
     Inseparable,
+    /// Heuristically inseparable, but the precise alias tier proved the
+    /// entangling stores disjoint and every slice load safe to hoist:
+    /// speculative CFD applies ([`crate::apply_cfd_spec`]).
+    SpeculativelySeparable,
     /// Separable loop-branch: CFD(TQ).
     SeparableLoopBranch,
     /// Inseparable loop-branch (trip count depends on the loop body).
@@ -49,6 +54,7 @@ impl fmt::Display for BranchClass {
             BranchClass::SeparableTotal => "separable (total)",
             BranchClass::SeparablePartial => "separable (partial)",
             BranchClass::Inseparable => "inseparable",
+            BranchClass::SpeculativelySeparable => "speculatively separable",
             BranchClass::SeparableLoopBranch => "separable loop-branch",
             BranchClass::InseparableLoopBranch => "inseparable loop-branch",
             BranchClass::NotAnalyzed => "not analyzed",
@@ -87,6 +93,20 @@ pub struct BranchReport {
     pub slice_instrs: usize,
     /// Slice instructions that are control-dependent on the branch.
     pub overlap_instrs: usize,
+    /// The class the same-base-register heuristic alone assigns. Differs
+    /// from `class` only when the precise alias tier upgraded the branch
+    /// to [`BranchClass::SpeculativelySeparable`].
+    pub heuristic_class: BranchClass,
+    /// Loads in the governing backward slice.
+    pub slice_loads: usize,
+    /// Slice loads the speculation contract proves safe to hoist
+    /// (computed only on the precise tier; 0 elsewhere).
+    pub proven_safe_loads: usize,
+    /// Slice loads that failed the speculation contract (precise tier).
+    pub unsafe_loads: usize,
+    /// (load pc, store pc) disjointness proofs backing the upgrade; the
+    /// dynamic cross-check in `cfd-harden` can attempt to refute them.
+    pub disjoint_claims: Vec<(u32, u32)>,
 }
 
 /// Classifies every conditional branch of `program`.
@@ -127,15 +147,23 @@ fn classify_branch(
     pc: u32,
     config: ClassifyConfig,
 ) -> BranchReport {
+    let not_analyzed = || BranchReport {
+        pc,
+        class: BranchClass::NotAnalyzed,
+        cd_region_instrs: 0,
+        slice_instrs: 0,
+        overlap_instrs: 0,
+        heuristic_class: BranchClass::NotAnalyzed,
+        slice_loads: 0,
+        proven_safe_loads: 0,
+        unsafe_loads: 0,
+        disjoint_claims: Vec::new(),
+    };
+    let count_loads =
+        |pcs: &BTreeSet<u32>| pcs.iter().filter(|&&p| matches!(program.fetch(p), Some(Instr::Load { .. }))).count();
     let block = cfg.block_of(pc);
     let Some(lp) = innermost_loop(loops, block) else {
-        return BranchReport {
-            pc,
-            class: BranchClass::NotAnalyzed,
-            cd_region_instrs: 0,
-            slice_instrs: 0,
-            overlap_instrs: 0,
-        };
+        return not_analyzed();
     };
 
     // Is this the controlling branch of `lp` (one successor continues the
@@ -172,6 +200,11 @@ fn classify_branch(
                 cd_region_instrs: lp.instr_count(cfg),
                 slice_instrs: slice.pcs.len(),
                 overlap_instrs: entangled,
+                heuristic_class: class,
+                slice_loads: count_loads(&slice.pcs),
+                proven_safe_loads: 0,
+                unsafe_loads: 0,
+                disjoint_claims: Vec::new(),
             };
         }
     }
@@ -179,37 +212,85 @@ fn classify_branch(
     if is_loop_controlling {
         // The exit branch of a non-nested loop: a trip-count predictor /
         // plain predictor concern, outside the paper's taxonomy.
-        return BranchReport {
-            pc,
-            class: BranchClass::NotAnalyzed,
-            cd_region_instrs: 0,
-            slice_instrs: 0,
-            overlap_instrs: 0,
-        };
+        return not_analyzed();
     }
 
     // Regular branch: measure the CD region within the loop and the
-    // slice/region overlap.
+    // slice/region overlap. The same-base-register heuristic tier is the
+    // primary classifier; the precise alias tier only ever *upgrades* a
+    // heuristically inseparable branch, so existing classes never churn.
     let region_blocks: Vec<usize> =
         cd.dependents(block).iter().copied().filter(|b| lp.contains(*b) && *b != block).collect();
     let cd_region_instrs: usize = region_blocks.iter().map(|&b| cfg.blocks[b].len()).sum();
-    let slice = backward_slice(program, cfg, lp, pc);
     let region_pcs: BTreeSet<u32> = region_blocks.iter().flat_map(|&b| cfg.blocks[b].pcs()).collect();
-    let overlap_instrs = slice.pcs.intersection(&region_pcs).count();
-
-    let class = if cd_region_instrs == 0 {
-        // An exit/latch branch of this loop without inner-loop nesting.
-        BranchClass::NotAnalyzed
-    } else if cd_region_instrs <= config.hammock_max_instrs {
-        BranchClass::Hammock
-    } else if overlap_instrs == 0 {
-        BranchClass::SeparableTotal
-    } else if overlap_instrs <= config.partial_max_overlap {
-        BranchClass::SeparablePartial
-    } else {
-        BranchClass::Inseparable
+    let classify = |overlap: usize| {
+        if cd_region_instrs == 0 {
+            // An exit/latch branch of this loop without inner-loop nesting.
+            BranchClass::NotAnalyzed
+        } else if cd_region_instrs <= config.hammock_max_instrs {
+            BranchClass::Hammock
+        } else if overlap == 0 {
+            BranchClass::SeparableTotal
+        } else if overlap <= config.partial_max_overlap {
+            BranchClass::SeparablePartial
+        } else {
+            BranchClass::Inseparable
+        }
     };
-    BranchReport { pc, class, cd_region_instrs, slice_instrs: slice.pcs.len(), overlap_instrs }
+
+    let slice = backward_slice_with(program, cfg, lp, pc, AliasMode::Heuristic);
+    let overlap_instrs = slice.pcs.intersection(&region_pcs).count();
+    let heuristic_class = classify(overlap_instrs);
+    let mut report = BranchReport {
+        pc,
+        class: heuristic_class,
+        cd_region_instrs,
+        slice_instrs: slice.pcs.len(),
+        overlap_instrs,
+        heuristic_class,
+        slice_loads: count_loads(&slice.pcs),
+        proven_safe_loads: 0,
+        unsafe_loads: 0,
+        disjoint_claims: Vec::new(),
+    };
+    if heuristic_class != BranchClass::Inseparable {
+        return report;
+    }
+
+    // Precise tier: re-slice with the value-range alias oracle, then check
+    // the speculation contract on every load the slice would hoist.
+    let precise = backward_slice_with(program, cfg, lp, pc, AliasMode::Precise);
+    let precise_overlap = precise.pcs.intersection(&region_pcs).count();
+    let precise_class = classify(precise_overlap);
+    let has_store = precise
+        .pcs
+        .iter()
+        .any(|&p| matches!(program.fetch(p), Some(i) if i.is_mem() && !matches!(i, Instr::Load { .. })));
+    // Candidate loads are what the transform would actually hoist: every
+    // loop load ahead of the branch outside the CD region (the leading
+    // loop re-runs the whole header, not just the slice pcs).
+    let load_pcs: BTreeSet<u32> = lp
+        .blocks
+        .iter()
+        .filter(|&&b| b < cfg.len() - 1)
+        .flat_map(|&b| cfg.blocks[b].pcs())
+        .filter(|&p| p < pc && !region_pcs.contains(&p))
+        .filter(|&p| matches!(program.fetch(p), Some(Instr::Load { .. })))
+        .collect();
+    if !matches!(precise_class, BranchClass::SeparableTotal | BranchClass::SeparablePartial) || has_store {
+        return report;
+    }
+    let spec = speculation_safety(program, cfg, lp, pc, &load_pcs);
+    report.proven_safe_loads = spec.loads.iter().filter(|l| l.safety == LoadSafety::ProvenSafe).count();
+    report.unsafe_loads = spec.loads.len() - report.proven_safe_loads;
+    if !load_pcs.is_empty() && spec.all_safe() && !spec.claims.is_empty() {
+        report.class = BranchClass::SpeculativelySeparable;
+        report.slice_instrs = precise.pcs.len();
+        report.overlap_instrs = precise_overlap;
+        report.slice_loads = load_pcs.len();
+        report.disjoint_claims = spec.claims.iter().map(|c| (c.load_pc, c.store_pc)).collect();
+    }
+    report
 }
 
 fn is_induction(instr: &Instr) -> bool {
@@ -352,6 +433,185 @@ mod tests {
         a.halt();
         let rep = classify_one(&a.finish().unwrap(), bpc);
         assert_eq!(rep.class, BranchClass::SeparableLoopBranch);
+    }
+
+    #[test]
+    fn hammock_cutoff_is_inclusive() {
+        // Region of exactly `hammock_max_instrs` is still a hammock; one
+        // more instruction tips it over.
+        let cutoff = ClassifyConfig::default().hammock_max_instrs;
+        let (p, bpc) = guarded_loop(cutoff, false);
+        assert_eq!(classify_one(&p, bpc).class, BranchClass::Hammock);
+        let (p, bpc) = guarded_loop(cutoff + 1, false);
+        assert_eq!(classify_one(&p, bpc).class, BranchClass::SeparableTotal);
+    }
+
+    /// A strided scan whose predicate folds in `feedbacks` CD-updated
+    /// registers, with a CD store through the same base register the
+    /// slice load uses (heuristically entangling, precisely disjoint).
+    fn mem_entangled_loop(feedbacks: usize) -> (Program, u32) {
+        let (i, n, base, x, p, tmp) = (r(1), r(2), r(3), r(4), r(5), r(6));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        a.ld(x, 0, tmp);
+        a.mv(p, x);
+        for k in 0..feedbacks {
+            a.add(p, p, r(10 + k));
+        }
+        a.slt(p, p, 500i64);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        for k in 0..feedbacks {
+            a.addi(r(10 + k), r(10 + k), 1);
+        }
+        a.sd(x, 800, tmp);
+        for k in 0..6 {
+            a.addi(r(20 + k % 3), r(20 + k % 3), 1);
+        }
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        (a.finish().unwrap(), bpc)
+    }
+
+    #[test]
+    fn partial_overlap_edge_is_inclusive() {
+        // 2 feedback registers + the heuristically-aliasing store land the
+        // overlap exactly on `partial_max_overlap`: still partial.
+        let (p, bpc) = mem_entangled_loop(2);
+        let rep = classify_one(&p, bpc);
+        assert_eq!(rep.overlap_instrs, ClassifyConfig::default().partial_max_overlap);
+        assert_eq!(rep.class, BranchClass::SeparablePartial);
+        assert_eq!(rep.heuristic_class, BranchClass::SeparablePartial);
+    }
+
+    #[test]
+    fn one_past_the_partial_edge_upgrades_via_precise_alias() {
+        // 3 feedbacks + the store = overlap 4: heuristically inseparable.
+        // The precise tier proves the store disjoint, dropping the overlap
+        // back to the feedback registers (3, partial) and proving the one
+        // slice load safe: the branch upgrades.
+        let (p, bpc) = mem_entangled_loop(3);
+        let rep = classify_one(&p, bpc);
+        assert_eq!(rep.heuristic_class, BranchClass::Inseparable);
+        assert_eq!(rep.class, BranchClass::SpeculativelySeparable);
+        assert_eq!(rep.overlap_instrs, 3, "precise slice drops only the store");
+        assert_eq!((rep.slice_loads, rep.proven_safe_loads, rep.unsafe_loads), (1, 1, 0));
+        assert_eq!(rep.disjoint_claims.len(), 1);
+    }
+
+    #[test]
+    fn register_only_entanglement_never_upgrades() {
+        // Four pure-register feedbacks: the precise alias tier has nothing
+        // to refute, so the branch stays inseparable with zero claims.
+        let (i, n, p) = (r(1), r(2), r(3));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(i, 0);
+        a.label("top");
+        a.mv(p, i);
+        for k in 0..4 {
+            a.add(p, p, r(10 + k));
+        }
+        a.and(p, p, 1i64);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        for k in 0..4 {
+            a.addi(r(10 + k), r(10 + k), 1);
+        }
+        a.addi(r(20), r(20), 1);
+        a.addi(r(21), r(21), 1);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let rep = classify_one(&a.finish().unwrap(), bpc);
+        assert_eq!(rep.class, BranchClass::Inseparable);
+        assert_eq!(rep.heuristic_class, BranchClass::Inseparable);
+        assert!(rep.disjoint_claims.is_empty());
+    }
+
+    #[test]
+    fn irreducible_inner_region_is_tolerated() {
+        // The outer loop carries a store-entangled branch; after it, an
+        // irreducible two-entry cycle (L1 <-> L2). The precise tier must
+        // poison the cycle's registers, not the induction, so the upgrade
+        // still goes through — and nothing panics.
+        let (i, n, base, x, p, tmp, s, u, v) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        a.ld(x, 0, tmp);
+        a.slt(p, x, 500i64);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        a.sd(x, 800, tmp);
+        a.sd(x, 1600, tmp);
+        a.sd(x, 2400, tmp);
+        a.sd(x, 3200, tmp);
+        a.add(s, s, x);
+        a.xor(r(12), r(12), x);
+        a.label("skip");
+        a.beqz(s, "L2"); // second entry into the cycle: irreducible
+        a.label("L1");
+        a.addi(u, u, 1);
+        a.j("L2");
+        a.label("L2");
+        a.addi(v, v, 1);
+        a.beqz(v, "L1");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let rep = classify_one(&program, bpc);
+        assert_eq!(rep.heuristic_class, BranchClass::Inseparable);
+        assert_eq!(rep.class, BranchClass::SpeculativelySeparable);
+        assert_eq!(rep.disjoint_claims.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_block_inside_the_loop_is_tolerated() {
+        // Dead code between the CD region and the skip label feeds the
+        // CFG an unreachable block; classification must not panic and the
+        // reachable structure still upgrades.
+        let (i, n, base, x, p, tmp) = (r(1), r(2), r(3), r(4), r(5), r(6));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        a.ld(x, 0, tmp);
+        a.slt(p, x, 500i64);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        a.sd(x, 800, tmp);
+        a.sd(x, 1600, tmp);
+        a.sd(x, 2400, tmp);
+        a.sd(x, 3200, tmp);
+        a.add(r(7), r(7), x);
+        a.j("skip");
+        a.addi(r(8), r(8), 1); // unreachable
+        a.addi(r(9), r(9), 1); // unreachable
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let rep = classify_one(&program, bpc);
+        assert_eq!(rep.heuristic_class, BranchClass::Inseparable);
+        assert_eq!(rep.class, BranchClass::SpeculativelySeparable);
     }
 
     #[test]

@@ -65,6 +65,12 @@ pub enum Rule {
     /// check that then fails is reported by its own rule, so this alone
     /// is informational.
     AnalysisDegraded,
+    /// A store sits in the leading (speculative) loop of a CFD-spec
+    /// output — stores must never be hoisted past later iterations.
+    HoistedStore,
+    /// A load sits in the leading loop of a CFD-spec output without a
+    /// speculation-safety proof (unknown or store-conflicting address).
+    HoistedUnsafeLoad,
 }
 
 impl Rule {
@@ -82,6 +88,8 @@ impl Rule {
             Rule::IrreducibleCfg => "irreducible-cfg",
             Rule::UnreachableCode => "unreachable-code",
             Rule::AnalysisDegraded => "analysis-degraded",
+            Rule::HoistedStore => "hoisted-store",
+            Rule::HoistedUnsafeLoad => "hoisted-unsafe-load",
         }
     }
 }

@@ -9,12 +9,20 @@
 //! * [`ControlDeps`] — Ferrante-style control dependence,
 //! * [`find_loops`] — natural loops,
 //! * [`backward_slice`] — a branch's predicate computation within its loop,
+//! * [`LoopValues`] / [`MemDep`] — per-register symbolic value ranges and
+//!   address expressions, and the sound may-alias oracle built on them,
+//! * [`speculation_safety`] — the `ProvenSafe` / `Unsafe` contract for
+//!   loads hoisted past loop stores,
 //! * [`classify_program`] — the paper's hammock / separable(total/partial) /
-//!   inseparable / loop-branch taxonomy ([`BranchClass`]),
+//!   inseparable / loop-branch taxonomy ([`BranchClass`]), plus the
+//!   precision-tier upgrade to [`BranchClass::SpeculativelySeparable`],
 //! * [`apply_cfd`] — an automatic CFD transform for canonical totally
 //!   separable branches, with BQ-sized strip mining (the gcc-pass analog),
 //! * [`apply_cfd_tq`] — the loop-branch counterpart: decouples canonical
-//!   nested loops through the Trip-count Queue (§IV-C).
+//!   nested loops through the Trip-count Queue (§IV-C),
+//! * [`apply_cfd_spec`] — the automatic selector: CFD, CFD-TQ, or
+//!   speculative CFD per branch from its classification, every output
+//!   re-linted against the speculation contract.
 //!
 //! # Example
 //!
@@ -48,10 +56,13 @@ mod control_dep;
 mod diag;
 mod dom;
 mod loops;
+mod mdep;
 mod slice;
+mod spec;
 mod transform;
 mod transform_tq;
 mod verify;
+mod vrange;
 
 pub use cfg::{BasicBlock, Cfg};
 pub use classify::{classify_program, BranchClass, BranchReport, ClassifyConfig};
@@ -59,7 +70,10 @@ pub use control_dep::ControlDeps;
 pub use diag::{Diagnostic, LintReport, QueueBounds, Rule, Severity};
 pub use dom::DomTree;
 pub use loops::{find_loops, is_nested, NaturalLoop};
-pub use slice::{backward_slice, Slice};
-pub use transform::{apply_cfd, TransformError, TransformReport};
+pub use mdep::{AliasVerdict, MemDep};
+pub use slice::{backward_slice, backward_slice_with, AliasMode, Slice};
+pub use spec::{speculation_safety, DisjointClaim, LoadReport, LoadSafety, SpecReport};
+pub use transform::{apply_cfd, apply_cfd_spec, SpecDecision, SpecTransformReport, TransformError, TransformReport};
 pub use transform_tq::apply_cfd_tq;
-pub use verify::{lint_program, LintConfig};
+pub use verify::{lint_program, lint_speculation, LintConfig};
+pub use vrange::{AddrRange, Expr, IndInfo, LoopValues, MemRef};

@@ -3,11 +3,16 @@
 //! The backward slice of a branch, restricted to its enclosing loop, is the
 //! set of loop instructions that (transitively) produce the branch's source
 //! registers — the paper's "branch slice" / predicate computation. Memory
-//! dependences use a register-granularity may-alias heuristic: a load in
-//! the slice depends on loop stores with the same base register.
+//! dependences consult the sound address-range oracle
+//! ([`MemDep`](crate::mdep::MemDep)) first: a store proven disjoint from a
+//! slice load is skipped, a store with a bounded overlapping footprint
+//! joins the slice, and only pairs the oracle cannot bound fall back to
+//! the register-granularity heuristic (same base register, not redefined
+//! between the two references).
 
 use crate::loops::NaturalLoop;
-use cfd_isa::{Instr, Program, Reg, Src2};
+use crate::mdep::{AliasVerdict, MemDep};
+use cfd_isa::{AluOp, Instr, Program, Reg, Src2};
 use std::collections::BTreeSet;
 
 use crate::cfg::Cfg;
@@ -21,6 +26,15 @@ pub struct Slice {
     pub pcs: BTreeSet<u32>,
     /// Registers demanded from outside the loop (live-ins of the slice).
     pub live_ins: BTreeSet<Reg>,
+}
+
+/// How load/store dependences are resolved while slicing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AliasMode {
+    /// Register-name heuristic only (the paper's baseline tier).
+    Heuristic,
+    /// Address-range oracle first, heuristic for unresolvable pairs.
+    Precise,
 }
 
 fn sources_of(instr: &Instr) -> Vec<Reg> {
@@ -39,22 +53,47 @@ fn sources_of(instr: &Instr) -> Vec<Reg> {
     v
 }
 
-fn imm_src2(instr: &Instr) -> Option<Src2> {
-    match instr {
-        Instr::Alu { src2, .. } => Some(*src2),
-        _ => None,
-    }
+/// Whether the register-name match between a load and a store at
+/// `(a_pc, b_pc)` survives: a redefinition of `base` between the two
+/// references (program order) means they read *different* pointer
+/// values, so the name carries no alias information. A plain
+/// self-increment `add base, base, imm` is exempt — a strided pointer
+/// walk keeps the references in the same stream across iterations.
+fn name_match_valid(program: &Program, loop_pcs: &[u32], base: Reg, a_pc: u32, b_pc: u32) -> bool {
+    let (lo, hi) = (a_pc.min(b_pc), a_pc.max(b_pc));
+    !loop_pcs.iter().any(|&pc| {
+        if pc <= lo || pc >= hi {
+            return false;
+        }
+        let instr = program.fetch(pc).expect("in range");
+        if instr.dest() != Some(base) {
+            return false;
+        }
+        !matches!(
+            instr,
+            Instr::Alu { op: AluOp::Add, rd, rs1, src2: Src2::Imm(_) } if rd == rs1
+        )
+    })
 }
 
 /// Computes the backward slice of the conditional branch at `branch_pc`
 /// within `lp`, iterating to a fixpoint over loop-carried dependences.
+/// Memory dependences use [`AliasMode::Precise`].
 pub fn backward_slice(program: &Program, cfg: &Cfg, lp: &NaturalLoop, branch_pc: u32) -> Slice {
+    backward_slice_with(program, cfg, lp, branch_pc, AliasMode::Precise)
+}
+
+/// [`backward_slice`] with an explicit alias-resolution mode.
+pub fn backward_slice_with(program: &Program, cfg: &Cfg, lp: &NaturalLoop, branch_pc: u32, mode: AliasMode) -> Slice {
     let loop_pcs: Vec<u32> =
         lp.blocks.iter().filter(|&&b| b < cfg.len() - 1).flat_map(|&b| cfg.blocks[b].pcs()).collect();
     let branch = program.fetch(branch_pc).expect("branch pc in range");
     let mut demand: BTreeSet<Reg> = sources_of(&branch).into_iter().collect();
     let mut pcs: BTreeSet<u32> = BTreeSet::new();
-    let _ = imm_src2(&branch);
+    let oracle = match mode {
+        AliasMode::Heuristic => None,
+        AliasMode::Precise => Some(MemDep::analyze(program, cfg, lp)),
+    };
 
     // Fixpoint: a pass adds any loop instruction writing a demanded register
     // and folds its sources into the demand set. Loads add may-alias stores.
@@ -72,19 +111,28 @@ pub fn backward_slice(program: &Program, cfg: &Cfg, lp: &NaturalLoop, branch_pc:
                     demand.insert(s);
                 }
                 changed = true;
-                // Loads pull in may-aliasing loop stores (same base register).
                 if let Instr::Load { base, .. } = instr {
                     for &spc in &loop_pcs {
                         if pcs.contains(&spc) {
                             continue;
                         }
-                        if let Some(Instr::Store { base: sbase, src, .. }) = program.fetch(spc) {
-                            if sbase == base {
-                                pcs.insert(spc);
-                                demand.insert(src);
-                                demand.insert(sbase);
-                                changed = true;
+                        let Some(Instr::Store { base: sbase, src, .. }) = program.fetch(spc) else {
+                            continue;
+                        };
+                        let joins = match oracle.as_ref().map(|o| o.verdict(pc, spc)) {
+                            Some(AliasVerdict::ProvenDisjoint) => false,
+                            Some(AliasVerdict::MayAlias) => true,
+                            // Unresolvable (or heuristic mode): fall back to
+                            // the register-name heuristic.
+                            Some(AliasVerdict::Unknown) | None => {
+                                sbase == base && name_match_valid(program, &loop_pcs, base, pc, spc)
                             }
+                        };
+                        if joins {
+                            pcs.insert(spc);
+                            demand.insert(src);
+                            demand.insert(sbase);
+                            changed = true;
                         }
                     }
                 }
@@ -110,6 +158,13 @@ mod tests {
 
     fn r(i: usize) -> Reg {
         Reg::new(i)
+    }
+
+    fn prep(program: &Program) -> (Cfg, NaturalLoop) {
+        let cfg = Cfg::build(program);
+        let dom = DomTree::dominators(&cfg);
+        let lp = find_loops(&cfg, &dom).into_iter().next().unwrap();
+        (cfg, lp)
     }
 
     /// soplex-like loop: load test[i], compare, branch; CD region updates
@@ -180,21 +235,20 @@ mod tests {
         a.blt(i, n, "top");
         a.halt();
         let program = a.finish().unwrap();
-        let cfg = Cfg::build(&program);
-        let dom = DomTree::dominators(&cfg);
-        let lp = find_loops(&cfg, &dom).into_iter().next().unwrap();
+        let (cfg, lp) = prep(&program);
         let s = backward_slice(&program, &cfg, &lp, branch_pc);
         assert!(s.pcs.contains(&(branch_pc + 1)), "CD addi feeds the slice via acc");
     }
 
-    #[test]
-    fn store_aliasing_heuristic() {
-        // Slice load and a loop store share a base register -> dependence.
-        let (i, n, base, x, p, v) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    /// The pointer-chasing shape that keeps the heuristic alive: the base
+    /// is itself loaded from memory, so no address is resolvable.
+    fn pointer_kernel() -> (Program, u32) {
+        let (i, n, head, base, x, p, v) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
         let mut a = Assembler::new();
         a.li(n, 100);
-        a.li(base, 0x1000);
+        a.li(head, 0x1000);
         a.label("top");
+        a.ld(base, 0, head); // base = *head: statically unknown
         a.ld(x, 0, base);
         a.slt(p, x, n);
         let branch_pc = a.here();
@@ -204,11 +258,130 @@ mod tests {
         a.addi(i, i, 1);
         a.blt(i, n, "top");
         a.halt();
-        let program = a.finish().unwrap();
-        let cfg = Cfg::build(&program);
-        let dom = DomTree::dominators(&cfg);
-        let lp = find_loops(&cfg, &dom).into_iter().next().unwrap();
+        (a.finish().unwrap(), branch_pc)
+    }
+
+    #[test]
+    fn store_aliasing_heuristic() {
+        // Both addresses are unresolvable: the register-name heuristic
+        // (same base, no intervening redefinition) adds the dependence.
+        let (program, branch_pc) = pointer_kernel();
+        let (cfg, lp) = prep(&program);
         let s = backward_slice(&program, &cfg, &lp, branch_pc);
         assert!(s.pcs.contains(&(branch_pc + 1)), "aliasing store joins the slice");
+        // The heuristic-only mode agrees.
+        let h = backward_slice_with(&program, &cfg, &lp, branch_pc, AliasMode::Heuristic);
+        assert!(h.pcs.contains(&(branch_pc + 1)));
+    }
+
+    #[test]
+    fn base_redefinition_invalidates_name_match() {
+        // The base register is overwritten with an unrelated pointer
+        // between the slice load and the store: the name match means
+        // nothing and must not create a dependence.
+        let (i, n, head, base, x, p, v, other) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(head, 0x1000);
+        a.label("top");
+        a.ld(base, 0, head);
+        a.ld(x, 0, base); // slice load through the old base
+        a.slt(p, x, n);
+        let branch_pc = a.here();
+        a.beqz(p, "skip");
+        a.ld(other, 8, head);
+        a.add(base, other, i); // base redefined: different pointer now
+        a.sd(v, 8, base); // name-equal, but a different stream
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let (cfg, lp) = prep(&program);
+        let s = backward_slice(&program, &cfg, &lp, branch_pc);
+        assert!(!s.pcs.contains(&(branch_pc + 3)), "redefined-base store must not join the slice");
+        // A strided self-increment is exempt: it keeps the stream.
+        let (program2, branch_pc2) = {
+            let mut a = Assembler::new();
+            a.li(n, 100);
+            a.li(head, 0x1000);
+            a.label("top");
+            a.ld(base, 0, head);
+            a.ld(x, 0, base);
+            a.slt(p, x, n);
+            let bpc = a.here();
+            a.beqz(p, "skip");
+            a.addi(base, base, 8); // strided walk, same stream
+            a.sd(v, 0, base);
+            a.label("skip");
+            a.addi(i, i, 1);
+            a.blt(i, n, "top");
+            a.halt();
+            (a.finish().unwrap(), bpc)
+        };
+        let (cfg2, lp2) = prep(&program2);
+        let s2 = backward_slice(&program2, &cfg2, &lp2, branch_pc2);
+        assert!(s2.pcs.contains(&(branch_pc2 + 2)), "strided store stays a dependence");
+    }
+
+    #[test]
+    fn precise_oracle_drops_proven_disjoint_store() {
+        // Same base register, but the store writes a provably disjoint
+        // range (one full array above the scanned row): under the old
+        // name heuristic this store joined the slice; the address-range
+        // oracle proves it cannot alias on any pair of iterations.
+        let (i, n, base, x, p, tmp) = (r(1), r(2), r(3), r(4), r(5), r(6));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        a.ld(x, 0, tmp);
+        a.slt(p, x, n);
+        let branch_pc = a.here();
+        a.beqz(p, "skip");
+        a.sd(x, 8 * 100, tmp); // same base register, disjoint range
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let (cfg, lp) = prep(&program);
+        let s = backward_slice(&program, &cfg, &lp, branch_pc);
+        assert!(!s.pcs.contains(&(branch_pc + 1)), "proven-disjoint store stays out of the slice");
+        let h = backward_slice_with(&program, &cfg, &lp, branch_pc, AliasMode::Heuristic);
+        assert!(h.pcs.contains(&(branch_pc + 1)), "the heuristic tier still entangles it");
+    }
+
+    #[test]
+    fn precise_oracle_adds_cross_name_overlap() {
+        // Different base registers, overlapping resolved ranges: the name
+        // heuristic misses the dependence, the oracle does not.
+        let (i, n, base, base2, x, p, tmp) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.li(base2, 0x1100); // overlaps [0x1000, 0x1318]
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        a.ld(x, 0, tmp);
+        a.slt(p, x, n);
+        let branch_pc = a.here();
+        a.beqz(p, "skip");
+        a.sd(x, 0, base2); // different register, aliasing address
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let (cfg, lp) = prep(&program);
+        let s = backward_slice(&program, &cfg, &lp, branch_pc);
+        assert!(s.pcs.contains(&(branch_pc + 1)), "overlapping store joins despite the name mismatch");
+        let h = backward_slice_with(&program, &cfg, &lp, branch_pc, AliasMode::Heuristic);
+        assert!(!h.pcs.contains(&(branch_pc + 1)), "the name heuristic alone misses it");
     }
 }

@@ -1,0 +1,234 @@
+//! Speculation-safety analysis for hoisted loads.
+//!
+//! Speculative CFD moves a branch's predicate slice — including its
+//! loads — into a leading loop that runs *all* iterations before any
+//! store of the trailing loop executes. That reordering is safe for a
+//! load only when the static analysis can prove both halves of the
+//! speculation contract:
+//!
+//! 1. **Proven-dereferenceable range** — the load's address resolves to
+//!    a statically bounded interval ([`AddrRange::Known`]); an
+//!    unknown-address load is the analysis' "may fault" case and must
+//!    never be hoisted. (This ISA's functional core never traps on a
+//!    load, so boundedness is the honest analog of dereferenceability:
+//!    what the contract really rules out is reading a location the
+//!    analysis knows nothing about.)
+//! 2. **Disjoint from every loop store** — the oracle proves the load's
+//!    footprint disjoint from each store of the loop
+//!    ([`AliasVerdict::ProvenDisjoint`]), so running the load before
+//!    the stores of *earlier* original iterations cannot change the
+//!    value it observes.
+//!
+//! Each (load, store) proof is recorded as a [`DisjointClaim`] so the
+//! dynamic cross-check in `cfd-harden` can attempt to refute it against
+//! observed addresses.
+
+use crate::cfg::Cfg;
+use crate::loops::NaturalLoop;
+use crate::mdep::{AliasVerdict, MemDep};
+use crate::vrange::AddrRange;
+use cfd_isa::{Instr, Program};
+use std::collections::BTreeSet;
+
+/// Whether a candidate load satisfies the speculation contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSafety {
+    /// Bounded address, proven disjoint from every loop store.
+    ProvenSafe,
+    /// Unresolvable address or a store it may alias: must not be hoisted.
+    Unsafe,
+}
+
+/// Per-load verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// The load's PC in the original program.
+    pub pc: u32,
+    /// Its safety classification.
+    pub safety: LoadSafety,
+}
+
+/// A (load, store) pair the analysis proved disjoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DisjointClaim {
+    /// PC of the hoisted load.
+    pub load_pc: u32,
+    /// PC of the loop store it is proven disjoint from.
+    pub store_pc: u32,
+}
+
+/// Result of the speculation-safety analysis for one branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecReport {
+    /// The branch whose slice the candidate loads belong to.
+    pub branch_pc: u32,
+    /// Verdict per candidate load, in PC order.
+    pub loads: Vec<LoadReport>,
+    /// Every disjointness proof backing the `ProvenSafe` verdicts.
+    pub claims: Vec<DisjointClaim>,
+}
+
+impl SpecReport {
+    /// Number of loads proven safe to hoist.
+    pub fn proven(&self) -> usize {
+        self.loads.iter().filter(|l| l.safety == LoadSafety::ProvenSafe).count()
+    }
+
+    /// Number of loads that failed the contract.
+    pub fn unsafe_count(&self) -> usize {
+        self.loads.len() - self.proven()
+    }
+
+    /// Whether every candidate load is proven safe.
+    pub fn all_safe(&self) -> bool {
+        self.unsafe_count() == 0
+    }
+}
+
+/// Classifies each candidate load (a PC set within `lp`) against the
+/// speculation contract for the branch at `branch_pc`.
+pub fn speculation_safety(
+    program: &Program,
+    cfg: &Cfg,
+    lp: &NaturalLoop,
+    branch_pc: u32,
+    candidate_loads: &BTreeSet<u32>,
+) -> SpecReport {
+    let oracle = MemDep::analyze(program, cfg, lp);
+    let store_pcs: Vec<u32> = lp
+        .blocks
+        .iter()
+        .filter(|&&b| b < cfg.len() - 1)
+        .flat_map(|&b| cfg.blocks[b].pcs())
+        .filter(|&pc| matches!(program.fetch(pc), Some(Instr::Store { .. })))
+        .collect();
+
+    let mut loads = Vec::new();
+    let mut claims = Vec::new();
+    for &pc in candidate_loads {
+        if !matches!(program.fetch(pc), Some(Instr::Load { .. })) {
+            continue;
+        }
+        let bounded = matches!(
+            oracle.values().mem_ref(pc),
+            Some(r) if matches!(r.addr, AddrRange::Known { .. })
+        );
+        let mut proofs: Vec<DisjointClaim> = Vec::new();
+        let safe = bounded
+            && store_pcs.iter().all(|&spc| match oracle.verdict(pc, spc) {
+                AliasVerdict::ProvenDisjoint => {
+                    proofs.push(DisjointClaim { load_pc: pc, store_pc: spc });
+                    true
+                }
+                _ => false,
+            });
+        loads.push(LoadReport { pc, safety: if safe { LoadSafety::ProvenSafe } else { LoadSafety::Unsafe } });
+        if safe {
+            claims.extend(proofs);
+        }
+    }
+    SpecReport { branch_pc, loads, claims }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::DomTree;
+    use crate::loops::find_loops;
+    use cfd_isa::{Assembler, Reg};
+
+    fn r(i: usize) -> Reg {
+        Reg::new(i)
+    }
+
+    fn analyze(program: &Program, branch_pc: u32, loads: &[u32]) -> SpecReport {
+        let cfg = Cfg::build(program);
+        let dom = DomTree::dominators(&cfg);
+        let lp = find_loops(&cfg, &dom).into_iter().next().unwrap();
+        speculation_safety(program, &cfg, &lp, branch_pc, &loads.iter().copied().collect())
+    }
+
+    #[test]
+    fn disjoint_stores_prove_the_load_safe() {
+        let (i, n, base, x, p, tmp) = (r(1), r(2), r(3), r(4), r(5), r(6));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        let load_pc = a.here();
+        a.ld(x, 0, tmp);
+        a.slt(p, x, n);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        let s1 = a.here();
+        a.sd(x, 800, tmp);
+        let s2 = a.here();
+        a.sd(x, 1600, tmp);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let rep = analyze(&program, bpc, &[load_pc]);
+        assert_eq!(rep.loads, vec![LoadReport { pc: load_pc, safety: LoadSafety::ProvenSafe }]);
+        assert_eq!(rep.claims, vec![DisjointClaim { load_pc, store_pc: s1 }, DisjointClaim { load_pc, store_pc: s2 }]);
+    }
+
+    #[test]
+    fn unknown_address_load_is_unsafe_even_without_stores() {
+        // Pointer chase: the load address is unresolvable; hoisting it
+        // would read a location the analysis knows nothing about.
+        let (i, n, head, base, x, p) = (r(1), r(2), r(3), r(4), r(5), r(6));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(head, 0x1000);
+        a.label("top");
+        a.ld(base, 0, head);
+        let load_pc = a.here();
+        a.ld(x, 0, base);
+        a.slt(p, x, n);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        a.addi(r(8), r(8), 1);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let rep = analyze(&program, bpc, &[load_pc]);
+        assert_eq!(rep.loads[0].safety, LoadSafety::Unsafe);
+        assert!(rep.claims.is_empty());
+    }
+
+    #[test]
+    fn unprovable_store_makes_the_load_unsafe() {
+        // The store's address goes through a conditionally-updated
+        // counter: no disjointness proof, no hoisting.
+        let (i, n, base, x, p, tmp, cnt, t0) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+        let mut a = Assembler::new();
+        a.li(n, 100);
+        a.li(base, 0x1000);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        let load_pc = a.here();
+        a.ld(x, 0, tmp);
+        a.slt(p, x, n);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        a.sll(t0, cnt, 3i64);
+        a.sd(x, 0x4000, t0);
+        a.addi(cnt, cnt, 1);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let rep = analyze(&program, bpc, &[load_pc]);
+        assert_eq!(rep.loads[0].safety, LoadSafety::Unsafe);
+    }
+}

@@ -96,6 +96,19 @@ pub fn apply_cfd(
     bq_size: usize,
     scratch: &[Reg],
 ) -> Result<TransformReport, TransformError> {
+    apply_cfd_gated(program, branch_pc, bq_size, scratch, false)
+}
+
+/// The transform body behind [`apply_cfd`]; `speculative` additionally
+/// admits [`BranchClass::SpeculativelySeparable`] branches (whose loads
+/// the caller re-validates with [`crate::lint_speculation`]).
+fn apply_cfd_gated(
+    program: &Program,
+    branch_pc: u32,
+    bq_size: usize,
+    scratch: &[Reg],
+    speculative: bool,
+) -> Result<TransformReport, TransformError> {
     if scratch.len() < 4 {
         return Err(TransformError::NeedScratchRegisters);
     }
@@ -119,6 +132,9 @@ pub fn apply_cfd(
     let partial = match report.class {
         BranchClass::SeparableTotal => false,
         BranchClass::SeparablePartial => true,
+        // The upgraded class behaves like total/partial separability once
+        // the precise slice (which `backward_slice` computes) governs.
+        BranchClass::SpeculativelySeparable if speculative => report.overlap_instrs > 0,
         other => return Err(TransformError::NotTotallySeparable(other)),
     };
 
@@ -366,6 +382,98 @@ pub fn apply_cfd(
     let static_instrs = (program.len(), new_program.len());
     let lint = crate::lint_program(&new_program, &crate::LintConfig { bq_size: chunk, ..crate::LintConfig::default() });
     Ok(TransformReport { program: new_program, chunk, static_instrs, lint })
+}
+
+/// Which rewrite [`apply_cfd_spec`] selected for a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecDecision {
+    /// Plain CFD: totally separable.
+    Cfd,
+    /// CFD with the if-converted feedback loop: partially separable.
+    CfdPartial,
+    /// Speculative CFD: proven-safe loads hoisted past loop stores.
+    CfdSpec,
+    /// CFD through the trip-count queue: separable loop-branch.
+    CfdTq,
+}
+
+impl fmt::Display for SpecDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SpecDecision::Cfd => "cfd",
+            SpecDecision::CfdPartial => "cfd-partial",
+            SpecDecision::CfdSpec => "cfd-spec",
+            SpecDecision::CfdTq => "cfd-tq",
+        })
+    }
+}
+
+/// What [`apply_cfd_spec`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecTransformReport {
+    /// The rewrite selected from the branch's classification.
+    pub decision: SpecDecision,
+    /// The underlying transform result; for [`SpecDecision::CfdSpec`] its
+    /// lint additionally carries the speculation-contract diagnostics from
+    /// [`crate::lint_speculation`].
+    pub report: TransformReport,
+    /// Loads the leading loop executes ahead of the trailing loop's
+    /// stores (each proven safe for `CfdSpec`).
+    pub hoisted_loads: usize,
+    /// (load pc, store pc) disjointness proofs on the *original* program
+    /// backing a `CfdSpec` decision; empty for the other decisions.
+    pub claims: Vec<(u32, u32)>,
+}
+
+/// Selects and applies the CFD rewrite matching the classification of the
+/// branch at `branch_pc`: plain CFD for (totally/partially) separable
+/// branches, CFD(TQ) for separable loop-branches, and speculative CFD for
+/// [`BranchClass::SpeculativelySeparable`] upgrades. Speculative outputs
+/// are re-validated by [`crate::lint_speculation`]: any hoisted store or
+/// unproven load shows up as an error in the returned report's lint.
+///
+/// # Errors
+///
+/// [`TransformError::NotTotallySeparable`] when the class admits no CFD
+/// rewrite (hammock, inseparable, not analyzed); otherwise whatever the
+/// underlying transform reports.
+pub fn apply_cfd_spec(
+    program: &Program,
+    branch_pc: u32,
+    bq_size: usize,
+    tq_size: usize,
+    scratch: &[Reg],
+) -> Result<SpecTransformReport, TransformError> {
+    let class_report = classify_program(program, None, ClassifyConfig::default())
+        .into_iter()
+        .find(|r| r.pc == branch_pc)
+        .ok_or(TransformError::NotABranch(branch_pc))?;
+    match class_report.class {
+        BranchClass::SeparableTotal | BranchClass::SeparablePartial => {
+            let report = apply_cfd_gated(program, branch_pc, bq_size, scratch, false)?;
+            let decision = if class_report.class == BranchClass::SeparableTotal {
+                SpecDecision::Cfd
+            } else {
+                SpecDecision::CfdPartial
+            };
+            Ok(SpecTransformReport { decision, report, hoisted_loads: class_report.slice_loads, claims: Vec::new() })
+        }
+        BranchClass::SeparableLoopBranch => {
+            let report = crate::apply_cfd_tq(program, branch_pc, tq_size, scratch)?;
+            Ok(SpecTransformReport { decision: SpecDecision::CfdTq, report, hoisted_loads: 0, claims: Vec::new() })
+        }
+        BranchClass::SpeculativelySeparable => {
+            let mut report = apply_cfd_gated(program, branch_pc, bq_size, scratch, true)?;
+            report.lint.diagnostics.extend(crate::lint_speculation(program, &report.program, branch_pc));
+            Ok(SpecTransformReport {
+                decision: SpecDecision::CfdSpec,
+                report,
+                hoisted_loads: class_report.proven_safe_loads,
+                claims: class_report.disjoint_claims.clone(),
+            })
+        }
+        other => Err(TransformError::NotTotallySeparable(other)),
+    }
 }
 
 fn label_for(target: u32, loop_start: u32, loop_end: u32) -> String {
@@ -633,5 +741,137 @@ mod tests {
         let (program, _, _) = kernel(10);
         let err = apply_cfd(&program, 0, 128, &[r(20), r(21), r(22), r(23)]).unwrap_err();
         assert!(matches!(err, TransformError::NonCanonicalLoop(_) | TransformError::NotABranch(_)));
+    }
+
+    /// A guarded scatter whose CD region stores through the *same* base
+    /// register the predicate load reads: the name heuristic entangles the
+    /// stores into the slice (inseparable), while the precise tier proves
+    /// every store disjoint from the load's whole-loop interval.
+    fn spec_kernel(n: i64) -> (Program, u32, MemImage) {
+        let (i, nn, base, x, eps, p, tmp, sum, acc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
+        let mut a = Assembler::new();
+        a.li(nn, n);
+        a.li(base, 0x1000);
+        a.li(eps, 450);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        a.ld(x, 0, tmp);
+        a.slt(p, x, eps);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        a.add(sum, sum, x);
+        a.xor(acc, acc, x);
+        a.sd(x, 8 * n, tmp);
+        a.sd(sum, 16 * n, tmp);
+        a.sd(acc, 24 * n, tmp);
+        a.sd(x, 32 * n, tmp);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, nn, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut mem = MemImage::new();
+        let mut v = 6364136223846793005u64;
+        for k in 0..n as u64 {
+            v = v.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            mem.write_u64(0x1000 + 8 * k, v % 1000);
+        }
+        (program, bpc, mem)
+    }
+
+    fn spec_outputs(program: Program, mem: MemImage, n: i64) -> (Vec<i64>, Vec<u64>) {
+        let mut m = Machine::new(program, mem);
+        m.run_to_halt().unwrap();
+        let regs = [8, 9].iter().map(|&i| m.regs.read(r(i))).collect();
+        let words = (0..4 * n as u64).map(|k| m.mem.read_u64(0x1000u64 + 8 * n as u64 + 8 * k)).collect();
+        (regs, words)
+    }
+
+    #[test]
+    fn spec_kernel_upgrades_and_transforms_cleanly() {
+        let (program, bpc, mem) = spec_kernel(100);
+        let class =
+            classify_program(&program, None, ClassifyConfig::default()).into_iter().find(|c| c.pc == bpc).unwrap();
+        assert_eq!(class.class, BranchClass::SpeculativelySeparable);
+        assert_eq!(class.heuristic_class, BranchClass::Inseparable);
+        let t = apply_cfd_spec(&program, bpc, 64, 64, &[r(20), r(21), r(22), r(23)]).unwrap();
+        assert_eq!(t.decision, SpecDecision::CfdSpec);
+        assert_eq!(t.hoisted_loads, 1);
+        assert_eq!(t.claims.len(), 4, "one disjointness proof per store");
+        assert!(t.report.lint.clean(), "{}", t.report.lint.table());
+        assert_eq!(spec_outputs(program, mem.clone(), 100), spec_outputs(t.report.program, mem, 100));
+    }
+
+    #[test]
+    fn apply_cfd_spec_dispatches_plain_cfd() {
+        let (program, bpc, mem) = kernel(500);
+        let t = apply_cfd_spec(&program, bpc, 128, 64, &[r(20), r(21), r(22), r(23)]).unwrap();
+        assert_eq!(t.decision, SpecDecision::Cfd);
+        assert!(t.claims.is_empty());
+        assert_eq!(outputs(program, mem.clone()), outputs(t.report.program, mem));
+    }
+
+    #[test]
+    fn apply_cfd_spec_refuses_unprovable_store() {
+        // One store goes through a conditionally-updated counter: no
+        // disjointness proof, no upgrade, no speculative transform.
+        let (i, nn, base, x, eps, p, tmp, cnt, t0) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
+        let mut a = Assembler::new();
+        a.li(nn, 100);
+        a.li(base, 0x1000);
+        a.li(eps, 450);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(tmp, i, 3i64);
+        a.add(tmp, tmp, base);
+        a.ld(x, 0, tmp);
+        a.slt(p, x, eps);
+        let bpc = a.here();
+        a.beqz(p, "skip");
+        a.sll(t0, cnt, 3i64);
+        a.sd(x, 0x4000, t0);
+        a.sd(x, 800, tmp);
+        a.sd(x, 1600, tmp);
+        a.sd(x, 2400, tmp);
+        a.sd(x, 3200, tmp);
+        a.addi(cnt, cnt, 1);
+        a.label("skip");
+        a.addi(i, i, 1);
+        a.blt(i, nn, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let err = apply_cfd_spec(&program, bpc, 64, 64, &[r(20), r(21), r(22), r(23)]).unwrap_err();
+        assert_eq!(err, TransformError::NotTotallySeparable(BranchClass::Inseparable));
+    }
+
+    #[test]
+    fn lint_speculation_flags_hoisted_store_and_unproven_load() {
+        let (program, bpc, _) = spec_kernel(100);
+        let (i, base, x, tmp, y) = (r(1), r(3), r(4), r(7), r(10));
+        // A hand-built "transform output" that violates the contract: the
+        // leading loop contains a store and a load with no safety proof.
+        let mut b = Assembler::new();
+        b.label("cfd_loop1");
+        b.sll(tmp, i, 3i64);
+        b.add(tmp, tmp, base);
+        b.ld(x, 0, tmp); // identical to the proven-safe original load: ok
+        b.sd(x, 800, tmp); // hoisted store
+        b.ld(y, 0, x); // unproven load
+        b.label("cfd_loop2");
+        b.halt();
+        let bad = b.finish().unwrap();
+        let diags = crate::lint_speculation(&program, &bad, bpc);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec![crate::Rule::HoistedStore, crate::Rule::HoistedUnsafeLoad]);
+        assert!(diags.iter().all(|d| d.severity == crate::Severity::Error));
+    }
+
+    #[test]
+    fn lint_speculation_accepts_the_real_transform() {
+        let (program, bpc, _) = spec_kernel(100);
+        let t = apply_cfd_spec(&program, bpc, 64, 64, &[r(20), r(21), r(22), r(23)]).unwrap();
+        assert!(crate::lint_speculation(&program, &t.report.program, bpc).is_empty());
     }
 }

@@ -1489,6 +1489,95 @@ impl<'a> Lint<'a> {
     }
 }
 
+/// Translation validation of the speculation contract for a CFD-spec
+/// rewrite of the branch at `branch_pc` of `original`.
+///
+/// The leading loop of `transformed` (the region between its
+/// `cfd_loop1` and `cfd_loop2` labels) runs every iteration's predicate
+/// slice before any trailing-loop store executes, so it must contain
+///
+/// * **no store** (or store-like queue save/restore) —
+///   [`Rule::HoistedStore`];
+/// * **no load without a speculation-safety proof** on the original
+///   program ([`crate::speculation_safety`]): every hoisted load must
+///   be byte-identical to a `ProvenSafe` load of the original loop —
+///   [`Rule::HoistedUnsafeLoad`].
+///
+/// Non-binding prefetches are exempt. BQ discipline is covered by the
+/// ordinary [`lint_program`] pass the transform already runs; callers
+/// append these diagnostics to that report.
+pub fn lint_speculation(original: &Program, transformed: &Program, branch_pc: u32) -> Vec<Diagnostic> {
+    let degraded = |msg: &str| {
+        vec![Diagnostic::new(
+            Rule::AnalysisDegraded,
+            Severity::Error,
+            None,
+            None,
+            format!("speculation contract unverifiable: {msg}"),
+            transformed,
+        )]
+    };
+    let cfg = Cfg::build(original);
+    let dom = crate::DomTree::dominators(&cfg);
+    let loops = crate::find_loops(&cfg, &dom);
+    let Some(lp) = loops.iter().filter(|l| l.contains(cfg.block_of(branch_pc))).min_by_key(|l| l.blocks.len()) else {
+        return degraded("branch not in a loop of the original program");
+    };
+    let loop_start = lp.blocks.iter().map(|&b| cfg.blocks[b].start).min().expect("non-empty loop");
+    // Every load of the to-be-hoisted header region is a candidate.
+    let candidates: std::collections::BTreeSet<u32> =
+        (loop_start..branch_pc).filter(|&pc| matches!(original.fetch(pc), Some(Instr::Load { .. }))).collect();
+    let spec = crate::speculation_safety(original, &cfg, lp, branch_pc, &candidates);
+    let safe: Vec<Instr> = spec
+        .loads
+        .iter()
+        .filter(|l| l.safety == crate::LoadSafety::ProvenSafe)
+        .filter_map(|l| original.fetch(l.pc))
+        .collect();
+
+    let (Some(l1), Some(l2)) = (transformed.label("cfd_loop1"), transformed.label("cfd_loop2")) else {
+        return degraded("cfd_loop1/cfd_loop2 labels missing from the transformed program");
+    };
+    let mut out = Vec::new();
+    for pc in l1..l2 {
+        let Some(instr) = transformed.fetch(pc) else { continue };
+        match instr {
+            Instr::Load { .. } if !safe.contains(&instr) => {
+                out.push(Diagnostic::new(
+                    Rule::HoistedUnsafeLoad,
+                    Severity::Error,
+                    None,
+                    Some(pc),
+                    "load hoisted into the leading loop without a speculation-safety proof".into(),
+                    transformed,
+                ));
+            }
+            Instr::Store { .. } => {
+                out.push(Diagnostic::new(
+                    Rule::HoistedStore,
+                    Severity::Error,
+                    None,
+                    Some(pc),
+                    "store hoisted into the leading loop; stores must never speculate".into(),
+                    transformed,
+                ));
+            }
+            _ if instr.is_mem() && !matches!(instr, Instr::Load { .. } | Instr::Prefetch { .. }) => {
+                out.push(Diagnostic::new(
+                    Rule::HoistedStore,
+                    Severity::Error,
+                    None,
+                    Some(pc),
+                    "queue save/restore hoisted into the leading loop".into(),
+                    transformed,
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 // Loop processing lives in a separate impl block for readability.
 mod loop_pass;
 

@@ -1,6 +1,7 @@
 //! Experiment runner: regenerates the paper's tables and figures, and
 //! runs fault-injection campaigns.
 //!
+//! ```text
 //! Usage:
 //!   experiments list          list available experiments
 //!   experiments `<id>`...     run specific experiments (e.g. fig18 fig24)
@@ -10,6 +11,14 @@
 //!   experiments lint [opts]   statically verify queue discipline of every
 //!                             catalog workload and transform output; exits
 //!                             non-zero on any error finding
+//!   experiments separability [opts]
+//!                             catalog-wide separability table: every
+//!                             analyzed branch, its heuristic vs precise
+//!                             class, the automatic CFD/CFD-TQ/speculative
+//!                             selection, and the differential gates on
+//!                             every accepted rewrite (lint, functional
+//!                             equivalence, dynamic disjointness claims);
+//!                             exits non-zero when any gate fails
 //!   experiments observe <workload> [opts]
 //!                             one telemetry-armed run: CPI stack, ASCII
 //!                             IPC/occupancy timeline, CSV time series and
@@ -54,6 +63,9 @@
 //! Lint options:
 //!   --json PATH     write the JSON lint table to PATH ("-" = stdout)
 //!
+//! Separability options:
+//!   --json PATH     write the JSON separability table to PATH ("-" = stdout)
+//!
 //! Campaign options:
 //!   --seed N        trial-point seed (default 0xcfdfa017)
 //!   --trials N      trials per (workload, fault) pair (default 1)
@@ -70,6 +82,7 @@
 //!   --seed N        fault-shim seed (default 0xcfdc4a05)
 //!   --scale N       probe workload outer trip count (default 40)
 //!   --json PATH     write the JSON verdict table to PATH ("-" = stdout)
+//! ```
 
 use cfd_bench::experiments;
 use cfd_exec::{Engine, ExecConfig, RetryPolicy};
@@ -177,6 +190,10 @@ fn main() {
         println!("  {:8} fault-injection campaign (--seed N --trials N --scale N --smoke --json PATH)", "faults");
         println!("  {:8} static queue-discipline verification of catalog + transforms (--json PATH)", "lint");
         println!(
+            "  {:8} catalog-wide branch classes, auto-CFD decisions, differential gates (--json PATH)",
+            "separability"
+        );
+        println!(
             "  {:8} telemetry-armed run of one workload (--variant V --interval N --scale N --csv P --trace-out P)",
             "observe"
         );
@@ -201,6 +218,10 @@ fn main() {
     }
     if args[0] == "lint" {
         run_lint(&engine, &global, &args[1..]);
+        return;
+    }
+    if args[0] == "separability" {
+        run_separability(&args[1..]);
         return;
     }
     if args[0] == "observe" {
@@ -422,6 +443,51 @@ fn run_lint(engine: &Engine, global: &Global, args: &[String]) {
     );
     global.finish(engine);
     if errors > 0 {
+        std::process::exit(2);
+    }
+}
+
+fn run_separability(args: &[String]) {
+    use cfd_bench::separability;
+    use cfd_workloads::Scale;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(1);
+                }))
+            }
+            other => {
+                eprintln!("unknown separability option `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let rows = separability::run_separability(Scale { n: 400, seed: 9 });
+    print!("{}", separability::table(&rows));
+    match json_path.as_deref() {
+        Some("-") => println!("{}", separability::to_json(&rows)),
+        Some(path) => {
+            std::fs::write(path, separability::to_json(&rows)).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("separability table written to {path}");
+        }
+        None => {}
+    }
+    let ok = separability::gate_ok(&rows);
+    println!(
+        "[separability completed in {:.1}s: {} branches, gates {}]",
+        t0.elapsed().as_secs_f64(),
+        rows.len(),
+        if ok { "pass" } else { "FAIL" }
+    );
+    if !ok {
         std::process::exit(2);
     }
 }

@@ -20,6 +20,7 @@ pub mod experiments;
 pub mod lint;
 pub mod observe;
 pub mod runner;
+pub mod separability;
 pub mod simperf;
 
 pub use experiments::{all, by_id, Experiment};

@@ -5,11 +5,14 @@
 //! deterministic JSON.
 //!
 //! A clean sweep is the translation-validation half of DESIGN.md §9: the
-//! hand-written kernels and the `apply_cfd`/`apply_cfd_tq` rewrites all
-//! obey the queue discipline the simulator enforces dynamically.
+//! hand-written kernels and the `apply_cfd`/`apply_cfd_tq`/`apply_cfd_spec`
+//! rewrites all obey the queue discipline (and, for speculative rewrites,
+//! the speculation contract) the simulator enforces dynamically. Each row
+//! also carries the static per-branch class table of its source program.
 
 use cfd_analysis::{
-    apply_cfd, apply_cfd_tq, lint_program, Diagnostic, LintConfig, LintReport, QueueBounds, Rule, Severity,
+    apply_cfd, apply_cfd_spec, apply_cfd_tq, classify_program, lint_program, BranchClass, ClassifyConfig, Diagnostic,
+    LintConfig, LintReport, QueueBounds, Rule, Severity,
 };
 use cfd_exec::{CampaignJob, Engine, Fingerprint, Hasher, Json};
 use cfd_isa::{Assembler, Program, QueueKind, Reg};
@@ -22,8 +25,22 @@ pub struct LintRow {
     pub kernel: String,
     /// Variant label (catalog) or transform name.
     pub variant: String,
+    /// Per-branch class of every analyzed branch in the row's *source*
+    /// program, as `(pc, class)` pairs in PC order.
+    pub classes: Vec<(u32, String)>,
     /// The verifier's findings and proved bounds.
     pub report: LintReport,
+}
+
+/// Classifies every branch of `program` and keeps the analyzed ones as
+/// `(pc, class-display)` pairs. Computed at row-assembly time — never
+/// inside a cached engine job — so the lint cache format is untouched.
+fn branch_classes(program: &Program) -> Vec<(u32, String)> {
+    classify_program(program, None, ClassifyConfig::default())
+        .into_iter()
+        .filter(|r| r.class != BranchClass::NotAnalyzed)
+        .map(|r| (r.pc, r.class.to_string()))
+        .collect()
 }
 
 /// Lints every `(kernel, variant)` pair in the catalog at `scale`.
@@ -40,6 +57,7 @@ pub fn lint_catalog(scale: Scale) -> Vec<LintRow> {
             rows.push(LintRow {
                 kernel: entry.name.to_string(),
                 variant: variant.label().to_string(),
+                classes: branch_classes(&w.program),
                 report: lint_program(&w.program, &config),
             });
         }
@@ -63,6 +81,7 @@ pub fn lint_transforms() -> Vec<LintRow> {
         rows.push(LintRow {
             kernel: "canonical_separable".to_string(),
             variant: format!("apply_cfd/{chunk}"),
+            classes: branch_classes(&program),
             report: t.lint,
         });
     }
@@ -72,6 +91,7 @@ pub fn lint_transforms() -> Vec<LintRow> {
         rows.push(LintRow {
             kernel: "canonical_loop_branch".to_string(),
             variant: format!("apply_cfd_tq/{tq}"),
+            classes: branch_classes(&program),
             report: t.lint,
         });
     }
@@ -86,12 +106,16 @@ pub fn lint_transforms() -> Vec<LintRow> {
                     apply_cfd(&w.program, ib.pc, 128, &scratch)
                 }
                 PaperClass::SeparableLoopBranch => apply_cfd_tq(&w.program, ib.pc, 256, &scratch),
+                PaperClass::SpeculativelySeparable => {
+                    apply_cfd_spec(&w.program, ib.pc, 128, 256, &scratch).map(|s| s.report)
+                }
                 _ => continue,
             };
             if let Ok(t) = t {
                 rows.push(LintRow {
                     kernel: entry.name.to_string(),
                     variant: format!("auto@pc{}", ib.pc),
+                    classes: branch_classes(&w.program),
                     report: t.lint,
                 });
             }
@@ -193,10 +217,13 @@ pub fn to_json(rows: &[LintRow]) -> String {
         if i > 0 {
             s.push(',');
         }
+        let classes: Vec<String> =
+            r.classes.iter().map(|(pc, c)| format!("{{\"pc\":{pc},\"class\":\"{c}\"}}")).collect();
         s.push_str(&format!(
-            "{{\"kernel\":\"{}\",\"variant\":\"{}\",\"report\":{}}}",
+            "{{\"kernel\":\"{}\",\"variant\":\"{}\",\"classes\":[{}],\"report\":{}}}",
             r.kernel,
             r.variant,
+            classes.join(","),
             r.report.to_json()
         ));
     }
@@ -234,6 +261,17 @@ pub enum LintOp {
         /// The loop-branch of interest.
         pc: u32,
         /// Trip-count chunk size.
+        tq: usize,
+    },
+    /// Run the automatic selector `apply_cfd_spec` at `pc` and report
+    /// the chosen rewrite's lint verdict (which, for a speculative
+    /// decision, includes the speculation-contract diagnostics).
+    ApplyCfdSpec {
+        /// The branch of interest.
+        pc: u32,
+        /// Strip-mining chunk size for the BQ rewrites.
+        chunk: usize,
+        /// Trip-count chunk size for the TQ rewrite.
         tq: usize,
     },
 }
@@ -284,6 +322,9 @@ impl CampaignJob for LintJob {
             LintOp::Lint => Some(lint_program(&self.program, &LintConfig::default())),
             LintOp::ApplyCfd { pc, chunk } => apply_cfd(&self.program, pc, chunk, &scratch).ok().map(|t| t.lint),
             LintOp::ApplyCfdTq { pc, tq } => apply_cfd_tq(&self.program, pc, tq, &scratch).ok().map(|t| t.lint),
+            LintOp::ApplyCfdSpec { pc, chunk, tq } => {
+                apply_cfd_spec(&self.program, pc, chunk, tq, &scratch).ok().map(|s| s.report.lint)
+            }
         }
     }
 
@@ -345,6 +386,8 @@ fn rule_by_name(name: &str) -> Option<Rule> {
         Rule::IrreducibleCfg,
         Rule::UnreachableCode,
         Rule::AnalysisDegraded,
+        Rule::HoistedStore,
+        Rule::HoistedUnsafeLoad,
     ]
     .into_iter()
     .find(|r| r.name() == name)
@@ -398,6 +441,7 @@ pub fn lint_jobs() -> Vec<LintJob> {
             let op = match ib.class {
                 PaperClass::SeparableTotal | PaperClass::SeparablePartial => LintOp::ApplyCfd { pc: ib.pc, chunk: 128 },
                 PaperClass::SeparableLoopBranch => LintOp::ApplyCfdTq { pc: ib.pc, tq: 256 },
+                PaperClass::SpeculativelySeparable => LintOp::ApplyCfdSpec { pc: ib.pc, chunk: 128, tq: 256 },
                 _ => continue,
             };
             jobs.push(LintJob {
@@ -424,7 +468,12 @@ pub fn lint_all_on(engine: &Engine) -> Vec<LintRow> {
                 Ok(out) => out?,
                 Err(e) => panic!("{} failed: {e}", job.describe()),
             };
-            Some(LintRow { kernel: job.kernel.clone(), variant: job.variant.clone(), report })
+            Some(LintRow {
+                kernel: job.kernel.clone(),
+                variant: job.variant.clone(),
+                classes: branch_classes(&job.program),
+                report,
+            })
         })
         .collect()
 }

@@ -1,0 +1,60 @@
+//! Regression lock on the catalog-wide separability sweep: the table of
+//! branch classes, automatic CFD decisions, and differential gates that
+//! `experiments separability` prints must stay byte-deterministic, keep
+//! all gates green, and keep demonstrating the speculative upgrade the
+//! precise alias tier exists for.
+
+use cfd_bench::separability::{gate_ok, run_separability, to_json};
+use cfd_workloads::Scale;
+
+fn sweep() -> Vec<cfd_bench::separability::SeparabilityRow> {
+    run_separability(Scale { n: 400, seed: 9 })
+}
+
+/// Every gate holds: no dynamic contradiction of a static disjointness
+/// claim, every accepted rewrite lints clean and reproduces the
+/// original's observables, and the speculative tier upgrades at least
+/// one heuristic-inseparable branch.
+#[test]
+fn all_gates_hold() {
+    assert!(gate_ok(&sweep()));
+}
+
+/// The flagship upgrade: the same-base scatter kernel is inseparable to
+/// the name heuristic, speculatively separable to the value-range tier,
+/// and the derived speculative rewrite survives every gate.
+#[test]
+fn spec_scatter_upgrades_and_survives() {
+    let rows = sweep();
+    let r = rows
+        .iter()
+        .find(|r| r.kernel == "soplex_upd_like" && r.class == "speculatively separable")
+        .expect("upgrade row present");
+    assert_eq!(r.heuristic_class, "inseparable");
+    assert_eq!(r.decision, "cfd-spec");
+    assert_eq!((r.slice_loads, r.proven_safe_loads, r.unsafe_loads), (1, 1, 0));
+    assert!(r.claims >= 1, "speculation must rest on explicit claims");
+    assert_eq!(r.contradicted, 0, "claims contradicted dynamically");
+    let a = r.applied.as_ref().expect("rewrite accepted");
+    assert_eq!((a.decision.as_str(), a.hoisted_loads, a.lint_errors, a.equivalent), ("cfd-spec", 1, 0, true));
+}
+
+/// A selector rejection is recorded honestly, never silently dropped:
+/// the non-canonical TQ nests stay in the table with their refusal.
+#[test]
+fn rejections_are_recorded() {
+    let rows = sweep();
+    let r = rows.iter().find(|r| r.kernel == "bzip2_tq_like" && r.decision == "cfd-tq").expect("tq row present");
+    assert!(r.applied.is_none());
+    assert!(r.error.as_deref().is_some_and(|e| e.contains("not canonical")));
+}
+
+/// The checked-in fixture is the byte-exact JSON of a passing sweep; a
+/// diff means either nondeterminism or a verdict change, and both need
+/// a deliberate fixture update alongside the code change.
+#[test]
+fn sweep_matches_checked_in_fixture() {
+    let expected = include_str!("fixtures/separability.json");
+    let actual = to_json(&sweep());
+    assert_eq!(actual.trim(), expected.trim(), "separability sweep diverged from fixture");
+}

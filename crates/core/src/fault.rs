@@ -11,7 +11,7 @@
 //! fault must end in one of
 //!
 //! * an architecturally identical result (the fault was masked),
-//! * a typed [`CoreError`](crate::CoreError) naming the faulting structure
+//! * a typed [`CoreError`] naming the faulting structure
 //!   (oracle mismatch, program error), or
 //! * a bounded-latency watchdog trip
 //!   ([`CoreError::Deadlock`](crate::CoreError)).

@@ -342,6 +342,64 @@ pub fn run_crosscheck(n: usize, cycle_limit: u64) -> Vec<CrosscheckRow> {
     rows
 }
 
+/// One statically-proven (load, store) disjointness claim held against a
+/// fault-free functional run's observed addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimObservation {
+    /// PC of the load the claim covers.
+    pub load_pc: u32,
+    /// PC of the store claimed disjoint from it.
+    pub store_pc: u32,
+    /// The observed byte footprints intersect: the static proof is wrong.
+    pub contradicted: bool,
+}
+
+/// Dynamically cross-checks the alias analysis' disjointness claims
+/// (`cfd_analysis::BranchReport::disjoint_claims`): runs `program`
+/// functionally on `mem`, records the byte footprint every claimed PC
+/// touches across the whole run, and reports a claim contradicted when
+/// its load and store footprints intersect. A sound analysis yields zero
+/// contradictions; one is a bug in `cfd_analysis`, not in the program.
+///
+/// # Errors
+///
+/// Propagates functional-simulation errors (the claims are then
+/// unjudged, not vacuously confirmed).
+pub fn check_disjoint_claims(
+    program: &cfd_isa::Program,
+    mem: &cfd_isa::MemImage,
+    claims: &[(u32, u32)],
+    limit: u64,
+) -> Result<Vec<ClaimObservation>, cfd_isa::SimError> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let watched: BTreeSet<u32> = claims.iter().flat_map(|&(l, s)| [l, s]).collect();
+    let mut footprints: BTreeMap<u32, BTreeSet<u64>> = BTreeMap::new();
+    let mut machine = cfd_isa::Machine::new(program.clone(), mem.clone());
+    let mut sink = |ev: &cfd_isa::RetireEvent| {
+        if let Some(access) = ev.mem {
+            if watched.contains(&ev.pc) {
+                let bytes = footprints.entry(ev.pc).or_default();
+                for b in 0..access.width.bytes() {
+                    bytes.insert(access.addr + b);
+                }
+            }
+        }
+    };
+    machine.run(limit, &mut sink)?;
+    Ok(claims
+        .iter()
+        .map(|&(load_pc, store_pc)| {
+            let contradicted = match (footprints.get(&load_pc), footprints.get(&store_pc)) {
+                (Some(l), Some(s)) => l.intersection(s).next().is_some(),
+                // A PC that never executed (or never touched memory)
+                // has an empty footprint: vacuously disjoint.
+                _ => false,
+            };
+            ClaimObservation { load_pc, store_pc, contradicted }
+        })
+        .collect())
+}
+
 /// Picks the variant a fault should run under: the richest decoupled
 /// form the workload supports, so the fault's target structure is live.
 fn variant_for(workload: &CatalogEntry, fault: FaultKind) -> Option<Variant> {
@@ -681,6 +739,40 @@ mod tests {
         assert!(!Verdict::Hang.acceptable());
         assert!(!Verdict::SilentDivergence.acceptable());
         assert_eq!(Verdict::Detected("x".into()).label(), "detected");
+    }
+
+    #[test]
+    fn disjoint_claims_judged_against_observed_footprints() {
+        use cfd_isa::{Assembler, MemImage, Reg};
+        let (i, n, base, x) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let mut a = Assembler::new();
+        a.li(n, 50);
+        a.li(base, 0x1000);
+        a.li(i, 0);
+        a.label("top");
+        a.sll(x, i, 3i64);
+        a.add(x, x, base);
+        let load_pc = a.here();
+        a.ld(Reg::new(5), 0, x);
+        let far_store = a.here();
+        a.sd(Reg::new(5), 8 * 50, x); // one array away: truly disjoint
+        let near_store = a.here();
+        a.sd(Reg::new(5), 8, x); // hits the next element: overlaps the load
+        a.addi(i, i, 1);
+        a.blt(i, n, "top");
+        a.halt();
+        let program = a.finish().unwrap();
+        let obs = check_disjoint_claims(
+            &program,
+            &MemImage::new(),
+            &[(load_pc, far_store), (load_pc, near_store), (load_pc, 0)],
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(obs[0], ClaimObservation { load_pc, store_pc: far_store, contradicted: false });
+        assert_eq!(obs[1], ClaimObservation { load_pc, store_pc: near_store, contradicted: true });
+        // A claimed PC with no memory footprint (the `li`) is vacuous.
+        assert!(!obs[2].contradicted);
     }
 
     #[test]

@@ -38,6 +38,7 @@ enum Builder {
     CtxSwitch,
     Hammock,
     Inseparable,
+    SpecStore,
 }
 
 impl std::fmt::Debug for CatalogEntry {
@@ -66,6 +67,7 @@ impl CatalogEntry {
             Builder::CtxSwitch => ctxswitch::build(variant, scale),
             Builder::Hammock => classes::build_hammock(variant, scale),
             Builder::Inseparable => classes::build_inseparable(variant, scale),
+            Builder::SpecStore => classes::build_spec_store(variant, scale),
         }
     }
 }
@@ -274,6 +276,13 @@ pub fn catalog() -> Vec<CatalogEntry> {
             suite: Suite::NuMineBench,
             variants: &[Variant::Base],
             builder: Builder::Inseparable,
+        },
+        CatalogEntry {
+            name: "soplex_upd_like",
+            paper_benchmark: "soplex update scatter (speculative CFD)",
+            suite: Suite::Spec2006,
+            variants: &[Variant::Base],
+            builder: Builder::SpecStore,
         },
     ]
 }

@@ -140,6 +140,63 @@ pub fn build_inseparable(variant: Variant, scale: Scale) -> Workload {
     }
 }
 
+/// Speculatively separable kernel: a guarded scatter whose CD region
+/// stores through the *same* address register the predicate load reads,
+/// at offsets one whole array away. The name-based alias heuristic
+/// entangles the stores into the slice (inseparable); the value-range
+/// tier proves every store disjoint from the load's whole-loop interval,
+/// so speculative CFD can hoist the load (paper §III's soplex update
+/// scatter, the case its gcc pass had to leave on the table).
+///
+/// Supported variant: `Base` only (the speculative rewrite is *derived*
+/// by `cfd_analysis::apply_cfd_spec`, not hand-built).
+///
+/// # Panics
+///
+/// Panics on unsupported variants.
+pub fn build_spec_store(variant: Variant, scale: Scale) -> Workload {
+    assert!(variant == Variant::Base, "soplex_upd_like supports only the base variant");
+    let n = scale.n as i64;
+    let mut a = Assembler::new();
+    let (i, nn, x, p, tmp) = (regs::i(), regs::n(), regs::x(), regs::p(), regs::tmp());
+    let (acc0, acc1) = (regs::acc(0), regs::acc(1));
+    a.li(nn, n);
+    a.li(regs::base_a(), DATA_BASE as i64);
+    a.li(i, 0);
+    a.label("top");
+    a.sll(tmp, i, 3i64);
+    a.add(tmp, tmp, regs::base_a());
+    a.ld(x, 0, tmp);
+    a.slt(p, x, 450i64);
+    let bpc = a.here();
+    a.annotate("spec: same-base scatter");
+    a.beqz(p, "skip");
+    a.add(acc0, acc0, x);
+    a.xor(acc1, acc1, x);
+    a.sd(x, 8 * n, tmp);
+    a.sd(acc0, 16 * n, tmp);
+    a.sd(acc1, 24 * n, tmp);
+    a.sd(x, 32 * n, tmp);
+    a.label("skip");
+    a.addi(i, i, 1);
+    a.blt(i, nn, "top");
+    a.halt();
+    Workload {
+        name: "soplex_upd_like",
+        variant,
+        suite: Suite::Spec2006,
+        program: a.finish().expect("spec scatter assembles"),
+        mem: gen_mem(scale, 0x5bec),
+        observable: vec![acc0, acc1],
+        check_ranges: vec![(DATA_BASE + 8 * scale.n as u64, 32 * scale.n as u64)],
+        interest: vec![InterestBranch {
+            pc: bpc,
+            what: "spec: same-base scatter",
+            class: PaperClass::SpeculativelySeparable,
+        }],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +227,24 @@ mod tests {
     #[should_panic(expected = "supports only the base variant")]
     fn inseparable_rejects_cfd() {
         build_inseparable(Variant::Cfd, Scale::small());
+    }
+
+    #[test]
+    fn spec_store_runs_and_writes_the_out_region() {
+        let scale = Scale::small();
+        let w = build_spec_store(Variant::Base, scale);
+        assert_eq!(w.interest[0].class, PaperClass::SpeculativelySeparable);
+        let out = w.observe().unwrap();
+        assert_eq!(out.len(), 3, "two accumulators + one range checksum");
+        // The checksum must reflect actual stores: a different seed
+        // produces different out-region contents.
+        let other = build_spec_store(Variant::Base, Scale { seed: scale.seed ^ 1, ..scale }).observe().unwrap();
+        assert_ne!(out, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports only the base variant")]
+    fn spec_store_rejects_cfd() {
+        build_spec_store(Variant::Cfd, Scale::small());
     }
 }

@@ -88,6 +88,9 @@ pub enum PaperClass {
     SeparableLoopBranch,
     /// Inseparable branch.
     Inseparable,
+    /// Heuristically inseparable; the precise alias tier proves the
+    /// entangling stores disjoint (speculative-CFD target).
+    SpeculativelySeparable,
 }
 
 impl fmt::Display for PaperClass {
@@ -98,6 +101,7 @@ impl fmt::Display for PaperClass {
             PaperClass::SeparablePartial => "separable (partial)",
             PaperClass::SeparableLoopBranch => "separable loop-branch",
             PaperClass::Inseparable => "inseparable",
+            PaperClass::SpeculativelySeparable => "speculatively separable",
         };
         f.write_str(s)
     }

@@ -23,12 +23,16 @@ cargo clippy -q --offline --all-targets -- -D warnings
 echo "== format gate: cargo fmt --check"
 cargo fmt --check
 
+echo "== doc gate: cargo doc must build without warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
+
 cache=$(mktemp -d)
 lint_par=$(mktemp); lint_ser=$(mktemp); stats=$(mktemp)
 out=$(mktemp); out2=$(mktemp)
 obs=$(mktemp -d)
 crash=$(mktemp -d); resumed=$(mktemp)
-trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2" "$obs" "$crash" "$resumed"' EXIT
+sep=$(mktemp)
+trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2" "$obs" "$crash" "$resumed" "$sep"' EXIT
 
 echo "== observe determinism: two telemetry runs must be byte-identical"
 cargo run -q --release --offline -p cfd-bench --bin experiments -- \
@@ -55,6 +59,14 @@ CFD_CACHE_DIR="$cache" cargo run -q --release --offline -p cfd-bench --bin exper
 grep '^\[cfd-exec\]' "$stats"
 grep -q 'executed=0 failed=0' "$stats"
 cmp "$lint_par" "$lint_ser"
+
+echo "== separability gates: auto-CFD selection, speculation lint, dynamic claims"
+# Exits non-zero when any accepted rewrite lints dirty (e.g. an unproven
+# load reaching a speculative rewrite), diverges functionally, or has a
+# static disjointness claim contradicted dynamically — and the table must
+# stay byte-identical to the checked-in fixture.
+target/release/experiments separability --json "$sep" > /dev/null
+cmp "$sep" crates/bench/tests/fixtures/separability.json
 
 echo "== crash-safety gate: SIGKILL a mid-run campaign, then --resume must heal it"
 # Exec the binary directly (killing a `cargo run` wrapper would orphan the

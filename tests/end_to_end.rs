@@ -44,7 +44,7 @@ fn static_classifier_agrees_with_kernel_annotations() {
     // The kernels carry the paper's intended class; the independent static
     // classifier must reach the same verdict for the scan-family kernels.
     let scale = small();
-    for name in ["soplex_ref_like", "mcf_like", "jpeg_like", "hmmer_like"] {
+    for name in ["soplex_ref_like", "mcf_like", "jpeg_like", "hmmer_like", "soplex_upd_like"] {
         let w = by_name(name).unwrap().build(Variant::Base, scale);
         let reports = classify_program(&w.program, None, ClassifyConfig::default());
         for ib in &w.interest {
@@ -55,6 +55,7 @@ fn static_classifier_agrees_with_kernel_annotations() {
                 PaperClass::Hammock => BranchClass::Hammock,
                 PaperClass::SeparableLoopBranch => BranchClass::SeparableLoopBranch,
                 PaperClass::Inseparable => BranchClass::Inseparable,
+                PaperClass::SpeculativelySeparable => BranchClass::SpeculativelySeparable,
             };
             assert_eq!(got, want, "{name} pc {}", ib.pc);
         }

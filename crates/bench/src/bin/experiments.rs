@@ -33,6 +33,11 @@
 //!                             writes, corrupt cache bytes, truncated
 //!                             journals, mid-run kills); exits non-zero if
 //!                             any injected fault silently diverges
+//!   experiments dse [opts]    design-space exploration: expand a preset
+//!                             config grid (predictor x BQ/VQ/TQ x widths
+//!                             x L1), simulate every point, and emit the
+//!                             per-point IPC/MPKI/EDP table plus the
+//!                             Pareto frontier (byte-deterministic)
 //!
 //! Global options (any subcommand):
 //!   --jobs N        worker threads for simulations (default $CFD_JOBS or 1);
@@ -77,6 +82,18 @@
 //!   --scale N       workload outer trip count (default catalog scale)
 //!   --json PATH     timing-table destination ("-" = stdout;
 //!                   default artifacts/BENCH_simperf.json)
+//!   --min-kips N    soft throughput floor: warn on stderr for every
+//!                   workload simulating slower than N KIPS (timings are
+//!                   host-dependent, so this never fails the run)
+//!
+//! Dse options:
+//!   --preset NAME   which sweep grid to run: `default` (the flagship
+//!                   216-point grid) or `tiny` (8-point smoke grid)
+//!   --out PATH      write the report to PATH instead of stdout
+//!   --serve PATH    client mode: submit the sweep to the `cfd-serve`
+//!                   daemon listening on Unix socket PATH instead of
+//!                   simulating in-process (the report bytes are
+//!                   identical either way)
 //!
 //! Chaos options:
 //!   --seed N        fault-shim seed (default 0xcfdc4a05)
@@ -202,6 +219,10 @@ fn main() {
             "  {:8} IO-fault chaos sweep over cache + journal durability (--seed N --scale N --json PATH)",
             "chaos"
         );
+        println!(
+            "  {:8} DSE sweep with IPC/MPKI/EDP Pareto frontier (--preset default|tiny --out PATH --serve SOCKET)",
+            "dse"
+        );
         return;
     }
     if args[0] == "faults" {
@@ -214,6 +235,10 @@ fn main() {
     }
     if args[0] == "simperf" {
         run_simperf(&args[1..]);
+        return;
+    }
+    if args[0] == "dse" {
+        run_dse(&engine, &global, &args[1..]);
         return;
     }
     if args[0] == "lint" {
@@ -351,11 +376,94 @@ fn run_observe(args: &[String]) {
     println!("pipeline trace written to {trace_path} (load in ui.perfetto.dev)");
 }
 
+/// `experiments dse`: expand a preset grid, evaluate every point, print
+/// the per-point table and Pareto frontier. With `--serve SOCKET` the
+/// sweep runs on a `cfd-serve` daemon instead of in-process; the report
+/// bytes are identical either way.
+fn run_dse(engine: &Engine, global: &Global, args: &[String]) {
+    use cfd_serve::SweepConfig;
+    let mut preset = "default".to_string();
+    let mut out_path: Option<String> = None;
+    let mut serve_socket: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(1);
+            })
+        };
+        match a.as_str() {
+            "--preset" => preset = val("--preset"),
+            "--out" => out_path = Some(val("--out")),
+            "--serve" => serve_socket = Some(val("--serve")),
+            other => {
+                eprintln!("unknown dse option `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let cfg = SweepConfig::preset(&preset).unwrap_or_else(|| {
+        eprintln!("unknown preset `{preset}` (have: default, tiny)");
+        std::process::exit(1);
+    });
+    let t0 = Instant::now();
+    let points = cfg.expand().map(|p| p.len()).unwrap_or(0);
+    eprintln!("dse sweep: {} ({} grid points, preset `{preset}`)", cfg.describe(), points);
+    let report = match &serve_socket {
+        Some(socket) => dse_via_daemon(socket, &cfg),
+        None => cfd_serve::run_sweep(engine, &cfg).unwrap_or_else(|e| {
+            eprintln!("dse sweep failed: {e}");
+            std::process::exit(2);
+        }),
+    };
+    match &out_path {
+        Some(path) => {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                        std::process::exit(1);
+                    });
+                }
+            }
+            std::fs::write(path, &report).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("DSE report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+    println!("[dse completed in {:.1}s: {points} grid points]", t0.elapsed().as_secs_f64());
+    if serve_socket.is_none() {
+        global.finish(engine);
+    }
+}
+
+/// Submits the sweep to a running daemon and returns its report.
+#[cfg(unix)]
+fn dse_via_daemon(socket: &str, cfg: &cfd_serve::SweepConfig) -> String {
+    let outcome = cfd_serve::submit_and_wait(std::path::Path::new(socket), cfg).unwrap_or_else(|e| {
+        eprintln!("dse sweep failed on daemon {socket}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("{}", cfd_serve::outcome_line(&outcome));
+    outcome.report
+}
+
+#[cfg(not(unix))]
+fn dse_via_daemon(_socket: &str, _cfg: &cfd_serve::SweepConfig) -> String {
+    eprintln!("--serve requires Unix-domain sockets; run without --serve on this platform");
+    std::process::exit(1);
+}
+
 fn run_simperf(args: &[String]) {
     use cfd_bench::simperf;
     use cfd_workloads::Scale;
     let mut scale = Scale::default();
     let mut json_path: Option<String> = None;
+    let mut min_kips: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |what: &str| {
@@ -373,6 +481,13 @@ fn run_simperf(args: &[String]) {
                 }) as usize;
             }
             "--json" => json_path = Some(val("--json")),
+            "--min-kips" => {
+                let v = val("--min-kips");
+                min_kips = Some(parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --min-kips: `{v}`");
+                    std::process::exit(1);
+                }) as f64);
+            }
             other => {
                 eprintln!("unknown simperf option `{other}`");
                 std::process::exit(1);
@@ -382,6 +497,16 @@ fn run_simperf(args: &[String]) {
     let t0 = Instant::now();
     let rows = simperf::run_catalog(scale);
     print!("{}", simperf::table(&rows));
+    if let Some(floor) = min_kips {
+        for r in simperf::below_floor(&rows, floor) {
+            eprintln!(
+                "[simperf] WARNING: {} [{}] simulated at {:.0} KIPS, below the {floor:.0} KIPS soft floor",
+                r.name,
+                r.variant.label(),
+                r.kips
+            );
+        }
+    }
     let json_path = json_path.unwrap_or_else(|| "artifacts/BENCH_simperf.json".to_string());
     if json_path == "-" {
         println!("{}", simperf::to_json(&rows));

@@ -65,6 +65,15 @@ pub fn run_catalog(scale: Scale) -> Vec<PerfRow> {
         .collect()
 }
 
+/// Rows whose simulation speed fell below `floor` KIPS.
+///
+/// This feeds the *soft* throughput gate: timings are host-dependent, so
+/// a slow row is a warning for a human (or CI log reader), never a hard
+/// failure. Callers print one warning line per returned row.
+pub fn below_floor(rows: &[PerfRow], floor: f64) -> Vec<&PerfRow> {
+    rows.iter().filter(|r| r.kips < floor).collect()
+}
+
 /// Plain-text table of the timed runs plus a totals row.
 pub fn table(rows: &[PerfRow]) -> String {
     let mut out = format!(
@@ -135,6 +144,17 @@ mod tests {
             assert_eq!((x.name, x.retired, x.cycles), (y.name, y.retired, y.cycles));
             assert!(x.kips > 0.0);
         }
+    }
+
+    #[test]
+    fn floor_flags_only_slow_rows() {
+        let mut rows = run_catalog(Scale { n: 40, ..Scale::default() });
+        assert!(below_floor(&rows, 0.0).is_empty(), "a zero floor flags nothing");
+        assert_eq!(below_floor(&rows, f64::INFINITY).len(), rows.len(), "an infinite floor flags everything");
+        rows[0].kips = 1.0;
+        let slow = below_floor(&rows, 2.0);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].name, rows[0].name);
     }
 
     #[test]

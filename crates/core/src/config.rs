@@ -165,6 +165,42 @@ impl CoreConfig {
         self.front_depth + 2
     }
 
+    /// Design-space axis: front-end/retire width and issue width. The
+    /// execution-port mix scales with the issue width so a wide config is
+    /// not silently port-starved (DSE sweeps vary this axis; see
+    /// `cfd-serve`).
+    pub fn with_widths(mut self, width: usize, issue_width: usize) -> Self {
+        self.width = width.max(1);
+        self.issue_width = issue_width.max(self.width);
+        self.n_alu = (self.issue_width / 2).max(1);
+        self.n_branch_units = (self.issue_width / 3).max(1);
+        self
+    }
+
+    /// Design-space axis: CFD queue depths (BQ, VQ, TQ entries).
+    pub fn with_queue_depths(mut self, bq: usize, vq: usize, tq: usize) -> Self {
+        self.bq_size = bq.max(1);
+        self.vq_size = vq.max(1);
+        self.tq_size = tq.max(1);
+        self
+    }
+
+    /// Design-space axis: direction predictor by registry name
+    /// (`"isl-tage"`, `"gshare"`, `"perceptron"`, `"bimodal"`,
+    /// `"always-taken"`). Name validity is checked where the core is
+    /// constructed, not here, so grid expansion stays infallible.
+    pub fn with_predictor(mut self, name: &str) -> Self {
+        self.predictor = name.to_string();
+        self
+    }
+
+    /// Design-space axis: L1D capacity in KB (geometry otherwise
+    /// unchanged — the paper's cache-sensitivity style of sweep).
+    pub fn with_l1_kb(mut self, kb: usize) -> Self {
+        self.hierarchy.l1.size_bytes = kb.max(1) * 1024;
+        self
+    }
+
     /// A stable, content-complete textual serialization of the
     /// configuration, for content-addressed result fingerprinting
     /// (`cfd-exec`).
@@ -212,6 +248,30 @@ mod tests {
         assert_ne!(a.stable_repr(), c.stable_repr());
         // Field names are present, so the repr is self-describing.
         assert!(a.stable_repr().contains("bq_size"));
+    }
+
+    #[test]
+    fn grid_axis_builders_cover_the_dse_axes() {
+        let c = CoreConfig::default().with_widths(8, 8).with_queue_depths(16, 32, 64).with_predictor("gshare");
+        assert_eq!((c.width, c.issue_width), (8, 8));
+        assert!(c.n_alu >= 4 && c.n_branch_units >= 2, "port mix scales with issue width");
+        assert_eq!((c.bq_size, c.vq_size, c.tq_size), (16, 32, 64));
+        assert_eq!(c.predictor, "gshare");
+        let c = CoreConfig::default().with_l1_kb(16);
+        assert_eq!(c.hierarchy.l1.size_bytes, 16 * 1024);
+        // Degenerate requests clamp instead of producing a 0-wide core.
+        let c = CoreConfig::default().with_widths(0, 0).with_queue_depths(0, 0, 0);
+        assert!(c.width >= 1 && c.issue_width >= 1 && c.bq_size >= 1);
+        // Every axis must land in the fingerprint-bearing repr.
+        let a = CoreConfig::default().stable_repr();
+        for b in [
+            CoreConfig::default().with_widths(2, 4),
+            CoreConfig::default().with_queue_depths(8, 128, 256),
+            CoreConfig::default().with_predictor("bimodal"),
+            CoreConfig::default().with_l1_kb(64),
+        ] {
+            assert_ne!(a, b.stable_repr());
+        }
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! One fixed-precision decimal formatter for every `f64` the repo puts
+//! in a comparable table.
+//!
+//! The experiment fixtures are gated with `cmp`: a table regenerated on
+//! any host must reproduce the checked-in bytes exactly. Integer counters
+//! are trivially stable, but derived rates (IPC, MPKI) and energies (nJ,
+//! EDP) are `f64`s, and every call site inventing its own `{:.N}` format
+//! is a fixture hazard — one site printing `-0.0`, `NaN`, or a different
+//! precision breaks byte-equality in ways that only show up later.
+//!
+//! This module is the single funnel: [`fixed`] renders an `f64` with a
+//! fixed number of decimals (normalizing negative zero and guarding
+//! non-finite values), and [`fixed_scaled`] returns the *same rounding*
+//! as an exact scaled integer, which is what deterministic comparisons
+//! (e.g. Pareto dominance over rendered metrics) should use. The two are
+//! consistent by construction: `fixed_scaled` is derived from the digits
+//! `fixed` prints, so a table and the decisions made over it can never
+//! disagree.
+//!
+//! `f64` arithmetic on identical inputs is bit-exact across conforming
+//! platforms (IEEE 754 basic ops), and Rust's `{:.N}` formatting of a
+//! given bit pattern is deterministic, so routing every table through
+//! here makes the whole rendering pipeline byte-stable.
+
+/// Renders `v` with exactly `decimals` digits after the point.
+///
+/// Differences from a bare `format!("{:.N}", v)`:
+///
+/// * negative zero renders as positive zero (`-0.000` → `0.000`), so a
+///   tiny negative rounding residue cannot flip a fixture byte;
+/// * non-finite values render as `nan` / `inf` / `-inf` (stable spellings
+///   rather than platform-typed debug output).
+pub fn fixed(v: f64, decimals: usize) -> String {
+    if v.is_nan() {
+        return "nan".to_string();
+    }
+    if v.is_infinite() {
+        return if v < 0.0 { "-inf".to_string() } else { "inf".to_string() };
+    }
+    let s = format!("{v:.decimals$}");
+    // `{:.N}` rounds before printing, so a negative value can surface as
+    // "-0.000"; normalize it to the positive spelling.
+    if let Some(rest) = s.strip_prefix('-') {
+        if rest.chars().all(|c| c == '0' || c == '.') {
+            return rest.to_string();
+        }
+    }
+    s
+}
+
+/// The value [`fixed`] would print, as an exact scaled integer
+/// (`round(v * 10^decimals)` under the same rounding `fixed` uses).
+///
+/// Use this for deterministic *comparisons* of rendered quantities: two
+/// values that print identically compare equal, and ordering decisions
+/// (sorts, Pareto dominance) made on the scaled integers can never
+/// contradict the table the reader sees. Non-finite inputs map to `None`.
+pub fn fixed_scaled(v: f64, decimals: usize) -> Option<i128> {
+    if !v.is_finite() {
+        return None;
+    }
+    let s = fixed(v, decimals);
+    let neg = s.starts_with('-');
+    let digits: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
+    let mag: i128 = digits.parse().ok()?;
+    Some(if neg { -mag } else { mag })
+}
+
+/// Energy-delay product in µJ·cycles: `total_pj * cycles / 1e6`.
+///
+/// The paper's energy argument is relative, and so is EDP here: the unit
+/// is chosen so kernel-scale sweeps land in a readable range (tens to
+/// thousands) at three decimals.
+pub fn edp_uj_cycles(total_pj: f64, cycles: u64) -> f64 {
+    total_pj * cycles as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_std_formatting_for_ordinary_values() {
+        for (v, d, want) in
+            [(1.2345, 3, "1.234"), (1.2345, 1, "1.2"), (0.0, 2, "0.00"), (1234.5, 0, "1234"), (-2.5, 1, "-2.5")]
+        {
+            assert_eq!(fixed(v, d), want);
+            assert_eq!(fixed(v, d), format!("{v:.d$}"));
+        }
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        assert_eq!(fixed(-0.0, 3), "0.000");
+        assert_eq!(fixed(-1e-9, 3), "0.000");
+        assert_eq!(fixed(-0.0004, 3), "0.000");
+        // A genuinely negative value keeps its sign.
+        assert_eq!(fixed(-0.0006, 3), "-0.001");
+    }
+
+    #[test]
+    fn non_finite_values_are_stable_words() {
+        assert_eq!(fixed(f64::NAN, 2), "nan");
+        assert_eq!(fixed(f64::INFINITY, 2), "inf");
+        assert_eq!(fixed(f64::NEG_INFINITY, 2), "-inf");
+    }
+
+    #[test]
+    fn scaled_agrees_with_rendering() {
+        for v in [0.0, 0.1234, 1.9999, 12345.678, -3.25, -0.0004, 2.5e8] {
+            for d in 0..=4usize {
+                let rendered = fixed(v, d);
+                let scaled = fixed_scaled(v, d).unwrap();
+                // Re-render the scaled integer and compare: the pair must
+                // be two views of one quantity.
+                let sign = if scaled < 0 { "-" } else { "" };
+                let mag = scaled.unsigned_abs();
+                let rebuilt = if d == 0 {
+                    format!("{sign}{mag}")
+                } else {
+                    format!("{sign}{}.{:0d$}", mag / 10u128.pow(d as u32), mag % 10u128.pow(d as u32))
+                };
+                assert_eq!(rendered, rebuilt, "v={v} d={d}");
+            }
+        }
+        assert_eq!(fixed_scaled(f64::NAN, 2), None);
+    }
+
+    #[test]
+    fn edp_unit_is_microjoule_cycles() {
+        // 1e6 pJ (1 µJ) over 1000 cycles = 1000 µJ·cycles.
+        assert_eq!(edp_uj_cycles(1e6, 1000), 1000.0);
+        assert_eq!(edp_uj_cycles(0.0, 5), 0.0);
+    }
+}

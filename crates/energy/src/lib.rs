@@ -29,6 +29,10 @@
 
 use std::fmt;
 
+pub mod fixed;
+
+pub use fixed::{edp_uj_cycles, fixed, fixed_scaled};
+
 /// Microarchitectural event counters accumulated by the timing core.
 ///
 /// All counters include wrong-path activity unless stated otherwise.
@@ -199,10 +203,17 @@ pub struct EnergyBreakdown {
 
 impl fmt::Display for EnergyBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "total: {:.1} nJ", self.total_pj / 1000.0)?;
+        // All floats route through the fixed-precision formatter so the
+        // rendering stays byte-exact across hosts (fixture contract).
+        writeln!(f, "total: {} nJ", fixed(self.total_pj / 1000.0, 1))?;
         for (name, pj) in &self.components {
             if *pj > 0.0 {
-                writeln!(f, "  {name:12} {:10.1} nJ ({:4.1}%)", pj / 1000.0, 100.0 * pj / self.total_pj)?;
+                writeln!(
+                    f,
+                    "  {name:12} {:>10} nJ ({:>4}%)",
+                    fixed(pj / 1000.0, 1),
+                    fixed(100.0 * pj / self.total_pj, 1)
+                )?;
             }
         }
         Ok(())

@@ -118,6 +118,18 @@ pub struct DiskCache {
     io_faults: Option<IoFaultShim>,
 }
 
+/// Summary of one live cache entry, produced by [`DiskCache::scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntryInfo {
+    /// The entry's fingerprint (its file stem), 32 hex digits.
+    pub fingerprint: String,
+    /// The job kind recorded in the entry (`"sim"`, `"lint"`, ...), or
+    /// `"?"` if the entry is unreadable/unparseable.
+    pub kind: String,
+    /// On-disk size of the entry in bytes.
+    pub bytes: u64,
+}
+
 /// Digest over the entry bytes that precede the `,"check":` suffix.
 fn entry_digest(core: &str) -> Fingerprint {
     let mut h = Hasher::new();
@@ -270,6 +282,70 @@ impl DiskCache {
         }
         Ok(())
     }
+
+    /// Enumerates the live entries (`<dir>/<32 hex>.json`), sorted by
+    /// fingerprint so the listing is deterministic. Each entry's recorded
+    /// `kind` is read back for per-kind accounting; unreadable entries
+    /// report kind `"?"` rather than failing the scan. Non-entry files
+    /// (temp files, the journal and quarantine subdirectories) are
+    /// skipped.
+    pub fn scan(&self) -> Vec<CacheEntryInfo> {
+        let mut out = Vec::new();
+        let Ok(rd) = fs::read_dir(&self.dir) else { return out };
+        for de in rd.flatten() {
+            let path = de.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
+            let is_entry = path.extension().and_then(|e| e.to_str()) == Some("json")
+                && stem.len() == 32
+                && stem.chars().all(|c| c.is_ascii_hexdigit());
+            if !is_entry || !path.is_file() {
+                continue;
+            }
+            let bytes = de.metadata().map(|m| m.len()).unwrap_or(0);
+            let kind = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+                .and_then(|v| v.get("kind").and_then(Json::as_str).map(str::to_string))
+                .unwrap_or_else(|| "?".to_string());
+            out.push(CacheEntryInfo { fingerprint: stem.to_string(), kind, bytes });
+        }
+        out.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        out
+    }
+
+    /// Counts quarantined entries: `(files, total bytes)`.
+    pub fn quarantine_usage(&self) -> (u64, u64) {
+        let (mut files, mut bytes) = (0u64, 0u64);
+        if let Ok(rd) = fs::read_dir(self.quarantine_dir()) {
+            for de in rd.flatten() {
+                if de.path().is_file() {
+                    files += 1;
+                    bytes += de.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        (files, bytes)
+    }
+
+    /// Deletes every quarantined entry (they exist only for post-mortem
+    /// inspection; the live slots they came from have already re-executed
+    /// and healed). Returns `(files removed, bytes freed)`.
+    pub fn gc_quarantine(&self) -> (u64, u64) {
+        let (mut files, mut bytes) = (0u64, 0u64);
+        if let Ok(rd) = fs::read_dir(self.quarantine_dir()) {
+            for de in rd.flatten() {
+                let path = de.path();
+                if path.is_file() {
+                    let len = de.metadata().map(|m| m.len()).unwrap_or(0);
+                    if fs::remove_file(&path).is_ok() {
+                        files += 1;
+                        bytes += len;
+                    }
+                }
+            }
+        }
+        (files, bytes)
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +481,35 @@ mod tests {
         assert!(cache.is_degraded());
         // Subsequent stores are silent no-ops.
         cache.store("sim", fp, "j", "{}").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_lists_live_entries_and_gc_clears_quarantine() {
+        let dir = temp_dir("scan");
+        let cache = DiskCache::new(&dir);
+        cache.store("sim", Fingerprint(1, 2), "a", r#"{"v":1}"#).unwrap();
+        cache.store("lint", Fingerprint(3, 4), "b", r#"{"v":2}"#).unwrap();
+        // A corrupt entry lands in quarantine, not the live listing.
+        let bad = Fingerprint(5, 6);
+        fs::write(dir.join(format!("{}.json", bad.hex())), "not json").unwrap();
+        assert!(matches!(cache.load_checked("sim", bad), CacheLoad::Corrupt(_)));
+
+        let entries = cache.scan();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.windows(2).all(|w| w[0].fingerprint < w[1].fingerprint), "scan is sorted");
+        let kinds: Vec<&str> = entries.iter().map(|e| e.kind.as_str()).collect();
+        assert!(kinds.contains(&"sim") && kinds.contains(&"lint"));
+        assert!(entries.iter().all(|e| e.bytes > 0));
+
+        let (qfiles, qbytes) = cache.quarantine_usage();
+        assert_eq!(qfiles, 1);
+        assert!(qbytes > 0);
+        let (removed, freed) = cache.gc_quarantine();
+        assert_eq!((removed, freed), (qfiles, qbytes));
+        assert_eq!(cache.quarantine_usage(), (0, 0));
+        // Live entries survive the GC.
+        assert_eq!(cache.scan().len(), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -4,7 +4,7 @@
 
 use crate::cache::{CacheError, CacheLoad, DiskCache};
 use crate::chaos::IoFaultShim;
-use crate::fingerprint::{Fingerprint, Hasher};
+use crate::fingerprint::{campaign_fingerprint, Fingerprint};
 use crate::journal::{Journal, JournalRecord, Replay};
 use crate::json::Json;
 use crate::policy::{parse_timeout_panic, RetryPolicy};
@@ -345,12 +345,7 @@ impl Engine {
         if !self.cfg.journal {
             return (None, Replay::default());
         }
-        let mut h = Hasher::new();
-        for fp in fps {
-            h.update(&fp.0.to_le_bytes());
-            h.update(&fp.1.to_le_bytes());
-        }
-        let campaign = h.finish().hex();
+        let campaign = campaign_fingerprint(fps).hex();
         let path = cache.dir().join("journal").join(format!("{campaign}.wal"));
         let opened = if self.cfg.resume {
             Journal::open_resume(&path)
@@ -720,6 +715,42 @@ mod tests {
             eng.stats_line(),
             "[cfd-exec] jobs=1 submitted=1 cache_hits=0 executed=1 failed=0 deduped=0 corrupt=0 retried=0 timeout=0 quarantined=0"
         );
+    }
+
+    #[test]
+    fn stats_line_renders_every_failure_counter() {
+        let eng = Engine::serial();
+        let line = eng.stats_line();
+        for field in [
+            "corrupt=",
+            "retried=",
+            "timeout=",
+            "quarantined=",
+            "submitted=",
+            "cache_hits=",
+            "executed=",
+            "failed=",
+            "deduped=",
+        ] {
+            assert!(line.contains(field), "stats line missing {field:?}: {line}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_batches() {
+        // The daemon keeps one engine alive across many sweeps; its
+        // counters are the store-lifetime record and must accumulate, not
+        // reset, between run_all calls.
+        let eng = Engine::serial();
+        let _ = eng.run_all(&squares(&[1, 2], 7));
+        let _ = eng.run_all(&squares(&[3, 3, 13], 7));
+        let s = eng.stats();
+        assert_eq!(s.submitted, 5, "submissions sum over both batches");
+        assert_eq!(s.executed, 3, "1,2 then 3 (13 panics)");
+        assert_eq!(s.deduped, 1);
+        assert_eq!(s.failed, 1);
+        let line = eng.stats_line();
+        assert!(line.contains("submitted=5"), "line reflects the accumulated totals: {line}");
     }
 
     #[test]

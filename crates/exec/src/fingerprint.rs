@@ -94,6 +94,23 @@ impl Hasher {
     }
 }
 
+/// The campaign fingerprint: a fold over every job fingerprint in
+/// submission order.
+///
+/// This names the write-ahead journal (`<cache>/journal/<hex>.wal`) and
+/// identifies a sweep to the `cfd-serve` daemon, so a re-submitted
+/// campaign with identical inputs maps onto the same journal/sweep and a
+/// changed campaign never collides with a stale one. The fold is
+/// order-sensitive on purpose: result slots are positional.
+pub fn campaign_fingerprint(fps: &[Fingerprint]) -> Fingerprint {
+    let mut h = Hasher::new();
+    for fp in fps {
+        h.update(&fp.0.to_le_bytes());
+        h.update(&fp.1.to_le_bytes());
+    }
+    h.finish()
+}
+
 /// xxhash-style finalization: spreads low-entropy state across all bits.
 fn avalanche(mut x: u64) -> u64 {
     x ^= x >> 33;
@@ -146,5 +163,16 @@ mod tests {
     fn lanes_differ() {
         let a = fp(&[("p", b"hello world")]);
         assert_ne!(a.0, a.1);
+    }
+
+    #[test]
+    fn campaign_fingerprint_is_order_sensitive_and_stable() {
+        let a = fp(&[("k", b"a")]);
+        let b = fp(&[("k", b"b")]);
+        let ab = campaign_fingerprint(&[a, b]);
+        assert_eq!(ab, campaign_fingerprint(&[a, b]));
+        assert_ne!(ab, campaign_fingerprint(&[b, a]));
+        assert_ne!(ab, campaign_fingerprint(&[a]));
+        assert_ne!(campaign_fingerprint(&[]), campaign_fingerprint(&[a]));
     }
 }

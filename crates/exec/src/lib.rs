@@ -42,10 +42,10 @@ pub mod policy;
 mod pool;
 mod sim;
 
-pub use cache::{CacheError, CacheLoad, DiskCache, CACHE_VERSION};
+pub use cache::{CacheEntryInfo, CacheError, CacheLoad, DiskCache, CACHE_VERSION};
 pub use chaos::{InjectedIoFault, IoFaultKind, IoFaultShim};
 pub use engine::{CampaignJob, Engine, ExecConfig, ExecStats, JobError};
-pub use fingerprint::{Fingerprint, Hasher};
+pub use fingerprint::{campaign_fingerprint, Fingerprint, Hasher};
 pub use journal::{Journal, JournalRecord, Replay};
 pub use json::Json;
 pub use policy::RetryPolicy;

@@ -1,0 +1,127 @@
+//! `cfd-serve` — campaign daemon CLI.
+//!
+//! ```text
+//! cfd-serve daemon   --socket S --store DIR [--jobs N] [--quiet]
+//! cfd-serve submit   --socket S [--preset default|tiny] [--out FILE]
+//! cfd-serve status   --socket S --sweep ID
+//! cfd-serve stats    --socket S
+//! cfd-serve gc       --socket S
+//! cfd-serve shutdown --socket S
+//! ```
+//!
+//! `daemon` runs in the foreground until a client sends `shutdown`.
+//! `submit` blocks until the sweep finishes, prints the report to stdout
+//! (or `--out FILE`), and prints the one-line outcome summary to stderr.
+
+#[cfg(unix)]
+fn main() {
+    if let Err(e) = unix::run(std::env::args().skip(1).collect()) {
+        eprintln!("cfd-serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("cfd-serve: the daemon requires Unix-domain sockets and is unavailable on this platform");
+    std::process::exit(1);
+}
+
+#[cfg(unix)]
+mod unix {
+    use cfd_serve::{client, DaemonConfig, Request, Response, SweepConfig};
+    use std::path::PathBuf;
+
+    const USAGE: &str = "usage: cfd-serve <daemon|submit|status|stats|gc|shutdown> --socket PATH \
+                         [--store DIR] [--jobs N] [--preset NAME] [--out FILE] [--sweep ID] [--quiet]";
+
+    struct Args {
+        socket: Option<PathBuf>,
+        store: Option<PathBuf>,
+        jobs: usize,
+        preset: String,
+        out: Option<PathBuf>,
+        sweep: Option<String>,
+        quiet: bool,
+    }
+
+    fn parse(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
+        let mut args = Args {
+            socket: None,
+            store: None,
+            jobs: 1,
+            preset: "default".to_string(),
+            out: None,
+            sweep: None,
+            quiet: false,
+        };
+        while let Some(flag) = argv.next() {
+            let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--socket" => args.socket = Some(PathBuf::from(value("--socket")?)),
+                "--store" => args.store = Some(PathBuf::from(value("--store")?)),
+                "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|_| "--jobs needs a positive integer")?,
+                "--preset" => args.preset = value("--preset")?,
+                "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+                "--sweep" => args.sweep = Some(value("--sweep")?),
+                "--quiet" => args.quiet = true,
+                other => return Err(format!("unknown flag {other}\n{USAGE}")),
+            }
+        }
+        Ok(args)
+    }
+
+    pub fn run(argv: Vec<String>) -> Result<(), String> {
+        let mut argv = argv.into_iter();
+        let cmd = argv.next().ok_or(USAGE)?;
+        let args = parse(argv)?;
+        let socket = || args.socket.clone().ok_or_else(|| format!("{cmd} needs --socket\n{USAGE}"));
+        match cmd.as_str() {
+            "daemon" => {
+                let store = args.store.clone().ok_or_else(|| format!("daemon needs --store\n{USAGE}"))?;
+                cfd_serve::serve(DaemonConfig { socket: socket()?, store, jobs: args.jobs, quiet: args.quiet })
+            }
+            "submit" => {
+                let config = SweepConfig::preset(&args.preset)
+                    .ok_or_else(|| format!("unknown preset {:?} (have: default, tiny)", args.preset))?;
+                let outcome = client::submit_and_wait(&socket()?, &config)?;
+                eprintln!("{}", cfd_serve::outcome_line(&outcome));
+                match &args.out {
+                    Some(path) => std::fs::write(path, &outcome.report)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+                    None => print!("{}", outcome.report),
+                }
+                Ok(())
+            }
+            "status" => {
+                let sweep_id = args.sweep.clone().ok_or_else(|| format!("status needs --sweep\n{USAGE}"))?;
+                match client::request(&socket()?, &Request::Status { sweep_id })? {
+                    Response::Status { sweep_id, state, points } => {
+                        println!("sweep={sweep_id} state={state} points={points}");
+                        Ok(())
+                    }
+                    Response::Error { error } => Err(error),
+                    other => Err(format!("unexpected response: {other:?}")),
+                }
+            }
+            "stats" => match client::request(&socket()?, &Request::StoreStats)? {
+                Response::StoreStats { text } => {
+                    print!("{text}");
+                    Ok(())
+                }
+                Response::Error { error } => Err(error),
+                other => Err(format!("unexpected response: {other:?}")),
+            },
+            "gc" => match client::request(&socket()?, &Request::Gc)? {
+                Response::Gc { removed, freed } => {
+                    println!("gc: removed={removed} freed_bytes={freed}");
+                    Ok(())
+                }
+                Response::Error { error } => Err(error),
+                other => Err(format!("unexpected response: {other:?}")),
+            },
+            "shutdown" => client::shutdown(&socket()?),
+            other => Err(format!("unknown command {other}\n{USAGE}")),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Client side of the daemon protocol: connect, frame, parse.
+//!
+//! Each call opens a fresh connection — requests are cheap, the daemon
+//! handles any number of concurrent connections, and stateless calls
+//! keep retry semantics trivial (a poll that dies mid-frame is simply
+//! reissued).
+
+use crate::proto::{read_frame, write_frame, Request, Response, SweepCounters};
+use crate::sweep::SweepConfig;
+use cfd_exec::Json;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Poll interval while waiting on a sweep.
+const POLL: Duration = Duration::from_millis(15);
+
+/// Sends one request and returns the daemon's response.
+pub fn request(socket: &Path, req: &Request) -> Result<Response, String> {
+    let mut stream = UnixStream::connect(socket).map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+    write_frame(&mut stream, &req.to_json()).map_err(|e| format!("send failed: {e}"))?;
+    let frame = read_frame(&mut stream)
+        .map_err(|e| format!("receive failed: {e}"))?
+        .ok_or_else(|| "daemon closed the connection without replying".to_string())?;
+    let parsed = Json::parse(&frame).map_err(|e| format!("unparseable response: {e}"))?;
+    Response::from_json(&parsed).ok_or_else(|| format!("malformed response: {frame}"))
+}
+
+/// A completed sweep as seen by a client.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The sweep's identity.
+    pub sweep_id: String,
+    /// The rendered DSE report.
+    pub report: String,
+    /// Execution counters for the sweep's batch.
+    pub counters: SweepCounters,
+}
+
+/// Submits `config` and blocks until the sweep finishes, returning its
+/// report. Failure states (daemon-side sweep failure, protocol errors)
+/// surface as `Err`.
+pub fn submit_and_wait(socket: &Path, config: &SweepConfig) -> Result<SweepOutcome, String> {
+    let sweep_id = match request(socket, &Request::SubmitSweep(config.clone()))? {
+        Response::Submitted { sweep_id, .. } => sweep_id,
+        Response::Error { error } => return Err(error),
+        other => return Err(format!("unexpected response to submit: {other:?}")),
+    };
+    loop {
+        match request(socket, &Request::Status { sweep_id: sweep_id.clone() })? {
+            Response::Status { state, .. } if state == "queued" || state == "running" => {
+                std::thread::sleep(POLL);
+            }
+            Response::Status { .. } => break,
+            Response::Error { error } => return Err(error),
+            other => return Err(format!("unexpected response to status: {other:?}")),
+        }
+    }
+    match request(socket, &Request::Results { sweep_id: sweep_id.clone() })? {
+        Response::Results { report, counters, .. } => Ok(SweepOutcome { sweep_id, report, counters }),
+        Response::Error { error } => Err(error),
+        other => Err(format!("unexpected response to results: {other:?}")),
+    }
+}
+
+/// Asks the daemon to shut down. `Ok` means the daemon acknowledged.
+pub fn shutdown(socket: &Path) -> Result<(), String> {
+    match request(socket, &Request::Shutdown)? {
+        Response::ShuttingDown => Ok(()),
+        other => Err(format!("unexpected response to shutdown: {other:?}")),
+    }
+}
+
+/// The one-line summary drivers print after a sweep.
+pub fn outcome_line(o: &SweepOutcome) -> String {
+    format!(
+        "[cfd-serve] sweep={} state=done points={} executed={} cache_hits={} failed={}",
+        o.sweep_id, o.counters.points, o.counters.executed, o.counters.cache_hits, o.counters.failed
+    )
+}

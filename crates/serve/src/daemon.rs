@@ -1,0 +1,304 @@
+//! The campaign daemon: a Unix-domain-socket server multiplexing any
+//! number of clients onto one `cfd-exec` engine over one artifact store.
+//!
+//! Architecture (one process, three thread roles):
+//!
+//! * the **accept loop** (caller's thread) owns a nonblocking
+//!   `UnixListener`, spawning one handler thread per connection and
+//!   polling a shutdown flag between accepts;
+//! * **connection handlers** speak the frame protocol ([`crate::proto`]),
+//!   translating requests into operations on the shared sweep table —
+//!   they never execute jobs, so a slow sweep cannot stall `status`
+//!   polls or store queries from other clients;
+//! * the **executor thread** drains the sweep queue serially on a single
+//!   engine configured with `resume: true` and the store root as its
+//!   cache directory. Serial execution is what keeps every sweep's
+//!   report byte-identical to a standalone serial run — the engine's
+//!   determinism contract is per-batch.
+//!
+//! Crash safety is inherited rather than reinvented: every batch runs
+//! journaled (`<store>/journal/<campaign>.wal`) with results made
+//! durable in the store *inside the workers*, so a SIGKILL'd daemon
+//! loses at most in-flight simulations. Restarting it on the same store
+//! and resubmitting the same sweep replays finished jobs from the store
+//! byte-identically — the resumed sweep reports `executed=0` when
+//! everything had completed.
+
+use crate::dse::run_sweep;
+use crate::proto::{read_frame, write_frame, Request, Response, SweepCounters};
+use crate::store::ArtifactStore;
+use crate::sweep::SweepConfig;
+use cfd_exec::{Engine, ExecConfig};
+use std::collections::{BTreeMap, VecDeque};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix-domain socket path to listen on (created; a stale file from
+    /// a dead daemon is replaced).
+    pub socket: PathBuf,
+    /// Artifact-store root (created/validated via [`ArtifactStore`]).
+    pub store: PathBuf,
+    /// Worker threads for the executor's engine.
+    pub jobs: usize,
+    /// Suppress the per-sweep stderr stats lines.
+    pub quiet: bool,
+}
+
+/// A sweep's lifecycle in the daemon.
+enum SweepState {
+    Queued,
+    Running,
+    Done { report: String, counters: SweepCounters },
+    Failed { error: String },
+}
+
+impl SweepState {
+    fn word(&self) -> &'static str {
+        match self {
+            SweepState::Queued => "queued",
+            SweepState::Running => "running",
+            SweepState::Done { .. } => "done",
+            SweepState::Failed { .. } => "failed",
+        }
+    }
+}
+
+struct SweepEntry {
+    config: SweepConfig,
+    points: u64,
+    state: SweepState,
+}
+
+/// State shared between the accept loop, handlers, and the executor.
+struct Shared {
+    sweeps: Mutex<BTreeMap<String, SweepEntry>>,
+    queue: Mutex<VecDeque<String>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    store: ArtifactStore,
+    quiet: bool,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the executor so it can observe the flag.
+        let _q = self.queue.lock().expect("queue lock poisoned");
+        self.wake.notify_all();
+    }
+}
+
+/// Runs the daemon until a client sends `shutdown`. Returns after the
+/// executor drained its current sweep, all handler threads exited, and
+/// the socket file was removed.
+pub fn serve(cfg: DaemonConfig) -> Result<(), String> {
+    let store = ArtifactStore::open(&cfg.store)?;
+    let shared = Arc::new(Shared {
+        sweeps: Mutex::new(BTreeMap::new()),
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        store,
+        quiet: cfg.quiet,
+    });
+
+    // A stale socket file (dead daemon, SIGKILL) would make bind fail;
+    // connect distinguishes stale from live so two daemons never share.
+    if cfg.socket.exists() {
+        if UnixStream::connect(&cfg.socket).is_ok() {
+            return Err(format!("a daemon is already listening on {}", cfg.socket.display()));
+        }
+        let _ = std::fs::remove_file(&cfg.socket);
+    }
+    let listener = UnixListener::bind(&cfg.socket).map_err(|e| format!("cannot bind {}: {e}", cfg.socket.display()))?;
+    listener.set_nonblocking(true).map_err(|e| format!("cannot set nonblocking: {e}"))?;
+    if !cfg.quiet {
+        eprintln!("[cfd-serve] listening on {} store={} jobs={}", cfg.socket.display(), cfg.store.display(), cfg.jobs);
+    }
+
+    let executor = {
+        let shared = Arc::clone(&shared);
+        let exec_cfg = ExecConfig {
+            jobs: cfg.jobs.max(1),
+            use_cache: true,
+            cache_dir: cfg.store.clone(),
+            resume: true,
+            journal: true,
+            ..ExecConfig::default()
+        };
+        std::thread::spawn(move || executor_loop(&shared, &Engine::new(exec_cfg)))
+    };
+
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || handle_connection(&shared, stream)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                shared.request_shutdown();
+                let _ = e;
+            }
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+
+    for h in handlers {
+        let _ = h.join();
+    }
+    let _ = executor.join();
+    let _ = std::fs::remove_file(&cfg.socket);
+    Ok(())
+}
+
+/// The executor: pops sweep ids and runs them serially on one engine.
+fn executor_loop(shared: &Shared, engine: &Engine) {
+    loop {
+        let id = {
+            let mut q = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(id) = q.pop_front() {
+                    break id;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.wake.wait(q).expect("queue lock poisoned");
+            }
+        };
+        let config = {
+            let mut sweeps = shared.sweeps.lock().expect("sweep table poisoned");
+            let Some(entry) = sweeps.get_mut(&id) else { continue };
+            entry.state = SweepState::Running;
+            entry.config.clone()
+        };
+        let before = engine.stats();
+        let outcome = run_sweep(engine, &config);
+        let after = engine.stats();
+        let mut sweeps = shared.sweeps.lock().expect("sweep table poisoned");
+        let Some(entry) = sweeps.get_mut(&id) else { continue };
+        entry.state = match outcome {
+            Ok(report) => {
+                let counters = SweepCounters {
+                    points: entry.points,
+                    executed: after.executed - before.executed,
+                    cache_hits: after.cache_hits - before.cache_hits,
+                    failed: after.failed - before.failed,
+                };
+                if !shared.quiet {
+                    eprintln!(
+                        "[cfd-serve] sweep={id} state=done points={} executed={} cache_hits={} failed={}",
+                        counters.points, counters.executed, counters.cache_hits, counters.failed
+                    );
+                    eprintln!("{}", engine.stats_line());
+                }
+                SweepState::Done { report, counters }
+            }
+            Err(error) => {
+                if !shared.quiet {
+                    eprintln!("[cfd-serve] sweep={id} state=failed error={error}");
+                }
+                SweepState::Failed { error }
+            }
+        };
+        drop(sweeps);
+        // Keep the advisory index fresh for operators tailing the store.
+        let _ = shared.store.write_index();
+    }
+}
+
+/// One connection: frames in, frames out, until EOF or shutdown.
+fn handle_connection(shared: &Shared, stream: UnixStream) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        let (response, shutdown) = dispatch(shared, &frame);
+        if write_frame(&mut writer, &response.to_json()).is_err() {
+            return;
+        }
+        if shutdown {
+            shared.request_shutdown();
+            return;
+        }
+    }
+}
+
+/// Parses one frame and serves it. Returns the response and whether the
+/// daemon should shut down after sending it.
+fn dispatch(shared: &Shared, frame: &str) -> (Response, bool) {
+    let parsed = match cfd_exec::Json::parse(frame) {
+        Ok(v) => v,
+        Err(e) => return (Response::Error { error: format!("unparseable frame: {e}") }, false),
+    };
+    let Some(request) = Request::from_json(&parsed) else {
+        return (Response::Error { error: "unknown request".to_string() }, false);
+    };
+    match request {
+        Request::SubmitSweep(config) => (submit(shared, config), false),
+        Request::Status { sweep_id } => {
+            let sweeps = shared.sweeps.lock().expect("sweep table poisoned");
+            match sweeps.get(&sweep_id) {
+                Some(e) => (Response::Status { sweep_id, state: e.state.word().to_string(), points: e.points }, false),
+                None => (Response::Error { error: format!("unknown sweep {sweep_id}") }, false),
+            }
+        }
+        Request::Results { sweep_id } => {
+            let sweeps = shared.sweeps.lock().expect("sweep table poisoned");
+            match sweeps.get(&sweep_id) {
+                Some(SweepEntry { state: SweepState::Done { report, counters }, .. }) => {
+                    (Response::Results { sweep_id, report: report.clone(), counters: *counters }, false)
+                }
+                Some(SweepEntry { state: SweepState::Failed { error }, .. }) => {
+                    (Response::Error { error: error.clone() }, false)
+                }
+                Some(e) => (Response::Error { error: format!("sweep {sweep_id} is {}", e.state.word()) }, false),
+                None => (Response::Error { error: format!("unknown sweep {sweep_id}") }, false),
+            }
+        }
+        Request::StoreStats => (Response::StoreStats { text: shared.store.stats().render() }, false),
+        Request::Gc => {
+            let (removed, freed) = shared.store.gc_quarantine();
+            (Response::Gc { removed, freed }, false)
+        }
+        Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}
+
+/// Validates, identifies, and queues a sweep. Submissions are
+/// idempotent: the sweep id is the campaign fingerprint of the expanded
+/// job list, so two clients submitting the same grid share one entry
+/// (and one execution).
+fn submit(shared: &Shared, config: SweepConfig) -> Response {
+    let points = match config.expand() {
+        Ok(points) => points,
+        Err(e) => return Response::Error { error: e },
+    };
+    let fps: Vec<_> = points.iter().map(|p| cfd_exec::CampaignJob::fingerprint(&p.job)).collect();
+    let sweep_id = cfd_exec::campaign_fingerprint(&fps).hex();
+    let n = points.len() as u64;
+    let mut sweeps = shared.sweeps.lock().expect("sweep table poisoned");
+    if !sweeps.contains_key(&sweep_id) {
+        sweeps.insert(sweep_id.clone(), SweepEntry { config, points: n, state: SweepState::Queued });
+        let mut q = shared.queue.lock().expect("queue lock poisoned");
+        q.push_back(sweep_id.clone());
+        shared.wake.notify_all();
+    }
+    Response::Submitted { sweep_id, points: n }
+}

@@ -1,0 +1,319 @@
+//! The daemon wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one frame — a little-endian `u32` byte length
+//! followed by that many bytes of UTF-8 JSON (the minimal `cfd-exec`
+//! dialect: integers, strings, arrays, objects). Requests carry a
+//! `"req"` tag, responses an `"ok"` flag plus a `"resp"` tag; an
+//! `{"ok":false,"error":...}` frame answers anything malformed or
+//! unserviceable. One connection may carry any number of
+//! request/response pairs; the daemon answers in order.
+
+use crate::sweep::SweepConfig;
+use cfd_exec::json::write_str;
+use cfd_exec::Json;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body, to fail fast on a garbage length prefix
+/// (a misdialed client, a cat to the socket) instead of allocating it.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("frame length {len} exceeds {MAX_FRAME}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    Ok(Some(text))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Queue (or re-identify) a sweep.
+    SubmitSweep(SweepConfig),
+    /// Poll a sweep's state.
+    Status {
+        /// The sweep to poll.
+        sweep_id: String,
+    },
+    /// Fetch a finished sweep's report.
+    Results {
+        /// The sweep to fetch.
+        sweep_id: String,
+    },
+    /// Scan the artifact store and return its usage summary.
+    StoreStats,
+    /// Delete quarantined store entries.
+    Gc,
+    /// Stop the daemon after draining queued sweeps' current job batch.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes as one JSON document.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::SubmitSweep(cfg) => {
+                format!("{{\"req\":\"submit_sweep\",\"sweep\":{}}}", cfg.to_json())
+            }
+            Request::Status { sweep_id } => tagged_id("status", sweep_id),
+            Request::Results { sweep_id } => tagged_id("results", sweep_id),
+            Request::StoreStats => "{\"req\":\"store_stats\"}".to_string(),
+            Request::Gc => "{\"req\":\"gc\"}".to_string(),
+            Request::Shutdown => "{\"req\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Rebuilds a request from a parsed frame.
+    pub fn from_json(v: &Json) -> Option<Request> {
+        let id = |v: &Json| v.get("sweep_id").and_then(Json::as_str).map(str::to_string);
+        Some(match v.get("req")?.as_str()? {
+            "submit_sweep" => Request::SubmitSweep(SweepConfig::from_json(v.get("sweep")?)?),
+            "status" => Request::Status { sweep_id: id(v)? },
+            "results" => Request::Results { sweep_id: id(v)? },
+            "store_stats" => Request::StoreStats,
+            "gc" => Request::Gc,
+            "shutdown" => Request::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+fn tagged_id(req: &str, sweep_id: &str) -> String {
+    let mut s = format!("{{\"req\":\"{req}\",\"sweep_id\":");
+    write_str(&mut s, sweep_id);
+    s.push('}');
+    s
+}
+
+/// Per-sweep execution counters, the engine-stats delta attributed to
+/// one sweep's batch. A warm resubmission reports `executed=0`: every
+/// point came back from the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepCounters {
+    /// Grid points in the sweep.
+    pub points: u64,
+    /// Points simulated this run.
+    pub executed: u64,
+    /// Points served from the artifact store.
+    pub cache_hits: u64,
+    /// Points that failed.
+    pub failed: u64,
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request could not be served.
+    Error {
+        /// What went wrong.
+        error: String,
+    },
+    /// A sweep was queued (or was already known under this id).
+    Submitted {
+        /// The sweep's identity (campaign fingerprint hex).
+        sweep_id: String,
+        /// Expanded grid points.
+        points: u64,
+    },
+    /// A sweep's current state: `"queued"`, `"running"`, `"done"`, or
+    /// `"failed"`.
+    Status {
+        /// The polled sweep.
+        sweep_id: String,
+        /// State word.
+        state: String,
+        /// Expanded grid points.
+        points: u64,
+    },
+    /// A finished sweep's rendered report plus its execution counters.
+    Results {
+        /// The fetched sweep.
+        sweep_id: String,
+        /// The full rendered DSE report.
+        report: String,
+        /// Execution counters for this sweep's batch.
+        counters: SweepCounters,
+    },
+    /// Store usage summary (rendered [`StoreStats`](crate::StoreStats)).
+    StoreStats {
+        /// The rendered stats text.
+        text: String,
+    },
+    /// Quarantine GC outcome.
+    Gc {
+        /// Files removed.
+        removed: u64,
+        /// Bytes freed.
+        freed: u64,
+    },
+    /// Shutdown acknowledged; the daemon exits after this frame.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Serializes as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        match self {
+            Response::Error { error } => {
+                s.push_str("{\"ok\":false,\"error\":");
+                write_str(&mut s, error);
+                s.push('}');
+            }
+            Response::Submitted { sweep_id, points } => {
+                s.push_str("{\"ok\":true,\"resp\":\"submitted\",\"sweep_id\":");
+                write_str(&mut s, sweep_id);
+                let _ = write!(s, ",\"points\":{points}}}");
+            }
+            Response::Status { sweep_id, state, points } => {
+                s.push_str("{\"ok\":true,\"resp\":\"status\",\"sweep_id\":");
+                write_str(&mut s, sweep_id);
+                s.push_str(",\"state\":");
+                write_str(&mut s, state);
+                let _ = write!(s, ",\"points\":{points}}}");
+            }
+            Response::Results { sweep_id, report, counters } => {
+                s.push_str("{\"ok\":true,\"resp\":\"results\",\"sweep_id\":");
+                write_str(&mut s, sweep_id);
+                let _ = write!(
+                    s,
+                    ",\"points\":{},\"executed\":{},\"cache_hits\":{},\"failed\":{},\"report\":",
+                    counters.points, counters.executed, counters.cache_hits, counters.failed
+                );
+                write_str(&mut s, report);
+                s.push('}');
+            }
+            Response::StoreStats { text } => {
+                s.push_str("{\"ok\":true,\"resp\":\"store_stats\",\"text\":");
+                write_str(&mut s, text);
+                s.push('}');
+            }
+            Response::Gc { removed, freed } => {
+                let _ = write!(s, "{{\"ok\":true,\"resp\":\"gc\",\"removed\":{removed},\"freed\":{freed}}}");
+            }
+            Response::ShuttingDown => s.push_str("{\"ok\":true,\"resp\":\"shutting_down\"}"),
+        }
+        s
+    }
+
+    /// Rebuilds a response from a parsed frame.
+    pub fn from_json(v: &Json) -> Option<Response> {
+        if v.get("ok")?.as_bool()? {
+            let id = |v: &Json| v.get("sweep_id").and_then(Json::as_str).map(str::to_string);
+            Some(match v.get("resp")?.as_str()? {
+                "submitted" => Response::Submitted { sweep_id: id(v)?, points: v.get("points")?.as_u64()? },
+                "status" => Response::Status {
+                    sweep_id: id(v)?,
+                    state: v.get("state")?.as_str()?.to_string(),
+                    points: v.get("points")?.as_u64()?,
+                },
+                "results" => Response::Results {
+                    sweep_id: id(v)?,
+                    report: v.get("report")?.as_str()?.to_string(),
+                    counters: SweepCounters {
+                        points: v.get("points")?.as_u64()?,
+                        executed: v.get("executed")?.as_u64()?,
+                        cache_hits: v.get("cache_hits")?.as_u64()?,
+                        failed: v.get("failed")?.as_u64()?,
+                    },
+                },
+                "store_stats" => Response::StoreStats { text: v.get("text")?.as_str()?.to_string() },
+                "gc" => Response::Gc { removed: v.get("removed")?.as_u64()?, freed: v.get("freed")?.as_u64()? },
+                "shutting_down" => Response::ShuttingDown,
+                _ => return None,
+            })
+        } else {
+            Some(Response::Error { error: v.get("error")?.as_str()?.to_string() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        let json = r.to_json();
+        assert_eq!(Request::from_json(&Json::parse(&json).unwrap()), Some(r));
+    }
+
+    fn roundtrip_resp(r: Response) {
+        let json = r.to_json();
+        assert_eq!(Response::from_json(&Json::parse(&json).unwrap()), Some(r));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::SubmitSweep(SweepConfig::preset_tiny()));
+        roundtrip_req(Request::Status { sweep_id: "abc123".to_string() });
+        roundtrip_req(Request::Results { sweep_id: "abc123".to_string() });
+        roundtrip_req(Request::StoreStats);
+        roundtrip_req(Request::Gc);
+        roundtrip_req(Request::Shutdown);
+        assert_eq!(Request::from_json(&Json::parse("{\"req\":\"nope\"}").unwrap()), None);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Error { error: "bad \"frame\"\n".to_string() });
+        roundtrip_resp(Response::Submitted { sweep_id: "id".to_string(), points: 216 });
+        roundtrip_resp(Response::Status { sweep_id: "id".to_string(), state: "running".to_string(), points: 8 });
+        roundtrip_resp(Response::Results {
+            sweep_id: "id".to_string(),
+            report: "line one\nline two\n".to_string(),
+            counters: SweepCounters { points: 8, executed: 8, cache_hits: 0, failed: 0 },
+        });
+        roundtrip_resp(Response::StoreStats { text: "[store] entries=3\n".to_string() });
+        roundtrip_resp(Response::Gc { removed: 2, freed: 512 });
+        roundtrip_resp(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"req\":\"gc\"}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"req\":\"gc\"}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::from(u32::MAX.to_le_bytes());
+        buf.extend_from_slice(b"x");
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"req\":\"gc\"}").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+}

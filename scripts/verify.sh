@@ -32,7 +32,8 @@ out=$(mktemp); out2=$(mktemp)
 obs=$(mktemp -d)
 crash=$(mktemp -d); resumed=$(mktemp)
 sep=$(mktemp)
-trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2" "$obs" "$crash" "$resumed" "$sep"' EXIT
+serve=$(mktemp -d)
+trap 'rm -rf "$cache" "$lint_par" "$lint_ser" "$stats" "$out" "$out2" "$obs" "$crash" "$resumed" "$sep" "$serve"' EXIT
 
 echo "== observe determinism: two telemetry runs must be byte-identical"
 cargo run -q --release --offline -p cfd-bench --bin experiments -- \
@@ -91,6 +92,46 @@ echo "== chaos gate: every injected IO fault must be masked or detected"
 target/release/experiments chaos --json "$out" > /dev/null
 grep -q '"silent_divergence": 0' "$out"
 grep -q '"hang": 0' "$out"
+
+echo "== dse gate: flagship sweep must match the checked-in Pareto fixture"
+# The full 216-point grid, re-simulated and compared byte-for-byte: any
+# drift in the simulator, the energy model, the fixed-precision funnel,
+# or the frontier algorithm shows up here.
+target/release/experiments dse --preset default --jobs 4 --no-cache --quiet --out "$out"
+cmp "$out" crates/bench/tests/fixtures/dse_default.txt
+
+echo "== daemon gate: concurrent clients, serial equality, SIGKILL resume"
+# Serial, cache-less, in-process reference run first.
+target/release/experiments dse --preset tiny --jobs 1 --no-cache --quiet --out "$serve/serial.txt"
+target/release/cfd-serve daemon --socket "$serve/sock" --store "$serve/store" --jobs 2 --quiet &
+daemon=$!
+for _ in $(seq 1 500); do [[ -S "$serve/sock" ]] && break; sleep 0.01; done
+# Two concurrent clients must fold onto one sweep and both must receive
+# bytes identical to the serial reference.
+target/release/cfd-serve submit --socket "$serve/sock" --preset tiny --out "$serve/c1.txt" 2> /dev/null &
+client=$!
+target/release/cfd-serve submit --socket "$serve/sock" --preset tiny --out "$serve/c2.txt" 2> /dev/null
+wait "$client"
+cmp "$serve/c1.txt" "$serve/c2.txt"
+cmp "$serve/c1.txt" "$serve/serial.txt"
+# SIGKILL the daemon (no clean handover — the stale socket stays behind),
+# restart it on the same store: the resubmitted sweep must replay entirely
+# from the artifact store, byte-identically, with zero re-executed jobs.
+kill -9 "$daemon" 2> /dev/null || true
+wait "$daemon" 2> /dev/null || true
+target/release/cfd-serve daemon --socket "$serve/sock" --store "$serve/store" --jobs 2 --quiet &
+daemon=$!
+for _ in $(seq 1 500); do target/release/cfd-serve stats --socket "$serve/sock" > /dev/null 2>&1 && break; sleep 0.01; done
+target/release/cfd-serve submit --socket "$serve/sock" --preset tiny --out "$serve/c3.txt" 2> "$serve/outcome.txt"
+grep -q 'executed=0' "$serve/outcome.txt"
+cmp "$serve/c3.txt" "$serve/serial.txt"
+target/release/cfd-serve shutdown --socket "$serve/sock"
+wait "$daemon"
+
+echo "== simperf: throughput snapshot to artifacts/, soft KIPS floor on stderr"
+# Timings are host-dependent: the floor warns, it never fails the build.
+target/release/experiments simperf --min-kips 50 > /dev/null
+test -s artifacts/BENCH_simperf.json
 
 if [[ "$QUICK" == "0" ]]; then
     echo "== golden equivalence: full experiments transcript vs checked-in fixture"

@@ -80,8 +80,15 @@
 //!
 //! Simperf options:
 //!   --scale N       workload outer trip count (default catalog scale)
-//!   --json PATH     timing-table destination ("-" = stdout;
-//!                   default artifacts/BENCH_simperf.json)
+//!   --json PATH     timing-record destination ("-" = stdout;
+//!                   default artifacts/BENCH_simperf.json). Each run
+//!                   produces one timestamped JSON record; the default
+//!                   overwrites the file with the latest record
+//!   --append        append the record instead of overwriting, turning
+//!                   the artifact into a JSONL throughput trajectory
+//!   --profile       run the catalog through the stage self-profiler
+//!                   and print per-stage wall-time shares (sum to
+//!                   exactly 100.00%) plus scheduler-efficiency counters
 //!   --min-kips N    soft throughput floor: warn on stderr for every
 //!                   workload simulating slower than N KIPS (timings are
 //!                   host-dependent, so this never fails the run)
@@ -94,6 +101,12 @@
 //!                   daemon listening on Unix socket PATH instead of
 //!                   simulating in-process (the report bytes are
 //!                   identical either way)
+//!   --log FILE      attach a JSONL event-log sink to the in-process
+//!                   engine (batch lifecycle events; validate with
+//!                   `cfd-serve logcheck`). File-only: stderr stays
+//!                   byte-identical with and without it
+//!   --log-level L   event-log severity floor for --log (error|warn|
+//!                   info|debug|trace; default debug)
 //!
 //! Chaos options:
 //!   --seed N        fault-shim seed (default 0xcfdc4a05)
@@ -214,7 +227,10 @@ fn main() {
             "  {:8} telemetry-armed run of one workload (--variant V --interval N --scale N --csv P --trace-out P)",
             "observe"
         );
-        println!("  {:8} host-side simulator throughput over the catalog (--scale N --json PATH)", "simperf");
+        println!(
+            "  {:8} host-side simulator throughput over the catalog (--scale N --json PATH --profile --append)",
+            "simperf"
+        );
         println!(
             "  {:8} IO-fault chaos sweep over cache + journal durability (--seed N --scale N --json PATH)",
             "chaos"
@@ -385,6 +401,8 @@ fn run_dse(engine: &Engine, global: &Global, args: &[String]) {
     let mut preset = "default".to_string();
     let mut out_path: Option<String> = None;
     let mut serve_socket: Option<String> = None;
+    let mut log_path: Option<String> = None;
+    let mut log_level = cfd_obs::Level::Debug;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |what: &str| {
@@ -397,11 +415,29 @@ fn run_dse(engine: &Engine, global: &Global, args: &[String]) {
             "--preset" => preset = val("--preset"),
             "--out" => out_path = Some(val("--out")),
             "--serve" => serve_socket = Some(val("--serve")),
+            "--log" => log_path = Some(val("--log")),
+            "--log-level" => {
+                let v = val("--log-level");
+                log_level = cfd_obs::Level::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+            }
             other => {
                 eprintln!("unknown dse option `{other}`");
                 std::process::exit(1);
             }
         }
+    }
+    // --log attaches a file-only JSONL event sink to the engine (level
+    // --log-level, default debug). File-only on purpose: stderr and the
+    // golden transcript stay byte-identical with and without it.
+    if let Some(path) = &log_path {
+        let log = cfd_obs::EventLog::new(log_level).with_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        engine.set_log(Some(std::sync::Arc::new(log)));
     }
     let cfg = SweepConfig::preset(&preset).unwrap_or_else(|| {
         eprintln!("unknown preset `{preset}` (have: default, tiny)");
@@ -464,6 +500,8 @@ fn run_simperf(args: &[String]) {
     let mut scale = Scale::default();
     let mut json_path: Option<String> = None;
     let mut min_kips: Option<f64> = None;
+    let mut with_profile = false;
+    let mut append = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |what: &str| {
@@ -481,6 +519,8 @@ fn run_simperf(args: &[String]) {
                 }) as usize;
             }
             "--json" => json_path = Some(val("--json")),
+            "--profile" => with_profile = true,
+            "--append" => append = true,
             "--min-kips" => {
                 let v = val("--min-kips");
                 min_kips = Some(parse_u64(&v).unwrap_or_else(|| {
@@ -495,8 +535,16 @@ fn run_simperf(args: &[String]) {
         }
     }
     let t0 = Instant::now();
-    let rows = simperf::run_catalog(scale);
+    let (rows, profile) = if with_profile {
+        let (rows, p) = simperf::run_catalog_profiled(scale);
+        (rows, Some(p))
+    } else {
+        (simperf::run_catalog(scale), None)
+    };
     print!("{}", simperf::table(&rows));
+    if let Some(p) = &profile {
+        print!("{}", simperf::profile_table(p));
+    }
     if let Some(floor) = min_kips {
         for r in simperf::below_floor(&rows, floor) {
             eprintln!(
@@ -507,9 +555,11 @@ fn run_simperf(args: &[String]) {
             );
         }
     }
+    let ts = std::time::SystemTime::now().duration_since(std::time::SystemTime::UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    let record = simperf::history_record(&rows, profile.as_ref(), ts, scale.n);
     let json_path = json_path.unwrap_or_else(|| "artifacts/BENCH_simperf.json".to_string());
     if json_path == "-" {
-        println!("{}", simperf::to_json(&rows));
+        println!("{record}");
     } else {
         if let Some(dir) = std::path::Path::new(&json_path).parent() {
             if !dir.as_os_str().is_empty() {
@@ -519,11 +569,23 @@ fn run_simperf(args: &[String]) {
                 });
             }
         }
-        std::fs::write(&json_path, simperf::to_json(&rows)).unwrap_or_else(|e| {
+        let write = |path: &str| {
+            if append {
+                use std::io::Write as _;
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| writeln!(f, "{record}"))
+            } else {
+                std::fs::write(path, format!("{record}\n"))
+            }
+        };
+        write(&json_path).unwrap_or_else(|e| {
             eprintln!("cannot write {json_path}: {e}");
             std::process::exit(1);
         });
-        println!("timing table written to {json_path}");
+        println!("timing record {} {json_path}", if append { "appended to" } else { "written to" });
     }
     println!("[simperf completed in {:.1}s: {} workloads]", t0.elapsed().as_secs_f64(), rows.len());
 }

@@ -252,7 +252,7 @@ pub fn to_json(rows: &[SeparabilityRow]) -> String {
 pub fn gate_ok(rows: &[SeparabilityRow]) -> bool {
     let sound = rows
         .iter()
-        .all(|r| r.contradicted == 0 && r.applied.as_ref().map_or(true, |a| a.lint_errors == 0 && a.equivalent));
+        .all(|r| r.contradicted == 0 && r.applied.as_ref().is_none_or(|a| a.lint_errors == 0 && a.equivalent));
     let upgraded = rows.iter().any(|r| {
         r.class == BranchClass::SpeculativelySeparable.to_string()
             && r.heuristic_class == BranchClass::Inseparable.to_string()

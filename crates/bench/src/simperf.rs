@@ -11,7 +11,7 @@
 //! wakeup rework): compare `kips` columns across commits on the same host.
 
 use crate::runner::CYCLE_LIMIT;
-use cfd_core::{Core, CoreConfig};
+use cfd_core::{Core, CoreConfig, StageProfile};
 use cfd_workloads::{catalog, Scale, Variant};
 use std::time::Instant;
 
@@ -63,6 +63,70 @@ pub fn run_catalog(scale: Scale) -> Vec<PerfRow> {
             }
         })
         .collect()
+}
+
+/// Like [`run_catalog`], but runs every workload through
+/// [`Core::run_profiled`] and folds the per-run stage profiles into one
+/// catalog-wide [`StageProfile`].
+///
+/// Timed separately from the plain path on purpose: the profiled loop
+/// reads `Instant` between stage groups, so its KIPS column carries
+/// that overhead — still useful for relative comparison, but the
+/// unprofiled run stays the canonical throughput number.
+pub fn run_catalog_profiled(scale: Scale) -> (Vec<PerfRow>, StageProfile) {
+    let mut merged = StageProfile::default();
+    let rows = catalog()
+        .iter()
+        .map(|entry| {
+            let variant = if entry.variants.contains(&Variant::Base) { Variant::Base } else { entry.variants[0] };
+            let wl = entry.build(variant, scale);
+            let t0 = Instant::now();
+            let (report, profile) = Core::new(CoreConfig::default(), wl.program, wl.mem)
+                .unwrap_or_else(|e| panic!("{} [{variant}]: {e}", entry.name))
+                .run_profiled(CYCLE_LIMIT)
+                .unwrap_or_else(|e| panic!("{} [{variant}]: {e}", entry.name));
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            merged.merge(&profile);
+            PerfRow {
+                name: entry.name,
+                variant,
+                retired: report.stats.retired,
+                cycles: report.stats.cycles,
+                wall_ms: secs * 1e3,
+                kips: report.stats.retired as f64 / 1e3 / secs,
+                kcps: report.stats.cycles as f64 / 1e3 / secs,
+            }
+        })
+        .collect();
+    (rows, merged)
+}
+
+/// Renders the merged stage profile: header, the per-stage share table,
+/// scheduler-efficiency context, and the exact shares-sum line the CI
+/// gate greps (`stage shares sum to 100.00%` whenever time was
+/// recorded).
+pub fn profile_table(p: &StageProfile) -> String {
+    let mut out = String::from("\n[simperf] per-stage host wall-time attribution (catalog-wide)\n");
+    out.push_str(&p.table());
+    let checks_per_kcycle = (p.sched_ready_checks * 1000).checked_div(p.cycles).unwrap_or(0);
+    out.push_str(&format!(
+        "scheduler: ready_checks={} wakeup_events={} poll_equiv={} ({} checks/kcycle)\n",
+        p.sched_ready_checks, p.sched_wakeup_events, p.sched_poll_equiv, checks_per_kcycle
+    ));
+    let bp: u64 = p.shares_bp().iter().sum();
+    out.push_str(&format!("[simperf] stage shares sum to {}.{:02}%\n", bp / 100, bp % 100));
+    out
+}
+
+/// One timestamped trajectory record (a single JSON line): the timing
+/// rows plus the merged stage profile when one was collected.
+///
+/// `experiments simperf` overwrites `BENCH_simperf.json` with one such
+/// record by default and appends under `--append`, which turns the
+/// artifact into a JSONL throughput history across commits.
+pub fn history_record(rows: &[PerfRow], profile: Option<&StageProfile>, ts_epoch_s: u64, scale_n: usize) -> String {
+    let profile_json = profile.map_or_else(|| "null".to_string(), StageProfile::to_json);
+    format!("{{\"ts\":{ts_epoch_s},\"scale\":{scale_n},\"rows\":{},\"profile\":{}}}", to_json(rows), profile_json)
 }
 
 /// Rows whose simulation speed fell below `floor` KIPS.
@@ -155,6 +219,39 @@ mod tests {
         let slow = below_floor(&rows, 2.0);
         assert_eq!(slow.len(), 1);
         assert_eq!(slow[0].name, rows[0].name);
+    }
+
+    #[test]
+    fn profiled_catalog_matches_plain_simulated_columns() {
+        let scale = Scale { n: 40, ..Scale::default() };
+        let plain = run_catalog(scale);
+        let (rows, profile) = run_catalog_profiled(scale);
+        assert_eq!(plain.len(), rows.len());
+        for (x, y) in plain.iter().zip(&rows) {
+            assert_eq!(
+                (x.name, x.retired, x.cycles),
+                (y.name, y.retired, y.cycles),
+                "profiling must not perturb simulation"
+            );
+        }
+        let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+        assert_eq!(profile.cycles, total_cycles, "merged profile covers every catalog cycle");
+        assert_eq!(profile.shares_bp().iter().sum::<u64>(), 10_000);
+        let rendered = profile_table(&profile);
+        assert!(rendered.contains("stage shares sum to 100.00%"), "{rendered}");
+        assert!(rendered.contains("scheduler"), "{rendered}");
+    }
+
+    #[test]
+    fn history_record_is_one_json_line_with_optional_profile() {
+        let rows = run_catalog(Scale { n: 40, ..Scale::default() });
+        let bare = history_record(&rows, None, 1_700_000_000, 40);
+        assert!(bare.starts_with("{\"ts\":1700000000,\"scale\":40,\"rows\":["), "{bare}");
+        assert!(bare.ends_with(",\"profile\":null}"), "{bare}");
+        assert!(!bare.contains('\n'));
+        let (rows, profile) = run_catalog_profiled(Scale { n: 40, ..Scale::default() });
+        let with = history_record(&rows, Some(&profile), 1, 40);
+        assert!(with.contains("\"profile\":{\"ns\":{\"frontend\":"), "{with}");
     }
 
     #[test]

@@ -277,73 +277,118 @@ impl Core {
     /// the end of the previous cycle.
     fn run_inner(&mut self, cycle_limit: u64) -> Result<(), CoreError> {
         let p = &mut self.p;
-        let profile = std::env::var_os("CFD_PROF").is_some();
-        let mut prof = [0u64; 5];
         let mut last_retired = (0u64, 0u64); // (cycle, count)
         while !p.halted {
-            if p.now >= cycle_limit {
-                return Err(CoreError::CycleLimit(cycle_limit));
-            }
-            if let Some(tok) = &p.cancel {
-                // Publish progress before checking: a supervisor that sees
-                // a stale heartbeat knows the loop itself stopped turning.
-                tok.note(p.now);
-                if let Some(b) = tok.budget() {
-                    if p.now >= b {
-                        return Err(CoreError::Cancelled { cycle: p.now, budget: Some(b) });
-                    }
-                }
-                if tok.is_cancelled() {
-                    return Err(CoreError::Cancelled { cycle: p.now, budget: None });
-                }
-            }
-            if p.stats.retired != last_retired.1 {
-                last_retired = (p.now, p.stats.retired);
-            } else if p.now - last_retired.0 > p.cfg.watchdog_cycles {
-                return Err(CoreError::Deadlock { cycle: p.now, state: p.dump_state() });
-            }
-            if p.cfg.post_mortem_depth > 0 {
-                p.snap_ring.push(p.cycle_snap());
-            }
+            Self::cycle_gate(p, cycle_limit, &mut last_retired)?;
             let retired_before = p.stats.retired;
-            if profile {
-                let t0 = std::time::Instant::now();
-                p.commit()?;
-                let t1 = std::time::Instant::now();
-                if p.halted {
-                    break;
-                }
-                p.complete();
-                let t2 = std::time::Instant::now();
-                p.issue();
-                let t3 = std::time::Instant::now();
-                p.dispatch();
-                let t4 = std::time::Instant::now();
-                p.fetch()?;
-                let t5 = std::time::Instant::now();
-                prof[0] += (t1 - t0).as_nanos() as u64;
-                prof[1] += (t2 - t1).as_nanos() as u64;
-                prof[2] += (t3 - t2).as_nanos() as u64;
-                prof[3] += (t4 - t3).as_nanos() as u64;
-                prof[4] += (t5 - t4).as_nanos() as u64;
-            } else {
-                p.commit()?;
-                if p.halted {
-                    break;
-                }
-                p.complete();
-                p.issue();
-                p.dispatch();
-                p.fetch()?;
+            p.commit()?;
+            if p.halted {
+                break;
             }
+            p.complete();
+            p.issue();
+            p.dispatch();
+            p.fetch()?;
             p.account_cycle(retired_before);
             p.now += 1;
         }
-        if profile {
-            eprintln!(
-                "stage ns: commit={} complete={} issue={} dispatch={} fetch={}",
-                prof[0], prof[1], prof[2], prof[3], prof[4]
-            );
+        Ok(())
+    }
+
+    /// Per-cycle guards shared by the plain and profiled step loops:
+    /// cycle budget, cooperative cancellation, the retirement watchdog,
+    /// and the post-mortem snapshot ring.
+    fn cycle_gate(p: &mut Pipeline, cycle_limit: u64, last_retired: &mut (u64, u64)) -> Result<(), CoreError> {
+        if p.now >= cycle_limit {
+            return Err(CoreError::CycleLimit(cycle_limit));
+        }
+        if let Some(tok) = &p.cancel {
+            // Publish progress before checking: a supervisor that sees
+            // a stale heartbeat knows the loop itself stopped turning.
+            tok.note(p.now);
+            if let Some(b) = tok.budget() {
+                if p.now >= b {
+                    return Err(CoreError::Cancelled { cycle: p.now, budget: Some(b) });
+                }
+            }
+            if tok.is_cancelled() {
+                return Err(CoreError::Cancelled { cycle: p.now, budget: None });
+            }
+        }
+        if p.stats.retired != last_retired.1 {
+            *last_retired = (p.now, p.stats.retired);
+        } else if p.now - last_retired.0 > p.cfg.watchdog_cycles {
+            return Err(CoreError::Deadlock { cycle: p.now, state: p.dump_state() });
+        }
+        if p.cfg.post_mortem_depth > 0 {
+            p.snap_ring.push(p.cycle_snap());
+        }
+        Ok(())
+    }
+
+    /// Like [`Core::run`], but attributes host wall time to the five
+    /// stage groups and returns the [`StageProfile`](crate::StageProfile)
+    /// next to the report. Timing is host-side observability only: the
+    /// report is byte-identical to what [`Core::run`] produces for the
+    /// same inputs. Only available with the `stage-profile` feature.
+    ///
+    /// # Errors
+    ///
+    /// The same [`CoreError`]s as [`Core::run`].
+    #[cfg(feature = "stage-profile")]
+    pub fn run_profiled(
+        mut self,
+        cycle_limit: u64,
+    ) -> Result<(RunReport, crate::stage_profile::StageProfile), CoreError> {
+        let mut profile = crate::stage_profile::StageProfile::default();
+        match self.run_inner_profiled(cycle_limit, &mut profile) {
+            Ok(()) => {
+                profile.cycles = self.p.now;
+                profile.sched_ready_checks = self.p.sched_ready_checks;
+                profile.sched_wakeup_events = self.p.sched_wakeup_events;
+                profile.sched_poll_equiv = self.p.sched_poll_equiv;
+                Ok((self.into_report(), profile))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The profiled twin of [`Core::run_inner`]: the identical stage
+    /// sequence with an `Instant` read between stage groups. The extra
+    /// reads cost host time but touch no simulated state.
+    #[cfg(feature = "stage-profile")]
+    fn run_inner_profiled(
+        &mut self,
+        cycle_limit: u64,
+        profile: &mut crate::stage_profile::StageProfile,
+    ) -> Result<(), CoreError> {
+        use crate::stage_profile::Stage;
+        use std::time::Instant;
+        let p = &mut self.p;
+        let mut last_retired = (0u64, 0u64); // (cycle, count)
+        while !p.halted {
+            Self::cycle_gate(p, cycle_limit, &mut last_retired)?;
+            let retired_before = p.stats.retired;
+            let t0 = Instant::now();
+            p.commit()?;
+            let t1 = Instant::now();
+            profile.lap(Stage::Commit, t1 - t0);
+            if p.halted {
+                break;
+            }
+            p.complete();
+            let t2 = Instant::now();
+            profile.lap(Stage::Lsq, t2 - t1);
+            p.issue();
+            let t3 = Instant::now();
+            profile.lap(Stage::Scheduler, t3 - t2);
+            p.dispatch();
+            let t4 = Instant::now();
+            profile.lap(Stage::Dispatch, t4 - t3);
+            p.fetch()?;
+            profile.lap(Stage::Frontend, t4.elapsed());
+            p.account_cycle(retired_before);
+            p.now += 1;
         }
         Ok(())
     }

@@ -57,6 +57,8 @@ mod lsq;
 mod pipeline;
 mod rename;
 mod scheduler;
+#[cfg(feature = "stage-profile")]
+pub mod stage_profile;
 mod stats;
 mod trace;
 
@@ -65,6 +67,8 @@ pub use cfd_queues::{BqSnapshot, FetchBq, FetchTq, TqSnapshot};
 pub use config::{BqMissPolicy, CheckpointPolicy, CoreConfig, PerfectMode};
 pub use fault::{FailureReport, FaultKind, FaultSite, FaultSpec, InjectionRecord};
 pub use rename::{join_taint, PhysReg, RenameState, Taint, VqRenamer, VqSnapshot};
+#[cfg(feature = "stage-profile")]
+pub use stage_profile::{Stage, StageProfile, STAGE_COUNT, STAGE_NAMES};
 pub use stats::{level_index, BranchStat, CoreStats, RunReport};
 pub use trace::{CycleSnap, PipeEvent, PipeTrace, SnapRing};
 

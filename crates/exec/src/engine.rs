@@ -10,12 +10,12 @@ use crate::json::Json;
 use crate::policy::{parse_timeout_panic, RetryPolicy};
 use crate::pool;
 use cfd_core::CancelToken;
-use cfd_obs::{ArgValue, MetricsRegistry, TraceLog};
+use cfd_obs::{ArgValue, EventLog, Level, MetricsRegistry, TraceLog};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A unit of work a campaign submits to the [`Engine`].
 ///
@@ -196,6 +196,49 @@ pub struct ExecStats {
     pub quarantined: u64,
 }
 
+/// A monotonic snapshot of one [`Engine::run_all`] batch in flight,
+/// delivered through the callback installed with
+/// [`Engine::set_progress`].
+///
+/// `done` counts jobs whose slot result is final: cache hits and
+/// ledger-quarantined skips at probe time, successes as workers finish,
+/// failures once their last retry is spent, and folded duplicates at
+/// the end (so the last snapshot always reports `done == total`).
+/// Within one batch, consecutive snapshots observed through the
+/// callback never decrease any counter — the callback is invoked under
+/// the progress lock, so observers see a strictly ordered sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchProgress {
+    /// Jobs submitted to this batch (including duplicates).
+    pub total: u64,
+    /// Jobs whose result is final.
+    pub done: u64,
+    /// Successful executions so far.
+    pub executed: u64,
+    /// Results served from the cache at probe time.
+    pub cache_hits: u64,
+    /// Jobs finally failed (panic/timeout past the last retry, or
+    /// skipped via the quarantine ledger).
+    pub failed: u64,
+    /// Current retry wave (0 = first attempts).
+    pub wave: u64,
+}
+
+/// Callback type for [`Engine::set_progress`]. Invoked from worker
+/// threads and the engine's serial sections; must not call back into
+/// the engine.
+pub type ProgressFn = dyn Fn(BatchProgress) + Send + Sync;
+
+/// Applies `f` to the shared progress snapshot and reports it while
+/// still holding the lock, so observers see monotonic snapshots.
+fn advance(progress: &Mutex<BatchProgress>, cb: &Option<Arc<ProgressFn>>, f: impl FnOnce(&mut BatchProgress)) {
+    let mut p = progress.lock().expect("progress lock poisoned");
+    f(&mut p);
+    if let Some(cb) = cb {
+        cb(*p);
+    }
+}
+
 /// How a job's slot was filled, for the trace.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum JobOutcome {
@@ -239,6 +282,8 @@ pub struct Engine {
     cfg: ExecConfig,
     cache: Option<DiskCache>,
     telemetry: Mutex<EngineTelemetry>,
+    progress: Mutex<Option<Arc<ProgressFn>>>,
+    log: Mutex<Option<Arc<EventLog>>>,
 }
 
 impl Engine {
@@ -261,7 +306,33 @@ impl Engine {
                 trace: TraceLog::enabled(),
                 clock: 0,
             }),
+            progress: Mutex::new(None),
+            log: Mutex::new(None),
         }
+    }
+
+    /// Installs (or clears) the batch progress callback. The callback is
+    /// read once at the start of each [`Engine::run_all`] batch and then
+    /// invoked from worker threads as slots finalize; see
+    /// [`BatchProgress`] for the monotonicity contract.
+    pub fn set_progress(&self, cb: Option<Arc<ProgressFn>>) {
+        *self.progress.lock().expect("progress lock poisoned") = cb;
+    }
+
+    /// Attaches (or detaches) a structured event log. The engine emits
+    /// batch-level records (`batch_start`, `cache_probe`, `retry_wave`,
+    /// `batch_done`) only from its single-threaded sections, so for a
+    /// given submission the emitted stream — modulo the wall-clock field
+    /// [`strip_wall`](cfd_obs::strip_wall) removes — is byte-identical
+    /// across worker counts.
+    pub fn set_log(&self, log: Option<Arc<EventLog>>) {
+        *self.log.lock().expect("log lock poisoned") = log;
+    }
+
+    /// The attached event log, if any (drivers reuse it for their own
+    /// records so sequence numbers stay globally ordered).
+    pub fn log(&self) -> Option<Arc<EventLog>> {
+        self.log.lock().expect("log lock poisoned").clone()
     }
 
     /// A single-threaded, cache-less engine: the reference behaviour.
@@ -382,6 +453,9 @@ impl Engine {
         let n = jobs.len();
         let policy = self.cfg.policy;
         let mut batch = ExecStats { submitted: n as u64, ..ExecStats::default() };
+        let progress_cb = self.progress.lock().expect("progress lock poisoned").clone();
+        let log = self.log.lock().expect("log lock poisoned").clone();
+        let progress = Mutex::new(BatchProgress { total: n as u64, ..BatchProgress::default() });
 
         let fps: Vec<Fingerprint> = jobs.iter().map(|j| j.fingerprint()).collect();
         let (journal, replay) = self.open_journal(&fps);
@@ -396,6 +470,16 @@ impl Engine {
                     e.insert(i);
                 }
             }
+        }
+
+        // Log events come only from the engine's serial sections, so the
+        // stream (modulo wall clock) never depends on the worker count.
+        if let Some(l) = &log {
+            l.info(
+                "cfd-exec",
+                "batch_start",
+                &[("submitted", (n as u64).into()), ("unique", (owner.len() as u64).into())],
+            );
         }
 
         let mut results: Vec<Option<Result<J::Output, JobError>>> = (0..n).map(|_| None).collect();
@@ -438,6 +522,25 @@ impl Engine {
             }
         }
 
+        if let Some(l) = &log {
+            l.event(
+                Level::Debug,
+                "cfd-exec",
+                "cache_probe",
+                &[
+                    ("hits", batch.cache_hits.into()),
+                    ("misses", (to_run.len() as u64).into()),
+                    ("corrupt", batch.corrupt.into()),
+                    ("quarantined", batch.quarantined.into()),
+                ],
+            );
+        }
+        advance(&progress, &progress_cb, |p| {
+            p.done = (owner.len() - to_run.len()) as u64;
+            p.cache_hits = batch.cache_hits;
+            p.failed = batch.quarantined;
+        });
+
         if let Some(j) = &journal {
             for &i in &to_run {
                 let _ = j.append(&JournalRecord::Submitted { index: i as u64, fp: fps[i].hex() });
@@ -460,6 +563,7 @@ impl Engine {
         let mut wave_no: u64 = 0;
         let final_failed: Vec<usize> = loop {
             let attempt = wave_no + 1;
+            let last_attempt = wave_no >= policy.max_retries;
             let outcomes = pool::run_indexed(self.cfg.jobs, wave.len(), |k| {
                 let i = wave[k];
                 if let Some(j) = &journal {
@@ -489,6 +593,10 @@ impl Engine {
                         if let Some(j) = &journal {
                             let _ = j.append(&JournalRecord::Done { index: i as u64, fp: fps[i].hex() });
                         }
+                        advance(&progress, &progress_cb, |p| {
+                            p.done += 1;
+                            p.executed += 1;
+                        });
                         Ok(out)
                     }
                     Err(msg) => {
@@ -496,6 +604,14 @@ impl Engine {
                             let class = if parse_timeout_panic(&msg).is_some() { "timeout" } else { "panic" };
                             let _ =
                                 j.append(&JournalRecord::Failed { index: i as u64, class: class.to_string(), attempt });
+                        }
+                        // A failure only finalizes the slot when no retry
+                        // wave can still rescue it.
+                        if last_attempt {
+                            advance(&progress, &progress_cb, |p| {
+                                p.done += 1;
+                                p.failed += 1;
+                            });
                         }
                         Err(msg)
                     }
@@ -543,6 +659,10 @@ impl Engine {
             failed_wave.sort_by_key(|&i| fps[i].hex());
             wave = failed_wave;
             wave_no += 1;
+            if let Some(l) = &log {
+                l.info("cfd-exec", "retry_wave", &[("wave", wave_no.into()), ("jobs", (wave.len() as u64).into())]);
+            }
+            advance(&progress, &progress_cb, |p| p.wave = wave_no);
         };
 
         for &i in &final_failed {
@@ -559,7 +679,10 @@ impl Engine {
         // A failing store disabled the cache for the rest of the run;
         // say so once, with the cause, and keep going.
         if let Some(e) = store_error.lock().expect("store-error lock poisoned").take() {
-            eprintln!("[cfd-exec] warning: result cache disabled: {e}");
+            match &log {
+                Some(l) => l.warn("cfd-exec", "cache_disabled", &[("error", format!("{e}").into())]),
+                None => eprintln!("[cfd-exec] warning: result cache disabled: {e}"),
+            }
         }
 
         // Fold duplicates onto their owner's result.
@@ -569,6 +692,29 @@ impl Engine {
                 results[i] = results[o].clone();
             }
         }
+
+        if let Some(l) = &log {
+            l.info(
+                "cfd-exec",
+                "batch_done",
+                &[
+                    ("executed", batch.executed.into()),
+                    ("cache_hits", batch.cache_hits.into()),
+                    ("failed", batch.failed.into()),
+                    ("deduped", batch.deduped.into()),
+                    ("corrupt", batch.corrupt.into()),
+                    ("retried", batch.retried.into()),
+                    ("timeout", batch.timeout.into()),
+                    ("quarantined", batch.quarantined.into()),
+                ],
+            );
+        }
+        // Final snapshot: duplicates are folded, so every slot is final.
+        advance(&progress, &progress_cb, |p| {
+            p.done = n as u64;
+            p.executed = batch.executed;
+            p.cache_hits = batch.cache_hits;
+        });
 
         // Land the batch in one locked section: counters first, then one
         // trace record per job in *submission* order on the logical
@@ -783,6 +929,55 @@ mod tests {
         assert_eq!(m1, m4, "metrics must not depend on worker count");
         assert!(t1.contains("\"name\":\"queue_wait\""));
         assert!(t1.contains("\"outcome\":\"deduped\""));
+    }
+
+    #[test]
+    fn progress_snapshots_are_monotonic_and_final_matches_stats() {
+        for jobs in [1usize, 4] {
+            let eng = Engine::new(ExecConfig { jobs, use_cache: false, ..ExecConfig::default() });
+            let seen: Arc<Mutex<Vec<BatchProgress>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&seen);
+            eng.set_progress(Some(Arc::new(move |p: BatchProgress| {
+                sink.lock().unwrap().push(p);
+            })));
+            let _ = eng.run_all(&squares(&[1, 2, 3, 3, 13, 5], 31));
+            let snaps = seen.lock().unwrap();
+            assert!(!snaps.is_empty());
+            for w in snaps.windows(2) {
+                assert!(w[1].done >= w[0].done, "done regressed: {:?} -> {:?}", w[0], w[1]);
+                assert!(w[1].executed >= w[0].executed, "executed regressed");
+                assert!(w[1].failed >= w[0].failed, "failed regressed");
+            }
+            let last = *snaps.last().unwrap();
+            let s = eng.stats();
+            assert_eq!(last.total, 6);
+            assert_eq!(last.done, last.total, "final snapshot covers every slot");
+            assert_eq!(last.executed, s.executed);
+            assert_eq!(last.cache_hits, s.cache_hits);
+            assert_eq!(last.failed, s.failed, "13 panics with no retries");
+        }
+    }
+
+    #[test]
+    fn event_log_is_byte_identical_across_worker_counts() {
+        let run = |jobs: usize| {
+            let eng = Engine::new(ExecConfig {
+                jobs,
+                use_cache: false,
+                policy: RetryPolicy { max_retries: 1, timeout_cycles: 0, quarantine_after: 0 },
+                ..ExecConfig::default()
+            });
+            let log = Arc::new(cfd_obs::EventLog::memory(cfd_obs::Level::Debug));
+            eng.set_log(Some(Arc::clone(&log)));
+            let _ = eng.run_all(&squares(&[1, 2, 3, 3, 13, 5, 6, 7], 77));
+            cfd_obs::strip_wall(&log.contents())
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four, "engine log events must come only from serial sections");
+        assert!(one.contains("\"event\":\"batch_start\""), "{one}");
+        assert!(one.contains("\"event\":\"retry_wave\""), "13 fails and retries: {one}");
+        assert!(one.contains("\"event\":\"batch_done\""), "{one}");
     }
 
     #[test]

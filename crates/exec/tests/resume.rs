@@ -7,7 +7,7 @@
 use cfd_core::CoreConfig;
 use cfd_exec::{CampaignJob, Engine, ExecConfig, Fingerprint, Hasher, JobError, Json, RetryPolicy, SimJob};
 use cfd_workloads::{by_name, Scale, Variant};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn temp_cache(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("cfd-resume-test-{tag}-{}", std::process::id()));
@@ -15,8 +15,8 @@ fn temp_cache(tag: &str) -> PathBuf {
     dir
 }
 
-fn engine(jobs: usize, dir: &PathBuf, resume: bool) -> Engine {
-    Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir.clone(), resume, ..ExecConfig::default() })
+fn engine(jobs: usize, dir: &Path, resume: bool) -> Engine {
+    Engine::new(ExecConfig { jobs, use_cache: true, cache_dir: dir.to_path_buf(), resume, ..ExecConfig::default() })
 }
 
 fn sim_jobs() -> Vec<SimJob> {

@@ -16,6 +16,9 @@
 //! * [`TimeSeries`] — interval samples of cumulative integer counters,
 //!   exported as CSV ([`TimeSeries::to_csv`]) or an ASCII occupancy/IPC
 //!   timeline ([`TimeSeries::ascii_timeline`]).
+//! * [`EventLog`] — a leveled operational event log (JSONL / stderr /
+//!   memory sinks) whose logical sequence numbers — not wall time — are
+//!   the determinism surface; see [`log`].
 //! * [`TraceLog`] — a structured span/event tracer exporting
 //!   Chrome/Perfetto trace-event JSON ([`TraceLog::to_json`]). Timestamps
 //!   are *simulated cycles* (or a logical job clock for campaign spans),
@@ -26,11 +29,13 @@
 //! an integer: serializing any artifact twice yields identical bytes.
 
 mod cpi;
+pub mod log;
 mod registry;
 mod series;
 mod trace;
 
 pub use cpi::{CpiComponent, CpiStack, CPI_COMPONENTS};
+pub use log::{strip_wall, EventLog, Level, LOG_SCHEMA_VERSION};
 pub use registry::{GaugeState, HistogramState, MetricsRegistry};
 pub use series::TimeSeries;
 pub use trace::{write_json_string, ArgValue, TraceEvent, TraceLog};

@@ -1,17 +1,25 @@
 //! `cfd-serve` — campaign daemon CLI.
 //!
 //! ```text
-//! cfd-serve daemon   --socket S --store DIR [--jobs N] [--quiet]
+//! cfd-serve daemon   --socket S --store DIR [--jobs N] [--log FILE] [--log-level L] [--quiet]
 //! cfd-serve submit   --socket S [--preset default|tiny] [--out FILE]
 //! cfd-serve status   --socket S --sweep ID
 //! cfd-serve stats    --socket S
+//! cfd-serve metrics  --socket S
+//! cfd-serve health   --socket S
 //! cfd-serve gc       --socket S
 //! cfd-serve shutdown --socket S
+//! cfd-serve logcheck --log FILE
 //! ```
 //!
-//! `daemon` runs in the foreground until a client sends `shutdown`.
+//! `daemon` runs in the foreground until a client sends `shutdown`; all
+//! its stderr goes through the structured logger (`--quiet` means
+//! exactly `--log-level error`; `--log FILE` adds a JSONL sink).
 //! `submit` blocks until the sweep finishes, prints the report to stdout
 //! (or `--out FILE`), and prints the one-line outcome summary to stderr.
+//! `logcheck` validates a JSONL event log (schema version, dense
+//! sequence numbers) and prints its wall-clock-stripped canonical form
+//! to stdout — the determinism surface verify.sh compares.
 
 #[cfg(unix)]
 fn main() {
@@ -29,11 +37,13 @@ fn main() {
 
 #[cfg(unix)]
 mod unix {
+    use cfd_obs::Level;
     use cfd_serve::{client, DaemonConfig, Request, Response, SweepConfig};
     use std::path::PathBuf;
 
-    const USAGE: &str = "usage: cfd-serve <daemon|submit|status|stats|gc|shutdown> --socket PATH \
-                         [--store DIR] [--jobs N] [--preset NAME] [--out FILE] [--sweep ID] [--quiet]";
+    const USAGE: &str = "usage: cfd-serve <daemon|submit|status|stats|metrics|health|gc|shutdown|logcheck> \
+                         --socket PATH [--store DIR] [--jobs N] [--preset NAME] [--out FILE] [--sweep ID] \
+                         [--log FILE] [--log-level error|warn|info|debug|trace] [--quiet]";
 
     struct Args {
         socket: Option<PathBuf>,
@@ -42,6 +52,8 @@ mod unix {
         preset: String,
         out: Option<PathBuf>,
         sweep: Option<String>,
+        log: Option<PathBuf>,
+        log_level: Level,
         quiet: bool,
     }
 
@@ -53,6 +65,8 @@ mod unix {
             preset: "default".to_string(),
             out: None,
             sweep: None,
+            log: None,
+            log_level: Level::Info,
             quiet: false,
         };
         while let Some(flag) = argv.next() {
@@ -64,6 +78,8 @@ mod unix {
                 "--preset" => args.preset = value("--preset")?,
                 "--out" => args.out = Some(PathBuf::from(value("--out")?)),
                 "--sweep" => args.sweep = Some(value("--sweep")?),
+                "--log" => args.log = Some(PathBuf::from(value("--log")?)),
+                "--log-level" => args.log_level = Level::parse(&value("--log-level")?)?,
                 "--quiet" => args.quiet = true,
                 other => return Err(format!("unknown flag {other}\n{USAGE}")),
             }
@@ -79,7 +95,16 @@ mod unix {
         match cmd.as_str() {
             "daemon" => {
                 let store = args.store.clone().ok_or_else(|| format!("daemon needs --store\n{USAGE}"))?;
-                cfd_serve::serve(DaemonConfig { socket: socket()?, store, jobs: args.jobs, quiet: args.quiet })
+                // --quiet is exactly log-level=error: nothing but errors
+                // reaches stderr, including the listening banner.
+                let log_level = if args.quiet { Level::Error } else { args.log_level };
+                cfd_serve::serve(DaemonConfig {
+                    socket: socket()?,
+                    store,
+                    jobs: args.jobs,
+                    log_level,
+                    log_file: args.log.clone(),
+                })
             }
             "submit" => {
                 let config = SweepConfig::preset(&args.preset)
@@ -96,8 +121,11 @@ mod unix {
             "status" => {
                 let sweep_id = args.sweep.clone().ok_or_else(|| format!("status needs --sweep\n{USAGE}"))?;
                 match client::request(&socket()?, &Request::Status { sweep_id })? {
-                    Response::Status { sweep_id, state, points } => {
-                        println!("sweep={sweep_id} state={state} points={points}");
+                    Response::Status { sweep_id, state, points, progress } => {
+                        println!(
+                            "sweep={sweep_id} state={state} points={points} done={} executed={} cache_hits={} wave={}",
+                            progress.done, progress.executed, progress.cache_hits, progress.wave
+                        );
                         Ok(())
                     }
                     Response::Error { error } => Err(error),
@@ -112,6 +140,14 @@ mod unix {
                 Response::Error { error } => Err(error),
                 other => Err(format!("unexpected response: {other:?}")),
             },
+            "metrics" => {
+                print!("{}", client::metrics(&socket()?)?);
+                Ok(())
+            }
+            "health" => {
+                print!("{}", client::health(&socket()?)?.render());
+                Ok(())
+            }
             "gc" => match client::request(&socket()?, &Request::Gc)? {
                 Response::Gc { removed, freed } => {
                     println!("gc: removed={removed} freed_bytes={freed}");
@@ -121,6 +157,14 @@ mod unix {
                 other => Err(format!("unexpected response: {other:?}")),
             },
             "shutdown" => client::shutdown(&socket()?),
+            "logcheck" => {
+                let path = args.log.clone().ok_or_else(|| format!("logcheck needs --log FILE\n{USAGE}"))?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let canonical = cfd_serve::check_log(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+                print!("{canonical}");
+                Ok(())
+            }
             other => Err(format!("unknown command {other}\n{USAGE}")),
         }
     }

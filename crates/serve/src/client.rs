@@ -71,6 +71,25 @@ pub fn shutdown(socket: &Path) -> Result<(), String> {
     }
 }
 
+/// Fetches the daemon's rendered metrics text (daemon counters, engine
+/// registry, store usage).
+pub fn metrics(socket: &Path) -> Result<String, String> {
+    match request(socket, &Request::Metrics)? {
+        Response::Metrics { text } => Ok(text),
+        Response::Error { error } => Err(error),
+        other => Err(format!("unexpected response to metrics: {other:?}")),
+    }
+}
+
+/// Fetches the daemon's health summary.
+pub fn health(socket: &Path) -> Result<crate::proto::HealthInfo, String> {
+    match request(socket, &Request::Health)? {
+        Response::Health(h) => Ok(h),
+        Response::Error { error } => Err(error),
+        other => Err(format!("unexpected response to health: {other:?}")),
+    }
+}
+
 /// The one-line summary drivers print after a sweep.
 pub fn outcome_line(o: &SweepOutcome) -> String {
     format!(

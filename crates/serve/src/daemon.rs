@@ -23,18 +23,28 @@
 //! and resubmitting the same sweep replays finished jobs from the store
 //! byte-identically — the resumed sweep reports `executed=0` when
 //! everything had completed.
+//!
+//! Observability: all daemon stderr goes through one
+//! [`EventLog`] (`--log FILE` adds a JSONL sink,
+//! `--quiet` means exactly log-level `error`), per-request counters and
+//! a sweep-latency histogram accumulate in a daemon-side
+//! [`MetricsRegistry`], live sweep progress flows from the engine's
+//! [`BatchProgress`] callback into the sweep
+//! table where `status` polls read it, and the `metrics`/`health`
+//! requests expose all of it over the socket.
 
 use crate::dse::run_sweep;
-use crate::proto::{read_frame, write_frame, Request, Response, SweepCounters};
-use crate::store::ArtifactStore;
+use crate::proto::{read_frame, write_frame, HealthInfo, Request, Response, SweepCounters, SweepProgress};
+use crate::store::{ArtifactStore, STORE_VERSION};
 use crate::sweep::SweepConfig;
-use cfd_exec::{Engine, ExecConfig};
+use cfd_exec::{BatchProgress, Engine, ExecConfig};
+use cfd_obs::{EventLog, Level, MetricsRegistry};
 use std::collections::{BTreeMap, VecDeque};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -46,8 +56,19 @@ pub struct DaemonConfig {
     pub store: PathBuf,
     /// Worker threads for the executor's engine.
     pub jobs: usize,
-    /// Suppress the per-sweep stderr stats lines.
-    pub quiet: bool,
+    /// Stderr severity floor (`--quiet` maps to [`Level::Error`]).
+    pub log_level: Level,
+    /// Optional JSONL event-log file (`--log FILE`).
+    pub log_file: Option<PathBuf>,
+}
+
+impl DaemonConfig {
+    /// A config with the given socket/store/jobs and stderr logging at
+    /// `error` only — what tests and embedders that predate the logger
+    /// want.
+    pub fn quiet(socket: PathBuf, store: PathBuf, jobs: usize) -> DaemonConfig {
+        DaemonConfig { socket, store, jobs, log_level: Level::Error, log_file: None }
+    }
 }
 
 /// A sweep's lifecycle in the daemon.
@@ -73,6 +94,11 @@ struct SweepEntry {
     config: SweepConfig,
     points: u64,
     state: SweepState,
+    /// Live progress cell, written by the engine's progress callback
+    /// from worker threads and read by `status` handlers. A separate
+    /// `Arc` (not the sweep table itself) so the callback holds no lock
+    /// the handlers contend on.
+    progress: Arc<Mutex<BatchProgress>>,
 }
 
 /// State shared between the accept loop, handlers, and the executor.
@@ -82,7 +108,10 @@ struct Shared {
     wake: Condvar,
     shutdown: AtomicBool,
     store: ArtifactStore,
-    quiet: bool,
+    engine: Engine,
+    log: Arc<EventLog>,
+    metrics: Mutex<MetricsRegistry>,
+    executor_alive: AtomicBool,
 }
 
 impl Shared {
@@ -92,6 +121,10 @@ impl Shared {
         let _q = self.queue.lock().expect("queue lock poisoned");
         self.wake.notify_all();
     }
+
+    fn count(&self, name: &'static str) {
+        self.metrics.lock().expect("metrics lock poisoned").counter_add(name, 1);
+    }
 }
 
 /// Runs the daemon until a client sends `shutdown`. Returns after the
@@ -99,13 +132,34 @@ impl Shared {
 /// the socket file was removed.
 pub fn serve(cfg: DaemonConfig) -> Result<(), String> {
     let store = ArtifactStore::open(&cfg.store)?;
+    let mut log = EventLog::new(cfg.log_level).with_stderr();
+    if let Some(path) = &cfg.log_file {
+        log = log.with_file(path)?;
+    }
+    let exec_cfg = ExecConfig {
+        jobs: cfg.jobs.max(1),
+        use_cache: true,
+        cache_dir: cfg.store.clone(),
+        resume: true,
+        journal: true,
+        ..ExecConfig::default()
+    };
+    let log = Arc::new(log);
+    let engine = Engine::new(exec_cfg);
+    // The engine shares the daemon's log, so batch lifecycle events
+    // (`batch_start`/`retry_wave`/`batch_done`) land in the same JSONL
+    // stream as the daemon's own sweep events.
+    engine.set_log(Some(Arc::clone(&log)));
     let shared = Arc::new(Shared {
         sweeps: Mutex::new(BTreeMap::new()),
         queue: Mutex::new(VecDeque::new()),
         wake: Condvar::new(),
         shutdown: AtomicBool::new(false),
         store,
-        quiet: cfg.quiet,
+        engine,
+        log,
+        metrics: Mutex::new(MetricsRegistry::enabled()),
+        executor_alive: AtomicBool::new(true),
     });
 
     // A stale socket file (dead daemon, SIGKILL) would make bind fail;
@@ -118,21 +172,24 @@ pub fn serve(cfg: DaemonConfig) -> Result<(), String> {
     }
     let listener = UnixListener::bind(&cfg.socket).map_err(|e| format!("cannot bind {}: {e}", cfg.socket.display()))?;
     listener.set_nonblocking(true).map_err(|e| format!("cannot set nonblocking: {e}"))?;
-    if !cfg.quiet {
-        eprintln!("[cfd-serve] listening on {} store={} jobs={}", cfg.socket.display(), cfg.store.display(), cfg.jobs);
-    }
+    shared.log.info(
+        "cfd-serve",
+        "listening",
+        &[
+            ("socket", cfg.socket.display().to_string().into()),
+            ("store", cfg.store.display().to_string().into()),
+            ("jobs", (cfg.jobs as u64).into()),
+        ],
+    );
 
     let executor = {
         let shared = Arc::clone(&shared);
-        let exec_cfg = ExecConfig {
-            jobs: cfg.jobs.max(1),
-            use_cache: true,
-            cache_dir: cfg.store.clone(),
-            resume: true,
-            journal: true,
-            ..ExecConfig::default()
-        };
-        std::thread::spawn(move || executor_loop(&shared, &Engine::new(exec_cfg)))
+        std::thread::spawn(move || {
+            executor_loop(&shared);
+            // Runs on clean drain only; a panic leaves the flag true and
+            // the join below surfaces it.
+            shared.executor_alive.store(false, Ordering::SeqCst);
+        })
     };
 
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -140,14 +197,15 @@ pub fn serve(cfg: DaemonConfig) -> Result<(), String> {
         match listener.accept() {
             Ok((stream, _addr)) => {
                 let shared = Arc::clone(&shared);
+                shared.count("daemon.connections");
                 handlers.push(std::thread::spawn(move || handle_connection(&shared, stream)));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(e) => {
+                shared.log.error("cfd-serve", "accept_failed", &[("error", format!("{e}").into())]);
                 shared.request_shutdown();
-                let _ = e;
             }
         }
         handlers.retain(|h| !h.is_finished());
@@ -156,13 +214,18 @@ pub fn serve(cfg: DaemonConfig) -> Result<(), String> {
     for h in handlers {
         let _ = h.join();
     }
-    let _ = executor.join();
+    let executor_ok = executor.join().is_ok();
+    if !executor_ok {
+        shared.log.error("cfd-serve", "executor_panicked", &[]);
+    }
     let _ = std::fs::remove_file(&cfg.socket);
+    shared.log.info("cfd-serve", "stopped", &[]);
     Ok(())
 }
 
 /// The executor: pops sweep ids and runs them serially on one engine.
-fn executor_loop(shared: &Shared, engine: &Engine) {
+fn executor_loop(shared: &Shared) {
+    let engine = &shared.engine;
     loop {
         let id = {
             let mut q = shared.queue.lock().expect("queue lock poisoned");
@@ -180,11 +243,24 @@ fn executor_loop(shared: &Shared, engine: &Engine) {
             let mut sweeps = shared.sweeps.lock().expect("sweep table poisoned");
             let Some(entry) = sweeps.get_mut(&id) else { continue };
             entry.state = SweepState::Running;
+            // Thread this sweep's progress cell into the engine; workers
+            // write it as slots finalize, status polls read it live.
+            let cell = Arc::clone(&entry.progress);
+            engine.set_progress(Some(Arc::new(move |p: BatchProgress| {
+                *cell.lock().expect("progress cell poisoned") = p;
+            })));
             entry.config.clone()
         };
+        shared.log.event(Level::Debug, "cfd-serve", "sweep_start", &[("sweep", id.clone().into())]);
         let before = engine.stats();
+        let started = Instant::now();
         let outcome = run_sweep(engine, &config);
         let after = engine.stats();
+        engine.set_progress(None);
+        {
+            let mut m = shared.metrics.lock().expect("metrics lock poisoned");
+            m.histogram_record("daemon.sweep_latency_ms", started.elapsed().as_millis() as u64);
+        }
         let mut sweeps = shared.sweeps.lock().expect("sweep table poisoned");
         let Some(entry) = sweeps.get_mut(&id) else { continue };
         entry.state = match outcome {
@@ -195,19 +271,25 @@ fn executor_loop(shared: &Shared, engine: &Engine) {
                     cache_hits: after.cache_hits - before.cache_hits,
                     failed: after.failed - before.failed,
                 };
-                if !shared.quiet {
-                    eprintln!(
-                        "[cfd-serve] sweep={id} state=done points={} executed={} cache_hits={} failed={}",
-                        counters.points, counters.executed, counters.cache_hits, counters.failed
-                    );
-                    eprintln!("{}", engine.stats_line());
-                }
+                shared.log.info(
+                    "cfd-serve",
+                    "sweep_done",
+                    &[
+                        ("sweep", id.clone().into()),
+                        ("points", counters.points.into()),
+                        ("executed", counters.executed.into()),
+                        ("cache_hits", counters.cache_hits.into()),
+                        ("failed", counters.failed.into()),
+                    ],
+                );
                 SweepState::Done { report, counters }
             }
             Err(error) => {
-                if !shared.quiet {
-                    eprintln!("[cfd-serve] sweep={id} state=failed error={error}");
-                }
+                shared.log.warn(
+                    "cfd-serve",
+                    "sweep_failed",
+                    &[("sweep", id.clone().into()), ("error", error.clone().into())],
+                );
                 SweepState::Failed { error }
             }
         };
@@ -230,7 +312,13 @@ fn handle_connection(shared: &Shared, stream: UnixStream) {
             Ok(None) | Err(_) => return,
         };
         let (response, shutdown) = dispatch(shared, &frame);
-        if write_frame(&mut writer, &response.to_json()).is_err() {
+        let payload = response.to_json();
+        {
+            let mut m = shared.metrics.lock().expect("metrics lock poisoned");
+            m.counter_add("daemon.frame_bytes_in", frame.len() as u64);
+            m.counter_add("daemon.frame_bytes_out", payload.len() as u64);
+        }
+        if write_frame(&mut writer, &payload).is_err() {
             return;
         }
         if shutdown {
@@ -240,22 +328,54 @@ fn handle_connection(shared: &Shared, stream: UnixStream) {
     }
 }
 
+/// The counter name for one request kind (static so the registry can
+/// hold it without allocation).
+fn request_counter(r: &Request) -> &'static str {
+    match r {
+        Request::SubmitSweep(_) => "daemon.requests.submit_sweep",
+        Request::Status { .. } => "daemon.requests.status",
+        Request::Results { .. } => "daemon.requests.results",
+        Request::StoreStats => "daemon.requests.store_stats",
+        Request::Metrics => "daemon.requests.metrics",
+        Request::Health => "daemon.requests.health",
+        Request::Gc => "daemon.requests.gc",
+        Request::Shutdown => "daemon.requests.shutdown",
+    }
+}
+
 /// Parses one frame and serves it. Returns the response and whether the
 /// daemon should shut down after sending it.
 fn dispatch(shared: &Shared, frame: &str) -> (Response, bool) {
     let parsed = match cfd_exec::Json::parse(frame) {
         Ok(v) => v,
-        Err(e) => return (Response::Error { error: format!("unparseable frame: {e}") }, false),
+        Err(e) => {
+            shared.count("daemon.requests.malformed");
+            return (Response::Error { error: format!("unparseable frame: {e}") }, false);
+        }
     };
     let Some(request) = Request::from_json(&parsed) else {
+        shared.count("daemon.requests.malformed");
         return (Response::Error { error: "unknown request".to_string() }, false);
     };
+    {
+        let mut m = shared.metrics.lock().expect("metrics lock poisoned");
+        m.counter_add("daemon.requests", 1);
+        m.counter_add(request_counter(&request), 1);
+    }
     match request {
         Request::SubmitSweep(config) => (submit(shared, config), false),
         Request::Status { sweep_id } => {
             let sweeps = shared.sweeps.lock().expect("sweep table poisoned");
             match sweeps.get(&sweep_id) {
-                Some(e) => (Response::Status { sweep_id, state: e.state.word().to_string(), points: e.points }, false),
+                Some(e) => {
+                    let p = *e.progress.lock().expect("progress cell poisoned");
+                    let progress =
+                        SweepProgress { done: p.done, executed: p.executed, cache_hits: p.cache_hits, wave: p.wave };
+                    (
+                        Response::Status { sweep_id, state: e.state.word().to_string(), points: e.points, progress },
+                        false,
+                    )
+                }
                 None => (Response::Error { error: format!("unknown sweep {sweep_id}") }, false),
             }
         }
@@ -273,11 +393,53 @@ fn dispatch(shared: &Shared, frame: &str) -> (Response, bool) {
             }
         }
         Request::StoreStats => (Response::StoreStats { text: shared.store.stats().render() }, false),
+        Request::Metrics => {
+            // Daemon counters first, then the engine registry, then store
+            // usage: one text answer with everything an operator scrapes.
+            let mut text = shared.metrics.lock().expect("metrics lock poisoned").render();
+            text.push_str(&shared.engine.metrics());
+            text.push_str(&shared.store.stats().render());
+            (Response::Metrics { text }, false)
+        }
+        Request::Health => (Response::Health(health(shared)), false),
         Request::Gc => {
             let (removed, freed) = shared.store.gc_quarantine();
             (Response::Gc { removed, freed }, false)
         }
         Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}
+
+/// Assembles the health summary from live daemon state.
+fn health(shared: &Shared) -> HealthInfo {
+    let (sweeps_done, sweeps_failed, running) = {
+        let sweeps = shared.sweeps.lock().expect("sweep table poisoned");
+        let mut done = 0u64;
+        let mut failed = 0u64;
+        let mut running = String::new();
+        for (id, e) in sweeps.iter() {
+            match e.state {
+                SweepState::Done { .. } => done += 1,
+                SweepState::Failed { .. } => failed += 1,
+                SweepState::Running => running = id.clone(),
+                SweepState::Queued => {}
+            }
+        }
+        (done, failed, running)
+    };
+    let queued = shared.queue.lock().expect("queue lock poisoned").len() as u64;
+    let journals = std::fs::read_dir(shared.store.root().join("journal"))
+        .map(|dir| dir.filter_map(Result::ok).filter(|e| e.path().extension().is_some_and(|x| x == "wal")).count())
+        .unwrap_or(0) as u64;
+    HealthInfo {
+        requests: shared.metrics.lock().expect("metrics lock poisoned").counter("daemon.requests"),
+        sweeps_done,
+        sweeps_failed,
+        queued,
+        running,
+        store_version: STORE_VERSION,
+        journals,
+        executor_alive: shared.executor_alive.load(Ordering::SeqCst),
     }
 }
 
@@ -295,7 +457,15 @@ fn submit(shared: &Shared, config: SweepConfig) -> Response {
     let n = points.len() as u64;
     let mut sweeps = shared.sweeps.lock().expect("sweep table poisoned");
     if !sweeps.contains_key(&sweep_id) {
-        sweeps.insert(sweep_id.clone(), SweepEntry { config, points: n, state: SweepState::Queued });
+        sweeps.insert(
+            sweep_id.clone(),
+            SweepEntry {
+                config,
+                points: n,
+                state: SweepState::Queued,
+                progress: Arc::new(Mutex::new(BatchProgress { total: n, ..BatchProgress::default() })),
+            },
+        );
         let mut q = shared.queue.lock().expect("queue lock poisoned");
         q.push_back(sweep_id.clone());
         shared.wake.notify_all();

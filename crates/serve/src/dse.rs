@@ -43,6 +43,26 @@ mod tests {
     }
 
     #[test]
+    fn tiny_sweep_event_log_is_byte_identical_across_worker_counts() {
+        use cfd_obs::{strip_wall, EventLog, Level};
+        use std::sync::Arc;
+        let run = |jobs: usize| {
+            let engine = cacheless(jobs);
+            let log = Arc::new(EventLog::memory(Level::Debug));
+            engine.set_log(Some(Arc::clone(&log)));
+            run_sweep(&engine, &SweepConfig::preset_tiny()).unwrap();
+            log.contents()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(strip_wall(&serial), strip_wall(&parallel), "JSONL event stream must not depend on --jobs");
+        // And the stream passes the logcheck schema gate.
+        let canonical = crate::logcheck::check_log(&serial).unwrap();
+        assert!(canonical.contains("\"event\":\"batch_start\""), "{canonical}");
+        assert!(canonical.contains("\"event\":\"batch_done\""), "{canonical}");
+    }
+
+    #[test]
     fn tiny_sweep_is_deterministic_across_worker_counts() {
         let cfg = SweepConfig::preset_tiny();
         let serial = run_sweep(&cacheless(1), &cfg).unwrap();

@@ -30,6 +30,7 @@ pub mod client;
 #[cfg(unix)]
 pub mod daemon;
 pub mod dse;
+pub mod logcheck;
 pub mod pareto;
 pub mod proto;
 pub mod store;
@@ -40,7 +41,8 @@ pub use client::{outcome_line, submit_and_wait, SweepOutcome};
 #[cfg(unix)]
 pub use daemon::{serve, DaemonConfig};
 pub use dse::run_sweep;
+pub use logcheck::check_log;
 pub use pareto::{frontier, render_report, DseRow};
-pub use proto::{Request, Response, SweepCounters};
+pub use proto::{HealthInfo, Request, Response, SweepCounters, SweepProgress};
 pub use store::{ArtifactStore, StoreStats, STORE_VERSION};
 pub use sweep::{DsePoint, SweepConfig, DSE_CYCLE_LIMIT};

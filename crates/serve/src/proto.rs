@@ -64,6 +64,11 @@ pub enum Request {
     },
     /// Scan the artifact store and return its usage summary.
     StoreStats,
+    /// Fetch the daemon's metrics: its own request/connection/frame
+    /// counters plus the engine registry and store usage.
+    Metrics,
+    /// Fetch a liveness/health summary.
+    Health,
     /// Delete quarantined store entries.
     Gc,
     /// Stop the daemon after draining queued sweeps' current job batch.
@@ -80,6 +85,8 @@ impl Request {
             Request::Status { sweep_id } => tagged_id("status", sweep_id),
             Request::Results { sweep_id } => tagged_id("results", sweep_id),
             Request::StoreStats => "{\"req\":\"store_stats\"}".to_string(),
+            Request::Metrics => "{\"req\":\"metrics\"}".to_string(),
+            Request::Health => "{\"req\":\"health\"}".to_string(),
             Request::Gc => "{\"req\":\"gc\"}".to_string(),
             Request::Shutdown => "{\"req\":\"shutdown\"}".to_string(),
         }
@@ -93,6 +100,8 @@ impl Request {
             "status" => Request::Status { sweep_id: id(v)? },
             "results" => Request::Results { sweep_id: id(v)? },
             "store_stats" => Request::StoreStats,
+            "metrics" => Request::Metrics,
+            "health" => Request::Health,
             "gc" => Request::Gc,
             "shutdown" => Request::Shutdown,
             _ => return None,
@@ -122,6 +131,65 @@ pub struct SweepCounters {
     pub failed: u64,
 }
 
+/// Live execution progress for one sweep, fed by the engine's
+/// [`BatchProgress`](cfd_exec::BatchProgress) callback into the
+/// daemon's sweep table. Observed through `status` polls, `done` is
+/// monotonically non-decreasing within a sweep, and the final snapshot
+/// (state `done`) agrees with the [`SweepCounters`] that `results`
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Points whose result is final.
+    pub done: u64,
+    /// Points simulated so far.
+    pub executed: u64,
+    /// Points served from the store.
+    pub cache_hits: u64,
+    /// Current retry wave (0 = first attempts).
+    pub wave: u64,
+}
+
+/// The daemon's health summary: liveness facts a monitoring probe needs,
+/// all cheap to compute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Uptime measured in requests served (including this one).
+    pub requests: u64,
+    /// Sweeps finished successfully since start.
+    pub sweeps_done: u64,
+    /// Sweeps that failed since start.
+    pub sweeps_failed: u64,
+    /// Sweeps waiting in the queue.
+    pub queued: u64,
+    /// The sweep id currently executing (empty when idle).
+    pub running: String,
+    /// The store's layout version stamp.
+    pub store_version: u64,
+    /// Write-ahead journal files present under the store.
+    pub journals: u64,
+    /// Whether the executor thread is alive (false after a panic or
+    /// shutdown drain).
+    pub executor_alive: bool,
+}
+
+impl HealthInfo {
+    /// Deterministic one-line-per-fact rendering for the CLI.
+    pub fn render(&self) -> String {
+        format!(
+            "[health] executor={} requests={} sweeps_done={} sweeps_failed={} queued={} running={} \
+             store_version={} journals={}\n",
+            if self.executor_alive { "alive" } else { "stopped" },
+            self.requests,
+            self.sweeps_done,
+            self.sweeps_failed,
+            self.queued,
+            if self.running.is_empty() { "-" } else { &self.running },
+            self.store_version,
+            self.journals
+        )
+    }
+}
+
 /// A daemon response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -146,6 +214,8 @@ pub enum Response {
         state: String,
         /// Expanded grid points.
         points: u64,
+        /// Live progress (zeroed while queued; final when done).
+        progress: SweepProgress,
     },
     /// A finished sweep's rendered report plus its execution counters.
     Results {
@@ -161,6 +231,15 @@ pub enum Response {
         /// The rendered stats text.
         text: String,
     },
+    /// Metrics dump: daemon registry render, engine registry render,
+    /// store usage — deterministic modulo wall-clock-derived values
+    /// (the sweep-latency histogram).
+    Metrics {
+        /// The rendered metrics text.
+        text: String,
+    },
+    /// Health summary.
+    Health(HealthInfo),
     /// Quarantine GC outcome.
     Gc {
         /// Files removed.
@@ -187,12 +266,16 @@ impl Response {
                 write_str(&mut s, sweep_id);
                 let _ = write!(s, ",\"points\":{points}}}");
             }
-            Response::Status { sweep_id, state, points } => {
+            Response::Status { sweep_id, state, points, progress } => {
                 s.push_str("{\"ok\":true,\"resp\":\"status\",\"sweep_id\":");
                 write_str(&mut s, sweep_id);
                 s.push_str(",\"state\":");
                 write_str(&mut s, state);
-                let _ = write!(s, ",\"points\":{points}}}");
+                let _ = write!(
+                    s,
+                    ",\"points\":{points},\"done\":{},\"executed\":{},\"cache_hits\":{},\"wave\":{}}}",
+                    progress.done, progress.executed, progress.cache_hits, progress.wave
+                );
             }
             Response::Results { sweep_id, report, counters } => {
                 s.push_str("{\"ok\":true,\"resp\":\"results\",\"sweep_id\":");
@@ -209,6 +292,21 @@ impl Response {
                 s.push_str("{\"ok\":true,\"resp\":\"store_stats\",\"text\":");
                 write_str(&mut s, text);
                 s.push('}');
+            }
+            Response::Metrics { text } => {
+                s.push_str("{\"ok\":true,\"resp\":\"metrics\",\"text\":");
+                write_str(&mut s, text);
+                s.push('}');
+            }
+            Response::Health(h) => {
+                s.push_str("{\"ok\":true,\"resp\":\"health\",\"running\":");
+                write_str(&mut s, &h.running);
+                let _ = write!(
+                    s,
+                    ",\"requests\":{},\"sweeps_done\":{},\"sweeps_failed\":{},\"queued\":{},\"store_version\":{},\
+                     \"journals\":{},\"executor_alive\":{}}}",
+                    h.requests, h.sweeps_done, h.sweeps_failed, h.queued, h.store_version, h.journals, h.executor_alive
+                );
             }
             Response::Gc { removed, freed } => {
                 let _ = write!(s, "{{\"ok\":true,\"resp\":\"gc\",\"removed\":{removed},\"freed\":{freed}}}");
@@ -228,6 +326,12 @@ impl Response {
                     sweep_id: id(v)?,
                     state: v.get("state")?.as_str()?.to_string(),
                     points: v.get("points")?.as_u64()?,
+                    progress: SweepProgress {
+                        done: v.get("done")?.as_u64()?,
+                        executed: v.get("executed")?.as_u64()?,
+                        cache_hits: v.get("cache_hits")?.as_u64()?,
+                        wave: v.get("wave")?.as_u64()?,
+                    },
                 },
                 "results" => Response::Results {
                     sweep_id: id(v)?,
@@ -240,6 +344,17 @@ impl Response {
                     },
                 },
                 "store_stats" => Response::StoreStats { text: v.get("text")?.as_str()?.to_string() },
+                "metrics" => Response::Metrics { text: v.get("text")?.as_str()?.to_string() },
+                "health" => Response::Health(HealthInfo {
+                    requests: v.get("requests")?.as_u64()?,
+                    sweeps_done: v.get("sweeps_done")?.as_u64()?,
+                    sweeps_failed: v.get("sweeps_failed")?.as_u64()?,
+                    queued: v.get("queued")?.as_u64()?,
+                    running: v.get("running")?.as_str()?.to_string(),
+                    store_version: v.get("store_version")?.as_u64()?,
+                    journals: v.get("journals")?.as_u64()?,
+                    executor_alive: v.get("executor_alive")?.as_bool()?,
+                }),
                 "gc" => Response::Gc { removed: v.get("removed")?.as_u64()?, freed: v.get("freed")?.as_u64()? },
                 "shutting_down" => Response::ShuttingDown,
                 _ => return None,
@@ -270,6 +385,8 @@ mod tests {
         roundtrip_req(Request::Status { sweep_id: "abc123".to_string() });
         roundtrip_req(Request::Results { sweep_id: "abc123".to_string() });
         roundtrip_req(Request::StoreStats);
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Health);
         roundtrip_req(Request::Gc);
         roundtrip_req(Request::Shutdown);
         assert_eq!(Request::from_json(&Json::parse("{\"req\":\"nope\"}").unwrap()), None);
@@ -279,15 +396,41 @@ mod tests {
     fn responses_roundtrip() {
         roundtrip_resp(Response::Error { error: "bad \"frame\"\n".to_string() });
         roundtrip_resp(Response::Submitted { sweep_id: "id".to_string(), points: 216 });
-        roundtrip_resp(Response::Status { sweep_id: "id".to_string(), state: "running".to_string(), points: 8 });
+        roundtrip_resp(Response::Status {
+            sweep_id: "id".to_string(),
+            state: "running".to_string(),
+            points: 8,
+            progress: SweepProgress { done: 3, executed: 2, cache_hits: 1, wave: 0 },
+        });
         roundtrip_resp(Response::Results {
             sweep_id: "id".to_string(),
             report: "line one\nline two\n".to_string(),
             counters: SweepCounters { points: 8, executed: 8, cache_hits: 0, failed: 0 },
         });
         roundtrip_resp(Response::StoreStats { text: "[store] entries=3\n".to_string() });
+        roundtrip_resp(Response::Metrics { text: "counter   daemon.connections 2\n".to_string() });
+        roundtrip_resp(Response::Health(HealthInfo {
+            requests: 17,
+            sweeps_done: 2,
+            sweeps_failed: 1,
+            queued: 0,
+            running: "abc123".to_string(),
+            store_version: 1,
+            journals: 3,
+            executor_alive: true,
+        }));
         roundtrip_resp(Response::Gc { removed: 2, freed: 512 });
         roundtrip_resp(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn health_render_is_one_line_per_probe() {
+        let idle = HealthInfo { executor_alive: true, store_version: 1, ..HealthInfo::default() };
+        let line = idle.render();
+        assert!(line.starts_with("[health] executor=alive"), "{line}");
+        assert!(line.contains("running=-"), "idle daemon shows a dash: {line}");
+        let busy = HealthInfo { running: "abc".to_string(), ..idle };
+        assert!(busy.render().contains("running=abc"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 fn start_daemon(socket: PathBuf, store: PathBuf, jobs: usize) -> std::thread::JoinHandle<Result<(), String>> {
     let handle = {
         let socket = socket.clone();
-        std::thread::spawn(move || cfd_serve::serve(DaemonConfig { socket, store, jobs, quiet: true }))
+        std::thread::spawn(move || cfd_serve::serve(DaemonConfig::quiet(socket, store, jobs)))
     };
     for _ in 0..500 {
         if std::os::unix::net::UnixStream::connect(&socket).is_ok() {
@@ -90,6 +90,70 @@ fn concurrent_clients_match_serial_run_and_restart_resumes_warm() {
 }
 
 #[test]
+fn status_progress_is_monotonic_and_final_matches_results() {
+    let dir = temp_dir("progress");
+    let socket = dir.join("serve.sock");
+    let daemon = start_daemon(socket.clone(), dir.join("store"), 2);
+    let cfg = SweepConfig::preset_tiny();
+
+    let sweep_id = match client::request(&socket, &Request::SubmitSweep(cfg)).unwrap() {
+        Response::Submitted { sweep_id, .. } => sweep_id,
+        other => panic!("unexpected response: {other:?}"),
+    };
+
+    // Poll status until the sweep settles, collecting progress snapshots.
+    let mut snapshots = Vec::new();
+    let (final_state, final_progress) = loop {
+        match client::request(&socket, &Request::Status { sweep_id: sweep_id.clone() }).unwrap() {
+            Response::Status { state, points, progress, .. } => {
+                assert_eq!(points, 8);
+                assert!(progress.done <= points, "done must never exceed total: {progress:?}");
+                snapshots.push(progress);
+                if state != "queued" && state != "running" {
+                    break (state, progress);
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(final_state, "done");
+    for w in snapshots.windows(2) {
+        assert!(w[1].done >= w[0].done, "done regressed across polls: {:?} -> {:?}", w[0], w[1]);
+        assert!(w[1].executed >= w[0].executed, "executed regressed across polls");
+    }
+
+    // The final status snapshot must agree with the results counters.
+    match client::request(&socket, &Request::Results { sweep_id: sweep_id.clone() }).unwrap() {
+        Response::Results { counters, .. } => {
+            assert_eq!(final_progress.done, counters.points);
+            assert_eq!(final_progress.executed, counters.executed);
+            assert_eq!(final_progress.cache_hits, counters.cache_hits);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // Metrics and health answer over the same socket.
+    let metrics = client::metrics(&socket).unwrap();
+    for needle in
+        ["daemon.connections", "daemon.requests", "daemon.frame_bytes_in", "exec.submitted", "[store] version=1"]
+    {
+        assert!(metrics.contains(needle), "metrics missing {needle}:\n{metrics}");
+    }
+    let health = client::health(&socket).unwrap();
+    assert!(health.executor_alive, "executor should be draining: {health:?}");
+    assert!(health.requests > 0);
+    assert_eq!(health.sweeps_done, 1);
+    assert_eq!(health.sweeps_failed, 0);
+    assert_eq!(health.store_version, 1);
+    assert!(health.running.is_empty(), "sweep finished: {health:?}");
+
+    client::shutdown(&socket).unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_requests_get_errors_not_hangs() {
     let dir = temp_dir("errors");
     let socket = dir.join("serve.sock");
@@ -106,9 +170,7 @@ fn bad_requests_get_errors_not_hangs() {
         other => panic!("unexpected response: {other:?}"),
     }
     // A second daemon on the same (live) socket must refuse, not steal.
-    let err =
-        cfd_serve::serve(DaemonConfig { socket: socket.clone(), store: dir.join("store2"), jobs: 1, quiet: true })
-            .unwrap_err();
+    let err = cfd_serve::serve(DaemonConfig::quiet(socket.clone(), dir.join("store2"), 1)).unwrap_err();
     assert!(err.contains("already listening"), "unexpected error: {err}");
 
     client::shutdown(&socket).unwrap();

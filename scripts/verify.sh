@@ -128,10 +128,50 @@ cmp "$serve/c3.txt" "$serve/serial.txt"
 target/release/cfd-serve shutdown --socket "$serve/sock"
 wait "$daemon"
 
-echo "== simperf: throughput snapshot to artifacts/, soft KIPS floor on stderr"
+echo "== observability gate: daemon metrics/health round-trip + JSONL event log"
+# A daemon with a JSONL sink at debug; human stderr is not under test.
+target/release/cfd-serve daemon --socket "$serve/sock" --store "$serve/store" --jobs 2 \
+    --log "$serve/daemon.jsonl" --log-level debug 2> /dev/null &
+daemon=$!
+for _ in $(seq 1 500); do target/release/cfd-serve stats --socket "$serve/sock" > /dev/null 2>&1 && break; sleep 0.01; done
+target/release/cfd-serve submit --socket "$serve/sock" --preset tiny --out /dev/null 2> /dev/null
+target/release/cfd-serve metrics --socket "$serve/sock" > "$serve/metrics.txt"
+grep -q 'daemon.requests' "$serve/metrics.txt"
+grep -q 'daemon.sweep_latency_ms' "$serve/metrics.txt"
+grep -q 'exec.submitted' "$serve/metrics.txt"
+grep -q '\[store\] version=1' "$serve/metrics.txt"
+target/release/cfd-serve health --socket "$serve/sock" > "$serve/health.txt"
+grep -q 'executor=alive' "$serve/health.txt"
+target/release/cfd-serve shutdown --socket "$serve/sock"
+wait "$daemon"
+# The daemon's event log must pass the schema gate (version, dense seq)
+# and contain the sweep lifecycle.
+target/release/cfd-serve logcheck --log "$serve/daemon.jsonl" > "$serve/daemon.canon"
+grep -q '"event":"sweep_done"' "$serve/daemon.canon"
+
+echo "== event-log determinism: engine JSONL byte-identical across --jobs"
+# The same sweep, serial vs 4 workers, each with a JSONL sink on the
+# engine: after logcheck strips wall clocks, the streams must be
+# byte-identical (events are emitted only from serial engine sections).
+target/release/experiments dse --preset tiny --no-cache --quiet --out /dev/null \
+    --log "$serve/l1.jsonl" > /dev/null 2> /dev/null
+target/release/experiments dse --preset tiny --jobs 4 --no-cache --quiet --out /dev/null \
+    --log "$serve/l2.jsonl" > /dev/null 2> /dev/null
+target/release/cfd-serve logcheck --log "$serve/l1.jsonl" > "$serve/l1.canon"
+target/release/cfd-serve logcheck --log "$serve/l2.jsonl" > "$serve/l2.canon"
+cmp "$serve/l1.canon" "$serve/l2.canon"
+
+echo "== simperf: profiled throughput snapshot, stage shares must sum to 100%"
 # Timings are host-dependent: the floor warns, it never fails the build.
-target/release/experiments simperf --min-kips 50 > /dev/null
+# The stage-profile share table is exact by construction (basis points,
+# largest-remainder rounding) — the sum line is a hard gate.
+target/release/experiments simperf --profile --min-kips 50 > "$serve/simperf.txt"
+grep -q 'stage shares sum to 100.00%' "$serve/simperf.txt"
 test -s artifacts/BENCH_simperf.json
+# --append makes the JSON artifact a trajectory: one record per run.
+target/release/experiments simperf --scale 40 --json "$serve/perf.jsonl" --append > /dev/null
+target/release/experiments simperf --scale 40 --json "$serve/perf.jsonl" --append > /dev/null
+[[ "$(wc -l < "$serve/perf.jsonl")" == "2" ]]
 
 if [[ "$QUICK" == "0" ]]; then
     echo "== golden equivalence: full experiments transcript vs checked-in fixture"

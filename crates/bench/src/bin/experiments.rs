@@ -28,6 +28,12 @@
 //!                             telemetry-free run of every catalog workload
 //!                             and report KIPS (timings are host-dependent;
 //!                             the simulated columns stay deterministic)
+//!   experiments ckpt [opts]   checkpoint-determinism sweep: run every
+//!                             catalog workload straight and restored from
+//!                             quarter-point checkpoints, byte-compare the
+//!                             serialized reports, and write both JSONL
+//!                             artifacts for the verify.sh cmp gate; exits
+//!                             2 on any divergence
 //!   experiments chaos [opts]  IO-fault chaos sweep over the campaign
 //!                             engine's durability machinery (torn cache
 //!                             writes, corrupt cache bytes, truncated
@@ -92,6 +98,28 @@
 //!   --min-kips N    soft throughput floor: warn on stderr for every
 //!                   workload simulating slower than N KIPS (timings are
 //!                   host-dependent, so this never fails the run)
+//!   --min-kips-hard N
+//!                   hard throughput floor: like --min-kips but exits 3
+//!                   when any workload falls below N KIPS. Meant for CI
+//!                   hosts whose worst-case speed is known; set the floor
+//!                   far below nominal so only a real regression trips it
+//!   --sampled       run the sampled-simulation cross-check instead:
+//!                   every workload runs once in full detail and once in
+//!                   fast-forward/warmup/detail sampled mode, reporting
+//!                   per-workload IPC error and wall-clock speedup. The
+//!                   error column is deterministic; exits 4 when any
+//!                   workload's error exceeds the --max-err bound
+//!   --max-err P     sampled-mode IPC error bound in percent
+//!                   (default 10; only meaningful with --sampled)
+//!
+//! Ckpt options:
+//!   --scale N       workload outer trip count (default catalog scale)
+//!   --straight-out PATH
+//!                   straight-run JSONL destination
+//!                   (default artifacts/ckpt_straight.json)
+//!   --restored-out PATH
+//!                   restored-run JSONL destination
+//!                   (default artifacts/ckpt_restored.json)
 //!
 //! Dse options:
 //!   --preset NAME   which sweep grid to run: `default` (the flagship
@@ -235,6 +263,7 @@ fn main() {
             "  {:8} IO-fault chaos sweep over cache + journal durability (--seed N --scale N --json PATH)",
             "chaos"
         );
+        println!("  {:8} checkpoint-determinism sweep: straight vs quarter-point-restored runs (--scale N)", "ckpt");
         println!(
             "  {:8} DSE sweep with IPC/MPKI/EDP Pareto frontier (--preset default|tiny --out PATH --serve SOCKET)",
             "dse"
@@ -251,6 +280,10 @@ fn main() {
     }
     if args[0] == "simperf" {
         run_simperf(&args[1..]);
+        return;
+    }
+    if args[0] == "ckpt" {
+        run_ckpt(&args[1..]);
         return;
     }
     if args[0] == "dse" {
@@ -500,8 +533,11 @@ fn run_simperf(args: &[String]) {
     let mut scale = Scale::default();
     let mut json_path: Option<String> = None;
     let mut min_kips: Option<f64> = None;
+    let mut min_kips_hard: Option<f64> = None;
     let mut with_profile = false;
     let mut append = false;
+    let mut sampled = false;
+    let mut max_err = 10.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |what: &str| {
@@ -528,11 +564,51 @@ fn run_simperf(args: &[String]) {
                     std::process::exit(1);
                 }) as f64);
             }
+            "--min-kips-hard" => {
+                let v = val("--min-kips-hard");
+                min_kips_hard = Some(parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --min-kips-hard: `{v}`");
+                    std::process::exit(1);
+                }) as f64);
+            }
+            "--sampled" => sampled = true,
+            "--max-err" => {
+                let v = val("--max-err");
+                max_err = parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --max-err: `{v}`");
+                    std::process::exit(1);
+                }) as f64;
+            }
             other => {
                 eprintln!("unknown simperf option `{other}`");
                 std::process::exit(1);
             }
         }
+    }
+    if sampled {
+        let t0 = Instant::now();
+        let rows = simperf::run_catalog_sampled(scale, cfd_core::SampleConfig::default());
+        print!("{}", simperf::sampled_table(&rows));
+        let over = simperf::sampled_over_bound(&rows, max_err);
+        for r in &over {
+            eprintln!(
+                "[simperf] ERROR: {} [{}] sampled IPC {:.4} vs full {:.4} ({:.2}% > {max_err:.0}% bound)",
+                r.name,
+                r.variant.label(),
+                r.ipc_sampled,
+                r.ipc_full,
+                r.err_percent
+            );
+        }
+        println!(
+            "[simperf sampled cross-check completed in {:.1}s: {} workloads]",
+            t0.elapsed().as_secs_f64(),
+            rows.len()
+        );
+        if !over.is_empty() {
+            std::process::exit(4);
+        }
+        return;
     }
     let t0 = Instant::now();
     let (rows, profile) = if with_profile {
@@ -555,6 +631,18 @@ fn run_simperf(args: &[String]) {
             );
         }
     }
+    let hard_floor_broken = min_kips_hard.is_some_and(|floor| {
+        let slow = simperf::below_floor(&rows, floor);
+        for r in &slow {
+            eprintln!(
+                "[simperf] ERROR: {} [{}] simulated at {:.0} KIPS, below the {floor:.0} KIPS hard floor",
+                r.name,
+                r.variant.label(),
+                r.kips
+            );
+        }
+        !slow.is_empty()
+    });
     let ts = std::time::SystemTime::now().duration_since(std::time::SystemTime::UNIX_EPOCH).map_or(0, |d| d.as_secs());
     let record = simperf::history_record(&rows, profile.as_ref(), ts, scale.n);
     let json_path = json_path.unwrap_or_else(|| "artifacts/BENCH_simperf.json".to_string());
@@ -588,6 +676,73 @@ fn run_simperf(args: &[String]) {
         println!("timing record {} {json_path}", if append { "appended to" } else { "written to" });
     }
     println!("[simperf completed in {:.1}s: {} workloads]", t0.elapsed().as_secs_f64(), rows.len());
+    if hard_floor_broken {
+        std::process::exit(3);
+    }
+}
+
+fn run_ckpt(args: &[String]) {
+    use cfd_bench::ckpt;
+    use cfd_workloads::Scale;
+    let mut scale = Scale::default();
+    let mut straight_out = "artifacts/ckpt_straight.json".to_string();
+    let mut restored_out = "artifacts/ckpt_restored.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(1);
+            })
+        };
+        match a.as_str() {
+            "--scale" => {
+                let v = val("--scale");
+                scale.n = parse_u64(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --scale: `{v}`");
+                    std::process::exit(1);
+                }) as usize;
+            }
+            "--straight-out" => straight_out = val("--straight-out"),
+            "--restored-out" => restored_out = val("--restored-out"),
+            other => {
+                eprintln!("unknown ckpt option `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let rows = ckpt::run_catalog_ckpt(scale);
+    print!("{}", ckpt::table(&rows));
+    let write = |path: &str, body: String| {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    std::process::exit(1);
+                });
+            }
+        }
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    };
+    write(&straight_out, ckpt::straight_lines(&rows));
+    write(&restored_out, ckpt::restored_lines(&rows));
+    println!("report lines written to {straight_out} and {restored_out}");
+    println!("[ckpt completed in {:.1}s: {} workloads]", t0.elapsed().as_secs_f64(), rows.len());
+    for r in rows.iter().filter(|r| !r.ok()) {
+        eprintln!(
+            "[ckpt] ERROR: {} [{}] restored run diverged from straight run at cycle(s) {:?}",
+            r.name,
+            r.variant.label(),
+            r.mismatched_at
+        );
+    }
+    if rows.iter().any(|r| !r.ok()) {
+        std::process::exit(2);
+    }
 }
 
 fn run_lint(engine: &Engine, global: &Global, args: &[String]) {

@@ -16,6 +16,7 @@
 //! Criterion microbenchmarks of the simulator's own structures live in
 //! `benches/microbench.rs` (`cargo bench -p cfd-bench`).
 
+pub mod ckpt;
 pub mod experiments;
 pub mod lint;
 pub mod observe;

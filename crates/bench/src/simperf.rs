@@ -11,7 +11,7 @@
 //! wakeup rework): compare `kips` columns across commits on the same host.
 
 use crate::runner::CYCLE_LIMIT;
-use cfd_core::{Core, CoreConfig, StageProfile};
+use cfd_core::{run_sampled, Core, CoreConfig, SampleConfig, StageProfile};
 use cfd_workloads::{catalog, Scale, Variant};
 use std::time::Instant;
 
@@ -127,6 +127,106 @@ pub fn profile_table(p: &StageProfile) -> String {
 pub fn history_record(rows: &[PerfRow], profile: Option<&StageProfile>, ts_epoch_s: u64, scale_n: usize) -> String {
     let profile_json = profile.map_or_else(|| "null".to_string(), StageProfile::to_json);
     format!("{{\"ts\":{ts_epoch_s},\"scale\":{scale_n},\"rows\":{},\"profile\":{}}}", to_json(rows), profile_json)
+}
+
+/// One full-detail vs sampled cross-check.
+#[derive(Debug, Clone)]
+pub struct SampledRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Variant run.
+    pub variant: Variant,
+    /// Full-detail IPC (ground truth).
+    pub ipc_full: f64,
+    /// Sampled-mode IPC estimate.
+    pub ipc_sampled: f64,
+    /// `|sampled - full| / full`, in percent.
+    pub err_percent: f64,
+    /// Wall-clock of the full-detail run, milliseconds.
+    pub wall_full_ms: f64,
+    /// Wall-clock of the sampled run, milliseconds.
+    pub wall_sampled_ms: f64,
+    /// `wall_full / wall_sampled`.
+    pub speedup: f64,
+    /// Measured detail intervals contributing to the estimate.
+    pub intervals: u64,
+}
+
+/// Cross-checks sampled simulation against full detail over the catalog:
+/// each workload runs once in full detail (IPC ground truth) and once in
+/// sampled mode ([`cfd_core::run_sampled`]), timing both. The IPC error
+/// column is deterministic (both IPCs are ratios of simulated counters);
+/// the wall-clock columns are host-dependent, like everything simperf
+/// times.
+pub fn run_catalog_sampled(scale: Scale, sample: SampleConfig) -> Vec<SampledRow> {
+    catalog()
+        .iter()
+        .map(|entry| {
+            let variant = if entry.variants.contains(&Variant::Base) { Variant::Base } else { entry.variants[0] };
+            let wl = entry.build(variant, scale);
+            let t0 = Instant::now();
+            let report = Core::new(CoreConfig::default(), wl.program.clone(), wl.mem.clone())
+                .unwrap_or_else(|e| panic!("{} [{variant}]: {e}", entry.name))
+                .run(CYCLE_LIMIT)
+                .unwrap_or_else(|e| panic!("{} [{variant}]: {e}", entry.name));
+            let wall_full_ms = t0.elapsed().as_secs_f64().max(1e-9) * 1e3;
+            let t1 = Instant::now();
+            let sampled = run_sampled(CoreConfig::default(), wl.program, wl.mem, sample, CYCLE_LIMIT)
+                .unwrap_or_else(|e| panic!("{} [{variant}] sampled: {e}", entry.name));
+            let wall_sampled_ms = t1.elapsed().as_secs_f64().max(1e-9) * 1e3;
+            let ipc_full = report.ipc();
+            let ipc_sampled = sampled.ipc_estimate();
+            SampledRow {
+                name: entry.name,
+                variant,
+                ipc_full,
+                ipc_sampled,
+                err_percent: ((ipc_sampled - ipc_full) / ipc_full.max(1e-12)).abs() * 100.0,
+                wall_full_ms,
+                wall_sampled_ms,
+                speedup: wall_full_ms / wall_sampled_ms.max(1e-9),
+                intervals: sampled.intervals,
+            }
+        })
+        .collect()
+}
+
+/// Rows whose sampled IPC estimate missed full detail by more than
+/// `bound_percent`. Unlike the KIPS floors this check *is* deterministic,
+/// so callers may gate hard on it.
+pub fn sampled_over_bound(rows: &[SampledRow], bound_percent: f64) -> Vec<&SampledRow> {
+    rows.iter().filter(|r| r.err_percent > bound_percent).collect()
+}
+
+/// Plain-text table of the sampled cross-check plus a summary line with
+/// the maximum error and aggregate speedup.
+pub fn sampled_table(rows: &[SampledRow]) -> String {
+    let mut out = format!(
+        "{:<22} {:>9} {:>9} {:>9} {:>7} {:>10} {:>9} {:>8} {:>6}\n",
+        "workload", "variant", "ipc_full", "ipc_samp", "err%", "full_ms", "samp_ms", "speedup", "ivals"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>9.4} {:>9.4} {:>7.2} {:>10.1} {:>9.1} {:>8.2} {:>6}\n",
+            r.name,
+            r.variant.label(),
+            r.ipc_full,
+            r.ipc_sampled,
+            r.err_percent,
+            r.wall_full_ms,
+            r.wall_sampled_ms,
+            r.speedup,
+            r.intervals
+        ));
+    }
+    let max_err = rows.iter().map(|r| r.err_percent).fold(0.0f64, f64::max);
+    let full_ms: f64 = rows.iter().map(|r| r.wall_full_ms).sum();
+    let samp_ms: f64 = rows.iter().map(|r| r.wall_sampled_ms).sum();
+    out.push_str(&format!(
+        "[simperf] sampled max IPC error {max_err:.2}%, catalog wall {full_ms:.0} ms full vs {samp_ms:.0} ms sampled ({:.2}x)\n",
+        full_ms / samp_ms.max(1e-9)
+    ));
+    out
 }
 
 /// Rows whose simulation speed fell below `floor` KIPS.

@@ -10,6 +10,7 @@
 
 use crate::core::CoreError;
 use crate::fault::{FaultKind, FaultSite};
+use crate::host::{FaultHost, MemoryHost, TelemetryHost};
 use crate::pipeline::{DynInst, Pipeline};
 use crate::rename::join_taint;
 use crate::stats::level_index;
@@ -49,10 +50,10 @@ impl Pipeline {
             // The registry gauges sample the same committed state at the
             // same point, so each gauge's high-water mark equals the
             // `max_*_occupancy` counter above by construction.
-            if let Some(t) = &mut self.telemetry {
-                t.registry.gauge_set("core.bq_occupancy", self.oracle.bq.len() as u64);
-                t.registry.gauge_set("core.vq_occupancy", self.oracle.vq.len() as u64);
-                t.registry.gauge_set("core.tq_occupancy", self.oracle.tq.len() as u64);
+            if self.telem.armed() {
+                self.telem.gauge_set("core.bq_occupancy", self.oracle.bq.len() as u64);
+                self.telem.gauge_set("core.vq_occupancy", self.oracle.vq.len() as u64);
+                self.telem.gauge_set("core.tq_occupancy", self.oracle.tq.len() as u64);
             }
 
             self.stats.retired += 1;
@@ -96,7 +97,7 @@ impl Pipeline {
                     // store-buffer simplification: correctness lives in the
                     // oracle memory, and retirement never stalls on stores.
                     if let Some(addr) = e.eff_addr {
-                        self.hier.access(e.pc as u64 * 4, addr, true, self.now);
+                        self.mem.data_access(e.pc as u64 * 4, addr, true, self.now);
                     }
                     debug_assert_eq!(self.store_list.front(), Some(&e.rob_seq));
                     self.store_list.pop_front();
@@ -359,15 +360,13 @@ impl Pipeline {
         self.fetch_resume_at = self.now + 1;
         self.fetch_halted = false;
         self.refill_after_recovery = true;
-        if let Some(t) = &mut self.telemetry {
-            t.registry.counter_add("core.recoveries", 1);
-            t.registry.histogram_record("core.squash_depth", squashed);
-            t.trace.instant(
+        if self.telem.armed() {
+            self.telem.counter_add("core.recoveries", 1);
+            self.telem.histogram_record("core.squash_depth", squashed);
+            self.telem.trace_instant(
                 "recovery",
                 "pipe",
                 self.now,
-                0,
-                0,
                 vec![
                     ("pc", (pc as u64).into()),
                     ("seq", seq.into()),
@@ -375,6 +374,15 @@ impl Pipeline {
                     ("squashed", squashed.into()),
                 ],
             );
+        }
+        if self.yield_policy.on_recovery {
+            self.pending_events.push_back(crate::kernel::KernelEvent::Recovery {
+                cycle: self.now,
+                pc,
+                seq,
+                target,
+                squashed,
+            });
         }
         if self.trace {
             eprintln!(
@@ -394,7 +402,7 @@ impl Pipeline {
             // with a wrong value. Mark fetch as diverged so the retirement
             // oracle reports the mismatch instead of the fetch-side
             // divergence tracker asserting.
-            debug_assert!(self.fault.is_some(), "off-oracle recovery without fault injection");
+            debug_assert!(self.fault.armed(), "off-oracle recovery without fault injection");
             self.diverged_at = Some(seq);
         }
     }

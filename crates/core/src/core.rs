@@ -28,18 +28,21 @@
 //! instruction).
 //!
 //! The stage logic lives in the modules above, each an `impl` block on the
-//! shared [`Pipeline`](crate::pipeline::Pipeline) state struct; this module
-//! only owns the public [`Core`] wrapper, the step loop that sequences the
-//! stages (commit → complete → issue → dispatch → fetch), and report
+//! shared [`Pipeline`](crate::pipeline::Pipeline) state struct; the step
+//! loop that sequences the stages (commit → complete → issue → dispatch →
+//! fetch) lives in [`crate::kernel`]. This module owns the public [`Core`]
+//! wrapper — whose entry points all pump that one kernel loop — and report
 //! finalization.
 
 use crate::config::CoreConfig;
-use crate::fault::{FailureReport, FaultSpec, FaultState};
-use crate::pipeline::{Pipeline, TelemetryState};
+use crate::fault::{FailureReport, FaultSpec};
+use crate::host::{ControlPort, FaultHost, FaultPort, MemoryHost, TelemetryHost, TelemetryPort};
+use crate::kernel::{KernelEvent, NullClock};
+use crate::pipeline::Pipeline;
 use crate::stats::RunReport;
 use crate::trace::PipeTrace;
 use cfd_isa::{MemImage, Program};
-use cfd_obs::{TelemetryConfig, TelemetryReport};
+use cfd_obs::TelemetryConfig;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -115,7 +118,7 @@ impl CancelToken {
         self.inner.progress.load(Ordering::Relaxed)
     }
 
-    fn note(&self, cycle: u64) {
+    pub(crate) fn note(&self, cycle: u64) {
         self.inner.progress.store(cycle, Ordering::Relaxed);
     }
 }
@@ -154,6 +157,9 @@ pub enum CoreError {
         /// Human-readable pipeline state dump.
         state: String,
     },
+    /// A checkpoint failed validation on restore (version mismatch or
+    /// state-digest mismatch; see [`Checkpoint`](crate::Checkpoint)).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -170,6 +176,7 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::Program(e) => write!(f, "program error: {e}"),
             CoreError::Deadlock { cycle, state } => write!(f, "deadlock at cycle {cycle}: {state}"),
+            CoreError::Checkpoint(e) => write!(f, "invalid checkpoint: {e}"),
         }
     }
 }
@@ -178,7 +185,7 @@ impl std::error::Error for CoreError {}
 
 /// The out-of-order core.
 pub struct Core {
-    p: Pipeline,
+    pub(crate) p: Pipeline,
 }
 
 impl Core {
@@ -203,7 +210,7 @@ impl Core {
     /// Arms one deterministic fault injection (see [`crate::fault`]).
     #[must_use]
     pub fn with_fault(mut self, spec: FaultSpec) -> Self {
-        self.p.fault = Some(FaultState::new(spec));
+        self.p.fault = FaultPort::armed_with(spec);
         self
     }
 
@@ -213,7 +220,7 @@ impl Core {
     /// default) the loop pays nothing.
     #[must_use]
     pub fn with_cancellation(mut self, token: CancelToken) -> Self {
-        self.p.cancel = Some(token);
+        self.p.control = ControlPort::engaged(token);
         self
     }
 
@@ -224,7 +231,7 @@ impl Core {
     /// every other report field is byte-identical with or without it.
     #[must_use]
     pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
-        self.p.telemetry = Some(Box::new(TelemetryState::new(cfg)));
+        self.p.telem = TelemetryPort::armed_with(cfg);
         self
     }
 
@@ -236,9 +243,10 @@ impl Core {
     /// [`CoreError::OracleMismatch`]/[`CoreError::Program`] on internal
     /// verification failures (these indicate simulator or program bugs).
     pub fn run(mut self, cycle_limit: u64) -> Result<RunReport, CoreError> {
-        match self.run_inner(cycle_limit) {
-            Ok(()) => Ok(self.into_report()),
-            Err(e) => Err(e),
+        loop {
+            if let KernelEvent::Halted { .. } = self.p.pump(cycle_limit, &mut NullClock)? {
+                return Ok(self.into_report());
+            }
         }
     }
 
@@ -252,7 +260,14 @@ impl Core {
     /// A boxed [`FailureReport`] wrapping the same [`CoreError`]s as
     /// [`Core::run`].
     pub fn run_diag(mut self, cycle_limit: u64) -> Result<RunReport, Box<FailureReport>> {
-        match self.run_inner(cycle_limit) {
+        let outcome = loop {
+            match self.p.pump(cycle_limit, &mut NullClock) {
+                Ok(KernelEvent::Halted { .. }) => break Ok(()),
+                Ok(_) => continue,
+                Err(e) => break Err(e),
+            }
+        };
+        match outcome {
             Ok(()) => Ok(self.into_report()),
             Err(error) => {
                 let mut post_mortem = format!(
@@ -261,76 +276,20 @@ impl Core {
                     self.p.snap_ring.snaps().count()
                 );
                 post_mortem.push_str(&self.p.snap_ring.render());
-                let injection = self.p.fault.as_ref().and_then(|f| f.fired().cloned());
-                let telemetry = self.p.telemetry.take().map(|t| TelemetryReport {
-                    registry: t.registry,
-                    series: t.series,
-                    trace: t.trace,
-                });
+                let injection = self.p.fault.fired_record();
+                let telemetry = self.p.telem.take_report();
                 Err(Box::new(FailureReport { error, post_mortem, injection, telemetry }))
             }
         }
     }
 
-    /// The step loop: one iteration per cycle, stages in reverse pipeline
-    /// order so each stage observes the state the younger stages left at
-    /// the end of the previous cycle.
-    fn run_inner(&mut self, cycle_limit: u64) -> Result<(), CoreError> {
-        let p = &mut self.p;
-        let mut last_retired = (0u64, 0u64); // (cycle, count)
-        while !p.halted {
-            Self::cycle_gate(p, cycle_limit, &mut last_retired)?;
-            let retired_before = p.stats.retired;
-            p.commit()?;
-            if p.halted {
-                break;
-            }
-            p.complete();
-            p.issue();
-            p.dispatch();
-            p.fetch()?;
-            p.account_cycle(retired_before);
-            p.now += 1;
-        }
-        Ok(())
-    }
-
-    /// Per-cycle guards shared by the plain and profiled step loops:
-    /// cycle budget, cooperative cancellation, the retirement watchdog,
-    /// and the post-mortem snapshot ring.
-    fn cycle_gate(p: &mut Pipeline, cycle_limit: u64, last_retired: &mut (u64, u64)) -> Result<(), CoreError> {
-        if p.now >= cycle_limit {
-            return Err(CoreError::CycleLimit(cycle_limit));
-        }
-        if let Some(tok) = &p.cancel {
-            // Publish progress before checking: a supervisor that sees
-            // a stale heartbeat knows the loop itself stopped turning.
-            tok.note(p.now);
-            if let Some(b) = tok.budget() {
-                if p.now >= b {
-                    return Err(CoreError::Cancelled { cycle: p.now, budget: Some(b) });
-                }
-            }
-            if tok.is_cancelled() {
-                return Err(CoreError::Cancelled { cycle: p.now, budget: None });
-            }
-        }
-        if p.stats.retired != last_retired.1 {
-            *last_retired = (p.now, p.stats.retired);
-        } else if p.now - last_retired.0 > p.cfg.watchdog_cycles {
-            return Err(CoreError::Deadlock { cycle: p.now, state: p.dump_state() });
-        }
-        if p.cfg.post_mortem_depth > 0 {
-            p.snap_ring.push(p.cycle_snap());
-        }
-        Ok(())
-    }
-
     /// Like [`Core::run`], but attributes host wall time to the five
     /// stage groups and returns the [`StageProfile`](crate::StageProfile)
-    /// next to the report. Timing is host-side observability only: the
-    /// report is byte-identical to what [`Core::run`] produces for the
-    /// same inputs. Only available with the `stage-profile` feature.
+    /// next to the report. It drives the same kernel step loop as
+    /// [`Core::run`] with the profiling stage clock;
+    /// timing is host-side observability only: the report is
+    /// byte-identical to what [`Core::run`] produces for the same inputs.
+    /// Only available with the `stage-profile` feature.
     ///
     /// # Errors
     ///
@@ -341,62 +300,25 @@ impl Core {
         cycle_limit: u64,
     ) -> Result<(RunReport, crate::stage_profile::StageProfile), CoreError> {
         let mut profile = crate::stage_profile::StageProfile::default();
-        match self.run_inner_profiled(cycle_limit, &mut profile) {
-            Ok(()) => {
-                profile.cycles = self.p.now;
-                profile.sched_ready_checks = self.p.sched_ready_checks;
-                profile.sched_wakeup_events = self.p.sched_wakeup_events;
-                profile.sched_poll_equiv = self.p.sched_poll_equiv;
-                Ok((self.into_report(), profile))
+        {
+            let mut clock = crate::kernel::ProfClock::new(&mut profile);
+            loop {
+                if let KernelEvent::Halted { .. } = self.p.pump(cycle_limit, &mut clock)? {
+                    break;
+                }
             }
-            Err(e) => Err(e),
         }
-    }
-
-    /// The profiled twin of [`Core::run_inner`]: the identical stage
-    /// sequence with an `Instant` read between stage groups. The extra
-    /// reads cost host time but touch no simulated state.
-    #[cfg(feature = "stage-profile")]
-    fn run_inner_profiled(
-        &mut self,
-        cycle_limit: u64,
-        profile: &mut crate::stage_profile::StageProfile,
-    ) -> Result<(), CoreError> {
-        use crate::stage_profile::Stage;
-        use std::time::Instant;
-        let p = &mut self.p;
-        let mut last_retired = (0u64, 0u64); // (cycle, count)
-        while !p.halted {
-            Self::cycle_gate(p, cycle_limit, &mut last_retired)?;
-            let retired_before = p.stats.retired;
-            let t0 = Instant::now();
-            p.commit()?;
-            let t1 = Instant::now();
-            profile.lap(Stage::Commit, t1 - t0);
-            if p.halted {
-                break;
-            }
-            p.complete();
-            let t2 = Instant::now();
-            profile.lap(Stage::Lsq, t2 - t1);
-            p.issue();
-            let t3 = Instant::now();
-            profile.lap(Stage::Scheduler, t3 - t2);
-            p.dispatch();
-            let t4 = Instant::now();
-            profile.lap(Stage::Dispatch, t4 - t3);
-            p.fetch()?;
-            profile.lap(Stage::Frontend, t4.elapsed());
-            p.account_cycle(retired_before);
-            p.now += 1;
-        }
-        Ok(())
+        profile.cycles = self.p.now;
+        profile.sched_ready_checks = self.p.sched_ready_checks;
+        profile.sched_wakeup_events = self.p.sched_wakeup_events;
+        profile.sched_poll_equiv = self.p.sched_poll_equiv;
+        Ok((self.into_report(), profile))
     }
 
     /// Finalizes counters and packages the report (successful runs only).
-    fn into_report(self) -> RunReport {
+    pub(crate) fn into_report(self) -> RunReport {
         let mut p = self.p;
-        p.hier.advance(p.now);
+        p.mem.advance(p.now);
         p.stats.cycles = p.now;
         p.events.cycles = p.now;
         debug_assert!(
@@ -407,38 +329,38 @@ impl Core {
         // Final time-series row at the true end-of-run cycle (captures the
         // retirements of the halting cycle), unless one landed there.
         p.final_sample();
-        let (l1, l2, l3) = p.hier.cache_stats();
+        let (l1, l2, l3) = p.mem.cache_stats();
         p.events.l1d_accesses = l1.accesses;
         p.events.l2_accesses = l2.accesses;
         p.events.l3_accesses = l3.accesses;
-        p.events.dram_accesses = p.hier.level_counts[3];
+        p.events.dram_accesses = p.mem.level_counts()[3];
         p.events.btb_ops = p.btb.lookups;
-        let telemetry = p.telemetry.take().map(|mut t| {
+        if p.telem.armed() {
             // Mirror the headline aggregates into the registry so its
             // rendering is self-contained.
-            t.registry.counter_add("core.cycles", p.stats.cycles);
-            t.registry.counter_add("core.retired", p.stats.retired);
-            t.registry.counter_add("core.fetched", p.stats.fetched);
-            t.registry.counter_add("core.mispredictions", p.stats.mispredictions);
-            t.registry.counter_add("core.retired_branches", p.stats.retired_branches);
+            p.telem.counter_add("core.cycles", p.stats.cycles);
+            p.telem.counter_add("core.retired", p.stats.retired);
+            p.telem.counter_add("core.fetched", p.stats.fetched);
+            p.telem.counter_add("core.mispredictions", p.stats.mispredictions);
+            p.telem.counter_add("core.retired_branches", p.stats.retired_branches);
             // Scheduler-efficiency counters: readiness checks the
             // event-driven scheduler actually performed, wakeup events it
             // processed, and what a per-cycle polling scheduler would have
             // scanned (`iq_count` summed over cycles). Host-side
             // observability only — they never feed back into timing.
-            t.registry.counter_add("sched.ready_checks", p.sched_ready_checks);
-            t.registry.counter_add("sched.wakeup_events", p.sched_wakeup_events);
-            t.registry.counter_add("sched.poll_equiv", p.sched_poll_equiv);
-            TelemetryReport { registry: t.registry, series: t.series, trace: t.trace }
-        });
+            p.telem.counter_add("sched.ready_checks", p.sched_ready_checks);
+            p.telem.counter_add("sched.wakeup_events", p.sched_wakeup_events);
+            p.telem.counter_add("sched.poll_equiv", p.sched_poll_equiv);
+        }
+        let telemetry = p.telem.take_report();
         RunReport {
             stats: p.stats,
             events: p.events,
             cache_stats: (l1, l2, l3),
-            mshr_histogram: p.hier.mshr_histogram().to_vec(),
-            level_counts: p.hier.level_counts,
+            mshr_histogram: p.mem.mshr_histogram().to_vec(),
+            level_counts: p.mem.level_counts(),
             pipe_trace: p.pipe_trace,
-            injection: p.fault.as_ref().and_then(|f| f.fired().cloned()),
+            injection: p.fault.fired_record(),
             telemetry,
         }
     }

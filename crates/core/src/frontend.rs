@@ -13,6 +13,7 @@
 use crate::cfd_queues::{FetchBq, FetchTq};
 use crate::config::{BqMissPolicy, CheckpointPolicy};
 use crate::core::CoreError;
+use crate::host::MemoryHost;
 use crate::pipeline::{DynInst, Pipeline, Snapshot};
 use crate::rename::VqRenamer;
 use cfd_isa::Instr;
@@ -85,8 +86,7 @@ impl Pipeline {
             }
 
             // L1I probe: a miss bubbles fetch for the L2 latency.
-            if self.cfg.model_icache && !self.icache.access(pc as u64 * 4, false) {
-                self.icache.fill(pc as u64 * 4, false);
+            if self.cfg.model_icache && !self.mem.fetch_probe(pc as u64 * 4) {
                 self.stats.icache_misses += 1;
                 self.fetch_resume_at = self.now + self.cfg.hierarchy.l2_latency as u64;
                 self.front_block = CpiComponent::Frontend;

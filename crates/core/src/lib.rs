@@ -46,6 +46,7 @@
 //! ```
 
 mod cfd_queues;
+mod checkpoint;
 mod commit;
 mod config;
 #[allow(clippy::module_inception)]
@@ -53,9 +54,12 @@ mod core;
 mod dispatch;
 pub mod fault;
 mod frontend;
+mod host;
+mod kernel;
 mod lsq;
 mod pipeline;
 mod rename;
+mod sampled;
 mod scheduler;
 #[cfg(feature = "stage-profile")]
 pub mod stage_profile;
@@ -64,9 +68,13 @@ mod trace;
 
 pub use crate::core::{CancelToken, Core, CoreError};
 pub use cfd_queues::{BqSnapshot, FetchBq, FetchTq, TqSnapshot};
+pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use config::{BqMissPolicy, CheckpointPolicy, CoreConfig, PerfectMode};
 pub use fault::{FailureReport, FaultKind, FaultSite, FaultSpec, InjectionRecord};
+pub use host::{ControlHost, FaultHost, MemoryHost, TelemetryHost};
+pub use kernel::{KernelEvent, YieldPolicy};
 pub use rename::{join_taint, PhysReg, RenameState, Taint, VqRenamer, VqSnapshot};
+pub use sampled::{run_sampled, SampleConfig, SampledReport};
 #[cfg(feature = "stage-profile")]
 pub use stage_profile::{Stage, StageProfile, STAGE_COUNT, STAGE_NAMES};
 pub use stats::{level_index, BranchStat, CoreStats, RunReport};

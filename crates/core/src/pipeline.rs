@@ -17,14 +17,16 @@
 use crate::cfd_queues::{BqSnapshot, FetchBq, FetchTq, TqSnapshot};
 use crate::config::CoreConfig;
 use crate::core::CoreError;
-use crate::fault::{FaultKind, FaultSite, FaultState};
+use crate::fault::{FaultKind, FaultSite};
+use crate::host::{ControlPort, FaultHost, FaultPort, MemoryHost, MemoryPort, TelemetryHost, TelemetryPort};
+use crate::kernel::{KernelEvent, YieldPolicy};
 use crate::rename::{PhysReg, RenameState, Taint, VqRenamer};
 use crate::stats::CoreStats;
 use crate::trace::{CycleSnap, PipeEvent, PipeTrace, SnapRing};
 use cfd_energy::EventCounts;
 use cfd_isa::{Instr, Machine, MemImage, MemWidth, Program, QueueConfig};
-use cfd_mem::{Cache, CacheConfig, Hierarchy, MemLevel};
-use cfd_obs::{CpiComponent, MetricsRegistry, TelemetryConfig, TimeSeries, TraceLog};
+use cfd_mem::MemLevel;
+use cfd_obs::CpiComponent;
 use cfd_predictor::{predictor_by_name, Btb, ConfidenceEstimator, DirectionPredictor, PredMeta, Ras, RasSnapshot};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -181,64 +183,14 @@ impl DynInst {
     }
 }
 
-/// Time-series schema: cumulative counters sampled every N cycles.
-/// `cycle` stamps the row; everything else is cumulative-so-far, so rates
-/// (IPC, miss ratios, predictor accuracy) are derived by differencing
-/// adjacent rows.
-pub(crate) const SERIES_COLUMNS: [&str; 27] = [
-    "cycle",
-    "retired",
-    "fetched",
-    "mispredictions",
-    "retired_branches",
-    "rob",
-    "iq",
-    "lsq",
-    "front_q",
-    "bq",
-    "vq",
-    "tq",
-    "l1_accesses",
-    "l1_hits",
-    "l2_accesses",
-    "l2_hits",
-    "l3_accesses",
-    "l3_hits",
-    "cpi_base",
-    "cpi_frontend",
-    "cpi_mispredict",
-    "cpi_cfd_stall",
-    "cpi_mem_l1",
-    "cpi_mem_l2",
-    "cpi_mem_l3",
-    "cpi_mem_dram",
-    "cpi_backend",
-];
-
-/// Live telemetry attached to a run via
-/// [`Core::with_telemetry`](crate::Core::with_telemetry).
-pub(crate) struct TelemetryState {
-    pub(crate) cfg: TelemetryConfig,
-    pub(crate) registry: MetricsRegistry,
-    pub(crate) series: TimeSeries,
-    pub(crate) trace: TraceLog,
-    /// Next cycle stamp at which to push a series row.
-    pub(crate) next_sample: u64,
-}
-
-impl TelemetryState {
-    pub(crate) fn new(cfg: TelemetryConfig) -> TelemetryState {
-        TelemetryState {
-            registry: MetricsRegistry::enabled(),
-            series: TimeSeries::new(cfg.sample_interval, SERIES_COLUMNS.to_vec()),
-            trace: if cfg.trace { TraceLog::enabled() } else { TraceLog::disabled() },
-            next_sample: if cfg.sample_interval > 0 { cfg.sample_interval } else { u64::MAX },
-            cfg,
-        }
-    }
-}
-
 /// All simulated state, shared by the stage modules.
+///
+/// `Clone` is the checkpoint mechanism (see [`crate::checkpoint`]): every
+/// field is either simulated state that deep-copies, or a host port whose
+/// clone semantics are documented on the port (the control port's
+/// [`CancelToken`](crate::CancelToken) clone intentionally *shares* the
+/// supervisor's token).
+#[derive(Clone)]
 pub(crate) struct Pipeline {
     pub(crate) cfg: CoreConfig,
     pub(crate) program: Program,
@@ -260,9 +212,6 @@ pub(crate) struct Pipeline {
     pub(crate) tq: FetchTq,
     pub(crate) vq: VqRenamer,
     pub(crate) front_q: VecDeque<DynInst>,
-    /// L1 instruction cache (tags only; instruction "addresses" are
-    /// `pc * 4`).
-    pub(crate) icache: Cache,
     // Back end.
     pub(crate) rename: RenameState,
     pub(crate) rob: VecDeque<DynInst>,
@@ -282,7 +231,9 @@ pub(crate) struct Pipeline {
     pub(crate) iq_count: usize,
     pub(crate) lsq_count: usize,
     pub(crate) checkpoints_free: usize,
-    pub(crate) hier: Hierarchy,
+    /// Memory host: the data hierarchy and L1I tags, behind
+    /// [`MemoryHost`].
+    pub(crate) mem: MemoryPort,
     pub(crate) now: u64,
     pub(crate) next_seq: u64,
     pub(crate) next_rob_seq: u64,
@@ -292,11 +243,13 @@ pub(crate) struct Pipeline {
     pub(crate) stats: CoreStats,
     pub(crate) events: EventCounts,
     pub(crate) pipe_trace: Option<PipeTrace>,
-    /// Armed fault injection, if any (see [`crate::fault`]).
-    pub(crate) fault: Option<FaultState>,
-    /// Cooperative cancellation token, when armed; checked once per cycle
-    /// by the step loop.
-    pub(crate) cancel: Option<crate::core::CancelToken>,
+    /// Fault host: the deterministic injector, behind [`FaultHost`]; null
+    /// unless armed (see [`crate::fault`]).
+    pub(crate) fault: FaultPort,
+    /// Control host: progress heartbeat + cooperative cancellation, behind
+    /// [`ControlHost`](crate::host::ControlHost); polled once per cycle by
+    /// the step loop.
+    pub(crate) control: ControlPort,
     /// Post-mortem snapshot ring (empty unless `post_mortem_depth > 0`).
     pub(crate) snap_ring: SnapRing,
     /// Why fetch most recently failed to supply instructions: CPI-stack
@@ -305,8 +258,9 @@ pub(crate) struct Pipeline {
     /// A recovery squashed the ROB and the corrected path has not reached
     /// dispatch yet: empty-ROB cycles are misprediction penalty.
     pub(crate) refill_after_recovery: bool,
-    /// Telemetry (registry/series/trace), when armed.
-    pub(crate) telemetry: Option<Box<TelemetryState>>,
+    /// Telemetry host: registry/series/trace, behind [`TelemetryHost`];
+    /// null unless armed.
+    pub(crate) telem: TelemetryPort,
     // Host-side scheduler-efficiency counters (never affect simulation).
     /// Ready-queue entries examined by `issue` across the run.
     pub(crate) sched_ready_checks: u64,
@@ -316,6 +270,17 @@ pub(crate) struct Pipeline {
     /// (`iq_count` summed over cycles): the baseline the event-driven
     /// counters are compared against.
     pub(crate) sched_poll_equiv: u64,
+    // Kernel stepping state (see [`crate::kernel`]). Lives on the pipeline
+    // rather than in a loop frame so a run is resumable mid-flight.
+    /// Which [`KernelEvent`]s the step loop yields (default: none).
+    pub(crate) yield_policy: YieldPolicy,
+    /// Events produced but not yet yielded to the driver.
+    pub(crate) pending_events: VecDeque<KernelEvent>,
+    /// Instructions retired since the last `RetireBatch` yield.
+    pub(crate) retire_acc: u64,
+    /// Retirement-watchdog state: cycle and count of the last observed
+    /// forward progress.
+    pub(crate) last_retired: (u64, u64),
 }
 
 impl Pipeline {
@@ -349,7 +314,6 @@ impl Pipeline {
             tq: FetchTq::new(cfg.tq_size, cfg.tq_trip_bits),
             vq: VqRenamer::new(cfg.vq_size),
             front_q: VecDeque::new(),
-            icache: Cache::new(CacheConfig { size_bytes: 32 * 1024, ways: 8, block_bits: 6 }),
             rename: RenameState::new(cfg.prf_size),
             rob: VecDeque::new(),
             ready_list: BTreeSet::new(),
@@ -359,7 +323,7 @@ impl Pipeline {
             iq_count: 0,
             lsq_count: 0,
             checkpoints_free: cfg.n_checkpoints,
-            hier: Hierarchy::new(cfg.hierarchy.clone()),
+            mem: MemoryPort::new(cfg.hierarchy.clone()),
             now: 0,
             next_seq: 0,
             next_rob_seq: 0,
@@ -368,15 +332,19 @@ impl Pipeline {
             stats: CoreStats::default(),
             events: EventCounts::default(),
             pipe_trace: None,
-            fault: None,
-            cancel: None,
+            fault: FaultPort::unarmed(),
+            control: ControlPort::disengaged(),
             snap_ring: SnapRing::new(cfg.post_mortem_depth),
             front_block: CpiComponent::Frontend,
             refill_after_recovery: false,
-            telemetry: None,
+            telem: TelemetryPort::unarmed(),
             sched_ready_checks: 0,
             sched_wakeup_events: 0,
             sched_poll_equiv: 0,
+            yield_policy: YieldPolicy::default(),
+            pending_events: VecDeque::new(),
+            retire_acc: 0,
+            last_retired: (0, 0),
             cfg,
         })
     }
@@ -400,7 +368,7 @@ impl Pipeline {
             let cause = self.idle_cause();
             self.stats.cpi_slots[cause.index()] += idle;
         }
-        if self.telemetry.is_some() {
+        if self.telem.armed() {
             self.sample_telemetry(self.now + 1, false);
         }
     }
@@ -436,14 +404,10 @@ impl Pipeline {
 
     /// Pushes one time-series row stamped `cycle` when due (or `force`d).
     pub(crate) fn sample_telemetry(&mut self, cycle: u64, force: bool) {
-        let due = match &self.telemetry {
-            Some(t) => t.cfg.sample_interval > 0 && (force || cycle >= t.next_sample),
-            None => false,
-        };
-        if !due {
+        if !self.telem.sample_due(cycle, force) {
             return;
         }
-        let (l1, l2, l3) = self.hier.cache_stats();
+        let (l1, l2, l3) = self.mem.cache_stats();
         let bq = self.bq.length();
         let vq = self.vq.length();
         let tq = self.tq.length();
@@ -469,18 +433,12 @@ impl Pipeline {
             l3.hits,
         ];
         row.extend_from_slice(&self.stats.cpi_slots);
-        let t = self.telemetry.as_mut().expect("checked above");
-        t.series.push_row(row);
-        let step = t.cfg.sample_interval.max(1);
-        while t.next_sample <= cycle {
-            t.next_sample += step;
-        }
-        if t.trace.is_enabled() {
-            t.trace.counter(
+        self.telem.record_sample(cycle, row);
+        if self.telem.trace_enabled() {
+            self.telem.trace_counter(
                 "occupancy",
                 "pipe",
                 cycle,
-                0,
                 vec![("bq", bq.into()), ("vq", vq.into()), ("tq", tq.into()), ("rob", rob.into())],
             );
         }
@@ -489,11 +447,7 @@ impl Pipeline {
     /// Final series row at end of run, skipped if sampling already landed
     /// exactly there.
     pub(crate) fn final_sample(&mut self) {
-        let need = match &self.telemetry {
-            Some(t) => t.cfg.sample_interval > 0 && t.series.rows.last().is_none_or(|r| r[0] != self.now),
-            None => false,
-        };
-        if need {
+        if self.telem.needs_final_sample(self.now) {
             self.sample_telemetry(self.now, true);
         }
     }
@@ -523,18 +477,24 @@ impl Pipeline {
     /// Visits a fault-injection site: returns the armed fault's kind when
     /// it fires at this visit (see [`crate::fault`]).
     pub(crate) fn fault_at(&mut self, site: FaultSite) -> Option<FaultKind> {
-        let fired = self.fault.as_mut()?.visit(site, self.now);
+        if !self.fault.armed() {
+            return None;
+        }
+        let fired = self.fault.visit(site, self.now);
         if let Some(kind) = fired {
             self.stats.faults_injected += 1;
-            if let Some(t) = &mut self.telemetry {
-                t.trace.instant(
+            if self.telem.armed() {
+                self.telem.trace_instant(
                     "fault",
                     "fault",
                     self.now,
-                    0,
-                    0,
                     vec![("site", format!("{site:?}").into()), ("kind", format!("{kind:?}").into())],
                 );
+            }
+            if self.yield_policy.on_fault {
+                if let Some(record) = self.fault.fired_record() {
+                    self.pending_events.push_back(KernelEvent::FaultDetected { record });
+                }
             }
         }
         fired
@@ -542,7 +502,7 @@ impl Pipeline {
 
     /// Whether the armed fault has fired by now (recovery attribution).
     pub(crate) fn fault_has_fired(&self) -> bool {
-        self.fault.as_ref().is_some_and(|f| f.fired().is_some())
+        self.fault.has_fired()
     }
 
     /// Branch PC as presented to predictor structures: instruction indices

@@ -19,6 +19,7 @@
 //! buckets keyed by each instruction's `ready_at`.
 
 use crate::fault::{FaultKind, FaultSite};
+use crate::host::MemoryHost;
 use crate::lsq::ForwardState;
 use crate::pipeline::{extract, Pipeline};
 use crate::rename::join_taint;
@@ -289,7 +290,7 @@ impl Pipeline {
                         latency = 2;
                     }
                     ForwardState::Memory => {
-                        let res = self.hier.access(pc as u64 * 4, addr, false, now);
+                        let res = self.mem.data_access(pc as u64 * 4, addr, false, now);
                         if res.mshr_full {
                             return false;
                         }
@@ -309,7 +310,7 @@ impl Pipeline {
             }
             Instr::Prefetch { offset, .. } => {
                 let addr = (v1 as u64).wrapping_add(offset as u64);
-                let res = self.hier.access(pc as u64 * 4, addr, false, now);
+                let res = self.mem.data_access(pc as u64 * 4, addr, false, now);
                 if res.mshr_full {
                     return false;
                 }

@@ -1,0 +1,99 @@
+//! Yield-based stepping kernel: the event stream must be a pure
+//! observation layer — same results as a monolithic run, resumable at
+//! every yield, with a terminal `Halted`.
+
+use cfd_core::{Core, CoreConfig, KernelEvent, YieldPolicy};
+use cfd_isa::{Assembler, MemImage, Program, Reg};
+
+const LIMIT: u64 = 10_000_000;
+
+/// A loop with a data-dependent branch (some recoveries guaranteed).
+fn demo_program() -> Program {
+    let (i, n, p, acc) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+    let mut a = Assembler::new();
+    a.li(n, 3000);
+    a.label("top");
+    a.xor(p, i, 5i64);
+    a.and(p, p, 1i64);
+    a.beqz(p, "skip");
+    a.addi(acc, acc, 1);
+    a.label("skip");
+    a.addi(i, i, 1);
+    a.blt(i, n, "top");
+    a.halt();
+    a.finish().unwrap()
+}
+
+fn new_core(policy: YieldPolicy) -> Core {
+    Core::new(CoreConfig::default(), demo_program(), MemImage::new()).unwrap().with_yield_policy(policy)
+}
+
+/// Driving the kernel event by event produces a report byte-identical to
+/// a monolithic `run`, whatever the yield cadence.
+#[test]
+fn event_stream_run_matches_plain_run() {
+    let plain = Core::new(CoreConfig::default(), demo_program(), MemImage::new()).unwrap().run(LIMIT).unwrap();
+    let policy = YieldPolicy { retire_batch: 512, on_recovery: true, on_fault: true, heartbeat_interval: 777 };
+    let mut core = new_core(policy);
+    let mut events = 0u64;
+    loop {
+        match core.next_event(LIMIT).unwrap() {
+            KernelEvent::Halted { cycle, retired } => {
+                assert_eq!(cycle, plain.stats.cycles);
+                assert_eq!(retired, plain.stats.retired);
+                break;
+            }
+            _ => events += 1,
+        }
+    }
+    assert!(events > 0, "policy yielded nothing before halt");
+    assert_eq!(format!("{:?}", core.finish()), format!("{plain:?}"));
+}
+
+/// Yield cadences honour the policy: retire batches are spaced by at
+/// least the batch size, heartbeats land exactly on interval multiples,
+/// and recoveries carry plausible coordinates.
+#[test]
+fn yield_cadence_follows_policy() {
+    let policy = YieldPolicy { retire_batch: 1000, on_recovery: true, on_fault: false, heartbeat_interval: 2000 };
+    let mut core = new_core(policy);
+    let (mut last_batch_retired, mut batches, mut beats, mut recoveries) = (0u64, 0u64, 0u64, 0u64);
+    loop {
+        match core.next_event(LIMIT).unwrap() {
+            KernelEvent::RetireBatch { retired, .. } => {
+                assert!(retired >= last_batch_retired + policy.retire_batch, "batch under threshold");
+                last_batch_retired = retired;
+                batches += 1;
+            }
+            KernelEvent::Heartbeat { cycle, .. } => {
+                assert_eq!(cycle % policy.heartbeat_interval, 0, "heartbeat off the interval grid");
+                beats += 1;
+            }
+            KernelEvent::Recovery { squashed, .. } => {
+                assert!(squashed > 0, "recovery squashed nothing");
+                recoveries += 1;
+            }
+            KernelEvent::FaultDetected { .. } => panic!("no fault armed"),
+            KernelEvent::Halted { .. } => break,
+        }
+    }
+    assert!(batches >= 5, "expected several retire batches, got {batches}");
+    assert!(beats >= 1, "expected at least one heartbeat, got {beats}");
+    assert!(recoveries >= 1, "data-dependent branch produced no recoveries");
+}
+
+/// `Halted` is terminal and idempotent; `finish` packages the report.
+#[test]
+fn halted_repeats_after_completion() {
+    let mut core = new_core(YieldPolicy::silent());
+    let first = core.next_event(LIMIT).unwrap();
+    let KernelEvent::Halted { cycle, retired } = first else {
+        panic!("silent policy must go straight to Halted, got {first:?}");
+    };
+    for _ in 0..3 {
+        assert_eq!(core.next_event(LIMIT).unwrap(), KernelEvent::Halted { cycle, retired });
+    }
+    let report = core.finish();
+    assert_eq!(report.stats.cycles, cycle);
+    assert_eq!(report.stats.retired, retired);
+}

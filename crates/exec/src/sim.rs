@@ -12,7 +12,7 @@ use crate::fingerprint::{Fingerprint, Hasher};
 use crate::json::Json;
 use crate::policy::timeout_panic;
 use cfd_core::{
-    BranchStat, CancelToken, Core, CoreConfig, CoreError, CoreStats, FaultKind, InjectionRecord, RunReport,
+    BranchStat, CancelToken, Core, CoreConfig, CoreError, CoreStats, FaultKind, InjectionRecord, KernelEvent, RunReport,
 };
 use cfd_energy::EventCounts;
 use cfd_mem::CacheStats;
@@ -311,21 +311,29 @@ impl CampaignJob for SimJob {
         self.execute_cancellable(&CancelToken::new())
     }
 
-    /// Threads the engine's cancellation token into the sim loop, which
-    /// checks it once per simulated cycle: a run past its cycle budget is
-    /// killed cooperatively at exactly the first over-budget cycle and
-    /// classified as a timeout, identically at any worker count.
+    /// Drives the core's stepping kernel under the engine's cancellation
+    /// token, which the kernel polls once per simulated cycle: a run past
+    /// its cycle budget is killed cooperatively at exactly the first
+    /// over-budget cycle and classified as a timeout, identically at any
+    /// worker count. The engine consumes the kernel's event stream (rather
+    /// than a monolithic `run`) so supervision stays outside the core: the
+    /// default silent yield policy costs nothing, and the loop is the
+    /// natural seam for richer engine-side policies (e.g. heartbeat-driven
+    /// progress accounting) without touching cfd-core.
     fn execute_cancellable(&self, cancel: &CancelToken) -> RunReport {
-        Core::new(self.cfg.clone(), self.workload.program.clone(), self.workload.mem.clone())
+        let mut core = Core::new(self.cfg.clone(), self.workload.program.clone(), self.workload.mem.clone())
             .unwrap_or_else(|e| {
                 panic!("{} [{}] core construction failed: {e}", self.workload.name, self.workload.variant)
             })
-            .with_cancellation(cancel.clone())
-            .run(self.cycle_limit)
-            .unwrap_or_else(|e| match e {
-                CoreError::Cancelled { budget: Some(b), .. } => timeout_panic(b),
-                e => panic!("{} [{}] failed: {e}", self.workload.name, self.workload.variant),
-            })
+            .with_cancellation(cancel.clone());
+        loop {
+            match core.next_event(self.cycle_limit) {
+                Ok(KernelEvent::Halted { .. }) => return core.finish(),
+                Ok(_) => continue,
+                Err(CoreError::Cancelled { budget: Some(b), .. }) => timeout_panic(b),
+                Err(e) => panic!("{} [{}] failed: {e}", self.workload.name, self.workload.variant),
+            }
+        }
     }
 
     fn result_to_json(out: &RunReport) -> String {

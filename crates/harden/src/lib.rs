@@ -473,6 +473,9 @@ fn run_trial_inner(
                 // a supervisor intervention, which counts as detected.
                 CoreError::Cancelled { cycle, .. } => (Some(*cycle), Verdict::Detected("cancelled".to_string())),
                 CoreError::Config(_) => (None, Verdict::Detected("config".to_string())),
+                // Trials never restore checkpoints; a rejected restore is
+                // likewise a supervisor-level detection.
+                CoreError::Checkpoint(_) => (None, Verdict::Detected("checkpoint".to_string())),
             };
             let latency = match (at, injected) {
                 (Some(at), Some(inj)) => at.checked_sub(inj),

@@ -91,6 +91,10 @@ pub trait DirectionPredictor {
     fn train(&mut self, pc: u64, taken: bool, meta: &PredMeta);
     /// Short predictor name for reports.
     fn name(&self) -> &'static str;
+    /// Deep-copies the predictor behind the trait object. This is what
+    /// makes a core checkpoint self-contained: tables, histories and
+    /// speculative counters all travel with the clone.
+    fn clone_box(&self) -> Box<dyn DirectionPredictor>;
 
     /// Immediate-update convenience for trace-driven profiling: predict,
     /// repair, train, and report whether the prediction was wrong.
@@ -101,6 +105,12 @@ pub trait DirectionPredictor {
         }
         self.train(pc, taken, &meta);
         pred != taken
+    }
+}
+
+impl Clone for Box<dyn DirectionPredictor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 
@@ -118,6 +128,9 @@ impl DirectionPredictor for AlwaysTaken {
     fn name(&self) -> &'static str {
         "always-taken"
     }
+    fn clone_box(&self) -> Box<dyn DirectionPredictor> {
+        Box::new(self.clone())
+    }
 }
 
 impl DirectionPredictor for Bimodal {
@@ -131,6 +144,9 @@ impl DirectionPredictor for Bimodal {
     }
     fn name(&self) -> &'static str {
         "bimodal"
+    }
+    fn clone_box(&self) -> Box<dyn DirectionPredictor> {
+        Box::new(self.clone())
     }
 }
 
@@ -157,6 +173,9 @@ impl DirectionPredictor for Gshare {
     fn name(&self) -> &'static str {
         "gshare"
     }
+    fn clone_box(&self) -> Box<dyn DirectionPredictor> {
+        Box::new(self.clone())
+    }
 }
 
 impl DirectionPredictor for Perceptron {
@@ -182,6 +201,9 @@ impl DirectionPredictor for Perceptron {
     fn name(&self) -> &'static str {
         "perceptron"
     }
+    fn clone_box(&self) -> Box<dyn DirectionPredictor> {
+        Box::new(self.clone())
+    }
 }
 
 impl DirectionPredictor for IslTage {
@@ -206,6 +228,9 @@ impl DirectionPredictor for IslTage {
     }
     fn name(&self) -> &'static str {
         "isl-tage"
+    }
+    fn clone_box(&self) -> Box<dyn DirectionPredictor> {
+        Box::new(self.clone())
     }
 }
 
